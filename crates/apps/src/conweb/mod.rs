@@ -1,0 +1,10 @@
+//! ConWeb, the contextual Web browser (paper §6.2), in both variants.
+//!
+//! The Web-serving substrate itself ([`web`]) — page templates,
+//! context-adaptive rendering, the request/response exchange and the
+//! auto-refreshing browser — is shared by both variants and excluded from
+//! the Table 5 counts, like the paper's Web server hosting the pages.
+
+pub mod web;
+pub mod with_middleware;
+pub mod without_middleware;

@@ -1,0 +1,17 @@
+//! ConWeb built **without** SenSocial.
+//!
+//! The mobile side ([`mobile`]) re-derives by hand everything the
+//! middleware otherwise provides: its own sampling timers per modality,
+//! manual classifier invocation, a hand-written context uplink protocol
+//! ([`protocol`]), manual energy metering and a manual pause/resume tied
+//! to the browser lifecycle. The server side ([`ingest`]) parses the
+//! uplink protocol, validates rows and maintains the context table the Web
+//! server renders from, plus its own OSN plug-in handling to feed post
+//! topics in.
+
+pub mod ingest;
+pub mod mobile;
+pub mod protocol;
+
+pub use ingest::RawConWebIngest;
+pub use mobile::RawConWebMobile;

@@ -1,0 +1,88 @@
+//! Hand-rolled context-uplink protocol for the no-middleware ConWeb.
+
+use serde_json::{json, Value};
+use sensocial_types::{DeviceId, UserId};
+
+/// Protocol version guard.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Topic carrying one device's context updates.
+pub fn context_topic(device: &DeviceId) -> String {
+    format!("rawconweb/context/{}", device.as_str())
+}
+
+/// Wildcard over every device's context updates.
+pub const CONTEXT_WILDCARD: &str = "rawconweb/context/+";
+
+/// One context update: a single field of the user's row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContextUpdate {
+    /// The user whose row to update.
+    pub user: UserId,
+    /// Field name: `activity`, `audio`, `place` or `last_topic`.
+    pub field: String,
+    /// New value.
+    pub value: String,
+    /// Sampling time, epoch milliseconds.
+    pub at_ms: u64,
+}
+
+/// Fields the ingest accepts; anything else is rejected as malformed.
+pub const ALLOWED_FIELDS: [&str; 4] = ["activity", "audio", "place", "last_topic"];
+
+impl ContextUpdate {
+    /// Serializes to the wire.
+    pub fn encode(&self) -> String {
+        json!({
+            "v": PROTOCOL_VERSION,
+            "user": self.user.as_str(),
+            "field": self.field,
+            "value": self.value,
+            "at_ms": self.at_ms,
+        })
+        .to_string()
+    }
+
+    /// Parses and validates from the wire.
+    pub fn decode(payload: &str) -> Option<ContextUpdate> {
+        let value: Value = serde_json::from_str(payload).ok()?;
+        if value.get("v")?.as_u64()? != u64::from(PROTOCOL_VERSION) {
+            return None;
+        }
+        let field = value.get("field")?.as_str()?.to_owned();
+        if !ALLOWED_FIELDS.contains(&field.as_str()) {
+            return None;
+        }
+        Some(ContextUpdate {
+            user: UserId::new(value.get("user")?.as_str()?),
+            field,
+            value: value.get("value")?.as_str()?.to_owned(),
+            at_ms: value.get("at_ms")?.as_u64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let u = ContextUpdate {
+            user: UserId::new("alice"),
+            field: "activity".into(),
+            value: "walking".into(),
+            at_ms: 42,
+        };
+        assert_eq!(ContextUpdate::decode(&u.encode()).unwrap(), u);
+    }
+
+    #[test]
+    fn rejects_unknown_fields_and_versions() {
+        let raw = "{\"v\":1,\"user\":\"u\",\"field\":\"password\",\"value\":\"x\",\"at_ms\":1}";
+        assert!(ContextUpdate::decode(raw).is_none());
+        let raw = "{\"v\":2,\"user\":\"u\",\"field\":\"activity\",\"value\":\"x\",\"at_ms\":1}";
+        assert!(ContextUpdate::decode(raw).is_none());
+        assert!(ContextUpdate::decode("junk").is_none());
+    }
+}

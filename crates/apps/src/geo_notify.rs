@@ -1,0 +1,130 @@
+//! Geo-aware social notifications — the paper's Figure 2 running example.
+//!
+//! "The application notifies a user when one of his/her OSN friends visit
+//! his/her home town": the server tracks every friend's location through a
+//! multicast stream over the user's OSN links, filtered to the home town;
+//! when a friend's stream reports the home place, a notification is
+//! delivered to the user's phone.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sensocial::server::{MulticastId, MulticastSelector, ServerManager};
+use sensocial::{
+    Condition, ConditionLhs, Filter, Granularity, Modality, Operator, StreamSink, StreamSpec,
+};
+use sensocial_runtime::{Scheduler, SimDuration, Timestamp};
+use sensocial_types::UserId;
+
+/// One delivered notification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FriendArrival {
+    /// The user being notified.
+    pub notified: UserId,
+    /// The friend who arrived.
+    pub friend: UserId,
+    /// The place they arrived at.
+    pub place: String,
+    /// When the arrival was sensed.
+    pub at: Timestamp,
+}
+
+/// The geo-notification app, installed on the server for one user.
+pub struct GeoNotifyApp {
+    /// The user this instance notifies.
+    pub user: UserId,
+    /// Their home town.
+    pub home: String,
+    multicast: MulticastId,
+    notifications: Arc<Mutex<Vec<FriendArrival>>>,
+}
+
+impl std::fmt::Debug for GeoNotifyApp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GeoNotifyApp")
+            .field("user", &self.user)
+            .field("home", &self.home)
+            .field("notifications", &self.notifications.lock().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl GeoNotifyApp {
+    /// Installs the app: a multicast stream over `user`'s OSN friends,
+    /// sampling classified location every `interval`, filtered (on the
+    /// devices, by the distributed filter) to reports from `home`.
+    pub fn install(
+        sched: &mut Scheduler,
+        server: &ServerManager,
+        user: UserId,
+        home: impl Into<String>,
+        interval: SimDuration,
+    ) -> Self {
+        let home = home.into();
+        let template = StreamSpec::continuous(Modality::Location, Granularity::Classified)
+            .with_interval(interval)
+            .with_filter(Filter::new(vec![Condition::new(
+                ConditionLhs::Place,
+                Operator::Equals,
+                home.clone(),
+            )]))
+            .with_sink(StreamSink::Server);
+        let multicast = server.create_multicast(
+            sched,
+            MulticastSelector::FriendsOf(user.clone()),
+            template,
+        );
+
+        let notifications: Arc<Mutex<Vec<FriendArrival>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = notifications.clone();
+        let notified = user.clone();
+        let place = home.clone();
+        let own = user.clone();
+        // A visit is continuous while reports keep arriving within a few
+        // sampling cycles of each other; a gap means the friend left and a
+        // later report is a *new* arrival.
+        let visit_gap = interval * 4;
+        let last_seen: Arc<Mutex<std::collections::HashMap<UserId, Timestamp>>> =
+            Arc::new(Mutex::new(std::collections::HashMap::new()));
+        server.register_multicast_listener(multicast, move |_s, event| {
+            // A friend's device reported the home place (device-side filter
+            // already guaranteed the place matches).
+            if event.user == own {
+                return;
+            }
+            let arrived = {
+                let mut seen = last_seen.lock();
+                let arrived = seen
+                    .get(&event.user)
+                    .is_none_or(|t| event.at.saturating_since(*t) > visit_gap);
+                seen.insert(event.user.clone(), event.at);
+                arrived
+            };
+            if arrived {
+                sink.lock().push(FriendArrival {
+                    notified: notified.clone(),
+                    friend: event.user.clone(),
+                    place: place.clone(),
+                    at: event.at,
+                });
+            }
+        });
+
+        GeoNotifyApp {
+            user,
+            home,
+            multicast,
+            notifications,
+        }
+    }
+
+    /// Re-evaluates the friend set (call after OSN link changes).
+    pub fn refresh(&self, sched: &mut Scheduler, server: &ServerManager) {
+        server.refresh_multicast(sched, self.multicast);
+    }
+
+    /// Notifications delivered so far.
+    pub fn notifications(&self) -> Vec<FriendArrival> {
+        self.notifications.lock().clone()
+    }
+}

@@ -1,0 +1,32 @@
+//! The paper's two prototype applications, each implemented **twice**:
+//! on top of the SenSocial middleware and directly against the raw
+//! substrates. The pairs exist so Table 5's programming-effort comparison
+//! can be measured on real, runnable code:
+//!
+//! * **Facebook Sensor Map** (§6.1) — traces users' Facebook activity,
+//!   couples each action with the physical context sensed at that moment,
+//!   and plots the joined records on a map.
+//!   [`sensor_map::with_middleware`] vs. [`sensor_map::without_middleware`].
+//! * **ConWeb** (§6.2) — a contextual Web browser: pages re-render against
+//!   the user's momentary physical + social context.
+//!   [`conweb::with_middleware`] vs. [`conweb::without_middleware`].
+//! * **Geo-notify** (Figure 2) — "notify user A when an OSN friend enters
+//!   Paris" — the paper's running example, built on the middleware's
+//!   multicast streams. [`geo_notify`].
+//!
+//! The `without_middleware` variants deliberately re-derive everything the
+//! middleware otherwise provides — trigger handling, duty-cycling, context
+//! snapshots, filtering, privacy checks, uplink protocol, server-side
+//! registry and context tables — the way the paper's comparison apps had
+//! to. They still use the ESSensorManager-equivalent sensor library and
+//! the broker, exactly as the paper's versions used ESSensorManager and
+//! Mosquitto (and exactly those substrate LOC are excluded from Table 5's
+//! counts, as in the paper).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conweb;
+pub mod geo_notify;
+pub mod map;
+pub mod sensor_map;

@@ -1,0 +1,113 @@
+//! The map view shared by both Facebook Sensor Map variants.
+//!
+//! "Each marker corresponds to a user's OSN action, and merges geographic,
+//! audio and physical information with the type and content of the OSN
+//! action" (paper Figure 6).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sensocial_runtime::Timestamp;
+use sensocial_types::{GeoPoint, UserId};
+
+/// One marker on the sensor map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Marker {
+    /// Whose action this is.
+    pub user: UserId,
+    /// Where they were (from the raw location stream), if known.
+    pub position: Option<GeoPoint>,
+    /// Their classified physical activity, if known.
+    pub activity: Option<String>,
+    /// Their classified audio environment, if known.
+    pub audio: Option<String>,
+    /// The OSN action kind (post/comment/like).
+    pub action_kind: String,
+    /// The OSN action content.
+    pub action_content: String,
+    /// When the context was sensed.
+    pub at: Timestamp,
+}
+
+/// An updatable collection of markers (the Google-map stand-in).
+///
+/// Cloneable handle; the app's listeners push, the UI (here: tests and
+/// examples) reads.
+#[derive(Debug, Clone, Default)]
+pub struct MapView {
+    markers: Arc<Mutex<Vec<Marker>>>,
+}
+
+impl MapView {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        MapView::default()
+    }
+
+    /// Adds a marker.
+    pub fn add(&self, marker: Marker) {
+        self.markers.lock().push(marker);
+    }
+
+    /// All markers so far.
+    pub fn markers(&self) -> Vec<Marker> {
+        self.markers.lock().clone()
+    }
+
+    /// Number of markers.
+    pub fn len(&self) -> usize {
+        self.markers.lock().len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.markers.lock().is_empty()
+    }
+
+    /// Markers for one user.
+    pub fn markers_for(&self, user: &UserId) -> Vec<Marker> {
+        self.markers
+            .lock()
+            .iter()
+            .filter(|m| &m.user == user)
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sensocial_types::geo::cities;
+
+    fn marker(user: &str) -> Marker {
+        Marker {
+            user: UserId::new(user),
+            position: Some(cities::paris()),
+            activity: Some("walking".into()),
+            audio: None,
+            action_kind: "post".into(),
+            action_content: "hi".into(),
+            at: Timestamp::ZERO,
+        }
+    }
+
+    #[test]
+    fn add_and_filter() {
+        let map = MapView::new();
+        assert!(map.is_empty());
+        map.add(marker("alice"));
+        map.add(marker("bob"));
+        map.add(marker("alice"));
+        assert_eq!(map.len(), 3);
+        assert_eq!(map.markers_for(&UserId::new("alice")).len(), 2);
+        assert_eq!(map.markers().len(), 3);
+    }
+
+    #[test]
+    fn clones_share_markers() {
+        let map = MapView::new();
+        map.clone().add(marker("x"));
+        assert_eq!(map.len(), 1);
+    }
+}

@@ -1,0 +1,4 @@
+//! Facebook Sensor Map (paper §6.1), in both variants.
+
+pub mod with_middleware;
+pub mod without_middleware;

@@ -1,0 +1,118 @@
+//! A hand-rolled device context cache with staleness rules.
+//!
+//! SenSocial's `ContextSnapshot` plus its trigger-gap logic, re-derived
+//! for the no-middleware app: the device keeps its freshest classified
+//! values and decides whether a new sensing round is needed or cached
+//! context may be coupled with an incoming OSN action.
+
+use sensocial_runtime::{SimDuration, Timestamp};
+use sensocial_types::GeoPoint;
+
+/// Freshest-known context for one device.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RawContextCache {
+    activity: Option<(Timestamp, String)>,
+    audio: Option<(Timestamp, String)>,
+    position: Option<(Timestamp, GeoPoint)>,
+}
+
+impl RawContextCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        RawContextCache::default()
+    }
+
+    /// Records a classified activity.
+    pub fn record_activity(&mut self, at: Timestamp, activity: String) {
+        self.activity = Some((at, activity));
+    }
+
+    /// Records a classified audio environment.
+    pub fn record_audio(&mut self, at: Timestamp, audio: String) {
+        self.audio = Some((at, audio));
+    }
+
+    /// Records a position fix.
+    pub fn record_position(&mut self, at: Timestamp, position: GeoPoint) {
+        self.position = Some((at, position));
+    }
+
+    /// Latest activity, if any.
+    pub fn activity(&self) -> Option<&str> {
+        self.activity.as_deref_inner()
+    }
+
+    /// Latest audio environment, if any.
+    pub fn audio(&self) -> Option<&str> {
+        self.audio.as_deref_inner()
+    }
+
+    /// Latest position, if any.
+    pub fn position(&self) -> Option<GeoPoint> {
+        self.position.map(|(_, p)| p)
+    }
+
+    /// The time of the *oldest* of the three entries, i.e. how stale the
+    /// cache is as a coupled whole. `None` until all three are present.
+    pub fn coherent_since(&self) -> Option<Timestamp> {
+        let a = self.activity.as_ref()?.0;
+        let b = self.audio.as_ref()?.0;
+        let c = self.position.as_ref()?.0;
+        Some(a.min(b).min(c))
+    }
+
+    /// Whether the cached triple is fresh enough (younger than `max_age`)
+    /// to couple with an action at `now` without re-sensing.
+    pub fn is_fresh(&self, now: Timestamp, max_age: SimDuration) -> bool {
+        match self.coherent_since() {
+            Some(oldest) => now.saturating_since(oldest) < max_age,
+            None => false,
+        }
+    }
+}
+
+/// Small helper: `Option<(T, String)> → Option<&str>`.
+trait AsDerefInner {
+    fn as_deref_inner(&self) -> Option<&str>;
+}
+
+impl AsDerefInner for Option<(Timestamp, String)> {
+    fn as_deref_inner(&self) -> Option<&str> {
+        self.as_ref().map(|(_, s)| s.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sensocial_types::geo::cities;
+
+    #[test]
+    fn empty_cache_is_never_fresh() {
+        let cache = RawContextCache::new();
+        assert!(!cache.is_fresh(Timestamp::from_secs(100), SimDuration::from_secs(60)));
+        assert_eq!(cache.coherent_since(), None);
+    }
+
+    #[test]
+    fn freshness_follows_oldest_entry() {
+        let mut cache = RawContextCache::new();
+        cache.record_activity(Timestamp::from_secs(10), "walking".into());
+        cache.record_audio(Timestamp::from_secs(50), "silent".into());
+        cache.record_position(Timestamp::from_secs(55), cities::paris());
+        assert_eq!(cache.coherent_since(), Some(Timestamp::from_secs(10)));
+        assert!(cache.is_fresh(Timestamp::from_secs(60), SimDuration::from_secs(60)));
+        assert!(!cache.is_fresh(Timestamp::from_secs(71), SimDuration::from_secs(60)));
+    }
+
+    #[test]
+    fn accessors_return_latest() {
+        let mut cache = RawContextCache::new();
+        cache.record_activity(Timestamp::from_secs(1), "still".into());
+        cache.record_activity(Timestamp::from_secs(2), "running".into());
+        assert_eq!(cache.activity(), Some("running"));
+        assert_eq!(cache.audio(), None);
+        cache.record_position(Timestamp::from_secs(3), cities::bordeaux());
+        assert_eq!(cache.position(), Some(cities::bordeaux()));
+    }
+}

@@ -1,0 +1,23 @@
+//! Facebook Sensor Map built **without** SenSocial.
+//!
+//! Everything the middleware would otherwise provide is re-derived by hand
+//! here, as the paper's comparison version had to: a wire protocol for
+//! triggers and context uplink ([`protocol`]), a device-side context cache
+//! with staleness rules ([`context_cache`]), an ad-hoc privacy checklist,
+//! manual one-off sensing and classification on trigger receipt
+//! ([`mobile`]), and a server that keeps its own user/device registry,
+//! receives plug-in callbacks, compiles and retries triggers, parses
+//! uplinks and maintains the map and database ([`server`]).
+//!
+//! Only the substrate libraries are used (the sensor library, the broker,
+//! the classifiers, the document store) — exactly the dependencies the
+//! paper's "without SenSocial" apps kept (ESSensorManager, Mosquitto,
+//! MongoDB) and excluded from the Table 5 line counts.
+
+pub mod context_cache;
+pub mod mobile;
+pub mod protocol;
+pub mod server;
+
+pub use mobile::RawSensorMapMobile;
+pub use server::RawSensorMapServer;

@@ -1,0 +1,32 @@
+//! Regenerates Figure 4: average battery charge per sensing cycle.
+
+use sensocial_bench::{experiments, header};
+
+fn main() {
+    header("Figure 4: battery charge per sensing cycle [mAH] (1 h runs, 60 s cycles)");
+    println!(
+        "{:<10} {:>10} {:>14} {:>14} {:>10}",
+        "Stream", "Sampling", "Classification", "Transmission", "Total"
+    );
+    let bars = experiments::fig4();
+    for bar in &bars {
+        println!(
+            "{:<10} {:>10.4} {:>14.4} {:>14.4} {:>10.4}",
+            bar.label,
+            bar.sampling_mah,
+            bar.classification_mah,
+            bar.transmission_mah,
+            bar.total_mah()
+        );
+    }
+    println!();
+    let get = |label: &str| bars.iter().find(|b| b.label == label).unwrap();
+    println!(
+        "Acc raw/classified ratio: {:.2}x (paper: classification halves the accelerometer total)",
+        get("Acc R").total_mah() / get("Acc C").total_mah()
+    );
+    println!(
+        "GAR saving vs classified Acc: {:.0}% (paper: ~25% lower)",
+        100.0 * (1.0 - get("Acc-GAR").total_mah() / get("Acc C").total_mah())
+    );
+}

@@ -1,0 +1,118 @@
+//! Criterion micro-benchmarks: the "micro-benchmarks" the paper's abstract
+//! refers to, measured as real wall time on the substrates.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sensocial::{Condition, ConditionLhs, Filter, Operator};
+use sensocial_bench::experiments::pipeline_fixture;
+use sensocial_runtime::{SimDuration, Timestamp};
+use sensocial_store::{Collection, Query};
+use serde_json::json;
+
+fn bench_filter_eval(c: &mut Criterion) {
+    use sensocial_types::{ClassifiedContext, ContextData, ContextSnapshot, PhysicalActivity};
+    let filter = Filter::new(vec![
+        Condition::new(ConditionLhs::PhysicalActivity, Operator::Equals, "walking"),
+        Condition::new(ConditionLhs::HourOfDay, Operator::GreaterThan, 8),
+        Condition::new(ConditionLhs::HourOfDay, Operator::LessThan, 20),
+    ]);
+    let mut snapshot = ContextSnapshot::new();
+    snapshot.record(
+        Timestamp::from_secs(1),
+        ContextData::Classified(ClassifiedContext::Activity(PhysicalActivity::Walking)),
+    );
+    c.bench_function("filter_eval_3_conditions", |b| {
+        b.iter(|| {
+            let ctx = sensocial::EvalContext {
+                snapshot: &snapshot,
+                now: Timestamp::from_secs(10 * 3600),
+                osn_action: None,
+            };
+            std::hint::black_box(filter.evaluate_local(&ctx))
+        })
+    });
+}
+
+fn bench_broker_routing(c: &mut Criterion) {
+    use sensocial_broker::{Broker, BrokerClient, QoS};
+    use sensocial_net::Network;
+    use sensocial_runtime::Scheduler;
+
+    c.bench_function("broker_publish_route_deliver", |b| {
+        b.iter_batched(
+            || {
+                let mut sched = Scheduler::new();
+                let net = Network::new(1);
+                let broker = Broker::new(&net, "broker");
+                let publisher = BrokerClient::new(&net, "pub-ep", "broker", "pub");
+                publisher.connect(&mut sched);
+                for i in 0..20 {
+                    let sub = BrokerClient::new(
+                        &net,
+                        format!("sub{i}-ep"),
+                        "broker",
+                        format!("sub{i}"),
+                    );
+                    sub.connect(&mut sched);
+                    sub.subscribe(&mut sched, "ctx/#", QoS::AtMostOnce, |_s, _t, _p| {});
+                }
+                sched.run();
+                (sched, broker, publisher)
+            },
+            |(mut sched, broker, publisher)| {
+                for i in 0..50 {
+                    publisher.publish(
+                        &mut sched,
+                        &format!("ctx/location/{i}"),
+                        "payload",
+                        QoS::AtMostOnce,
+                        false,
+                    );
+                }
+                sched.run();
+                std::hint::black_box(broker.stats().delivered)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_store_queries(c: &mut Criterion) {
+    let collection = Collection::new("bench");
+    collection.create_index("city");
+    collection.create_geo_index("loc");
+    for i in 0..5_000 {
+        let city = ["Paris", "Bordeaux", "Lyon", "Lille"][i % 4];
+        let lat = 44.0 + (i % 600) as f64 * 0.01;
+        collection
+            .insert(json!({"user": i, "city": city, "loc": {"lat": lat, "lon": 2.0}}))
+            .unwrap();
+    }
+    c.bench_function("store_indexed_eq_5k_docs", |b| {
+        b.iter(|| std::hint::black_box(collection.count(&Query::eq("city", "Paris"))))
+    });
+    c.bench_function("store_geo_near_5k_docs", |b| {
+        let paris = sensocial_types::geo::cities::paris();
+        b.iter(|| std::hint::black_box(collection.count(&Query::near("loc", paris, 50_000.0))))
+    });
+}
+
+fn bench_trigger_pipeline(c: &mut Criterion) {
+    c.bench_function("osn_action_to_coupled_uplink", |b| {
+        b.iter_batched(
+            pipeline_fixture,
+            |mut world| {
+                world.post("alice", "bench post");
+                world.run_for(SimDuration::from_mins(3));
+                std::hint::black_box(world.server.stats().uplink_events)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_filter_eval, bench_broker_routing, bench_store_queries, bench_trigger_pipeline
+);
+criterion_main!(benches);

@@ -1,0 +1,371 @@
+//! Ablation studies of the design choices the paper argues for.
+//!
+//! * **Push vs. poll triggering** — the paper chooses MQTT push over HTTP
+//!   polling "due to the fact that MQTT is based on the push paradigm …
+//!   resulting in a lower battery consumption" (§4). We measure both on
+//!   the same workload.
+//! * **Filter placement** — "by restricting sensor sampling and data
+//!   transmission, stream filtering on a mobile can reduce the phone's
+//!   energy consumption and the data plan usage" (§3.1). We run the same
+//!   gated workload with the filter on the device and with the filter on
+//!   the server.
+//! * **Classification placement** — Figure 4's classified-vs-raw trade-off
+//!   restated as bytes on the wire.
+
+use sensocial::server::StreamSelector;
+use sensocial::{
+    Condition, ConditionLhs, Filter, Granularity, Modality, Operator, StreamSink, StreamSpec,
+};
+use sensocial_energy::{EnergyComponent, EnergyProfile};
+use sensocial_runtime::{SimDuration, Timer};
+use sensocial_sim::{World, WorldConfig};
+use sensocial_types::geo::cities;
+use sensocial_types::PhysicalActivity;
+
+/// Result of one trigger-delivery variant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriggerVariant {
+    /// Variant label.
+    pub label: String,
+    /// Device charge over the hour, µAH.
+    pub device_uah: f64,
+    /// Mean action→sensing delay, seconds.
+    pub mean_delay_s: f64,
+}
+
+/// Push (MQTT trigger) vs. poll (device asks the server for pending
+/// actions every `poll_interval`): one hour, `actions` OSN actions.
+pub fn push_vs_poll(actions: usize, poll_intervals_s: &[u64]) -> Vec<TriggerVariant> {
+    let mut out = vec![measure_push(actions)];
+    for interval in poll_intervals_s {
+        out.push(measure_poll(actions, SimDuration::from_secs(*interval)));
+    }
+    out
+}
+
+fn spaced_posts(world: &mut World, actions: usize) {
+    let start = world.sched.now();
+    let spacing = 3_600 / actions.max(1) as u64;
+    for i in 0..actions {
+        world
+            .sched
+            .run_until(start + SimDuration::from_secs(5 + i as u64 * spacing));
+        world.post("alice", &format!("action {i}"));
+    }
+    world.sched.run_until(start + SimDuration::from_secs(3_600));
+}
+
+fn measure_push(actions: usize) -> TriggerVariant {
+    let mut world = World::new(WorldConfig::default());
+    world.add_device("alice", "alice-phone", cities::paris());
+    let stream = world
+        .create_stream(
+            "alice-phone",
+            StreamSpec::social_event_based(Modality::Wifi, Granularity::Raw)
+                .with_sink(StreamSink::Server),
+        )
+        .expect("stream installs");
+    let delays = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+    {
+        let sink = delays.clone();
+        let manager = world.device("alice-phone").unwrap().manager.clone();
+        manager.register_listener(stream, move |_s, event| {
+            if let Some(action) = &event.osn_action {
+                sink.lock().push((event.at - action.at).as_secs_f64());
+            }
+        });
+    }
+    let battery = world.device("alice-phone").unwrap().battery.clone();
+    battery.reset();
+    spaced_posts(&mut world, actions);
+    let delays = delays.lock();
+    TriggerVariant {
+        label: "push (MQTT trigger)".into(),
+        device_uah: battery.total_uah(),
+        mean_delay_s: delays.iter().sum::<f64>() / delays.len().max(1) as f64,
+    }
+}
+
+/// The poll variant: no triggers; the device asks the server for pending
+/// actions every `interval` (each poll costs an HTTP-sized request and
+/// response) and senses when the response carries actions.
+fn measure_poll(actions: usize, interval: SimDuration) -> TriggerVariant {
+    let mut world = World::new(WorldConfig::default());
+    world.add_device("alice", "alice-phone", cities::paris());
+
+    // Server side: queue OSN actions; answer polls with (and clear) the
+    // queue. Uses the broker as a stand-in HTTP channel.
+    let pending: std::sync::Arc<parking_lot::Mutex<Vec<sensocial_types::OsnAction>>> =
+        Default::default();
+    {
+        let queue = pending.clone();
+        world.server.register_listener(
+            StreamSelector::AllUplinks,
+            Filter::pass_all(),
+            move |_s, _e| {},
+        );
+        let queue2 = queue.clone();
+        world.push_plugin.set_receiver(move |_s, action| {
+            queue2.lock().push(action);
+        });
+    }
+
+    let (sensors, battery) = {
+        let device = world.device("alice-phone").unwrap();
+        (device.sensors.clone(), device.battery.clone())
+    };
+    let profile = EnergyProfile::default();
+    let delays: std::sync::Arc<parking_lot::Mutex<Vec<f64>>> = Default::default();
+
+    // Device side: the poll loop. An HTTP poll costs a ~200 B request and
+    // ~300 B response on the radio plus the radio tail — the cost the paper
+    // avoids by using push.
+    {
+        let battery = battery.clone();
+        let sensors = sensors.clone();
+        let profile = profile.clone();
+        let pending = pending.clone();
+        let delays = delays.clone();
+        Timer::start(&mut world.sched, interval, move |s| {
+            battery.charge(EnergyComponent::Transmission, profile.transmission_uah(200));
+            battery.charge(EnergyComponent::Transmission, profile.transmission_uah(300));
+            battery.charge(EnergyComponent::RadioTail, profile.radio_tail_uah);
+            let drained: Vec<_> = pending.lock().drain(..).collect();
+            for action in drained {
+                let raw = sensors.sample_once(s, Modality::Wifi);
+                battery.charge(
+                    EnergyComponent::Transmission,
+                    profile.transmission_uah(raw.payload_bytes()),
+                );
+                battery.charge(EnergyComponent::RadioTail, profile.radio_tail_uah);
+                delays.lock().push((s.now() - action.at).as_secs_f64());
+            }
+        });
+    }
+
+    battery.reset();
+    spaced_posts(&mut world, actions);
+    let delays = delays.lock();
+    TriggerVariant {
+        label: format!("poll every {}s", interval.as_secs()),
+        device_uah: battery.total_uah(),
+        mean_delay_s: delays.iter().sum::<f64>() / delays.len().max(1) as f64,
+    }
+}
+
+/// Result of one filter-placement variant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FilterPlacementVariant {
+    /// Variant label.
+    pub label: String,
+    /// Device GPS sampling charge over the run, µAH (on-mobile filters
+    /// gate expensive sampling: paper §5.5).
+    pub gps_sampling_uah: f64,
+    /// Device transmission (+ tail) charge over the run, µAH.
+    pub device_tx_uah: f64,
+    /// Uplink messages that crossed the network.
+    pub uplink_events: u64,
+    /// Events that ultimately reached the application listener.
+    pub delivered_events: u64,
+}
+
+/// The same gated workload — GPS only while walking, walking ~25 % of the
+/// time — with the filter evaluated on the mobile vs. on the server.
+pub fn filter_placement() -> Vec<FilterPlacementVariant> {
+    let gate = || {
+        Filter::new(vec![Condition::new(
+            ConditionLhs::PhysicalActivity,
+            Operator::Equals,
+            "walking",
+        )])
+    };
+    vec![
+        measure_placement("filter on mobile", Some(gate()), None),
+        measure_placement("filter on server", None, Some(gate())),
+    ]
+}
+
+fn measure_placement(
+    label: &str,
+    mobile_filter: Option<Filter>,
+    server_filter: Option<Filter>,
+) -> FilterPlacementVariant {
+    let mut world = World::new(WorldConfig {
+        charge_idle: false,
+        ..WorldConfig::default()
+    });
+    world.add_device("alice", "alice-phone", cities::paris());
+
+    let mut spec = StreamSpec::continuous(Modality::Location, Granularity::Raw)
+        .with_interval(SimDuration::from_secs(60))
+        .with_sink(StreamSink::Server);
+    if let Some(filter) = mobile_filter {
+        spec = spec.with_filter(filter);
+    }
+    // The server-side variant still needs the activity context on the
+    // server, so the device also uplinks classified activity — exactly the
+    // cost asymmetry the ablation is about.
+    world.create_stream("alice-phone", spec).expect("gps stream");
+    world
+        .create_stream(
+            "alice-phone",
+            StreamSpec::continuous(Modality::Accelerometer, Granularity::Classified)
+                .with_interval(SimDuration::from_secs(60))
+                .with_sink(StreamSink::Server),
+        )
+        .expect("activity stream");
+
+    let delivered = std::sync::Arc::new(parking_lot::Mutex::new(0u64));
+    {
+        let sink = delivered.clone();
+        world.server.register_listener(
+            StreamSelector::AllUplinks,
+            server_filter.unwrap_or_default(),
+            move |_s, event| {
+                if event.data.modality() == Modality::Location {
+                    *sink.lock() += 1;
+                }
+            },
+        );
+    }
+
+    // Walk for a quarter of each 20-minute block.
+    let env = world.device("alice-phone").unwrap().env.clone();
+    {
+        let env = env.clone();
+        Timer::start_with_phase(
+            &mut world.sched,
+            SimDuration::ZERO,
+            SimDuration::from_mins(20),
+            move |_| env.set_activity(PhysicalActivity::Walking),
+        );
+        let env2 = world.device("alice-phone").unwrap().env.clone();
+        Timer::start_with_phase(
+            &mut world.sched,
+            SimDuration::from_mins(5),
+            SimDuration::from_mins(20),
+            move |_| env2.set_activity(PhysicalActivity::Still),
+        );
+    }
+
+    let battery = world.device("alice-phone").unwrap().battery.clone();
+    battery.reset();
+    world.run_for(SimDuration::from_mins(120));
+
+    let delivered_events = *delivered.lock();
+    let breakdown = battery.breakdown();
+    FilterPlacementVariant {
+        label: label.to_owned(),
+        gps_sampling_uah: breakdown.component_uah(
+            sensocial_energy::EnergyComponent::Sampling(Modality::Location),
+        ),
+        device_tx_uah: breakdown.transmission_uah(),
+        uplink_events: world.server.stats().uplink_events,
+        delivered_events,
+    }
+}
+
+/// Result of one classification-placement variant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassificationVariant {
+    /// Variant label.
+    pub label: String,
+    /// Device charge over the hour, µAH.
+    pub device_uah: f64,
+    /// Bytes that crossed the network.
+    pub bytes_sent: u64,
+}
+
+/// Raw accelerometer upload vs. on-device classification: energy and
+/// bytes on the wire over one hour of 60-second cycles.
+pub fn classification_placement() -> Vec<ClassificationVariant> {
+    [
+        (Granularity::Raw, "raw upload"),
+        (Granularity::Classified, "classify on device"),
+    ]
+    .into_iter()
+    .map(|(granularity, label)| {
+        let mut world = World::new(WorldConfig {
+            charge_idle: false,
+            ..WorldConfig::default()
+        });
+        world.add_device("alice", "alice-phone", cities::paris());
+        world
+            .create_stream(
+                "alice-phone",
+                StreamSpec::continuous(Modality::Accelerometer, granularity)
+                    .with_interval(SimDuration::from_secs(60))
+                    .with_sink(StreamSink::Server),
+            )
+            .expect("stream installs");
+        let battery = world.device("alice-phone").unwrap().battery.clone();
+        battery.reset();
+        let bytes_before = world.net.stats().bytes_sent;
+        world.run_for(SimDuration::from_mins(60));
+        ClassificationVariant {
+            label: label.to_owned(),
+            device_uah: battery.total_uah(),
+            bytes_sent: world.net.stats().bytes_sent - bytes_before,
+        }
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_beats_frequent_polling_on_energy() {
+        let variants = push_vs_poll(6, &[30]);
+        let push = &variants[0];
+        let poll30 = &variants[1];
+        assert!(
+            poll30.device_uah > push.device_uah,
+            "push {} vs poll30 {}",
+            push.device_uah,
+            poll30.device_uah
+        );
+    }
+
+    #[test]
+    fn slow_polling_saves_energy_but_adds_delay() {
+        let variants = push_vs_poll(6, &[30, 600]);
+        let (poll30, poll600) = (&variants[1], &variants[2]);
+        assert!(poll600.device_uah < poll30.device_uah);
+        assert!(poll600.mean_delay_s > poll30.mean_delay_s);
+    }
+
+    #[test]
+    fn mobile_filtering_cuts_transmission() {
+        let variants = filter_placement();
+        let (mobile, server) = (&variants[0], &variants[1]);
+        // Both deliver only walking-gated GPS to the app...
+        assert!(mobile.delivered_events > 0);
+        assert!(server.delivered_events > 0);
+        // ...but server-side filtering ships every cycle over the radio
+        // AND samples GPS every cycle, while the mobile filter also gates
+        // the expensive sensor itself (paper §5.5).
+        assert!(server.uplink_events > mobile.uplink_events);
+        assert!(
+            server.gps_sampling_uah > mobile.gps_sampling_uah * 1.5,
+            "server {} vs mobile {}",
+            server.gps_sampling_uah,
+            mobile.gps_sampling_uah
+        );
+        assert!(
+            server.device_tx_uah > mobile.device_tx_uah * 1.2,
+            "server {} vs mobile {}",
+            server.device_tx_uah,
+            mobile.device_tx_uah
+        );
+    }
+
+    #[test]
+    fn on_device_classification_slashes_bytes() {
+        let variants = classification_placement();
+        let (raw, classified) = (&variants[0], &variants[1]);
+        assert!(raw.bytes_sent > 10 * classified.bytes_sent);
+        assert!(raw.device_uah > classified.device_uah);
+    }
+}

@@ -1,0 +1,33 @@
+//! Experiment harnesses regenerating every table and figure of the
+//! SenSocial evaluation (paper §5 and §6.3).
+//!
+//! Each experiment is a plain function returning structured results, so
+//! the `cargo bench` report targets, the integration tests and
+//! `EXPERIMENTS.md` all draw from the same code:
+//!
+//! | Paper result | Function | Bench target |
+//! |---|---|---|
+//! | Table 1 (source code size) | [`experiments::table1`] | `table1_source_code` |
+//! | Table 2 (memory footprint) | [`experiments::table2`] | `table2_memory` |
+//! | Table 3 (trigger delay) | [`experiments::table3`] | `table3_delay` |
+//! | Table 4 (battery vs OSN actions) | [`experiments::table4`] | `table4_osn_burst` |
+//! | Figure 4 (energy per cycle) | [`experiments::fig4`] | `fig4_energy` |
+//! | Figure 5 (CPU vs streams) | [`experiments::fig5`] | `fig5_cpu_streams` |
+//! | Table 5 (programming effort) | [`experiments::table5`] | `table5_effort` |
+//!
+//! Wall-clock micro-benchmarks of the substrates (filter evaluation,
+//! broker routing, store queries, end-to-end trigger pipeline) live in the
+//! Criterion target `micro`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod experiments;
+
+/// Prints a paper-style table header.
+pub fn header(title: &str) {
+    println!();
+    println!("{title}");
+    println!("{}", "-".repeat(title.len().max(24)));
+}

@@ -1,0 +1,390 @@
+//! The broker itself: sessions, routing, retained messages, QoS-1 retries.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sensocial_net::{EndpointId, Network};
+use sensocial_runtime::{Scheduler, SimDuration};
+
+use crate::packet::{Packet, QoS};
+use crate::topic::TopicFilter;
+
+/// Tunables for broker behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BrokerConfig {
+    /// How long to wait for a `PubAck` before retransmitting a QoS-1
+    /// delivery.
+    pub retry_timeout: SimDuration,
+    /// Retransmissions attempted before giving up on a delivery.
+    pub max_retries: u32,
+    /// Maximum messages queued for a disconnected session; older messages
+    /// are dropped first when the queue overflows.
+    pub offline_queue_limit: usize,
+}
+
+impl Default for BrokerConfig {
+    fn default() -> Self {
+        BrokerConfig {
+            retry_timeout: SimDuration::from_secs(5),
+            max_retries: 5,
+            offline_queue_limit: 1_000,
+        }
+    }
+}
+
+/// Counters describing broker activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BrokerStats {
+    /// Publishes accepted from clients.
+    pub published: u64,
+    /// Deliveries sent towards subscribers (excluding retries).
+    pub delivered: u64,
+    /// Messages queued for disconnected sessions.
+    pub queued_offline: u64,
+    /// QoS-1 retransmissions performed.
+    pub retries: u64,
+    /// Publishes that matched no subscription.
+    pub unrouted: u64,
+    /// QoS-1 deliveries abandoned after exhausting retries.
+    pub abandoned: u64,
+}
+
+#[derive(Debug)]
+struct Session {
+    endpoint: EndpointId,
+    connected: bool,
+    subscriptions: Vec<(TopicFilter, QoS)>,
+    offline: VecDeque<(String, String, QoS)>,
+}
+
+#[derive(Debug, Clone)]
+struct PendingDelivery {
+    client_id: String,
+    topic: String,
+    payload: String,
+    retries_left: u32,
+}
+
+struct Inner {
+    endpoint: EndpointId,
+    sessions: HashMap<String, Session>,
+    retained: HashMap<String, String>,
+    pending: HashMap<u64, PendingDelivery>,
+    next_message_id: u64,
+    config: BrokerConfig,
+    stats: BrokerStats,
+}
+
+/// An MQTT-style broker attached to a network endpoint.
+///
+/// Construct with [`Broker::new`]; the broker then serves packets arriving
+/// at its endpoint for as long as the handle (or any clone) is alive. See
+/// the [crate-level example](crate).
+#[derive(Clone)]
+pub struct Broker {
+    inner: Arc<Mutex<Inner>>,
+    network: Network,
+}
+
+impl std::fmt::Debug for Broker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("Broker")
+            .field("endpoint", &inner.endpoint)
+            .field("sessions", &inner.sessions.len())
+            .field("stats", &inner.stats)
+            .finish()
+    }
+}
+
+impl Broker {
+    /// Creates a broker and registers it at `endpoint` on `network`.
+    pub fn new(network: &Network, endpoint: impl Into<EndpointId>) -> Self {
+        let endpoint = endpoint.into();
+        let broker = Broker {
+            inner: Arc::new(Mutex::new(Inner {
+                endpoint: endpoint.clone(),
+                sessions: HashMap::new(),
+                retained: HashMap::new(),
+                pending: HashMap::new(),
+                next_message_id: 1,
+                config: BrokerConfig::default(),
+                stats: BrokerStats::default(),
+            })),
+            network: network.clone(),
+        };
+        let handle = broker.clone();
+        network.register(endpoint, move |sched, msg| {
+            if let Ok(packet) = Packet::from_wire(&msg.payload) {
+                handle.handle_packet(sched, msg.from.clone(), packet);
+            }
+        });
+        broker
+    }
+
+    /// Replaces the broker configuration.
+    pub fn set_config(&self, config: BrokerConfig) {
+        self.inner.lock().config = config;
+    }
+
+    /// A snapshot of the activity counters.
+    pub fn stats(&self) -> BrokerStats {
+        self.inner.lock().stats
+    }
+
+    /// Number of known sessions (connected or not).
+    pub fn session_count(&self) -> usize {
+        self.inner.lock().sessions.len()
+    }
+
+    fn handle_packet(&self, sched: &mut Scheduler, from: EndpointId, packet: Packet) {
+        match packet {
+            Packet::Connect { client_id } => self.on_connect(sched, from, client_id),
+            Packet::Disconnect { client_id } => {
+                if let Some(session) = self.inner.lock().sessions.get_mut(&client_id) {
+                    session.connected = false;
+                }
+            }
+            Packet::Subscribe {
+                client_id,
+                filter,
+                qos,
+            } => self.on_subscribe(sched, client_id, filter, qos),
+            Packet::Unsubscribe { client_id, filter } => {
+                if let Some(session) = self.inner.lock().sessions.get_mut(&client_id) {
+                    session.subscriptions.retain(|(f, _)| *f != filter);
+                }
+            }
+            Packet::Publish {
+                topic,
+                payload,
+                qos,
+                message_id,
+                retain,
+                sender,
+            } => self.on_publish(sched, from, topic, payload, qos, message_id, retain, sender),
+            Packet::PubAck { message_id, .. } => {
+                self.inner.lock().pending.remove(&message_id);
+            }
+        }
+    }
+
+    fn on_connect(&self, sched: &mut Scheduler, from: EndpointId, client_id: String) {
+        let flush: Vec<(String, String, QoS)> = {
+            let mut inner = self.inner.lock();
+            let session = inner.sessions.entry(client_id.clone()).or_insert(Session {
+                endpoint: from.clone(),
+                connected: true,
+                subscriptions: Vec::new(),
+                offline: VecDeque::new(),
+            });
+            session.endpoint = from;
+            session.connected = true;
+            session.offline.drain(..).collect()
+        };
+        for (topic, payload, qos) in flush {
+            self.deliver(sched, &client_id, &topic, &payload, qos);
+        }
+    }
+
+    fn on_subscribe(
+        &self,
+        sched: &mut Scheduler,
+        client_id: String,
+        filter: TopicFilter,
+        qos: QoS,
+    ) {
+        let retained: Vec<(String, String)> = {
+            let mut inner = self.inner.lock();
+            let Some(session) = inner.sessions.get_mut(&client_id) else {
+                return; // Subscribe before connect: ignored, like Mosquitto.
+            };
+            session.subscriptions.retain(|(f, _)| *f != filter);
+            session.subscriptions.push((filter.clone(), qos));
+            inner
+                .retained
+                .iter()
+                .filter(|(topic, _)| filter.matches(topic))
+                .map(|(t, p)| (t.clone(), p.clone()))
+                .collect()
+        };
+        for (topic, payload) in retained {
+            self.deliver(sched, &client_id, &topic, &payload, qos);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_publish(
+        &self,
+        sched: &mut Scheduler,
+        from: EndpointId,
+        topic: String,
+        payload: String,
+        qos: QoS,
+        message_id: Option<u64>,
+        retain: bool,
+        sender: Option<String>,
+    ) {
+        // Acknowledge the inbound leg first.
+        if qos == QoS::AtLeastOnce {
+            if let Some(mid) = message_id {
+                let ack = Packet::PubAck {
+                    message_id: mid,
+                    client_id: None,
+                };
+                let endpoint = self.inner.lock().endpoint.clone();
+                let _ = self.network.send(sched, &endpoint, &from, ack.to_wire());
+            }
+        }
+
+        let targets: Vec<(String, QoS, bool)> = {
+            let mut inner = self.inner.lock();
+            inner.stats.published += 1;
+            if retain {
+                if payload.is_empty() {
+                    inner.retained.remove(&topic);
+                } else {
+                    inner.retained.insert(topic.clone(), payload.clone());
+                }
+            }
+            // Like Mosquitto, the publisher receives its own message when
+            // subscribed to a matching filter, so no sender exclusion here.
+            let _ = &sender;
+            let targets: Vec<(String, QoS, bool)> = inner
+                .sessions
+                .iter()
+                .filter_map(|(cid, session)| {
+                    session
+                        .subscriptions
+                        .iter()
+                        .filter(|(f, _)| f.matches(&topic))
+                        .map(|(_, sub_qos)| (*sub_qos).min(qos))
+                        .max()
+                        .map(|q| (cid.clone(), q, session.connected))
+                })
+                .collect();
+            if targets.is_empty() {
+                inner.stats.unrouted += 1;
+            }
+            for (cid, q, connected) in &targets {
+                if !connected {
+                    inner.stats.queued_offline += 1;
+                    let limit = inner.config.offline_queue_limit;
+                    if let Some(session) = inner.sessions.get_mut(cid) {
+                        if session.offline.len() >= limit {
+                            session.offline.pop_front();
+                        }
+                        session
+                            .offline
+                            .push_back((topic.clone(), payload.clone(), *q));
+                    }
+                }
+            }
+            targets
+        };
+
+        for (cid, q, connected) in targets {
+            if connected {
+                self.deliver(sched, &cid, &topic, &payload, q);
+            }
+        }
+    }
+
+    /// Sends one delivery towards a connected client, installing retry
+    /// state when the effective QoS demands acknowledgement.
+    fn deliver(&self, sched: &mut Scheduler, client_id: &str, topic: &str, payload: &str, qos: QoS) {
+        let (endpoint, broker_endpoint, message_id, retry_timeout) = {
+            let mut inner = self.inner.lock();
+            inner.stats.delivered += 1;
+            let Some(session) = inner.sessions.get(client_id) else {
+                return;
+            };
+            let endpoint = session.endpoint.clone();
+            let broker_endpoint = inner.endpoint.clone();
+            let message_id = if qos == QoS::AtLeastOnce {
+                let mid = inner.next_message_id;
+                inner.next_message_id += 1;
+                let retries_left = inner.config.max_retries;
+                inner.pending.insert(
+                    mid,
+                    PendingDelivery {
+                        client_id: client_id.to_owned(),
+                        topic: topic.to_owned(),
+                        payload: payload.to_owned(),
+                        retries_left,
+                    },
+                );
+                Some(mid)
+            } else {
+                None
+            };
+            (endpoint, broker_endpoint, message_id, inner.config.retry_timeout)
+        };
+
+        let packet = Packet::Publish {
+            topic: topic.to_owned(),
+            payload: payload.to_owned(),
+            qos,
+            message_id,
+            retain: false,
+            sender: None,
+        };
+        let _ = self
+            .network
+            .send(sched, &broker_endpoint, &endpoint, packet.to_wire());
+
+        if let Some(mid) = message_id {
+            self.schedule_retry(sched, mid, retry_timeout);
+        }
+    }
+
+    fn schedule_retry(&self, sched: &mut Scheduler, message_id: u64, timeout: SimDuration) {
+        let broker = self.clone();
+        sched.schedule_after(timeout, move |s| {
+            broker.retry(s, message_id);
+        });
+    }
+
+    fn retry(&self, sched: &mut Scheduler, message_id: u64) {
+        let (action, retry_timeout) = {
+            let mut inner = self.inner.lock();
+            let retry_timeout = inner.config.retry_timeout;
+            let Some(pending) = inner.pending.get_mut(&message_id) else {
+                return; // Acked in the meantime.
+            };
+            if pending.retries_left == 0 {
+                inner.pending.remove(&message_id);
+                inner.stats.abandoned += 1;
+                (None, retry_timeout)
+            } else {
+                pending.retries_left -= 1;
+                let pending = pending.clone();
+                inner.stats.retries += 1;
+                let endpoint = inner
+                    .sessions
+                    .get(&pending.client_id)
+                    .map(|s| (s.endpoint.clone(), s.connected));
+                let broker_endpoint = inner.endpoint.clone();
+                (endpoint.map(|e| (pending, e, broker_endpoint)), retry_timeout)
+            }
+        };
+
+        if let Some((pending, (endpoint, connected), broker_endpoint)) = action {
+            if connected {
+                let packet = Packet::Publish {
+                    topic: pending.topic,
+                    payload: pending.payload,
+                    qos: QoS::AtLeastOnce,
+                    message_id: Some(message_id),
+                    retain: false,
+                    sender: None,
+                };
+                let _ = self
+                    .network
+                    .send(sched, &broker_endpoint, &endpoint, packet.to_wire());
+            }
+            self.schedule_retry(sched, message_id, retry_timeout);
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! The client-side broker binding.
+//!
+//! On the paper's mobile side this role is played by the `MQTTService`
+//! class: it keeps the connection to the Mosquitto broker, receives
+//! configuration pushes and sensing triggers, and acknowledges them. The
+//! server side uses the same client type to publish triggers.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sensocial_net::{EndpointId, Network};
+use sensocial_runtime::{Scheduler, SimDuration};
+
+use crate::packet::{Packet, QoS};
+use crate::topic::TopicFilter;
+
+/// Callback invoked with `(scheduler, topic, payload)` for each message
+/// matching a subscription.
+type Subscriber = Arc<dyn Fn(&mut Scheduler, &str, &str) + Send + Sync>;
+
+/// How many broker-assigned message ids to remember for QoS-1
+/// deduplication.
+const DEDUP_WINDOW: usize = 1_024;
+
+struct PendingPublish {
+    packet: Packet,
+    retries_left: u32,
+}
+
+struct Inner {
+    client_id: String,
+    subscriptions: Vec<(TopicFilter, Subscriber)>,
+    seen_ids: HashSet<u64>,
+    seen_order: VecDeque<u64>,
+    pending: HashMap<u64, PendingPublish>,
+    next_message_id: u64,
+    retry_timeout: SimDuration,
+    max_retries: u32,
+    connected: bool,
+}
+
+/// A broker client bound to a network endpoint.
+///
+/// Cloneable handle. Incoming publishes are dispatched to the callbacks
+/// registered with [`BrokerClient::subscribe`]; QoS-1 messages are
+/// acknowledged and deduplicated automatically. See the
+/// [crate-level example](crate).
+#[derive(Clone)]
+pub struct BrokerClient {
+    inner: Arc<Mutex<Inner>>,
+    network: Network,
+    endpoint: EndpointId,
+    broker: EndpointId,
+}
+
+impl std::fmt::Debug for BrokerClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("BrokerClient")
+            .field("client_id", &inner.client_id)
+            .field("endpoint", &self.endpoint)
+            .field("subscriptions", &inner.subscriptions.len())
+            .field("connected", &inner.connected)
+            .finish()
+    }
+}
+
+impl BrokerClient {
+    /// Creates a client that will speak to the broker at `broker_endpoint`
+    /// from its own `endpoint`, registering the endpoint on `network`.
+    ///
+    /// The client starts disconnected; call [`BrokerClient::connect`].
+    pub fn new(
+        network: &Network,
+        endpoint: impl Into<EndpointId>,
+        broker_endpoint: impl Into<EndpointId>,
+        client_id: impl Into<String>,
+    ) -> Self {
+        let endpoint = endpoint.into();
+        let client = BrokerClient {
+            inner: Arc::new(Mutex::new(Inner {
+                client_id: client_id.into(),
+                subscriptions: Vec::new(),
+                seen_ids: HashSet::new(),
+                seen_order: VecDeque::new(),
+                pending: HashMap::new(),
+                next_message_id: 1,
+                retry_timeout: SimDuration::from_secs(5),
+                max_retries: 5,
+                connected: false,
+            })),
+            network: network.clone(),
+            endpoint: endpoint.clone(),
+            broker: broker_endpoint.into(),
+        };
+        let handle = client.clone();
+        network.register(endpoint, move |sched, msg| {
+            if let Ok(packet) = Packet::from_wire(&msg.payload) {
+                handle.handle_packet(sched, packet);
+            }
+        });
+        client
+    }
+
+    /// The client's stable identifier.
+    pub fn client_id(&self) -> String {
+        self.inner.lock().client_id.clone()
+    }
+
+    /// The endpoint this client is reachable at.
+    pub fn endpoint(&self) -> &EndpointId {
+        &self.endpoint
+    }
+
+    /// Whether [`BrokerClient::connect`] has been called (and not
+    /// superseded by [`BrokerClient::disconnect`]).
+    pub fn is_connected(&self) -> bool {
+        self.inner.lock().connected
+    }
+
+    /// Opens (or resumes) the session with the broker. Queued offline
+    /// messages are delivered by the broker after the connect packet
+    /// arrives.
+    pub fn connect(&self, sched: &mut Scheduler) {
+        let client_id = {
+            let mut inner = self.inner.lock();
+            inner.connected = true;
+            inner.client_id.clone()
+        };
+        self.send(sched, &Packet::Connect { client_id });
+    }
+
+    /// Closes the connection; the broker queues matching messages until the
+    /// next connect.
+    pub fn disconnect(&self, sched: &mut Scheduler) {
+        let client_id = {
+            let mut inner = self.inner.lock();
+            inner.connected = false;
+            inner.client_id.clone()
+        };
+        self.send(sched, &Packet::Disconnect { client_id });
+    }
+
+    /// Subscribes to `filter`, routing matching messages to `callback`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `filter` is not a valid topic filter — subscriptions are
+    /// developer-written constants, so malformed ones are programming
+    /// errors.
+    pub fn subscribe<F>(&self, sched: &mut Scheduler, filter: &str, qos: QoS, callback: F)
+    where
+        F: Fn(&mut Scheduler, &str, &str) + Send + Sync + 'static,
+    {
+        let filter: TopicFilter = filter.parse().expect("invalid topic filter");
+        let client_id = {
+            let mut inner = self.inner.lock();
+            inner
+                .subscriptions
+                .push((filter.clone(), Arc::new(callback)));
+            inner.client_id.clone()
+        };
+        self.send(
+            sched,
+            &Packet::Subscribe {
+                client_id,
+                filter,
+                qos,
+            },
+        );
+    }
+
+    /// Removes the subscription for `filter` (exact string match), both
+    /// locally and on the broker.
+    pub fn unsubscribe(&self, sched: &mut Scheduler, filter: &str) {
+        let Ok(filter) = filter.parse::<TopicFilter>() else {
+            return;
+        };
+        let client_id = {
+            let mut inner = self.inner.lock();
+            inner.subscriptions.retain(|(f, _)| *f != filter);
+            inner.client_id.clone()
+        };
+        self.send(sched, &Packet::Unsubscribe { client_id, filter });
+    }
+
+    /// Publishes `payload` to `topic`.
+    ///
+    /// With [`QoS::AtLeastOnce`] the publish is retransmitted until the
+    /// broker acknowledges it (bounded retries), so triggers survive a
+    /// lossy link.
+    pub fn publish(
+        &self,
+        sched: &mut Scheduler,
+        topic: &str,
+        payload: &str,
+        qos: QoS,
+        retain: bool,
+    ) {
+        let (packet, retry) = {
+            let mut inner = self.inner.lock();
+            let message_id = if qos == QoS::AtLeastOnce {
+                let mid = inner.next_message_id;
+                inner.next_message_id += 1;
+                Some(mid)
+            } else {
+                None
+            };
+            let packet = Packet::Publish {
+                topic: topic.to_owned(),
+                payload: payload.to_owned(),
+                qos,
+                message_id,
+                retain,
+                sender: Some(inner.client_id.clone()),
+            };
+            if let Some(mid) = message_id {
+                let retries_left = inner.max_retries;
+                inner.pending.insert(
+                    mid,
+                    PendingPublish {
+                        packet: packet.clone(),
+                        retries_left,
+                    },
+                );
+                (packet, Some((mid, inner.retry_timeout)))
+            } else {
+                (packet, None)
+            }
+        };
+        self.send(sched, &packet);
+        if let Some((mid, timeout)) = retry {
+            self.schedule_retry(sched, mid, timeout);
+        }
+    }
+
+    fn schedule_retry(&self, sched: &mut Scheduler, message_id: u64, timeout: SimDuration) {
+        let client = self.clone();
+        sched.schedule_after(timeout, move |s| {
+            let (resend, timeout) = {
+                let mut inner = client.inner.lock();
+                let timeout = inner.retry_timeout;
+                match inner.pending.get_mut(&message_id) {
+                    None => (None, timeout),
+                    Some(p) if p.retries_left == 0 => {
+                        inner.pending.remove(&message_id);
+                        (None, timeout)
+                    }
+                    Some(p) => {
+                        p.retries_left -= 1;
+                        (Some(p.packet.clone()), timeout)
+                    }
+                }
+            };
+            if let Some(packet) = resend {
+                client.send(s, &packet);
+                client.schedule_retry(s, message_id, timeout);
+            }
+        });
+    }
+
+    fn handle_packet(&self, sched: &mut Scheduler, packet: Packet) {
+        match packet {
+            Packet::Publish {
+                topic,
+                payload,
+                qos,
+                message_id,
+                ..
+            } => {
+                // Acknowledge first, then dedupe redeliveries.
+                if qos == QoS::AtLeastOnce {
+                    if let Some(mid) = message_id {
+                        let (client_id, duplicate) = {
+                            let mut inner = self.inner.lock();
+                            let duplicate = !inner.seen_ids.insert(mid);
+                            if !duplicate {
+                                inner.seen_order.push_back(mid);
+                                if inner.seen_order.len() > DEDUP_WINDOW {
+                                    if let Some(old) = inner.seen_order.pop_front() {
+                                        inner.seen_ids.remove(&old);
+                                    }
+                                }
+                            }
+                            (inner.client_id.clone(), duplicate)
+                        };
+                        self.send(
+                            sched,
+                            &Packet::PubAck {
+                                message_id: mid,
+                                client_id: Some(client_id),
+                            },
+                        );
+                        if duplicate {
+                            return;
+                        }
+                    }
+                }
+                let callbacks: Vec<Subscriber> = {
+                    let inner = self.inner.lock();
+                    inner
+                        .subscriptions
+                        .iter()
+                        .filter(|(f, _)| f.matches(&topic))
+                        .map(|(_, cb)| cb.clone())
+                        .collect()
+                };
+                for cb in callbacks {
+                    cb(sched, &topic, &payload);
+                }
+            }
+            Packet::PubAck { message_id, .. } => {
+                self.inner.lock().pending.remove(&message_id);
+            }
+            // Clients ignore session-management packets.
+            _ => {}
+        }
+    }
+
+    fn send(&self, sched: &mut Scheduler, packet: &Packet) {
+        let _ = self
+            .network
+            .send(sched, &self.endpoint, &self.broker, packet.to_wire());
+    }
+}

@@ -1,0 +1,65 @@
+//! MQTT-style publish/subscribe broker (Mosquitto substitute).
+//!
+//! SenSocial notifies mobiles about new/modified stream configurations and
+//! OSN-action sensing triggers "using the Mosquitto broker … via the MQTT
+//! protocol", chosen over HTTP because push "does not require continuous
+//! polling from the mobile side, resulting in a lower battery consumption"
+//! (paper §4). This crate reproduces the slice of MQTT the middleware
+//! relies on:
+//!
+//! * hierarchical topics with `+` (single-level) and `#` (multi-level)
+//!   wildcard subscription filters — [`TopicFilter`];
+//! * QoS 0 (at-most-once) and QoS 1 (at-least-once, with acknowledgement
+//!   and retry) delivery — [`QoS`];
+//! * retained messages, delivered immediately to new subscribers;
+//! * per-client sessions with offline queues: messages published to a
+//!   disconnected (but known) client's subscriptions are delivered when it
+//!   reconnects.
+//!
+//! The broker and its clients exchange JSON packets over the simulated
+//! [`Network`](sensocial_net::Network), so every trigger and configuration
+//! push pays realistic latency and shows up in the traffic hooks that feed
+//! the energy model.
+//!
+//! # Example
+//!
+//! ```
+//! use sensocial_broker::{Broker, BrokerClient, QoS};
+//! use sensocial_net::Network;
+//! use sensocial_runtime::Scheduler;
+//! use std::sync::{Arc, Mutex};
+//!
+//! let mut sched = Scheduler::new();
+//! let net = Network::new(7);
+//! let broker = Broker::new(&net, "broker");
+//!
+//! let phone = BrokerClient::new(&net, "phone-endpoint", "broker", "phone");
+//! phone.connect(&mut sched);
+//!
+//! let seen = Arc::new(Mutex::new(Vec::new()));
+//! let sink = seen.clone();
+//! phone.subscribe(&mut sched, "sensocial/trigger/+", QoS::AtLeastOnce, move |_s, topic, payload| {
+//!     sink.lock().unwrap().push((topic.to_owned(), payload.to_owned()));
+//! });
+//!
+//! let server = BrokerClient::new(&net, "server-endpoint", "broker", "server");
+//! server.connect(&mut sched);
+//! server.publish(&mut sched, "sensocial/trigger/phone", "{\"action\":\"post\"}", QoS::AtLeastOnce, false);
+//!
+//! sched.run();
+//! assert_eq!(seen.lock().unwrap().len(), 1);
+//! # drop(broker);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod broker;
+mod client;
+mod packet;
+mod topic;
+
+pub use broker::{Broker, BrokerConfig, BrokerStats};
+pub use client::BrokerClient;
+pub use packet::{Packet, QoS};
+pub use topic::TopicFilter;

@@ -1,0 +1,149 @@
+//! Wire packets exchanged between broker and clients.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::topic::TopicFilter;
+
+/// MQTT-style quality-of-service level.
+///
+/// SenSocial's triggers and configuration pushes use at-least-once
+/// delivery; bulk sensor uplink tolerates at-most-once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum QoS {
+    /// Fire-and-forget: no acknowledgement, lost messages stay lost.
+    AtMostOnce,
+    /// Acknowledged delivery with retransmission; duplicates possible.
+    AtLeastOnce,
+}
+
+impl fmt::Display for QoS {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QoS::AtMostOnce => f.write_str("qos0"),
+            QoS::AtLeastOnce => f.write_str("qos1"),
+        }
+    }
+}
+
+/// A broker protocol packet. Serialized as JSON on the simulated network
+/// so payload sizes (and thus radio energy) are realistic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum Packet {
+    /// Client → broker: open (or resume) a session.
+    Connect {
+        /// The client's stable identifier.
+        client_id: String,
+    },
+    /// Client → broker: close the session's connection (the session and its
+    /// subscriptions persist; deliveries queue until reconnect).
+    Disconnect {
+        /// The client's stable identifier.
+        client_id: String,
+    },
+    /// Client → broker: add a subscription.
+    Subscribe {
+        /// The client's stable identifier.
+        client_id: String,
+        /// Topic filter to subscribe to.
+        filter: TopicFilter,
+        /// Delivery QoS for matched messages.
+        qos: QoS,
+    },
+    /// Client → broker: remove a subscription.
+    Unsubscribe {
+        /// The client's stable identifier.
+        client_id: String,
+        /// The filter to remove (exact string match).
+        filter: TopicFilter,
+    },
+    /// Either direction: publish a message.
+    Publish {
+        /// Concrete topic the message is published to.
+        topic: String,
+        /// UTF-8 payload (the middleware publishes JSON documents).
+        payload: String,
+        /// Delivery QoS.
+        qos: QoS,
+        /// Message id, present iff `qos` requires acknowledgement.
+        message_id: Option<u64>,
+        /// Whether the broker should retain this message for future
+        /// subscribers.
+        retain: bool,
+        /// Publishing client id (set on client → broker legs).
+        sender: Option<String>,
+    },
+    /// Either direction: acknowledge a QoS-1 publish.
+    PubAck {
+        /// The acknowledged message id.
+        message_id: u64,
+        /// Acknowledging client id (set on client → broker legs).
+        client_id: Option<String>,
+    },
+}
+
+impl Packet {
+    /// Serializes the packet to its JSON wire form.
+    pub fn to_wire(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("packets always serialize")
+    }
+
+    /// Parses a packet from its JSON wire form.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error for malformed bytes.
+    pub fn from_wire(bytes: &[u8]) -> Result<Self, serde_json::Error> {
+        serde_json::from_slice(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packets_round_trip_the_wire() {
+        let packets = vec![
+            Packet::Connect {
+                client_id: "phone".into(),
+            },
+            Packet::Subscribe {
+                client_id: "phone".into(),
+                filter: "a/+/b".parse().unwrap(),
+                qos: QoS::AtLeastOnce,
+            },
+            Packet::Publish {
+                topic: "a/x/b".into(),
+                payload: "{\"k\":1}".into(),
+                qos: QoS::AtLeastOnce,
+                message_id: Some(42),
+                retain: true,
+                sender: Some("server".into()),
+            },
+            Packet::PubAck {
+                message_id: 42,
+                client_id: Some("phone".into()),
+            },
+        ];
+        for p in packets {
+            let wire = p.to_wire();
+            assert_eq!(Packet::from_wire(&wire).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn malformed_wire_is_an_error() {
+        assert!(Packet::from_wire(b"not json").is_err());
+        assert!(Packet::from_wire(b"{\"type\":\"bogus\"}").is_err());
+    }
+
+    #[test]
+    fn qos_display() {
+        assert_eq!(QoS::AtMostOnce.to_string(), "qos0");
+        assert_eq!(QoS::AtLeastOnce.to_string(), "qos1");
+    }
+}

@@ -1,0 +1,220 @@
+//! Topic names and wildcard subscription filters.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+use sensocial_types::Error;
+
+/// A parsed MQTT-style topic filter.
+///
+/// Segments are separated by `/`. A `+` segment matches exactly one topic
+/// level; a trailing `#` matches any number of remaining levels (including
+/// zero, per the MQTT specification: `sport/#` matches `sport`).
+///
+/// # Example
+///
+/// ```
+/// use sensocial_broker::TopicFilter;
+///
+/// let f: TopicFilter = "sensocial/+/trigger/#".parse().unwrap();
+/// assert!(f.matches("sensocial/phone1/trigger/osn"));
+/// assert!(f.matches("sensocial/phone2/trigger/osn/post/42"));
+/// assert!(!f.matches("sensocial/phone1/config"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(try_from = "String", into = "String")]
+pub struct TopicFilter {
+    raw: String,
+    segments: Vec<Segment>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Segment {
+    Literal(String),
+    SingleLevel,
+    MultiLevel,
+}
+
+impl TopicFilter {
+    /// Parses a filter string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if the filter is empty, contains an
+    /// empty segment, uses `#` anywhere but as the final segment, or mixes
+    /// wildcards into literal segments (e.g. `a+b`).
+    pub fn parse(raw: &str) -> Result<Self, Error> {
+        if raw.is_empty() {
+            return Err(Error::InvalidConfig("empty topic filter".into()));
+        }
+        let parts: Vec<&str> = raw.split('/').collect();
+        let mut segments = Vec::with_capacity(parts.len());
+        for (i, part) in parts.iter().enumerate() {
+            let segment = match *part {
+                "" => {
+                    return Err(Error::InvalidConfig(format!(
+                        "empty segment in topic filter `{raw}`"
+                    )))
+                }
+                "+" => Segment::SingleLevel,
+                "#" => {
+                    if i != parts.len() - 1 {
+                        return Err(Error::InvalidConfig(format!(
+                            "`#` must be the final segment in `{raw}`"
+                        )));
+                    }
+                    Segment::MultiLevel
+                }
+                literal => {
+                    if literal.contains('+') || literal.contains('#') {
+                        return Err(Error::InvalidConfig(format!(
+                            "wildcard inside literal segment `{literal}` in `{raw}`"
+                        )));
+                    }
+                    Segment::Literal(literal.to_owned())
+                }
+            };
+            segments.push(segment);
+        }
+        Ok(TopicFilter {
+            raw: raw.to_owned(),
+            segments,
+        })
+    }
+
+    /// The original filter string.
+    pub fn as_str(&self) -> &str {
+        &self.raw
+    }
+
+    /// Whether `topic` (a concrete topic name, no wildcards) matches this
+    /// filter.
+    pub fn matches(&self, topic: &str) -> bool {
+        let levels: Vec<&str> = topic.split('/').collect();
+        self.match_from(0, &levels)
+    }
+
+    fn match_from(&self, seg_idx: usize, levels: &[&str]) -> bool {
+        let mut i = seg_idx;
+        let mut l = 0;
+        while i < self.segments.len() {
+            match &self.segments[i] {
+                Segment::MultiLevel => return true,
+                Segment::SingleLevel => {
+                    if l >= levels.len() {
+                        return false;
+                    }
+                    i += 1;
+                    l += 1;
+                }
+                Segment::Literal(lit) => {
+                    if l >= levels.len() || levels[l] != lit {
+                        return false;
+                    }
+                    i += 1;
+                    l += 1;
+                }
+            }
+        }
+        l == levels.len()
+    }
+}
+
+impl FromStr for TopicFilter {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        TopicFilter::parse(s)
+    }
+}
+
+impl TryFrom<String> for TopicFilter {
+    type Error = Error;
+
+    fn try_from(s: String) -> Result<Self, Self::Error> {
+        TopicFilter::parse(&s)
+    }
+}
+
+impl From<TopicFilter> for String {
+    fn from(f: TopicFilter) -> String {
+        f.raw
+    }
+}
+
+impl fmt::Display for TopicFilter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filter(s: &str) -> TopicFilter {
+        TopicFilter::parse(s).unwrap()
+    }
+
+    #[test]
+    fn literal_filters_match_exactly() {
+        let f = filter("sensocial/config/phone1");
+        assert!(f.matches("sensocial/config/phone1"));
+        assert!(!f.matches("sensocial/config/phone2"));
+        assert!(!f.matches("sensocial/config"));
+        assert!(!f.matches("sensocial/config/phone1/extra"));
+    }
+
+    #[test]
+    fn plus_matches_exactly_one_level() {
+        let f = filter("sensocial/+/trigger");
+        assert!(f.matches("sensocial/phone1/trigger"));
+        assert!(!f.matches("sensocial/trigger"));
+        assert!(!f.matches("sensocial/a/b/trigger"));
+    }
+
+    #[test]
+    fn hash_matches_zero_or_more_levels() {
+        let f = filter("sensocial/#");
+        assert!(f.matches("sensocial"));
+        assert!(f.matches("sensocial/a"));
+        assert!(f.matches("sensocial/a/b/c"));
+        assert!(!f.matches("other"));
+        assert!(filter("#").matches("anything/at/all"));
+    }
+
+    #[test]
+    fn combined_wildcards() {
+        let f = filter("a/+/c/#");
+        assert!(f.matches("a/b/c"));
+        assert!(f.matches("a/x/c/d/e"));
+        assert!(!f.matches("a/b/d"));
+    }
+
+    #[test]
+    fn invalid_filters_rejected() {
+        assert!(TopicFilter::parse("").is_err());
+        assert!(TopicFilter::parse("a//b").is_err());
+        assert!(TopicFilter::parse("a/#/b").is_err());
+        assert!(TopicFilter::parse("a/b+c").is_err());
+        assert!(TopicFilter::parse("a/#b").is_err());
+    }
+
+    #[test]
+    fn serde_round_trip_validates() {
+        let f = filter("a/+/b");
+        let json = serde_json::to_string(&f).unwrap();
+        assert_eq!(json, "\"a/+/b\"");
+        let back: TopicFilter = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, f);
+        assert!(serde_json::from_str::<TopicFilter>("\"a/#/b\"").is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let f = filter("x/+/#");
+        assert_eq!(f.to_string(), "x/+/#");
+        assert_eq!(f.as_str(), "x/+/#");
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests for topic-filter matching.
+
+use proptest::prelude::*;
+use sensocial_broker::TopicFilter;
+
+fn arb_segment() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,5}".prop_map(|s| s)
+}
+
+fn arb_topic() -> impl Strategy<Value = String> {
+    proptest::collection::vec(arb_segment(), 1..6).prop_map(|segs| segs.join("/"))
+}
+
+proptest! {
+    /// A topic used verbatim as a filter matches itself.
+    #[test]
+    fn exact_topic_matches_itself(topic in arb_topic()) {
+        let f: TopicFilter = topic.parse().unwrap();
+        prop_assert!(f.matches(&topic));
+    }
+
+    /// Replacing any one segment with `+` still matches.
+    #[test]
+    fn single_plus_generalizes(topic in arb_topic(), idx in 0usize..6) {
+        let mut segs: Vec<&str> = topic.split('/').collect();
+        let idx = idx % segs.len();
+        segs[idx] = "+";
+        let f: TopicFilter = segs.join("/").parse().unwrap();
+        prop_assert!(f.matches(&topic));
+    }
+
+    /// Truncating at any depth and appending `#` still matches.
+    #[test]
+    fn hash_suffix_generalizes(topic in arb_topic(), depth in 0usize..6) {
+        let segs: Vec<&str> = topic.split('/').collect();
+        let depth = depth % segs.len();
+        let mut prefix: Vec<&str> = segs[..depth].to_vec();
+        prefix.push("#");
+        let f: TopicFilter = prefix.join("/").parse().unwrap();
+        prop_assert!(f.matches(&topic), "{} should match {}", f, topic);
+    }
+
+    /// A filter with more literal segments than the topic has levels never
+    /// matches (absent `#`).
+    #[test]
+    fn longer_literal_filter_never_matches(topic in arb_topic(), extra in arb_segment()) {
+        let f: TopicFilter = format!("{topic}/{extra}").parse().unwrap();
+        prop_assert!(!f.matches(&topic));
+    }
+
+    /// Filters round-trip through their string form.
+    #[test]
+    fn filter_string_round_trip(topic in arb_topic()) {
+        let f: TopicFilter = topic.parse().unwrap();
+        let again: TopicFilter = f.as_str().parse().unwrap();
+        prop_assert_eq!(f, again);
+    }
+
+    /// `#` alone matches every topic.
+    #[test]
+    fn universal_filter(topic in arb_topic()) {
+        let f: TopicFilter = "#".parse().unwrap();
+        prop_assert!(f.matches(&topic));
+    }
+
+    /// A filter never matches a topic whose first segment differs from a
+    /// literal first filter segment.
+    #[test]
+    fn first_literal_must_match(topic in arb_topic()) {
+        let first = topic.split('/').next().unwrap();
+        let decoy = format!("zzz{first}");
+        let rest: Vec<&str> = topic.split('/').skip(1).collect();
+        let filter_str = if rest.is_empty() {
+            decoy.clone()
+        } else {
+            format!("{decoy}/{}", rest.join("/"))
+        };
+        let f: TopicFilter = filter_str.parse().unwrap();
+        prop_assert!(!f.matches(&topic));
+    }
+}

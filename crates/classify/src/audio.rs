@@ -1,0 +1,93 @@
+//! The stock audio-environment classifier.
+
+use sensocial_types::{AudioEnvironment, ClassifiedContext, Modality, RawSample};
+
+use crate::registry::Classifier;
+
+/// Classifies microphone frames into silent / not-silent by thresholding
+/// RMS amplitude (paper §4: "infer from the raw microphone data if the
+/// audio environment is 'silent' or 'not silent'").
+#[derive(Debug, Clone, PartialEq)]
+pub struct AudioClassifier {
+    /// RMS at or above this is "not silent".
+    pub silence_threshold: f64,
+}
+
+impl Default for AudioClassifier {
+    fn default() -> Self {
+        AudioClassifier {
+            silence_threshold: 0.12,
+        }
+    }
+}
+
+impl Classifier for AudioClassifier {
+    fn modality(&self) -> Modality {
+        Modality::Microphone
+    }
+
+    fn classify(&self, sample: &RawSample) -> Option<ClassifiedContext> {
+        let RawSample::Microphone(frame) = sample else {
+            return None;
+        };
+        let env = if frame.rms < self.silence_threshold {
+            AudioEnvironment::Silent
+        } else {
+            AudioEnvironment::NotSilent
+        };
+        Some(ClassifiedContext::Audio(env))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sensocial_types::AudioFrame;
+
+    fn frame(rms: f64) -> RawSample {
+        RawSample::Microphone(AudioFrame {
+            rms,
+            peak: (rms * 2.0).min(1.0),
+            duration_ms: 1000,
+        })
+    }
+
+    #[test]
+    fn quiet_is_silent() {
+        let c = AudioClassifier::default();
+        assert_eq!(
+            c.classify(&frame(0.03)),
+            Some(ClassifiedContext::Audio(AudioEnvironment::Silent))
+        );
+    }
+
+    #[test]
+    fn loud_is_not_silent() {
+        let c = AudioClassifier::default();
+        assert_eq!(
+            c.classify(&frame(0.4)),
+            Some(ClassifiedContext::Audio(AudioEnvironment::NotSilent))
+        );
+    }
+
+    #[test]
+    fn threshold_boundary() {
+        let c = AudioClassifier::default();
+        assert_eq!(
+            c.classify(&frame(0.12)),
+            Some(ClassifiedContext::Audio(AudioEnvironment::NotSilent)),
+            "at the threshold counts as not silent"
+        );
+    }
+
+    #[test]
+    fn wrong_modality_is_none() {
+        let c = AudioClassifier::default();
+        assert_eq!(
+            c.classify(&RawSample::Bluetooth(sensocial_types::BluetoothScan {
+                nearby_devices: vec![]
+            })),
+            None
+        );
+    }
+}

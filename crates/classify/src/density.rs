@@ -1,0 +1,79 @@
+//! Radio-neighbourhood density classifiers.
+
+use sensocial_types::{ClassifiedContext, Modality, RawSample};
+
+use crate::registry::Classifier;
+
+/// Classifies WiFi scans to an access-point count — a coarse proxy for how
+/// built-up / crowded the user's surroundings are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WifiDensityClassifier;
+
+impl Classifier for WifiDensityClassifier {
+    fn modality(&self) -> Modality {
+        Modality::Wifi
+    }
+
+    fn classify(&self, sample: &RawSample) -> Option<ClassifiedContext> {
+        let RawSample::Wifi(scan) = sample else {
+            return None;
+        };
+        Some(ClassifiedContext::WifiDensity(scan.access_points.len()))
+    }
+}
+
+/// Classifies Bluetooth scans to a nearby-device count — the collocation
+/// proxy used by social-sensing studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BluetoothDensityClassifier;
+
+impl Classifier for BluetoothDensityClassifier {
+    fn modality(&self) -> Modality {
+        Modality::Bluetooth
+    }
+
+    fn classify(&self, sample: &RawSample) -> Option<ClassifiedContext> {
+        let RawSample::Bluetooth(scan) = sample else {
+            return None;
+        };
+        Some(ClassifiedContext::BluetoothDensity(
+            scan.nearby_devices.len(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sensocial_types::{BluetoothScan, WifiScan};
+
+    #[test]
+    fn wifi_density_counts_aps() {
+        let scan = RawSample::Wifi(WifiScan {
+            access_points: vec![("a".into(), -40), ("b".into(), -60)],
+        });
+        assert_eq!(
+            WifiDensityClassifier.classify(&scan),
+            Some(ClassifiedContext::WifiDensity(2))
+        );
+    }
+
+    #[test]
+    fn bluetooth_density_counts_devices() {
+        let scan = RawSample::Bluetooth(BluetoothScan {
+            nearby_devices: vec!["x".into()],
+        });
+        assert_eq!(
+            BluetoothDensityClassifier.classify(&scan),
+            Some(ClassifiedContext::BluetoothDensity(1))
+        );
+    }
+
+    #[test]
+    fn cross_modality_is_none() {
+        let scan = RawSample::Bluetooth(BluetoothScan {
+            nearby_devices: vec![],
+        });
+        assert_eq!(WifiDensityClassifier.classify(&scan), None);
+    }
+}

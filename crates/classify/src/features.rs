@@ -1,0 +1,57 @@
+//! Feature extraction over accelerometer bursts.
+
+use sensocial_types::AccelSample;
+
+/// Mean of the per-sample acceleration magnitudes.
+///
+/// Returns 0 for an empty burst.
+pub fn magnitude_mean(samples: &[AccelSample]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().map(|s| s.magnitude()).sum::<f64>() / samples.len() as f64
+}
+
+/// Standard deviation of the per-sample acceleration magnitudes — the
+/// feature the stock activity classifier thresholds on (gravity cancels in
+/// the deviation, so the phone's orientation doesn't matter).
+///
+/// Returns 0 for an empty burst.
+pub fn magnitude_std(samples: &[AccelSample]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mean = magnitude_mean(samples);
+    let var = samples
+        .iter()
+        .map(|s| (s.magnitude() - mean).powi(2))
+        .sum::<f64>()
+        / samples.len() as f64;
+    var.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_burst_has_zero_std() {
+        let burst = vec![AccelSample::new(0.0, 0.0, 9.81); 10];
+        assert!((magnitude_mean(&burst) - 9.81).abs() < 1e-9);
+        assert_eq!(magnitude_std(&burst), 0.0);
+    }
+
+    #[test]
+    fn oscillating_burst_has_positive_std() {
+        let burst: Vec<AccelSample> = (0..100)
+            .map(|i| AccelSample::new(0.0, 0.0, 9.81 + (i as f64 * 0.5).sin() * 3.0))
+            .collect();
+        assert!(magnitude_std(&burst) > 1.0);
+    }
+
+    #[test]
+    fn empty_burst_is_zero() {
+        assert_eq!(magnitude_mean(&[]), 0.0);
+        assert_eq!(magnitude_std(&[]), 0.0);
+    }
+}

@@ -1,0 +1,56 @@
+//! Context classifiers: raw sensor data → high-level context.
+//!
+//! The stock SenSocial middleware "provides a few classifiers that can
+//! classify raw sensed data into higher level context classes" — activity
+//! from the accelerometer, silent/not-silent from the microphone — and is
+//! "very flexible": developers can register their own (paper §4). The
+//! paper's future work adds OSN text mining (topics, emotional state); this
+//! crate implements all of it:
+//!
+//! * [`ActivityClassifier`] — accelerometer burst → still / walking /
+//!   running, via magnitude variance thresholds;
+//! * [`AudioClassifier`] — microphone frame → silent / not-silent;
+//! * [`PlaceClassifier`] — GPS fix → named place, against a gazetteer
+//!   (the server-side "raw GPS coordinates are classified to a descriptive
+//!   address, i.e. the name of the city");
+//! * [`WifiDensityClassifier`] / [`BluetoothDensityClassifier`] — scan →
+//!   neighbour counts;
+//! * [`SentimentClassifier`] / [`extract_topic`] — OSN post text →
+//!   emotional valence / topic (paper §9 future work);
+//! * [`ClassifierRegistry`] — per-modality dispatch, with registration of
+//!   external classifiers.
+//!
+//! # Example
+//!
+//! ```
+//! use sensocial_classify::{ClassifierRegistry, Classifier};
+//! use sensocial_types::{geo::cities, ClassifiedContext, GpsFix, RawSample};
+//!
+//! let registry = ClassifierRegistry::with_defaults(vec![cities::paris_place()]);
+//! let fix = RawSample::Location(GpsFix {
+//!     position: cities::paris(),
+//!     accuracy_m: 8.0,
+//!     speed_mps: 0.0,
+//! });
+//! let classified = registry.classify(&fix).unwrap();
+//! assert_eq!(classified, ClassifiedContext::Place(Some("Paris".into())));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod activity;
+mod audio;
+mod density;
+mod features;
+mod place;
+mod registry;
+mod sentiment;
+
+pub use activity::ActivityClassifier;
+pub use audio::AudioClassifier;
+pub use density::{BluetoothDensityClassifier, WifiDensityClassifier};
+pub use features::{magnitude_mean, magnitude_std};
+pub use place::PlaceClassifier;
+pub use registry::{Classifier, ClassifierRegistry};
+pub use sentiment::{extract_topic, SentimentClassifier, TextSentiment};

@@ -1,0 +1,119 @@
+//! The place (reverse-geocoding) classifier.
+
+use sensocial_types::{ClassifiedContext, Modality, Place, RawSample};
+
+use crate::registry::Classifier;
+
+/// Classifies GPS fixes to named places against a gazetteer, as the paper's
+/// server does when "raw GPS coordinates are classified to a descriptive
+/// address, i.e. the name of the city that the user is in".
+///
+/// When several places contain the fix, the smallest (most specific) wins;
+/// a fix outside every place classifies to `Place(None)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlaceClassifier {
+    places: Vec<Place>,
+}
+
+impl PlaceClassifier {
+    /// Creates a classifier over `places`.
+    pub fn new(places: Vec<Place>) -> Self {
+        PlaceClassifier { places }
+    }
+
+    /// Adds a place to the gazetteer.
+    pub fn add_place(&mut self, place: Place) {
+        self.places.push(place);
+    }
+
+    /// The gazetteer.
+    pub fn places(&self) -> &[Place] {
+        &self.places
+    }
+}
+
+impl Classifier for PlaceClassifier {
+    fn modality(&self) -> Modality {
+        Modality::Location
+    }
+
+    fn classify(&self, sample: &RawSample) -> Option<ClassifiedContext> {
+        let RawSample::Location(fix) = sample else {
+            return None;
+        };
+        let name = self
+            .places
+            .iter()
+            .filter(|p| p.contains(fix.position))
+            .min_by(|a, b| {
+                a.fence
+                    .radius_m
+                    .partial_cmp(&b.fence.radius_m)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|p| p.name.clone());
+        Some(ClassifiedContext::Place(name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sensocial_types::geo::{cities, GeoFence};
+    use sensocial_types::GpsFix;
+
+    fn fix(position: sensocial_types::GeoPoint) -> RawSample {
+        RawSample::Location(GpsFix {
+            position,
+            accuracy_m: 8.0,
+            speed_mps: 0.0,
+        })
+    }
+
+    #[test]
+    fn classifies_to_city() {
+        let c = PlaceClassifier::new(vec![cities::paris_place(), cities::bordeaux_place()]);
+        assert_eq!(
+            c.classify(&fix(cities::paris())),
+            Some(ClassifiedContext::Place(Some("Paris".into())))
+        );
+        assert_eq!(
+            c.classify(&fix(cities::bordeaux())),
+            Some(ClassifiedContext::Place(Some("Bordeaux".into())))
+        );
+    }
+
+    #[test]
+    fn outside_everything_is_unknown() {
+        let c = PlaceClassifier::new(vec![cities::paris_place()]);
+        assert_eq!(
+            c.classify(&fix(cities::birmingham())),
+            Some(ClassifiedContext::Place(None))
+        );
+    }
+
+    #[test]
+    fn smallest_containing_place_wins() {
+        let mut c = PlaceClassifier::new(vec![cities::paris_place()]);
+        c.add_place(Place::new(
+            "Le Marais",
+            GeoFence::new(cities::paris(), 1_500.0),
+        ));
+        assert_eq!(
+            c.classify(&fix(cities::paris())),
+            Some(ClassifiedContext::Place(Some("Le Marais".into())))
+        );
+        assert_eq!(c.places().len(), 2);
+    }
+
+    #[test]
+    fn wrong_modality_is_none() {
+        let c = PlaceClassifier::new(vec![]);
+        assert_eq!(
+            c.classify(&RawSample::Wifi(sensocial_types::WifiScan {
+                access_points: vec![]
+            })),
+            None
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the stock classifiers.
+
+use proptest::prelude::*;
+use sensocial_classify::{
+    ActivityClassifier, AudioClassifier, Classifier, PlaceClassifier,
+};
+use sensocial_types::{
+    AccelSample, AudioFrame, ClassifiedContext, GpsFix, PhysicalActivity, Place, RawSample,
+};
+use sensocial_types::geo::{cities, GeoFence};
+
+fn burst(amplitude: f64, n: usize) -> RawSample {
+    RawSample::Accelerometer(
+        (0..n)
+            .map(|i| AccelSample::new(0.0, 0.0, 9.81 + (i as f64 * 0.37).sin() * amplitude))
+            .collect(),
+    )
+}
+
+proptest! {
+    /// The activity label is monotone in oscillation amplitude: more
+    /// movement never maps to a "calmer" class.
+    #[test]
+    fn activity_is_monotone_in_amplitude(
+        a in 0.0f64..8.0,
+        b in 0.0f64..8.0,
+        n in 50usize..400,
+    ) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let classifier = ActivityClassifier::default();
+        let rank = |s: &RawSample| match classifier.classify(s) {
+            Some(ClassifiedContext::Activity(PhysicalActivity::Still)) => 0,
+            Some(ClassifiedContext::Activity(PhysicalActivity::Walking)) => 1,
+            Some(ClassifiedContext::Activity(PhysicalActivity::Running)) => 2,
+            other => panic!("unexpected {other:?}"),
+        };
+        prop_assert!(rank(&burst(lo, n)) <= rank(&burst(hi, n)));
+    }
+
+    /// Audio classification is a threshold function of RMS.
+    #[test]
+    fn audio_threshold_is_sharp(rms in 0.0f64..1.0) {
+        let classifier = AudioClassifier::default();
+        let frame = RawSample::Microphone(AudioFrame {
+            rms,
+            peak: rms.min(1.0),
+            duration_ms: 1000,
+        });
+        let got = classifier.classify(&frame).unwrap();
+        let expected = if rms < classifier.silence_threshold {
+            "silent"
+        } else {
+            "not_silent"
+        };
+        prop_assert_eq!(got.value_string(), expected);
+    }
+
+    /// Place classification returns a place containing the fix, or None
+    /// when no place contains it.
+    #[test]
+    fn place_result_actually_contains_fix(
+        lat in 40.0f64..55.0,
+        lon in -5.0f64..8.0,
+    ) {
+        let places = vec![
+            cities::paris_place(),
+            cities::bordeaux_place(),
+            Place::new("TinyCenter", GeoFence::new(cities::paris(), 1_000.0)),
+        ];
+        let classifier = PlaceClassifier::new(places.clone());
+        let position = sensocial_types::GeoPoint::new(lat, lon);
+        let fix = RawSample::Location(GpsFix { position, accuracy_m: 5.0, speed_mps: 0.0 });
+        match classifier.classify(&fix).unwrap() {
+            ClassifiedContext::Place(Some(name)) => {
+                let place = places.iter().find(|p| p.name == name).unwrap();
+                prop_assert!(place.contains(position));
+                // Smallest-containing-place rule.
+                for other in &places {
+                    if other.contains(position) {
+                        prop_assert!(place.fence.radius_m <= other.fence.radius_m);
+                    }
+                }
+            }
+            ClassifiedContext::Place(None) => {
+                prop_assert!(places.iter().all(|p| !p.contains(position)));
+            }
+            other => prop_assert!(false, "unexpected {:?}", other),
+        }
+    }
+
+    /// Every classifier ignores samples of foreign modalities.
+    #[test]
+    fn classifiers_reject_foreign_modalities(rms in 0.0f64..1.0) {
+        let frame = RawSample::Microphone(AudioFrame { rms, peak: rms, duration_ms: 100 });
+        prop_assert_eq!(ActivityClassifier::default().classify(&frame), None);
+        prop_assert_eq!(PlaceClassifier::new(vec![]).classify(&frame), None);
+        let fix = RawSample::Location(GpsFix {
+            position: cities::paris(),
+            accuracy_m: 5.0,
+            speed_mps: 0.0,
+        });
+        prop_assert_eq!(AudioClassifier::default().classify(&fix), None);
+    }
+}

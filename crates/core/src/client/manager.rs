@@ -1,0 +1,790 @@
+//! The client-side SenSocial Manager.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sensocial_broker::{BrokerClient, QoS};
+use sensocial_classify::ClassifierRegistry;
+use sensocial_energy::{
+    BatteryMeter, CpuCosts, CpuMeter, EnergyComponent, EnergyProfile, MemoryProfiler,
+};
+use sensocial_runtime::{Scheduler, SimDuration, Timer, Timestamp};
+use sensocial_sensors::{SensorConfig, SensorManager};
+use sensocial_types::{
+    ContextData, ContextSnapshot, DeviceId, Error, Granularity, OsnAction, Place, RawSample,
+    Result, StreamId, UserId,
+};
+
+use crate::config::{ConfigCommand, StreamMode, StreamSink, StreamSpec};
+use crate::event::{RegistrationPayload, StreamEvent, TriggerPayload};
+use crate::filter::EvalContext;
+use crate::privacy::{PrivacyPolicy, PrivacyPolicyManager};
+use crate::{config_topic, trigger_topic, uplink_topic, REGISTER_TOPIC};
+
+use super::stream::{StreamOrigin, StreamState, StreamStatus};
+
+/// Modelled Java-heap equivalents for Table 2's DDMS comparison: the
+/// object/byte footprints the middleware's structures would have on the
+/// paper's Android runtime.
+const MANAGER_OBJECTS: u64 = 3_270;
+const MANAGER_BYTES: u64 = 1_030_000;
+const STREAM_OBJECTS: u64 = 620;
+const STREAM_BYTES: u64 = 160_000;
+const LISTENER_OBJECTS: u64 = 15;
+const LISTENER_BYTES: u64 = 2_600;
+
+/// Server-assigned stream ids live in a disjoint namespace from
+/// locally-assigned ones.
+pub(crate) const REMOTE_STREAM_ID_BASE: u64 = 1 << 32;
+
+type Listener = Arc<dyn Fn(&mut Scheduler, &StreamEvent) + Send + Sync>;
+
+/// Everything a [`ClientManager`] is wired to.
+pub struct ClientDeps {
+    /// The owning user.
+    pub user: UserId,
+    /// This device.
+    pub device: DeviceId,
+    /// The sensor substrate.
+    pub sensors: SensorManager,
+    /// Classifiers for raw → classified conversion.
+    pub classifiers: ClassifierRegistry,
+    /// Privacy policies screening every stream.
+    pub privacy: PrivacyPolicyManager,
+    /// Broker binding for triggers/configs/uplink; `None` for local-only
+    /// deployments (no server).
+    pub broker: Option<BrokerClient>,
+    /// Battery meter charged for sampling/classification/transmission.
+    pub battery: BatteryMeter,
+    /// CPU meter charged for per-cycle work.
+    pub cpu: CpuMeter,
+    /// Memory profiler tracking middleware allocations.
+    pub memory: MemoryProfiler,
+    /// Energy cost constants.
+    pub energy_profile: EnergyProfile,
+    /// CPU cost constants.
+    pub cpu_costs: CpuCosts,
+}
+
+impl ClientDeps {
+    /// Minimal wiring for examples and tests: no broker (local-only),
+    /// stock classifiers over `places`, allow-all privacy, fresh meters.
+    pub fn local_only(
+        user: impl Into<UserId>,
+        device: impl Into<DeviceId>,
+        sensors: SensorManager,
+        places: Vec<Place>,
+    ) -> Self {
+        ClientDeps {
+            user: user.into(),
+            device: device.into(),
+            sensors,
+            classifiers: ClassifierRegistry::with_defaults(places),
+            privacy: PrivacyPolicyManager::allow_all(),
+            broker: None,
+            battery: BatteryMeter::new(),
+            cpu: CpuMeter::new(),
+            memory: MemoryProfiler::new(),
+            energy_profile: EnergyProfile::default(),
+            cpu_costs: CpuCosts::default(),
+        }
+    }
+}
+
+struct Inner {
+    user: UserId,
+    device: DeviceId,
+    streams: HashMap<StreamId, StreamState>,
+    listeners: HashMap<StreamId, Vec<Listener>>,
+    context: ContextSnapshot,
+    next_local_stream: u64,
+    connected: bool,
+}
+
+/// The point of entry for mobile applications — the paper's client-side
+/// `SenSocialManager`.
+///
+/// Cloneable handle; see the [crate-level quickstart](crate).
+#[derive(Clone)]
+pub struct ClientManager {
+    inner: Arc<Mutex<Inner>>,
+    sensors: SensorManager,
+    classifiers: ClassifierRegistry,
+    privacy: PrivacyPolicyManager,
+    broker: Option<BrokerClient>,
+    battery: BatteryMeter,
+    cpu: CpuMeter,
+    memory: MemoryProfiler,
+    energy_profile: Arc<EnergyProfile>,
+    cpu_costs: Arc<CpuCosts>,
+}
+
+impl std::fmt::Debug for ClientManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("ClientManager")
+            .field("user", &inner.user)
+            .field("device", &inner.device)
+            .field("streams", &inner.streams.len())
+            .field("connected", &inner.connected)
+            .finish()
+    }
+}
+
+impl ClientManager {
+    /// Creates a manager from its dependencies.
+    pub fn new(deps: ClientDeps) -> Self {
+        deps.memory
+            .alloc("sensocial/manager", MANAGER_OBJECTS, MANAGER_BYTES);
+        // Sampling costs are charged by the sensor substrate; route them to
+        // this device's meter so energy accounting is complete whether or
+        // not the deployment wired the sensors up itself.
+        deps.sensors
+            .attach_battery(deps.battery.clone(), deps.energy_profile.clone());
+        ClientManager {
+            inner: Arc::new(Mutex::new(Inner {
+                user: deps.user,
+                device: deps.device,
+                streams: HashMap::new(),
+                listeners: HashMap::new(),
+                context: ContextSnapshot::new(),
+                next_local_stream: 0,
+                connected: false,
+            })),
+            sensors: deps.sensors,
+            classifiers: deps.classifiers,
+            privacy: deps.privacy,
+            broker: deps.broker,
+            battery: deps.battery,
+            cpu: deps.cpu,
+            memory: deps.memory,
+            energy_profile: Arc::new(deps.energy_profile),
+            cpu_costs: Arc::new(deps.cpu_costs),
+        }
+    }
+
+    /// The owning user.
+    pub fn user_id(&self) -> UserId {
+        self.inner.lock().user.clone()
+    }
+
+    /// This device.
+    pub fn device_id(&self) -> DeviceId {
+        self.inner.lock().device.clone()
+    }
+
+    /// The device's latest context snapshot (what filters see).
+    pub fn context_snapshot(&self) -> ContextSnapshot {
+        self.inner.lock().context.clone()
+    }
+
+    /// The privacy policy manager (reads; mutate through
+    /// [`ClientManager::set_privacy_policy`] so streams re-screen).
+    pub fn privacy(&self) -> &PrivacyPolicyManager {
+        &self.privacy
+    }
+
+    /// The battery meter.
+    pub fn battery(&self) -> &BatteryMeter {
+        &self.battery
+    }
+
+    /// The CPU meter.
+    pub fn cpu(&self) -> &CpuMeter {
+        &self.cpu
+    }
+
+    /// Connects to the broker: opens the session and subscribes to this
+    /// device's trigger and configuration topics. No-op without a broker.
+    pub fn connect(&self, sched: &mut Scheduler) {
+        let Some(broker) = &self.broker else {
+            return;
+        };
+        let device = self.device_id();
+        {
+            let mut inner = self.inner.lock();
+            if inner.connected {
+                return;
+            }
+            inner.connected = true;
+        }
+        broker.connect(sched);
+
+        let mgr = self.clone();
+        broker.subscribe(
+            sched,
+            &trigger_topic(&device),
+            QoS::AtLeastOnce,
+            move |s, _topic, payload| {
+                mgr.on_trigger(s, payload);
+            },
+        );
+        let mgr = self.clone();
+        broker.subscribe(
+            sched,
+            &config_topic(&device),
+            QoS::AtLeastOnce,
+            move |s, _topic, payload| {
+                mgr.on_config(s, payload);
+            },
+        );
+
+        // Announce ourselves so the server's registry learns this device
+        // without out-of-band deployment wiring.
+        let registration = RegistrationPayload {
+            user: self.user_id(),
+            device,
+        };
+        broker.publish(
+            sched,
+            REGISTER_TOPIC,
+            &registration.to_wire(),
+            QoS::AtLeastOnce,
+            false,
+        );
+    }
+
+    /// Creates a stream from `spec`, returning its id.
+    ///
+    /// If the privacy descriptor denies the spec, the stream is created
+    /// **paused** (the paper pauses rather than rejects) and resumes
+    /// automatically once policies allow it.
+    pub fn create_stream(&self, sched: &mut Scheduler, spec: StreamSpec) -> Result<StreamId> {
+        let id = {
+            let mut inner = self.inner.lock();
+            let id = StreamId::new(inner.next_local_stream);
+            inner.next_local_stream += 1;
+            id
+        };
+        self.install_stream(sched, id, spec, StreamOrigin::Local);
+        Ok(id)
+    }
+
+    fn install_stream(
+        &self,
+        sched: &mut Scheduler,
+        id: StreamId,
+        spec: StreamSpec,
+        origin: StreamOrigin,
+    ) {
+        // A redelivered Create command (QoS-1 at-least-once) must not leak
+        // the previous incarnation's sensor subscriptions.
+        if self.inner.lock().streams.contains_key(&id) {
+            self.destroy_stream(id);
+        }
+        self.memory.alloc("sensocial/stream", STREAM_OBJECTS, STREAM_BYTES);
+        let mut state = StreamState::new(spec, origin);
+        state.status = match self.privacy.screen(&state.spec) {
+            Ok(()) => StreamStatus::Active,
+            Err(_) => StreamStatus::PausedByPrivacy,
+        };
+        self.inner.lock().streams.insert(id, state);
+        self.start_sampling(sched, id);
+    }
+
+    /// Destroys a stream, cancelling its sensor subscriptions. Returns
+    /// whether it existed.
+    pub fn destroy_stream(&self, id: StreamId) -> bool {
+        let state = self.inner.lock().streams.remove(&id);
+        let Some(state) = state else {
+            return false;
+        };
+        self.stop_subscriptions(&state);
+        self.inner.lock().listeners.remove(&id);
+        self.memory.free("sensocial/stream", STREAM_OBJECTS, STREAM_BYTES);
+        true
+    }
+
+    /// Replaces a stream's filter, re-screening privacy and re-arming
+    /// conditional sampling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownStream`] if `id` does not exist.
+    pub fn set_filter(
+        &self,
+        sched: &mut Scheduler,
+        id: StreamId,
+        filter: crate::filter::Filter,
+    ) -> Result<()> {
+        let spec = {
+            let mut inner = self.inner.lock();
+            let state = inner
+                .streams
+                .get_mut(&id)
+                .ok_or(Error::UnknownStream(id.value()))?;
+            state.spec.filter = filter;
+            state.spec.clone()
+        };
+        let _ = spec;
+        self.restart_stream(sched, id);
+        Ok(())
+    }
+
+    /// Changes a stream's duty cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownStream`] if `id` does not exist, or
+    /// [`Error::InvalidConfig`] for a zero interval.
+    pub fn set_interval(
+        &self,
+        sched: &mut Scheduler,
+        id: StreamId,
+        interval: SimDuration,
+    ) -> Result<()> {
+        if interval.is_zero() {
+            return Err(Error::InvalidConfig("interval must be non-zero".into()));
+        }
+        {
+            let mut inner = self.inner.lock();
+            let state = inner
+                .streams
+                .get_mut(&id)
+                .ok_or(Error::UnknownStream(id.value()))?;
+            state.spec.interval = interval;
+        }
+        self.restart_stream(sched, id);
+        Ok(())
+    }
+
+    /// Registers a listener for a stream's (filtered) events.
+    pub fn register_listener<F>(&self, id: StreamId, listener: F)
+    where
+        F: Fn(&mut Scheduler, &StreamEvent) + Send + Sync + 'static,
+    {
+        self.memory
+            .alloc("sensocial/listener", LISTENER_OBJECTS, LISTENER_BYTES);
+        self.inner
+            .lock()
+            .listeners
+            .entry(id)
+            .or_default()
+            .push(Arc::new(listener));
+    }
+
+    /// Sets a privacy policy and immediately re-screens every stream,
+    /// pausing newly non-compliant streams and resuming newly compliant
+    /// ones.
+    pub fn set_privacy_policy(&self, sched: &mut Scheduler, policy: PrivacyPolicy) {
+        self.privacy.set_policy(policy);
+        self.rescreen_all(sched);
+    }
+
+    /// Stream ids currently installed, sorted.
+    pub fn stream_ids(&self) -> Vec<StreamId> {
+        let mut ids: Vec<StreamId> = self.inner.lock().streams.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// A stream's status, if it exists.
+    pub fn stream_status(&self, id: StreamId) -> Option<StreamStatus> {
+        self.inner.lock().streams.get(&id).map(|s| s.status)
+    }
+
+    /// A stream's origin, if it exists.
+    pub fn stream_origin(&self, id: StreamId) -> Option<StreamOrigin> {
+        self.inner.lock().streams.get(&id).map(|s| s.origin)
+    }
+
+    /// A stream's specification, if it exists.
+    pub fn stream_spec(&self, id: StreamId) -> Option<StreamSpec> {
+        self.inner.lock().streams.get(&id).map(|s| s.spec.clone())
+    }
+
+    // ------------------------------------------------------------------
+    // Sampling machinery
+    // ------------------------------------------------------------------
+
+    fn start_sampling(&self, sched: &mut Scheduler, id: StreamId) {
+        let spec = {
+            let inner = self.inner.lock();
+            let Some(state) = inner.streams.get(&id) else {
+                return;
+            };
+            if state.status != StreamStatus::Active {
+                return;
+            }
+            state.spec.clone()
+        };
+
+        self.sensors
+            .set_config(spec.modality, SensorConfig::with_interval(spec.interval));
+
+        // Conditional modalities are sampled continuously and classified so
+        // the snapshot stays evaluable.
+        let mut conditional_subs = Vec::new();
+        for modality in spec.filter.conditional_modalities(spec.modality) {
+            self.sensors
+                .set_config(modality, SensorConfig::with_interval(spec.interval));
+            let mgr = self.clone();
+            let sub = self.sensors.subscribe(sched, modality, move |s, raw| {
+                mgr.record_conditional_sample(s, raw);
+            });
+            conditional_subs.push(sub);
+        }
+
+        // Conditions evaluable *before* sampling the stream's own modality
+        // (other-modality context, time of day). When any exist, the
+        // paper's energy rule applies: "the stream's required modality is
+        // sampled only when the conditions are satisfied" — so the duty
+        // cycle first checks the gate and only then pays for the sensor.
+        let gating: Vec<crate::filter::Condition> = spec
+            .filter
+            .conditions
+            .iter()
+            .filter(|c| {
+                !c.is_cross_user()
+                    && !c.lhs.is_osn()
+                    && c.lhs.required_modality() != Some(spec.modality)
+            })
+            .cloned()
+            .collect();
+
+        let (own_subscription, own_timer) = match spec.effective_mode() {
+            StreamMode::Continuous if gating.is_empty() => {
+                let mgr = self.clone();
+                let sub = self
+                    .sensors
+                    .subscribe(sched, spec.modality, move |s, raw| {
+                        mgr.handle_sample(s, id, raw, None);
+                    });
+                (Some(sub), None)
+            }
+            StreamMode::Continuous => {
+                let mgr = self.clone();
+                let modality = spec.modality;
+                let timer = Timer::start(sched, spec.interval, move |s| {
+                    let gate_passes = {
+                        let inner = mgr.inner.lock();
+                        let ctx = EvalContext {
+                            snapshot: &inner.context,
+                            now: s.now(),
+                            osn_action: None,
+                        };
+                        gating.iter().all(|c| c.evaluate(&ctx))
+                    };
+                    if gate_passes {
+                        let raw = mgr.sensors.sample_once(s, modality);
+                        mgr.handle_sample(s, id, raw, None);
+                    }
+                });
+                (None, Some(timer))
+            }
+            StreamMode::SocialEventBased => (None, None),
+        };
+
+        let mut inner = self.inner.lock();
+        if let Some(state) = inner.streams.get_mut(&id) {
+            state.own_subscription = own_subscription;
+            state.own_timer = own_timer;
+            state.conditional_subscriptions = conditional_subs;
+        }
+    }
+
+    fn stop_subscriptions(&self, state: &StreamState) {
+        if let Some(sub) = state.own_subscription {
+            self.sensors.unsubscribe(sub);
+        }
+        if let Some(timer) = &state.own_timer {
+            timer.stop();
+        }
+        for sub in &state.conditional_subscriptions {
+            self.sensors.unsubscribe(*sub);
+        }
+    }
+
+    fn restart_stream(&self, sched: &mut Scheduler, id: StreamId) {
+        let state_snapshot = {
+            let mut inner = self.inner.lock();
+            let Some(state) = inner.streams.get_mut(&id) else {
+                return;
+            };
+            let old = StreamState {
+                spec: state.spec.clone(),
+                status: state.status,
+                origin: state.origin,
+                own_subscription: state.own_subscription.take(),
+                own_timer: state.own_timer.take(),
+                conditional_subscriptions: std::mem::take(&mut state.conditional_subscriptions),
+                last_sample: None,
+            };
+            state.status = match self.privacy.screen(&state.spec) {
+                Ok(()) => StreamStatus::Active,
+                Err(_) => StreamStatus::PausedByPrivacy,
+            };
+            old
+        };
+        self.stop_subscriptions(&state_snapshot);
+        self.start_sampling(sched, id);
+    }
+
+    fn rescreen_all(&self, sched: &mut Scheduler) {
+        let ids = self.stream_ids();
+        for id in ids {
+            self.restart_stream(sched, id);
+        }
+    }
+
+    /// Handles a conditional-modality sample: classify and record, nothing
+    /// delivered.
+    fn record_conditional_sample(&self, _sched: &mut Scheduler, raw: RawSample) {
+        self.cpu
+            .record("conditional/sample", self.cpu_costs.sample_handling_ms);
+        let at = _sched.now();
+        let modality = raw.modality();
+        if let Some(classified) = self.classifiers.classify(&raw) {
+            self.cpu.record("conditional/classify", self.cpu_costs.classify_ms);
+            self.battery.charge(
+                EnergyComponent::Classification(modality),
+                self.energy_profile.classification_uah(modality),
+            );
+            let mut inner = self.inner.lock();
+            inner.context.record(at, ContextData::Raw(raw));
+            inner
+                .context
+                .record(at, ContextData::Classified(classified));
+        } else {
+            self.inner.lock().context.record(at, ContextData::Raw(raw));
+        }
+    }
+
+    /// Handles a sample for stream `id`: classify per granularity, update
+    /// the snapshot, filter, deliver.
+    fn handle_sample(
+        &self,
+        sched: &mut Scheduler,
+        id: StreamId,
+        raw: RawSample,
+        osn_action: Option<&OsnAction>,
+    ) {
+        let at = sched.now();
+        let spec = {
+            let inner = self.inner.lock();
+            let Some(state) = inner.streams.get(&id) else {
+                return;
+            };
+            if state.status != StreamStatus::Active {
+                return;
+            }
+            state.spec.clone()
+        };
+
+        self.cpu.record(
+            &format!("stream#{}/sample", id.value()),
+            self.cpu_costs.sample_handling_ms,
+        );
+
+        let modality = raw.modality();
+        // Decide whether classification is needed: for classified delivery,
+        // or because the filter inspects this modality's classified value.
+        let needs_classified_for_filter = spec
+            .filter
+            .conditions
+            .iter()
+            .any(|c| !c.is_cross_user() && c.lhs.required_modality() == Some(modality));
+        let classified = if spec.granularity == Granularity::Classified
+            || needs_classified_for_filter
+        {
+            let c = self.classifiers.classify(&raw);
+            if c.is_some() {
+                self.cpu.record(
+                    &format!("stream#{}/classify", id.value()),
+                    self.cpu_costs.classify_ms,
+                );
+                self.battery.charge(
+                    EnergyComponent::Classification(modality),
+                    self.energy_profile.classification_uah(modality),
+                );
+            }
+            c
+        } else {
+            None
+        };
+
+        // Update the device snapshot.
+        {
+            let mut inner = self.inner.lock();
+            inner.context.record(at, ContextData::Raw(raw.clone()));
+            if let Some(c) = classified.clone() {
+                inner.context.record(at, ContextData::Classified(c));
+            }
+        }
+
+        let data = match spec.granularity {
+            Granularity::Raw => ContextData::Raw(raw),
+            Granularity::Classified => match classified {
+                Some(c) => ContextData::Classified(c),
+                // No classifier installed: fall back to raw delivery.
+                None => ContextData::Raw(raw),
+            },
+        };
+
+        // Filter evaluation (own-user conditions; cross-user ones are the
+        // server's job).
+        self.cpu.record(
+            &format!("stream#{}/filter", id.value()),
+            self.cpu_costs.filter_condition_ms * spec.filter.conditions.len() as f64,
+        );
+        let passes = {
+            let inner = self.inner.lock();
+            let ctx = EvalContext {
+                snapshot: &inner.context,
+                now: at,
+                osn_action,
+            };
+            spec.filter.evaluate_local(&ctx)
+        };
+
+        {
+            let mut inner = self.inner.lock();
+            if let Some(state) = inner.streams.get_mut(&id) {
+                state.last_sample = Some((at, data.clone()));
+            }
+        }
+
+        if !passes {
+            return;
+        }
+        self.deliver(sched, id, &spec, at, data, osn_action.cloned());
+    }
+
+    fn deliver(
+        &self,
+        sched: &mut Scheduler,
+        id: StreamId,
+        spec: &StreamSpec,
+        at: Timestamp,
+        data: ContextData,
+        osn_action: Option<OsnAction>,
+    ) {
+        let (user, device, listeners) = {
+            let inner = self.inner.lock();
+            (
+                inner.user.clone(),
+                inner.device.clone(),
+                inner.listeners.get(&id).cloned().unwrap_or_default(),
+            )
+        };
+        let event = StreamEvent {
+            stream: id,
+            user,
+            device: device.clone(),
+            at,
+            data,
+            osn_action,
+        };
+
+        for listener in &listeners {
+            self.cpu.record(
+                &format!("stream#{}/deliver", id.value()),
+                self.cpu_costs.local_delivery_ms,
+            );
+            listener(sched, &event);
+        }
+
+        if spec.sink == StreamSink::Server {
+            if let Some(broker) = &self.broker {
+                let wire = event.to_wire();
+                self.cpu.record(
+                    &format!("stream#{}/transmit", id.value()),
+                    self.cpu_costs.serialize_transmit_ms,
+                );
+                self.battery.charge(
+                    EnergyComponent::Transmission,
+                    self.energy_profile.transmission_uah(event.data.payload_bytes()),
+                );
+                self.battery
+                    .charge(EnergyComponent::RadioTail, self.energy_profile.radio_tail_uah);
+                broker.publish(sched, &uplink_topic(&device), &wire, QoS::AtMostOnce, false);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Broker message handling
+    // ------------------------------------------------------------------
+
+    fn on_trigger(&self, sched: &mut Scheduler, payload: &str) {
+        self.battery.charge(
+            EnergyComponent::TriggerReception,
+            self.energy_profile.trigger_rx_uah,
+        );
+        let Ok(trigger) = TriggerPayload::from_wire(payload) else {
+            return;
+        };
+        let action = trigger.action;
+        let now = sched.now();
+
+        // Every active social-event-based stream senses once, or reuses the
+        // last cycle's context when triggers arrive faster than sampling
+        // can complete (the paper's §7 accuracy/energy trade-off).
+        type EventStream = (StreamId, StreamSpec, Option<(Timestamp, ContextData)>);
+        let event_streams: Vec<EventStream> = {
+            let inner = self.inner.lock();
+            inner
+                .streams
+                .iter()
+                .filter(|(_, s)| {
+                    s.status == StreamStatus::Active
+                        && s.spec.effective_mode() == StreamMode::SocialEventBased
+                })
+                .map(|(id, s)| (*id, s.spec.clone(), s.last_sample.clone()))
+                .collect()
+        };
+
+        for (id, spec, last) in event_streams {
+            match last {
+                Some((at, data)) if now.saturating_since(at) < spec.interval => {
+                    // Too soon to sample again: couple the previous context
+                    // with this action.
+                    let passes = {
+                        let inner = self.inner.lock();
+                        let ctx = EvalContext {
+                            snapshot: &inner.context,
+                            now,
+                            osn_action: Some(&action),
+                        };
+                        spec.filter.evaluate_local(&ctx)
+                    };
+                    if passes {
+                        self.deliver(sched, id, &spec, at, data, Some(action.clone()));
+                    }
+                }
+                _ => {
+                    let raw = self.sensors.sample_once(sched, spec.modality);
+                    self.handle_sample(sched, id, raw, Some(&action));
+                }
+            }
+        }
+    }
+
+    fn on_config(&self, sched: &mut Scheduler, payload: &str) {
+        let Ok(command) = ConfigCommand::from_wire(payload) else {
+            return;
+        };
+        if *command.device() != self.device_id() {
+            return;
+        }
+        match command {
+            ConfigCommand::Create { stream, spec, .. } => {
+                self.install_stream(sched, stream, spec, StreamOrigin::Remote);
+            }
+            ConfigCommand::Destroy { stream, .. } => {
+                self.destroy_stream(stream);
+            }
+            ConfigCommand::SetFilter { stream, filter, .. } => {
+                let _ = self.set_filter(sched, stream, filter);
+            }
+            ConfigCommand::SetInterval {
+                stream,
+                interval_ms,
+                ..
+            } => {
+                let _ = self.set_interval(sched, stream, SimDuration::from_millis(interval_ms));
+            }
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! The mobile-client side of the middleware.
+//!
+//! One [`ClientManager`] runs per application per device — reproducing the
+//! paper's §7 limitation that SenSocial "is imported as a library to each
+//! individual application that uses it" rather than running as a shared
+//! system service.
+
+mod manager;
+mod stream;
+
+pub use manager::{ClientDeps, ClientManager};
+pub use stream::{StreamOrigin, StreamStatus};
+
+pub(crate) mod manager_internals {
+    pub(crate) use super::manager::REMOTE_STREAM_ID_BASE;
+}

@@ -1,0 +1,63 @@
+//! Client-side stream state.
+
+use sensocial_runtime::{Timestamp, TimerHandle};
+use sensocial_sensors::SensorSubscriptionId;
+use sensocial_types::ContextData;
+
+use crate::config::StreamSpec;
+
+/// Whether a stream was created by the local application or pushed from
+/// the server (remote stream management).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StreamOrigin {
+    /// Created through the local [`ClientManager`](super::ClientManager)
+    /// API.
+    Local,
+    /// Created by a server-pushed configuration command.
+    Remote,
+}
+
+/// A stream's lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StreamStatus {
+    /// Sampling (or armed for triggers).
+    Active,
+    /// Paused by the privacy policy manager; resumes automatically when
+    /// policies change in its favour.
+    PausedByPrivacy,
+}
+
+/// Internal per-stream bookkeeping.
+#[derive(Debug)]
+pub(crate) struct StreamState {
+    pub(crate) spec: StreamSpec,
+    pub(crate) status: StreamStatus,
+    pub(crate) origin: StreamOrigin,
+    /// The duty-cycle subscription for the stream's own modality
+    /// (continuous, unconditioned streams).
+    pub(crate) own_subscription: Option<SensorSubscriptionId>,
+    /// The duty-cycle timer for condition-gated continuous streams: each
+    /// tick evaluates the gating conditions and samples the own modality
+    /// only when they hold (paper §4: "the stream's required modality is
+    /// sampled only when the conditions are satisfied").
+    pub(crate) own_timer: Option<TimerHandle>,
+    /// Subscriptions keeping conditional modalities fresh.
+    pub(crate) conditional_subscriptions: Vec<SensorSubscriptionId>,
+    /// The last produced datum and its time — reused when OSN actions
+    /// arrive faster than the sampling cycle (paper §7).
+    pub(crate) last_sample: Option<(Timestamp, ContextData)>,
+}
+
+impl StreamState {
+    pub(crate) fn new(spec: StreamSpec, origin: StreamOrigin) -> Self {
+        StreamState {
+            spec,
+            status: StreamStatus::Active,
+            origin,
+            own_subscription: None,
+            own_timer: None,
+            conditional_subscriptions: Vec::new(),
+            last_sample: None,
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! Stream specifications and remotely-pushed configuration commands.
+//!
+//! The paper encapsulates remote stream management "in an XML file, which
+//! is pushed from the server to mobile devices", carrying "the required
+//! context modality, granularity of the required data, filtering
+//! conditions, and the identification code of the device". We keep the
+//! same push–merge lifecycle with JSON as the serialization (see
+//! `DESIGN.md`, substitutions).
+
+use serde::{Deserialize, Serialize};
+use sensocial_runtime::SimDuration;
+use sensocial_types::{DeviceId, Granularity, Modality, StreamId};
+
+use crate::filter::Filter;
+
+/// Whether a stream samples on a duty cycle or on OSN triggers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum StreamMode {
+    /// "Sensor data are sampled periodically with a given rate."
+    Continuous,
+    /// "Sensor data are pulled from the sensors and streamed when social
+    /// activity is detected."
+    SocialEventBased,
+}
+
+/// Where a stream's (filtered) data is delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum StreamSink {
+    /// Consumed on the device by local listeners only.
+    Local,
+    /// Additionally transmitted to the server (where it can feed server
+    /// listeners, aggregators and multicast streams).
+    Server,
+}
+
+/// Everything needed to create a stream, locally or remotely.
+///
+/// # Example
+///
+/// ```
+/// use sensocial::{Condition, ConditionLhs, Filter, Granularity, Operator,
+///     StreamSink, StreamSpec};
+/// use sensocial_runtime::SimDuration;
+/// use sensocial_types::Modality;
+///
+/// // The paper's filter example: GPS only while walking, uplinked.
+/// let spec = StreamSpec::continuous(Modality::Location, Granularity::Raw)
+///     .with_interval(SimDuration::from_secs(60))
+///     .with_filter(Filter::new(vec![Condition::new(
+///         ConditionLhs::PhysicalActivity,
+///         Operator::Equals,
+///         "walking",
+///     )]))
+///     .with_sink(StreamSink::Server);
+/// assert_eq!(spec.mode, sensocial::StreamMode::Continuous);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamSpec {
+    /// The sensed modality.
+    pub modality: Modality,
+    /// Raw samples or classified context.
+    pub granularity: Granularity,
+    /// Duty-cycled or OSN-triggered.
+    pub mode: StreamMode,
+    /// Sampling interval for continuous streams (the duty cycle; default
+    /// 60 s, the paper's evaluation setting).
+    pub interval: SimDuration,
+    /// Filter conditions; empty passes everything.
+    pub filter: Filter,
+    /// Local-only or uplinked to the server.
+    pub sink: StreamSink,
+}
+
+impl StreamSpec {
+    /// A continuous stream with the default 60 s duty cycle, no filter,
+    /// local sink.
+    pub fn continuous(modality: Modality, granularity: Granularity) -> Self {
+        StreamSpec {
+            modality,
+            granularity,
+            mode: StreamMode::Continuous,
+            interval: SimDuration::from_secs(60),
+            filter: Filter::pass_all(),
+            sink: StreamSink::Local,
+        }
+    }
+
+    /// A social-event-based stream: samples once per OSN trigger.
+    pub fn social_event_based(modality: Modality, granularity: Granularity) -> Self {
+        StreamSpec {
+            mode: StreamMode::SocialEventBased,
+            ..StreamSpec::continuous(modality, granularity)
+        }
+    }
+
+    /// Sets the duty cycle (builder-style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn with_interval(mut self, interval: SimDuration) -> Self {
+        assert!(!interval.is_zero(), "stream interval must be non-zero");
+        self.interval = interval;
+        self
+    }
+
+    /// Sets the filter (builder-style).
+    pub fn with_filter(mut self, filter: Filter) -> Self {
+        self.filter = filter;
+        self
+    }
+
+    /// Sets the sink (builder-style).
+    pub fn with_sink(mut self, sink: StreamSink) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// The mode the stream *effectively* runs in: a nominally continuous
+    /// stream whose filter has OSN conditions is driven by triggers
+    /// (that's how the Facebook Sensor Map snippet turns three continuous
+    /// streams into social-event streams just by setting a filter).
+    pub fn effective_mode(&self) -> StreamMode {
+        if self.filter.has_osn_condition() {
+            StreamMode::SocialEventBased
+        } else {
+            self.mode
+        }
+    }
+}
+
+/// A configuration command pushed from the server to a device over the
+/// broker (the paper's config-file download + `FilterMerge`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "command", rename_all = "snake_case")]
+pub enum ConfigCommand {
+    /// Create a stream with a server-assigned id.
+    Create {
+        /// Target device.
+        device: DeviceId,
+        /// Server-assigned stream id.
+        stream: StreamId,
+        /// The stream to create.
+        spec: StreamSpec,
+    },
+    /// Destroy a stream.
+    Destroy {
+        /// Target device.
+        device: DeviceId,
+        /// Stream to destroy.
+        stream: StreamId,
+    },
+    /// Replace a stream's filter (the distributed-filter update path).
+    SetFilter {
+        /// Target device.
+        device: DeviceId,
+        /// Stream whose filter changes.
+        stream: StreamId,
+        /// The new filter.
+        filter: Filter,
+    },
+    /// Change a stream's duty cycle.
+    SetInterval {
+        /// Target device.
+        device: DeviceId,
+        /// Stream whose interval changes.
+        stream: StreamId,
+        /// New interval in milliseconds.
+        interval_ms: u64,
+    },
+}
+
+impl ConfigCommand {
+    /// Serializes to the JSON wire form used on the config topic.
+    pub fn to_wire(&self) -> String {
+        serde_json::to_string(self).expect("config commands always serialize")
+    }
+
+    /// Parses the JSON wire form.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error on malformed input.
+    pub fn from_wire(payload: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(payload)
+    }
+
+    /// The device the command addresses.
+    pub fn device(&self) -> &DeviceId {
+        match self {
+            ConfigCommand::Create { device, .. }
+            | ConfigCommand::Destroy { device, .. }
+            | ConfigCommand::SetFilter { device, .. }
+            | ConfigCommand::SetInterval { device, .. } => device,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::{Condition, ConditionLhs, Operator};
+
+    #[test]
+    fn builders_set_fields() {
+        let spec = StreamSpec::continuous(Modality::Microphone, Granularity::Classified)
+            .with_interval(SimDuration::from_secs(30))
+            .with_sink(StreamSink::Server);
+        assert_eq!(spec.interval, SimDuration::from_secs(30));
+        assert_eq!(spec.sink, StreamSink::Server);
+        assert_eq!(spec.effective_mode(), StreamMode::Continuous);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_interval_rejected() {
+        let _ = StreamSpec::continuous(Modality::Wifi, Granularity::Raw)
+            .with_interval(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn osn_filter_makes_stream_event_based() {
+        let spec = StreamSpec::continuous(Modality::Location, Granularity::Raw).with_filter(
+            Filter::new(vec![Condition::new(
+                ConditionLhs::OsnActivity,
+                Operator::Equals,
+                "active",
+            )]),
+        );
+        assert_eq!(spec.mode, StreamMode::Continuous);
+        assert_eq!(spec.effective_mode(), StreamMode::SocialEventBased);
+    }
+
+    #[test]
+    fn commands_round_trip_the_wire() {
+        let cmds = vec![
+            ConfigCommand::Create {
+                device: DeviceId::new("p1"),
+                stream: StreamId::new(4),
+                spec: StreamSpec::social_event_based(
+                    Modality::Accelerometer,
+                    Granularity::Classified,
+                ),
+            },
+            ConfigCommand::Destroy {
+                device: DeviceId::new("p1"),
+                stream: StreamId::new(4),
+            },
+            ConfigCommand::SetFilter {
+                device: DeviceId::new("p1"),
+                stream: StreamId::new(4),
+                filter: Filter::new(vec![Condition::new(
+                    ConditionLhs::Place,
+                    Operator::Equals,
+                    "Paris",
+                )]),
+            },
+            ConfigCommand::SetInterval {
+                device: DeviceId::new("p1"),
+                stream: StreamId::new(4),
+                interval_ms: 30_000,
+            },
+        ];
+        for cmd in cmds {
+            let wire = cmd.to_wire();
+            assert_eq!(ConfigCommand::from_wire(&wire).unwrap(), cmd);
+            assert_eq!(cmd.device().as_str(), "p1");
+        }
+        assert!(ConfigCommand::from_wire("{}").is_err());
+    }
+}

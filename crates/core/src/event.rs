@@ -1,0 +1,149 @@
+//! Events flowing through the publish–subscribe API.
+
+use serde::{Deserialize, Serialize};
+use sensocial_runtime::Timestamp;
+use sensocial_types::{ContextData, DeviceId, OsnAction, StreamId, TriggerId, UserId};
+
+/// One datum delivered on a stream: sensed context, optionally coupled
+/// with the OSN action that triggered its sampling.
+///
+/// This is the unit the paper's listeners receive — "the sampled sensor
+/// data is coupled with the OSN action data received with the trigger, and
+/// delivered to the registered listeners" (§4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamEvent {
+    /// The stream that produced the datum.
+    pub stream: StreamId,
+    /// The user whose context this is.
+    pub user: UserId,
+    /// The device that sensed it.
+    pub device: DeviceId,
+    /// Sampling time (virtual).
+    pub at: Timestamp,
+    /// The sensed context, at the stream's granularity.
+    pub data: ContextData,
+    /// The OSN action this sample was coupled with, for social-event-based
+    /// streams.
+    pub osn_action: Option<OsnAction>,
+}
+
+impl StreamEvent {
+    /// Serializes to the JSON uplink wire form.
+    pub fn to_wire(&self) -> String {
+        serde_json::to_string(self).expect("stream events always serialize")
+    }
+
+    /// Parses the JSON uplink wire form.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error on malformed input.
+    pub fn from_wire(payload: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(payload)
+    }
+}
+
+/// The JSON trigger the server's Trigger Manager compiles and pushes via
+/// the broker — "the Trigger Manager compiles the OSN action and the
+/// relevant device information in a JSON-formatted string passed to the
+/// Mosquitto broker" (paper §4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TriggerPayload {
+    /// Unique trigger id (for tracing and deduplication in logs).
+    pub trigger: TriggerId,
+    /// The device expected to sense.
+    pub device: DeviceId,
+    /// The OSN action carried with the trigger (including content, so the
+    /// mobile can couple it without another round trip).
+    pub action: OsnAction,
+}
+
+impl TriggerPayload {
+    /// Serializes to the JSON trigger wire form.
+    pub fn to_wire(&self) -> String {
+        serde_json::to_string(self).expect("triggers always serialize")
+    }
+
+    /// Parses the JSON trigger wire form.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error on malformed input.
+    pub fn from_wire(payload: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(payload)
+    }
+}
+
+/// The registration announcement a device publishes when it first
+/// connects, carrying "users' registration information" and "the device
+/// identification information" the server keeps (paper §4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegistrationPayload {
+    /// The owning user.
+    pub user: UserId,
+    /// The announcing device.
+    pub device: DeviceId,
+}
+
+impl RegistrationPayload {
+    /// Serializes to the JSON wire form.
+    pub fn to_wire(&self) -> String {
+        serde_json::to_string(self).expect("registrations always serialize")
+    }
+
+    /// Parses the JSON wire form.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error on malformed input.
+    pub fn from_wire(payload: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sensocial_types::{ClassifiedContext, PhysicalActivity};
+
+    #[test]
+    fn stream_event_round_trips() {
+        let event = StreamEvent {
+            stream: StreamId::new(3),
+            user: UserId::new("alice"),
+            device: DeviceId::new("alice-phone"),
+            at: Timestamp::from_secs(12),
+            data: ContextData::Classified(ClassifiedContext::Activity(
+                PhysicalActivity::Walking,
+            )),
+            osn_action: Some(OsnAction::post(
+                UserId::new("alice"),
+                "hello",
+                Timestamp::from_secs(10),
+            )),
+        };
+        let wire = event.to_wire();
+        assert_eq!(StreamEvent::from_wire(&wire).unwrap(), event);
+    }
+
+    #[test]
+    fn registration_round_trips() {
+        let r = RegistrationPayload {
+            user: UserId::new("alice"),
+            device: DeviceId::new("alice-phone"),
+        };
+        assert_eq!(RegistrationPayload::from_wire(&r.to_wire()).unwrap(), r);
+        assert!(RegistrationPayload::from_wire("nope").is_err());
+    }
+
+    #[test]
+    fn trigger_round_trips() {
+        let t = TriggerPayload {
+            trigger: TriggerId::new(9),
+            device: DeviceId::new("p1"),
+            action: OsnAction::post(UserId::new("u"), "x", Timestamp::ZERO),
+        };
+        assert_eq!(TriggerPayload::from_wire(&t.to_wire()).unwrap(), t);
+        assert!(TriggerPayload::from_wire("junk").is_err());
+    }
+}

@@ -1,0 +1,118 @@
+//! # SenSocial — a middleware integrating online social networks and mobile sensing
+//!
+//! A from-scratch Rust reproduction of *SenSocial: A Middleware for
+//! Integrating Online Social Networks and Mobile Sensing Data Streams*
+//! (Mehrotra, Pejović, Musolesi — ACM Middleware 2014).
+//!
+//! SenSocial lets ubiquitous-computing applications consume **joined
+//! streams of OSN actions and physical sensor context** without
+//! implementing the plumbing themselves. The middleware is distributed over
+//! mobile clients and a central server:
+//!
+//! * the **client side** ([`client::ClientManager`]) manages sensor
+//!   streams on a device — continuous (duty-cycled) or social-event-based
+//!   (one-off sensing fired by OSN triggers) — applies privacy policies and
+//!   filters, classifies raw data, and delivers events to local listeners
+//!   or uplinks them to the server;
+//! * the **server side** ([`server::ServerManager`]) receives OSN actions
+//!   from platform plug-ins, fires sensing triggers at the acting user's
+//!   devices, remotely creates/destroys/reconfigures streams, evaluates
+//!   server-side (including cross-user) filters, aggregates streams, and
+//!   manages [multicast streams](server::MulticastStream) over user sets
+//!   selected by geography or OSN links.
+//!
+//! Interaction follows the publish–subscribe paradigm throughout: the
+//! middleware publishes [`StreamEvent`]s; applications subscribe with
+//! listeners.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sensocial::client::{ClientDeps, ClientManager};
+//! use sensocial::{Granularity, StreamSink, StreamSpec};
+//! use sensocial_runtime::{Scheduler, SimDuration, SimRng};
+//! use sensocial_sensors::{DeviceEnvironment, SensorManager};
+//! use sensocial_types::{geo::cities, Modality};
+//! use std::sync::{Arc, Mutex};
+//!
+//! let mut sched = Scheduler::new();
+//!
+//! // A virtual phone in Paris.
+//! let env = DeviceEnvironment::new(cities::paris());
+//! let sensors = SensorManager::new(env, SimRng::seed_from(7));
+//! let manager = ClientManager::new(ClientDeps::local_only(
+//!     "alice", "alice-phone", sensors,
+//!     vec![cities::paris_place()],
+//! ));
+//!
+//! // Subscribe to a classified location stream.
+//! let spec = StreamSpec::continuous(Modality::Location, Granularity::Classified)
+//!     .with_interval(SimDuration::from_secs(60))
+//!     .with_sink(StreamSink::Local);
+//! let stream = manager.create_stream(&mut sched, spec).unwrap();
+//!
+//! let seen = Arc::new(Mutex::new(Vec::new()));
+//! let sink = seen.clone();
+//! manager.register_listener(stream, move |_s, event| {
+//!     sink.lock().unwrap().push(event.clone());
+//! });
+//!
+//! sched.run_for(SimDuration::from_mins(5));
+//! assert_eq!(seen.lock().unwrap().len(), 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+mod config;
+mod event;
+mod filter;
+mod privacy;
+pub mod server;
+
+pub use config::{ConfigCommand, StreamMode, StreamSink, StreamSpec};
+pub use event::{RegistrationPayload, StreamEvent, TriggerPayload};
+pub use filter::{Condition, ConditionLhs, EvalContext, Filter, Operator};
+pub use privacy::{PrivacyPolicy, PrivacyPolicyManager};
+
+// Re-export the vocabulary types users need at the API surface.
+pub use sensocial_types::{
+    ContextData, DeviceId, Error, Granularity, Modality, OsnAction, Result, StreamId, UserId,
+};
+
+/// Broker topic carrying stream-configuration pushes for a device.
+pub fn config_topic(device: &DeviceId) -> String {
+    format!("sensocial/config/{}", device.as_str())
+}
+
+/// Broker topic carrying sensing triggers for a device.
+pub fn trigger_topic(device: &DeviceId) -> String {
+    format!("sensocial/trigger/{}", device.as_str())
+}
+
+/// Broker topic carrying a device's uplinked stream events.
+pub fn uplink_topic(device: &DeviceId) -> String {
+    format!("sensocial/uplink/{}", device.as_str())
+}
+
+/// Wildcard filter matching every device's uplink topic (the server's
+/// subscription).
+pub const UPLINK_WILDCARD: &str = "sensocial/uplink/+";
+
+/// Topic on which devices announce themselves to the server.
+pub const REGISTER_TOPIC: &str = "sensocial/register";
+
+#[cfg(test)]
+mod topic_tests {
+    use super::*;
+
+    #[test]
+    fn topics_are_distinct_per_device() {
+        let d1 = DeviceId::new("p1");
+        let d2 = DeviceId::new("p2");
+        assert_ne!(config_topic(&d1), config_topic(&d2));
+        assert_ne!(config_topic(&d1), trigger_topic(&d1));
+        assert!(uplink_topic(&d1).starts_with("sensocial/uplink/"));
+    }
+}

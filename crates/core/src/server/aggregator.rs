@@ -1,0 +1,58 @@
+//! Stream aggregators.
+//!
+//! "Aggregators manage multiple streams received by the server by wrapping
+//! them into a single aggregated stream irrespective of the streams'
+//! sources. In an aggregator, data from individual streams is multiplexed
+//! to the same join stream, which can further be processed as any other
+//! stream in the system" (paper §3.1).
+
+use std::collections::BTreeSet;
+
+use sensocial_types::StreamId;
+
+/// Identifies an aggregator created with
+/// [`ServerManager::create_aggregator`](super::ServerManager::create_aggregator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AggregatorId(pub(crate) u64);
+
+impl std::fmt::Display for AggregatorId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "aggregator#{}", self.0)
+    }
+}
+
+/// Internal aggregator state: the member streams being multiplexed.
+#[derive(Debug, Default)]
+pub(crate) struct AggregatorState {
+    pub(crate) members: BTreeSet<StreamId>,
+}
+
+impl AggregatorState {
+    pub(crate) fn new(members: impl IntoIterator<Item = StreamId>) -> Self {
+        AggregatorState {
+            members: members.into_iter().collect(),
+        }
+    }
+
+    pub(crate) fn contains(&self, stream: StreamId) -> bool {
+        self.members.contains(&stream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn membership() {
+        let agg = AggregatorState::new([StreamId::new(1), StreamId::new(2)]);
+        assert!(agg.contains(StreamId::new(1)));
+        assert!(!agg.contains(StreamId::new(3)));
+        assert_eq!(agg.members.len(), 2);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(AggregatorId(3).to_string(), "aggregator#3");
+    }
+}

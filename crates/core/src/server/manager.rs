@@ -1,0 +1,825 @@
+//! The server-side SenSocial Manager, Trigger Manager and Filter Manager.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sensocial_broker::{BrokerClient, QoS};
+use sensocial_net::LatencyModel;
+use sensocial_classify::{extract_topic, SentimentClassifier, TextSentiment};
+use sensocial_osn::{PollPlugin, PushPlugin, SocialGraph};
+use sensocial_runtime::{Scheduler, SimDuration, SimRng, Timestamp};
+use sensocial_store::{Database, Query};
+use sensocial_types::{
+    ContextData, ContextSnapshot, DeviceId, Error, GeoPoint, OsnAction, OsnActionKind, RawSample,
+    Result, StreamId, TriggerId, UserId,
+};
+use serde_json::json;
+
+use crate::client::manager_internals::REMOTE_STREAM_ID_BASE;
+use crate::config::{ConfigCommand, StreamSink, StreamSpec};
+use crate::event::{RegistrationPayload, StreamEvent, TriggerPayload};
+use crate::filter::{EvalContext, Filter};
+use crate::{config_topic, trigger_topic, REGISTER_TOPIC, UPLINK_WILDCARD};
+
+use super::aggregator::{AggregatorId, AggregatorState};
+use super::multicast::{MulticastId, MulticastSelector, MulticastStream};
+
+/// Which uplink events a server-side subscription receives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamSelector {
+    /// Every uplink event from every device.
+    AllUplinks,
+    /// Events from one stream.
+    Stream(StreamId),
+    /// Events from one user (any of their devices/streams).
+    User(UserId),
+    /// Events of one modality from any user — the paper's *topic-based*
+    /// subscription ("the specification of modalities of interest", §3.1);
+    /// combine with a [`Filter`] for the *content-based* flavour.
+    Modality(sensocial_types::Modality),
+}
+
+impl StreamSelector {
+    fn matches(&self, event: &StreamEvent) -> bool {
+        match self {
+            StreamSelector::AllUplinks => true,
+            StreamSelector::Stream(id) => event.stream == *id,
+            StreamSelector::User(user) => event.user == *user,
+            StreamSelector::Modality(m) => event.data.modality() == *m,
+        }
+    }
+}
+
+/// Counters describing server activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// OSN actions received from plug-ins.
+    pub osn_actions: u64,
+    /// Sensing triggers published towards devices.
+    pub triggers_sent: u64,
+    /// Uplinked stream events received.
+    pub uplink_events: u64,
+}
+
+type Listener = Arc<dyn Fn(&mut Scheduler, &StreamEvent) + Send + Sync>;
+
+struct Subscription {
+    selector: StreamSelector,
+    filter: Filter,
+    listener: Listener,
+}
+
+/// Everything a [`ServerManager`] is wired to.
+pub struct ServerDeps {
+    /// The document store (MongoDB substitute).
+    pub db: Database,
+    /// The server's broker client.
+    pub broker: BrokerClient,
+    /// Server-side processing time between receiving an OSN action and
+    /// publishing the sensing trigger (database queries, trigger
+    /// compilation). Table 3 measures this at ≈9 s end-to-end including
+    /// push delivery.
+    pub processing_delay: LatencyModel,
+    /// Randomness for the processing-delay model.
+    pub rng: SimRng,
+}
+
+impl ServerDeps {
+    /// Standard wiring with the Table 3-calibrated processing delay.
+    pub fn new(db: Database, broker: BrokerClient, rng: SimRng) -> Self {
+        ServerDeps {
+            db,
+            broker,
+            processing_delay: LatencyModel::Normal {
+                mean_s: 8.8,
+                std_s: 0.9,
+                min_s: 0.5,
+            },
+            rng,
+        }
+    }
+}
+
+struct Inner {
+    devices: HashMap<DeviceId, UserId>,
+    user_devices: HashMap<UserId, Vec<DeviceId>>,
+    contexts: HashMap<UserId, ContextSnapshot>,
+    graph: SocialGraph,
+    remote_streams: HashMap<StreamId, (DeviceId, StreamSpec)>,
+    subscriptions: Vec<Subscription>,
+    aggregators: HashMap<AggregatorId, (AggregatorState, Filter, Vec<Listener>)>,
+    multicasts: HashMap<MulticastId, (MulticastStream, Vec<Listener>)>,
+    next_remote_stream: u64,
+    next_trigger: u64,
+    next_aggregator: u64,
+    next_multicast: u64,
+    processing_delay: LatencyModel,
+    rng: SimRng,
+    stats: ServerStats,
+    /// (action time, server receive time) pairs — Table 3's raw data.
+    action_log: Vec<(Timestamp, Timestamp)>,
+    /// Whether OSN text mining (topic extraction + sentiment) runs on
+    /// incoming actions — the paper's §9 future work, implemented.
+    text_mining: bool,
+}
+
+/// The server-side entry point: user/device registry, trigger manager,
+/// server filter manager, aggregators and multicast streams.
+///
+/// Cloneable handle.
+#[derive(Clone)]
+pub struct ServerManager {
+    inner: Arc<Mutex<Inner>>,
+    db: Database,
+    broker: BrokerClient,
+}
+
+impl std::fmt::Debug for ServerManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("ServerManager")
+            .field("devices", &inner.devices.len())
+            .field("remote_streams", &inner.remote_streams.len())
+            .field("stats", &inner.stats)
+            .finish()
+    }
+}
+
+impl ServerManager {
+    /// Creates a server manager. Call [`ServerManager::connect`] before
+    /// expecting uplink data.
+    pub fn new(deps: ServerDeps) -> Self {
+        // Indices backing the geo and registration queries.
+        deps.db.collection("locations").create_geo_index("loc");
+        deps.db.collection("locations").create_index("user");
+        deps.db.collection("users").create_index("user");
+        deps.db.collection("osn_links").create_index("a");
+        deps.db.collection("osn_links").create_index("b");
+        ServerManager {
+            inner: Arc::new(Mutex::new(Inner {
+                devices: HashMap::new(),
+                user_devices: HashMap::new(),
+                contexts: HashMap::new(),
+                graph: SocialGraph::new(),
+                remote_streams: HashMap::new(),
+                subscriptions: Vec::new(),
+                aggregators: HashMap::new(),
+                multicasts: HashMap::new(),
+                next_remote_stream: 0,
+                next_trigger: 0,
+                next_aggregator: 0,
+                next_multicast: 0,
+                processing_delay: deps.processing_delay,
+                rng: deps.rng,
+                stats: ServerStats::default(),
+                action_log: Vec::new(),
+                text_mining: false,
+            })),
+            db: deps.db,
+            broker: deps.broker,
+        }
+    }
+
+    /// Connects to the broker, subscribes to every device's uplink and to
+    /// the registration topic (devices announce themselves on connect).
+    pub fn connect(&self, sched: &mut Scheduler) {
+        self.broker.connect(sched);
+        let server = self.clone();
+        self.broker.subscribe(
+            sched,
+            UPLINK_WILDCARD,
+            QoS::AtMostOnce,
+            move |s, _topic, payload| {
+                server.on_uplink(s, payload);
+            },
+        );
+        let server = self.clone();
+        self.broker.subscribe(
+            sched,
+            REGISTER_TOPIC,
+            QoS::AtLeastOnce,
+            move |_s, _topic, payload| {
+                if let Ok(registration) = RegistrationPayload::from_wire(payload) {
+                    server.register_device(registration.user, registration.device);
+                }
+            },
+        );
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> ServerStats {
+        self.inner.lock().stats
+    }
+
+    /// The `(action time, server receive time)` log behind Table 3.
+    pub fn action_log(&self) -> Vec<(Timestamp, Timestamp)> {
+        self.inner.lock().action_log.clone()
+    }
+
+    /// The document store.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// The server's view of the OSN graph.
+    pub fn graph(&self) -> SocialGraph {
+        self.inner.lock().graph.clone()
+    }
+
+    /// The server's latest context snapshot for `user`.
+    pub fn user_context(&self, user: &UserId) -> Option<ContextSnapshot> {
+        self.inner.lock().contexts.get(user).cloned()
+    }
+
+    // ------------------------------------------------------------------
+    // Registry
+    // ------------------------------------------------------------------
+
+    /// Registers a user's device. Users may own several devices.
+    /// Idempotent: re-announcements (devices register on every broker
+    /// connect) do not duplicate registry entries.
+    pub fn register_device(&self, user: UserId, device: DeviceId) {
+        {
+            let mut inner = self.inner.lock();
+            if inner.devices.contains_key(&device) {
+                return;
+            }
+            inner.devices.insert(device.clone(), user.clone());
+            inner
+                .user_devices
+                .entry(user.clone())
+                .or_default()
+                .push(device.clone());
+            inner.graph.add_user(user.clone());
+            inner.contexts.entry(user.clone()).or_default();
+        }
+        let _ = self.db.collection("users").insert(json!({
+            "user": user.as_str(),
+            "device": device.as_str(),
+        }));
+    }
+
+    /// Whether `device` is registered.
+    pub fn is_registered(&self, device: &DeviceId) -> bool {
+        self.inner.lock().devices.contains_key(device)
+    }
+
+    /// The devices registered for `user`.
+    pub fn devices_of(&self, user: &UserId) -> Vec<DeviceId> {
+        self.inner
+            .lock()
+            .user_devices
+            .get(user)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Records a friendship the server already knows about (bootstrap);
+    /// later changes arrive as OSN `FriendshipChange` actions.
+    pub fn record_friendship(&self, a: &UserId, b: &UserId) {
+        {
+            let mut inner = self.inner.lock();
+            inner.graph.add_friendship(a, b);
+        }
+        let _ = self.db.collection("osn_links").insert(json!({
+            "a": a.as_str(),
+            "b": b.as_str(),
+        }));
+    }
+
+    /// Seeds the server's knowledge of a user's position (normally learnt
+    /// from uplinked location streams).
+    pub fn seed_location(&self, user: &UserId, position: GeoPoint) {
+        self.upsert_location(user, position);
+    }
+
+    fn upsert_location(&self, user: &UserId, position: GeoPoint) {
+        let locations = self.db.collection("locations");
+        let query = Query::eq("user", user.as_str());
+        let loc = json!({"lat": position.lat, "lon": position.lon});
+        if locations.update_set(&query, &[("loc", loc.clone())]) == 0 {
+            let _ = locations.insert(json!({"user": user.as_str(), "loc": loc}));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // OSN bridge + Trigger Manager
+    // ------------------------------------------------------------------
+
+    /// Wires a push-style (Facebook) plug-in into this server.
+    pub fn connect_push_plugin(&self, plugin: &PushPlugin) {
+        let server = self.clone();
+        plugin.set_receiver(move |sched, action| {
+            server.on_osn_action(sched, action);
+        });
+    }
+
+    /// Wires a poll-style (Twitter) plug-in into this server.
+    pub fn connect_poll_plugin(&self, plugin: &PollPlugin) {
+        let server = self.clone();
+        plugin.set_receiver(move |sched, action| {
+            server.on_osn_action(sched, action);
+        });
+    }
+
+    /// Enables OSN text mining: posts without a platform topic tag get one
+    /// extracted from their text, and every action's sentiment is
+    /// classified and stored alongside it — "classifiers that are able to
+    /// extract OSN post topics and emotional states of the individuals"
+    /// (paper §9).
+    pub fn enable_text_mining(&self) {
+        self.inner.lock().text_mining = true;
+    }
+
+    /// Handles an OSN action delivered by a plug-in: records it, keeps the
+    /// OSN-link table fresh, and (after the modelled processing time)
+    /// fires sensing triggers at the acting user's devices.
+    pub fn on_osn_action(&self, sched: &mut Scheduler, mut action: OsnAction) {
+        let now = sched.now();
+        let mining = self.inner.lock().text_mining;
+        let sentiment = if mining {
+            if action.topic.is_none() {
+                action.topic = extract_topic(&action.content).map(str::to_owned);
+            }
+            Some(match SentimentClassifier::new().classify(&action.content) {
+                TextSentiment::Positive => "positive",
+                TextSentiment::Negative => "negative",
+                TextSentiment::Neutral => "neutral",
+            })
+        } else {
+            None
+        };
+        let delay = {
+            let mut inner = self.inner.lock();
+            inner.stats.osn_actions += 1;
+            inner.action_log.push((action.at, now));
+            // "The server component classifies OSN actions to infer any
+            // change in the OSN."
+            if action.kind == OsnActionKind::FriendshipChange {
+                let other = UserId::new(action.content.clone());
+                if inner.graph.are_friends(&action.user, &other) {
+                    inner.graph.remove_friendship(&action.user, &other);
+                } else {
+                    inner.graph.add_friendship(&action.user, &other);
+                }
+            }
+            let mut rng = inner.rng.split("processing");
+            inner.processing_delay.sample(&mut rng)
+        };
+        let _ = self.db.collection("actions").insert(json!({
+            "user": action.user.as_str(),
+            "kind": action.kind.name(),
+            "content": action.content,
+            "topic": action.topic,
+            "sentiment": sentiment,
+            "at_ms": action.at.as_millis(),
+        }));
+
+        let server = self.clone();
+        sched.schedule_after(delay, move |s| {
+            server.fire_triggers(s, &action);
+        });
+    }
+
+    fn fire_triggers(&self, sched: &mut Scheduler, action: &OsnAction) {
+        let (devices, trigger_base) = {
+            let mut inner = self.inner.lock();
+            let devices = inner
+                .user_devices
+                .get(&action.user)
+                .cloned()
+                .unwrap_or_default();
+            let base = inner.next_trigger;
+            inner.next_trigger += devices.len() as u64;
+            inner.stats.triggers_sent += devices.len() as u64;
+            (devices, base)
+        };
+        for (i, device) in devices.iter().enumerate() {
+            let payload = TriggerPayload {
+                trigger: TriggerId::new(trigger_base + i as u64),
+                device: device.clone(),
+                action: action.clone(),
+            };
+            self.broker.publish(
+                sched,
+                &trigger_topic(device),
+                &payload.to_wire(),
+                QoS::AtLeastOnce,
+                false,
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Remote stream management
+    // ------------------------------------------------------------------
+
+    /// Creates a stream on a remote device by pushing a configuration
+    /// command; the stream's data is uplinked to this server (the sink is
+    /// forced to [`StreamSink::Server`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownDevice`] if `device` is not registered.
+    pub fn create_remote_stream(
+        &self,
+        sched: &mut Scheduler,
+        device: &DeviceId,
+        mut spec: StreamSpec,
+    ) -> Result<StreamId> {
+        spec.sink = StreamSink::Server;
+        let id = {
+            let mut inner = self.inner.lock();
+            if !inner.devices.contains_key(device) {
+                return Err(Error::UnknownDevice(device.as_str().to_owned()));
+            }
+            let id = StreamId::new(REMOTE_STREAM_ID_BASE + inner.next_remote_stream);
+            inner.next_remote_stream += 1;
+            inner
+                .remote_streams
+                .insert(id, (device.clone(), spec.clone()));
+            id
+        };
+        let command = ConfigCommand::Create {
+            device: device.clone(),
+            stream: id,
+            spec,
+        };
+        self.push_config(sched, device, &command);
+        Ok(id)
+    }
+
+    /// Destroys a remotely-created stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownStream`] if the server did not create
+    /// `stream`.
+    pub fn destroy_remote_stream(&self, sched: &mut Scheduler, stream: StreamId) -> Result<()> {
+        let device = {
+            let mut inner = self.inner.lock();
+            let (device, _) = inner
+                .remote_streams
+                .remove(&stream)
+                .ok_or(Error::UnknownStream(stream.value()))?;
+            device
+        };
+        let command = ConfigCommand::Destroy {
+            device: device.clone(),
+            stream,
+        };
+        self.push_config(sched, &device, &command);
+        Ok(())
+    }
+
+    /// Replaces a remote stream's filter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownStream`] if the server did not create
+    /// `stream`.
+    pub fn set_remote_filter(
+        &self,
+        sched: &mut Scheduler,
+        stream: StreamId,
+        filter: Filter,
+    ) -> Result<()> {
+        let device = {
+            let mut inner = self.inner.lock();
+            let (device, spec) = inner
+                .remote_streams
+                .get_mut(&stream)
+                .ok_or(Error::UnknownStream(stream.value()))?;
+            spec.filter = filter.clone();
+            device.clone()
+        };
+        let command = ConfigCommand::SetFilter {
+            device: device.clone(),
+            stream,
+            filter,
+        };
+        self.push_config(sched, &device, &command);
+        Ok(())
+    }
+
+    /// Changes a remote stream's duty cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownStream`] if the server did not create
+    /// `stream`.
+    pub fn set_remote_interval(
+        &self,
+        sched: &mut Scheduler,
+        stream: StreamId,
+        interval: SimDuration,
+    ) -> Result<()> {
+        let device = {
+            let mut inner = self.inner.lock();
+            let (device, spec) = inner
+                .remote_streams
+                .get_mut(&stream)
+                .ok_or(Error::UnknownStream(stream.value()))?;
+            spec.interval = interval;
+            device.clone()
+        };
+        let command = ConfigCommand::SetInterval {
+            device: device.clone(),
+            stream,
+            interval_ms: interval.as_millis(),
+        };
+        self.push_config(sched, &device, &command);
+        Ok(())
+    }
+
+    fn push_config(&self, sched: &mut Scheduler, device: &DeviceId, command: &ConfigCommand) {
+        self.broker.publish(
+            sched,
+            &config_topic(device),
+            &command.to_wire(),
+            QoS::AtLeastOnce,
+            false,
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Server-side pub/sub, aggregators, multicast
+    // ------------------------------------------------------------------
+
+    /// Subscribes a server-side listener to uplink events selected by
+    /// `selector` and passing `filter`. The filter may contain cross-user
+    /// conditions ("report A's location only while B is walking"):
+    /// subjects are resolved against the server's per-user context table.
+    pub fn register_listener<F>(&self, selector: StreamSelector, filter: Filter, listener: F)
+    where
+        F: Fn(&mut Scheduler, &StreamEvent) + Send + Sync + 'static,
+    {
+        self.inner.lock().subscriptions.push(Subscription {
+            selector,
+            filter,
+            listener: Arc::new(listener),
+        });
+    }
+
+    /// Wraps `streams` into one aggregated stream.
+    pub fn create_aggregator(
+        &self,
+        streams: impl IntoIterator<Item = StreamId>,
+    ) -> AggregatorId {
+        let mut inner = self.inner.lock();
+        let id = AggregatorId(inner.next_aggregator);
+        inner.next_aggregator += 1;
+        inner.aggregators.insert(
+            id,
+            (AggregatorState::new(streams), Filter::pass_all(), Vec::new()),
+        );
+        id
+    }
+
+    /// Sets a filter on an aggregated stream — "such streams can be
+    /// treated as any plain data stream", filtering included (paper §3.2).
+    /// Cross-user subjects resolve against the server's context table.
+    pub fn set_aggregator_filter(&self, id: AggregatorId, filter: Filter) {
+        if let Some((_, f, _)) = self.inner.lock().aggregators.get_mut(&id) {
+            *f = filter;
+        }
+    }
+
+    /// Subscribes to an aggregator's joined stream.
+    pub fn register_aggregator_listener<F>(&self, id: AggregatorId, listener: F)
+    where
+        F: Fn(&mut Scheduler, &StreamEvent) + Send + Sync + 'static,
+    {
+        if let Some((_, _, listeners)) = self.inner.lock().aggregators.get_mut(&id) {
+            listeners.push(Arc::new(listener));
+        }
+    }
+
+    /// Creates a multicast stream: selects users via `selector`, creates a
+    /// remote stream from `template` on each member's first device, and
+    /// returns a handle for filtering/listening/refreshing.
+    pub fn create_multicast(
+        &self,
+        sched: &mut Scheduler,
+        selector: MulticastSelector,
+        template: StreamSpec,
+    ) -> MulticastId {
+        let id = {
+            let mut inner = self.inner.lock();
+            let id = MulticastId(inner.next_multicast);
+            inner.next_multicast += 1;
+            inner
+                .multicasts
+                .insert(id, (MulticastStream::new(selector, template), Vec::new()));
+            id
+        };
+        self.refresh_multicast(sched, id);
+        id
+    }
+
+    /// Member users of a multicast stream.
+    pub fn multicast_members(&self, id: MulticastId) -> Vec<UserId> {
+        self.inner
+            .lock()
+            .multicasts
+            .get(&id)
+            .map(|(m, _)| m.member_users())
+            .unwrap_or_default()
+    }
+
+    /// Subscribes to a multicast stream's events.
+    pub fn register_multicast_listener<F>(&self, id: MulticastId, listener: F)
+    where
+        F: Fn(&mut Scheduler, &StreamEvent) + Send + Sync + 'static,
+    {
+        if let Some((_, listeners)) = self.inner.lock().multicasts.get_mut(&id) {
+            listeners.push(Arc::new(listener));
+        }
+    }
+
+    /// Sets a filter on a multicast stream, transparently distributing it
+    /// to every member device.
+    pub fn set_multicast_filter(&self, sched: &mut Scheduler, id: MulticastId, filter: Filter) {
+        let streams = {
+            let mut inner = self.inner.lock();
+            let Some((multicast, _)) = inner.multicasts.get_mut(&id) else {
+                return;
+            };
+            multicast.template.filter = filter.clone();
+            multicast.member_streams()
+        };
+        for stream in streams {
+            let _ = self.set_remote_filter(sched, stream, filter.clone());
+        }
+    }
+
+    /// Starts a timer re-evaluating the multicast's membership every
+    /// `period`, returning the handle to stop it. This is how the §3.2
+    /// collocation scenario follows a moving person: each refresh destroys
+    /// streams on devices that left the fence and creates them on
+    /// newcomers.
+    pub fn auto_refresh_multicast(
+        &self,
+        sched: &mut Scheduler,
+        id: MulticastId,
+        period: SimDuration,
+    ) -> sensocial_runtime::TimerHandle {
+        let server = self.clone();
+        sensocial_runtime::Timer::start(sched, period, move |s| {
+            server.refresh_multicast(s, id);
+        })
+    }
+
+    /// Re-evaluates a multicast stream's membership: creates streams on
+    /// joining users' devices and destroys streams on leavers (the paper's
+    /// geo-fenced stream churn as users move).
+    pub fn refresh_multicast(&self, sched: &mut Scheduler, id: MulticastId) {
+        let (selector, template, current) = {
+            let inner = self.inner.lock();
+            let Some((multicast, _)) = inner.multicasts.get(&id) else {
+                return;
+            };
+            (
+                multicast.selector.clone(),
+                multicast.template.clone(),
+                multicast.members.clone(),
+            )
+        };
+        let desired = self.resolve_selector(&selector);
+
+        // Leavers first.
+        for (user, stream) in &current {
+            if !desired.contains(user) {
+                let _ = self.destroy_remote_stream(sched, *stream);
+                if let Some((m, _)) = self.inner.lock().multicasts.get_mut(&id) {
+                    m.members.remove(user);
+                }
+            }
+        }
+        // Joiners.
+        for user in desired {
+            if current.contains_key(&user) {
+                continue;
+            }
+            let Some(device) = self.devices_of(&user).into_iter().next() else {
+                continue;
+            };
+            if let Ok(stream) = self.create_remote_stream(sched, &device, template.clone()) {
+                if let Some((m, _)) = self.inner.lock().multicasts.get_mut(&id) {
+                    m.members.insert(user, stream);
+                }
+            }
+        }
+    }
+
+    /// Reads a user's last stored position from the locations collection.
+    fn stored_location(&self, user: &UserId) -> Option<GeoPoint> {
+        let doc = self
+            .db
+            .collection("locations")
+            .find_one(&Query::eq("user", user.as_str()))?;
+        let lat = doc.body["loc"]["lat"].as_f64()?;
+        let lon = doc.body["loc"]["lon"].as_f64()?;
+        Some(GeoPoint::new(lat, lon))
+    }
+
+    fn resolve_selector(&self, selector: &MulticastSelector) -> Vec<UserId> {
+        match selector {
+            MulticastSelector::FriendsOf(user) => self.inner.lock().graph.friends(user),
+            MulticastSelector::WithinFence(fence) => {
+                let docs = self
+                    .db
+                    .collection("locations")
+                    .find(&Query::within("loc", *fence));
+                docs.iter()
+                    .filter_map(|d| d.body["user"].as_str().map(UserId::new))
+                    .collect()
+            }
+            MulticastSelector::NearUser { user, radius_m } => {
+                // The followed person's own position anchors the fence.
+                let Some(center) = self
+                    .inner
+                    .lock()
+                    .contexts
+                    .get(user)
+                    .and_then(|c| c.position())
+                    .or_else(|| self.stored_location(user))
+                else {
+                    return Vec::new();
+                };
+                let docs = self
+                    .db
+                    .collection("locations")
+                    .find(&Query::near("loc", center, *radius_m));
+                docs.iter()
+                    .filter_map(|d| d.body["user"].as_str().map(UserId::new))
+                    .filter(|u| u != user)
+                    .collect()
+            }
+            MulticastSelector::Intersection(a, b) => {
+                let sa = self.resolve_selector(a);
+                let sb = self.resolve_selector(b);
+                sa.into_iter().filter(|u| sb.contains(u)).collect()
+            }
+            MulticastSelector::Explicit(users) => users.clone(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Uplink handling + server Filter Manager
+    // ------------------------------------------------------------------
+
+    fn on_uplink(&self, sched: &mut Scheduler, payload: &str) {
+        let Ok(event) = StreamEvent::from_wire(payload) else {
+            return;
+        };
+
+        // Keep the context table and location collection fresh.
+        {
+            let mut inner = self.inner.lock();
+            inner.stats.uplink_events += 1;
+            let snapshot = inner.contexts.entry(event.user.clone()).or_default();
+            snapshot.record(event.at, event.data.clone());
+        }
+        if let ContextData::Raw(RawSample::Location(fix)) = &event.data {
+            self.upsert_location(&event.user, fix.position);
+        }
+
+        // Collect every listener whose selector + (fully evaluated) filter
+        // admits the event, then invoke outside the lock.
+        let mut to_call: Vec<Listener> = Vec::new();
+        {
+            let inner = self.inner.lock();
+            let lookup = |user: &UserId| inner.contexts.get(user).cloned();
+            let own_snapshot = inner
+                .contexts
+                .get(&event.user)
+                .cloned()
+                .unwrap_or_default();
+            let ctx = EvalContext {
+                snapshot: &own_snapshot,
+                now: sched.now(),
+                osn_action: event.osn_action.as_ref(),
+            };
+            for sub in &inner.subscriptions {
+                if sub.selector.matches(&event) && sub.filter.evaluate_full(&ctx, &lookup) {
+                    to_call.push(sub.listener.clone());
+                }
+            }
+            for (agg, filter, listeners) in inner.aggregators.values() {
+                if agg.contains(event.stream) && filter.evaluate_full(&ctx, &lookup) {
+                    to_call.extend(listeners.iter().cloned());
+                }
+            }
+            for (multicast, listeners) in inner.multicasts.values() {
+                if multicast.owns_stream(event.stream) {
+                    to_call.extend(listeners.iter().cloned());
+                }
+            }
+        }
+        for listener in to_call {
+            listener(sched, &event);
+        }
+    }
+}

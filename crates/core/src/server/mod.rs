@@ -1,0 +1,13 @@
+//! The server side of the middleware.
+//!
+//! The server receives OSN actions from platform plug-ins, remotely
+//! manages streams on mobiles, evaluates server-side (including
+//! cross-user) filters, aggregates streams and manages multicast streams.
+
+mod aggregator;
+mod manager;
+mod multicast;
+
+pub use aggregator::AggregatorId;
+pub use manager::{ServerDeps, ServerManager, ServerStats, StreamSelector};
+pub use multicast::{MulticastId, MulticastSelector, MulticastStream};

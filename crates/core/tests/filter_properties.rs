@@ -1,0 +1,228 @@
+//! Property-based tests for the filter algebra.
+
+use proptest::prelude::*;
+use sensocial::{Condition, ConditionLhs, EvalContext, Filter, Operator};
+use sensocial_runtime::Timestamp;
+use sensocial_types::{
+    AudioEnvironment, ClassifiedContext, ContextData, ContextSnapshot, OsnAction,
+    PhysicalActivity, UserId,
+};
+
+fn arb_lhs() -> impl Strategy<Value = ConditionLhs> {
+    prop_oneof![
+        Just(ConditionLhs::PhysicalActivity),
+        Just(ConditionLhs::AudioEnvironment),
+        Just(ConditionLhs::Place),
+        Just(ConditionLhs::WifiDensity),
+        Just(ConditionLhs::BluetoothDensity),
+        Just(ConditionLhs::HourOfDay),
+        Just(ConditionLhs::OsnActivity),
+        Just(ConditionLhs::OsnActionKind),
+        Just(ConditionLhs::OsnTopic),
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = Operator> {
+    prop_oneof![
+        Just(Operator::Equals),
+        Just(Operator::NotEquals),
+        Just(Operator::GreaterThan),
+        Just(Operator::LessThan),
+    ]
+}
+
+fn arb_value() -> impl Strategy<Value = serde_json::Value> {
+    prop_oneof![
+        prop_oneof![
+            Just("walking"),
+            Just("still"),
+            Just("running"),
+            Just("silent"),
+            Just("Paris"),
+            Just("active"),
+            Just("post"),
+            Just("football"),
+        ]
+        .prop_map(|s| serde_json::Value::String(s.to_owned())),
+        (0i64..30).prop_map(serde_json::Value::from),
+    ]
+}
+
+fn arb_condition() -> impl Strategy<Value = Condition> {
+    (arb_lhs(), arb_op(), arb_value(), proptest::option::of(Just(UserId::new("other"))))
+        .prop_map(|(lhs, op, value, subject)| {
+            let mut c = Condition::new(lhs, op, value);
+            if let Some(user) = subject {
+                c = c.about(user);
+            }
+            c
+        })
+}
+
+fn arb_filter() -> impl Strategy<Value = Filter> {
+    proptest::collection::vec(arb_condition(), 0..6).prop_map(Filter::new)
+}
+
+fn arb_snapshot() -> impl Strategy<Value = ContextSnapshot> {
+    (
+        proptest::option::of(prop_oneof![
+            Just(PhysicalActivity::Still),
+            Just(PhysicalActivity::Walking),
+            Just(PhysicalActivity::Running),
+        ]),
+        proptest::option::of(prop_oneof![
+            Just(AudioEnvironment::Silent),
+            Just(AudioEnvironment::NotSilent),
+        ]),
+        proptest::option::of(prop_oneof![
+            Just(Some("Paris".to_owned())),
+            Just(Some("Bordeaux".to_owned())),
+            Just(None),
+        ]),
+        proptest::option::of(0usize..20),
+    )
+        .prop_map(|(activity, audio, place, density)| {
+            let mut snapshot = ContextSnapshot::new();
+            let at = Timestamp::from_secs(1);
+            if let Some(a) = activity {
+                snapshot.record(at, ContextData::Classified(ClassifiedContext::Activity(a)));
+            }
+            if let Some(a) = audio {
+                snapshot.record(at, ContextData::Classified(ClassifiedContext::Audio(a)));
+            }
+            if let Some(p) = place {
+                snapshot.record(at, ContextData::Classified(ClassifiedContext::Place(p)));
+            }
+            if let Some(d) = density {
+                snapshot.record(
+                    at,
+                    ContextData::Classified(ClassifiedContext::WifiDensity(d)),
+                );
+            }
+            snapshot
+        })
+}
+
+fn arb_action() -> impl Strategy<Value = Option<OsnAction>> {
+    proptest::option::of(
+        prop_oneof![Just(Some("football")), Just(Some("music")), Just(None)].prop_map(|topic| {
+            let mut action = OsnAction::post(UserId::new("u"), "content", Timestamp::ZERO);
+            if let Some(t) = topic {
+                action = action.with_topic(t);
+            }
+            action
+        }),
+    )
+}
+
+proptest! {
+    /// Conjunction is monotone: adding conditions can only shrink the set
+    /// of passing contexts.
+    #[test]
+    fn adding_conditions_never_widens(
+        filter in arb_filter(),
+        extra in arb_condition(),
+        snapshot in arb_snapshot(),
+        action in arb_action(),
+        hour in 0u64..24,
+    ) {
+        let ctx = EvalContext {
+            snapshot: &snapshot,
+            now: Timestamp::from_secs(hour * 3600),
+            osn_action: action.as_ref(),
+        };
+        let base = filter.evaluate_local(&ctx);
+        let mut bigger = filter.clone();
+        bigger.conditions.push(extra);
+        let stricter = bigger.evaluate_local(&ctx);
+        prop_assert!(base || !stricter, "adding a condition widened the filter");
+    }
+
+    /// Local and full evaluation agree when no cross-user conditions exist.
+    #[test]
+    fn local_equals_full_without_cross_user(
+        filter in arb_filter(),
+        snapshot in arb_snapshot(),
+        action in arb_action(),
+    ) {
+        let own_only = Filter::new(
+            filter.conditions.iter().filter(|c| !c.is_cross_user()).cloned().collect(),
+        );
+        let ctx = EvalContext {
+            snapshot: &snapshot,
+            now: Timestamp::from_secs(12 * 3600),
+            osn_action: action.as_ref(),
+        };
+        prop_assert_eq!(
+            own_only.evaluate_local(&ctx),
+            own_only.evaluate_full(&ctx, &|_| None)
+        );
+    }
+
+    /// With cross-user conditions present and no context table, full
+    /// evaluation can only be stricter than local evaluation.
+    #[test]
+    fn full_is_stricter_with_unresolvable_subjects(
+        filter in arb_filter(),
+        snapshot in arb_snapshot(),
+    ) {
+        let ctx = EvalContext {
+            snapshot: &snapshot,
+            now: Timestamp::from_secs(12 * 3600),
+            osn_action: None,
+        };
+        let full = filter.evaluate_full(&ctx, &|_| None);
+        let local = filter.evaluate_local(&ctx);
+        prop_assert!(local || !full);
+    }
+
+    /// Filters survive the serialization round trip.
+    #[test]
+    fn filters_round_trip_serde(filter in arb_filter()) {
+        let json = serde_json::to_string(&filter).unwrap();
+        let back: Filter = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(filter, back);
+    }
+
+    /// Conditional modalities never include the stream's own modality and
+    /// never include modalities of cross-user conditions.
+    #[test]
+    fn conditional_modalities_are_sane(filter in arb_filter()) {
+        for own in sensocial_types::Modality::ALL {
+            let conditionals = filter.conditional_modalities(own);
+            prop_assert!(!conditionals.contains(&own));
+            let mut sorted = conditionals.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(&sorted, &conditionals, "sorted and deduped");
+            for m in conditionals {
+                let justified = filter
+                    .conditions
+                    .iter()
+                    .any(|c| !c.is_cross_user() && c.lhs.required_modality() == Some(m));
+                prop_assert!(justified, "unjustified conditional modality {}", m);
+            }
+        }
+    }
+
+    /// Equals and NotEquals partition outcomes whenever the inspected
+    /// value is present.
+    #[test]
+    fn eq_and_ne_are_complementary_when_value_present(
+        snapshot in arb_snapshot(),
+        value in arb_value(),
+    ) {
+        // PhysicalActivity is present only in some snapshots.
+        if snapshot.activity().is_none() {
+            return Ok(());
+        }
+        let ctx = EvalContext {
+            snapshot: &snapshot,
+            now: Timestamp::ZERO,
+            osn_action: None,
+        };
+        let eq = Condition::new(ConditionLhs::PhysicalActivity, Operator::Equals, value.clone());
+        let ne = Condition::new(ConditionLhs::PhysicalActivity, Operator::NotEquals, value);
+        prop_assert_ne!(eq.evaluate(&ctx), ne.evaluate(&ctx));
+    }
+}

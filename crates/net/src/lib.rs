@@ -1,0 +1,58 @@
+//! Simulated network substrate for the SenSocial reproduction.
+//!
+//! The paper's deployment spans three network segments: mobile ↔ server
+//! (WiFi + Internet), server ↔ OSN (Internet), and the OSN platform's own
+//! internal notification path (the dominant ~46 s of Table 3's delay). This
+//! crate models message passing over those segments:
+//!
+//! * [`LatencyModel`] — constant / normal / exponential delay distributions;
+//! * [`LinkSpec`] — latency + loss probability + bandwidth for a directed
+//!   pair of endpoints;
+//! * [`Network`] — an endpoint registry that delivers byte payloads through
+//!   the discrete-event scheduler, with per-endpoint transmit/receive hooks
+//!   so the energy model can charge radio costs (including the "energy
+//!   tails due to the wireless interfaces being prevented from switching to
+//!   sleep mode" the paper accounts for).
+//!
+//! # Example
+//!
+//! ```
+//! use sensocial_net::{EndpointId, LatencyModel, LinkSpec, Network};
+//! use sensocial_runtime::{Scheduler, SimDuration};
+//! use std::sync::{Arc, Mutex};
+//!
+//! let mut sched = Scheduler::new();
+//! let net = Network::new(42);
+//!
+//! let inbox = Arc::new(Mutex::new(Vec::new()));
+//! let sink = inbox.clone();
+//! let server = EndpointId::new("server");
+//! net.register(server.clone(), move |_s, msg| {
+//!     sink.lock().unwrap().push(msg.payload.to_vec());
+//! });
+//!
+//! let phone = EndpointId::new("phone");
+//! net.set_link(
+//!     phone.clone(),
+//!     server.clone(),
+//!     LinkSpec::with_latency(LatencyModel::constant_ms(80)),
+//! );
+//!
+//! net.send(&mut sched, &phone, &server, b"hello".to_vec()).unwrap();
+//! sched.run();
+//! assert_eq!(sched.now(), sensocial_runtime::Timestamp::from_millis(80));
+//! assert_eq!(inbox.lock().unwrap().len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod latency;
+mod link;
+mod message;
+mod network;
+
+pub use latency::LatencyModel;
+pub use link::LinkSpec;
+pub use message::{EndpointId, Message};
+pub use network::{Network, NetworkStats, TrafficDirection};

@@ -1,0 +1,98 @@
+//! Endpoints and message envelopes.
+
+use std::fmt;
+
+use bytes::Bytes;
+use sensocial_runtime::Timestamp;
+
+/// Names a network endpoint — a mobile device, the SenSocial server, or the
+/// OSN platform front-end.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EndpointId(String);
+
+impl EndpointId {
+    /// Creates an endpoint id.
+    pub fn new(name: impl Into<String>) -> Self {
+        EndpointId(name.into())
+    }
+
+    /// The endpoint name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for EndpointId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "endpoint:{}", self.0)
+    }
+}
+
+impl From<&str> for EndpointId {
+    fn from(s: &str) -> Self {
+        EndpointId(s.to_owned())
+    }
+}
+
+impl From<String> for EndpointId {
+    fn from(s: String) -> Self {
+        EndpointId(s)
+    }
+}
+
+impl AsRef<str> for EndpointId {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+/// A message in flight (or delivered) on the simulated network.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// Sending endpoint.
+    pub from: EndpointId,
+    /// Receiving endpoint.
+    pub to: EndpointId,
+    /// Opaque payload bytes (the broker and middleware serialize JSON into
+    /// these, giving realistic per-message sizes for the energy model).
+    pub payload: Bytes,
+    /// Virtual time at which the payload was handed to the network.
+    pub sent_at: Timestamp,
+}
+
+impl Message {
+    /// Payload size in bytes.
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_conversions() {
+        let a = EndpointId::new("server");
+        assert_eq!(a, EndpointId::from("server"));
+        assert_eq!(a.as_str(), "server");
+        assert_eq!(a.to_string(), "endpoint:server");
+    }
+
+    #[test]
+    fn message_len() {
+        let m = Message {
+            from: "a".into(),
+            to: "b".into(),
+            payload: Bytes::from_static(b"xyz"),
+            sent_at: Timestamp::ZERO,
+        };
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+    }
+}

@@ -1,0 +1,417 @@
+//! The endpoint registry and message-delivery engine.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use sensocial_runtime::{Scheduler, SimDuration, SimRng};
+use sensocial_types::{Error, Result};
+
+use crate::link::LinkSpec;
+use crate::message::{EndpointId, Message};
+
+/// Handler invoked (through the scheduler, after link delay) when a message
+/// arrives at an endpoint.
+type MessageHandler = Arc<dyn Fn(&mut Scheduler, Message) + Send + Sync>;
+
+/// Hook invoked synchronously whenever an endpoint transmits or receives,
+/// letting the energy model charge radio costs per byte.
+type TrafficHook = Arc<dyn Fn(TrafficDirection, usize) + Send + Sync>;
+
+/// Whether a traffic hook observed a transmission or a reception.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficDirection {
+    /// The endpoint sent a message.
+    Transmit,
+    /// The endpoint received a message.
+    Receive,
+}
+
+/// Counters describing everything a [`Network`] has done.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Messages handed to [`Network::send`].
+    pub sent: u64,
+    /// Messages actually delivered to a handler.
+    pub delivered: u64,
+    /// Messages dropped by link loss.
+    pub dropped: u64,
+    /// Total payload bytes handed to `send`.
+    pub bytes_sent: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    endpoints: HashMap<EndpointId, MessageHandler>,
+    links: HashMap<(EndpointId, EndpointId), LinkSpec>,
+    default_link: LinkSpec,
+    hooks: HashMap<EndpointId, Vec<TrafficHook>>,
+    stats: NetworkStats,
+}
+
+/// The simulated network: endpoints, links and delivery.
+///
+/// `Network` is cheaply cloneable (an `Arc` handle); every component holds a
+/// clone. Delivery happens through the [`Scheduler`]: `send` samples the
+/// link's latency and schedules the receiving handler.
+///
+/// See the [crate-level example](crate) for usage.
+#[derive(Clone)]
+pub struct Network {
+    inner: Arc<Mutex<Inner>>,
+    rng: Arc<Mutex<SimRng>>,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("Network")
+            .field("endpoints", &inner.endpoints.len())
+            .field("links", &inner.links.len())
+            .field("stats", &inner.stats)
+            .finish()
+    }
+}
+
+impl Network {
+    /// Creates an empty network with a deterministic RNG seed (used for
+    /// latency sampling and loss decisions).
+    pub fn new(seed: u64) -> Self {
+        Network {
+            inner: Arc::new(Mutex::new(Inner::default())),
+            rng: Arc::new(Mutex::new(SimRng::seed_from(seed))),
+        }
+    }
+
+    /// Registers an endpoint and its receive handler, replacing any
+    /// previous registration under the same id.
+    pub fn register<F>(&self, id: EndpointId, handler: F)
+    where
+        F: Fn(&mut Scheduler, Message) + Send + Sync + 'static,
+    {
+        self.inner.lock().endpoints.insert(id, Arc::new(handler));
+    }
+
+    /// Removes an endpoint. In-flight messages to it are dropped on
+    /// arrival. Returns `true` if the endpoint existed.
+    pub fn unregister(&self, id: &EndpointId) -> bool {
+        self.inner.lock().endpoints.remove(id).is_some()
+    }
+
+    /// Whether an endpoint is currently registered.
+    pub fn is_registered(&self, id: &EndpointId) -> bool {
+        self.inner.lock().endpoints.contains_key(id)
+    }
+
+    /// Sets the link characteristics for the directed pair `from → to`.
+    pub fn set_link(&self, from: EndpointId, to: EndpointId, spec: LinkSpec) {
+        self.inner.lock().links.insert((from, to), spec);
+    }
+
+    /// Sets the link characteristics for both directions between `a` and `b`.
+    pub fn set_link_bidirectional(&self, a: EndpointId, b: EndpointId, spec: LinkSpec) {
+        let mut inner = self.inner.lock();
+        inner.links.insert((a.clone(), b.clone()), spec.clone());
+        inner.links.insert((b, a), spec);
+    }
+
+    /// Sets the fallback link used for pairs without an explicit link.
+    pub fn set_default_link(&self, spec: LinkSpec) {
+        self.inner.lock().default_link = spec;
+    }
+
+    /// Adds a traffic hook for `endpoint`, called synchronously on every
+    /// transmit (at send time) and receive (at delivery time) with the
+    /// payload size.
+    pub fn add_traffic_hook<F>(&self, endpoint: EndpointId, hook: F)
+    where
+        F: Fn(TrafficDirection, usize) + Send + Sync + 'static,
+    {
+        self.inner
+            .lock()
+            .hooks
+            .entry(endpoint)
+            .or_default()
+            .push(Arc::new(hook));
+    }
+
+    /// Sends `payload` from `from` to `to`, scheduling delivery after the
+    /// link's sampled delay (plus transmission time under the link's
+    /// bandwidth).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotConnected`] if `to` is not a registered
+    /// endpoint at send time. (An endpoint unregistered while the message
+    /// is in flight silently drops it, like a powered-off phone.)
+    pub fn send(
+        &self,
+        sched: &mut Scheduler,
+        from: &EndpointId,
+        to: &EndpointId,
+        payload: impl Into<Bytes>,
+    ) -> Result<()> {
+        let payload = payload.into();
+        let size = payload.len();
+
+        let (delay, lost) = {
+            let mut inner = self.inner.lock();
+            if !inner.endpoints.contains_key(to) {
+                return Err(Error::NotConnected(to.as_str().to_owned()));
+            }
+            inner.stats.sent += 1;
+            inner.stats.bytes_sent += size as u64;
+
+            let spec = inner
+                .links
+                .get(&(from.clone(), to.clone()))
+                .unwrap_or(&inner.default_link)
+                .clone();
+
+            let mut rng = self.rng.lock();
+            let lost = spec.loss_probability > 0.0 && rng.chance(spec.loss_probability);
+            let delay = spec.latency.sample(&mut rng)
+                + SimDuration::from_secs_f64(spec.transmission_time_s(size));
+
+            for hook in inner.hooks.get(from).into_iter().flatten() {
+                hook(TrafficDirection::Transmit, size);
+            }
+            if lost {
+                inner.stats.dropped += 1;
+            }
+            (delay, lost)
+        };
+
+        if lost {
+            return Ok(());
+        }
+
+        let msg = Message {
+            from: from.clone(),
+            to: to.clone(),
+            payload,
+            sent_at: sched.now(),
+        };
+        let network = self.clone();
+        sched.schedule_after(delay, move |s| {
+            let (handler, hooks) = {
+                let mut inner = network.inner.lock();
+                let handler = inner.endpoints.get(&msg.to).cloned();
+                if handler.is_some() {
+                    inner.stats.delivered += 1;
+                }
+                let hooks: Vec<TrafficHook> =
+                    inner.hooks.get(&msg.to).cloned().unwrap_or_default();
+                (handler, hooks)
+            };
+            if let Some(handler) = handler {
+                for hook in &hooks {
+                    hook(TrafficDirection::Receive, msg.len());
+                }
+                handler(s, msg);
+            }
+        });
+        Ok(())
+    }
+
+    /// A snapshot of the delivery counters.
+    pub fn stats(&self) -> NetworkStats {
+        self.inner.lock().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::LatencyModel;
+    use sensocial_runtime::Timestamp;
+
+    type Log = Arc<Mutex<Vec<(u64, Vec<u8>)>>>;
+
+    fn collector() -> (Log, MessageHandler) {
+        let log: Log = Arc::new(Mutex::new(Vec::new()));
+        let l = log.clone();
+        let handler: MessageHandler = Arc::new(move |s: &mut Scheduler, m: Message| {
+            l.lock().push((s.now().as_millis(), m.payload.to_vec()));
+        });
+        (log, handler)
+    }
+
+    #[test]
+    fn delivers_after_link_latency() {
+        let mut sched = Scheduler::new();
+        let net = Network::new(1);
+        let (log, handler) = collector();
+        let h = handler.clone();
+        net.register("b".into(), move |s, m| h(s, m));
+        net.set_link(
+            "a".into(),
+            "b".into(),
+            LinkSpec::with_latency(LatencyModel::constant_ms(120)),
+        );
+        net.send(&mut sched, &"a".into(), &"b".into(), b"hi".to_vec())
+            .unwrap();
+        sched.run();
+        let log = log.lock();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].0, 120);
+        assert_eq!(log[0].1, b"hi");
+    }
+
+    #[test]
+    fn send_to_unknown_endpoint_errors() {
+        let mut sched = Scheduler::new();
+        let net = Network::new(1);
+        let err = net
+            .send(&mut sched, &"a".into(), &"ghost".into(), b"x".to_vec())
+            .unwrap_err();
+        assert_eq!(err, Error::NotConnected("ghost".into()));
+    }
+
+    #[test]
+    fn unregister_mid_flight_drops_message() {
+        let mut sched = Scheduler::new();
+        let net = Network::new(1);
+        let (log, handler) = collector();
+        let h = handler.clone();
+        net.register("b".into(), move |s, m| h(s, m));
+        net.set_link(
+            "a".into(),
+            "b".into(),
+            LinkSpec::with_latency(LatencyModel::constant_ms(100)),
+        );
+        net.send(&mut sched, &"a".into(), &"b".into(), b"x".to_vec())
+            .unwrap();
+        assert!(net.unregister(&"b".into()));
+        sched.run();
+        assert!(log.lock().is_empty());
+        assert_eq!(net.stats().delivered, 0);
+        assert_eq!(net.stats().sent, 1);
+    }
+
+    #[test]
+    fn lossy_link_drops_fraction() {
+        let mut sched = Scheduler::new();
+        let net = Network::new(7);
+        let (log, handler) = collector();
+        let h = handler.clone();
+        net.register("b".into(), move |s, m| h(s, m));
+        net.set_link(
+            "a".into(),
+            "b".into(),
+            LinkSpec::with_latency(LatencyModel::constant_ms(1)).lossy(0.5),
+        );
+        for _ in 0..400 {
+            net.send(&mut sched, &"a".into(), &"b".into(), b"x".to_vec())
+                .unwrap();
+        }
+        sched.run();
+        let delivered = log.lock().len();
+        assert!((120..=280).contains(&delivered), "delivered {delivered}");
+        let stats = net.stats();
+        assert_eq!(stats.sent, 400);
+        assert_eq!(stats.dropped + stats.delivered, 400);
+    }
+
+    #[test]
+    fn bandwidth_adds_transmission_time() {
+        let mut sched = Scheduler::new();
+        let net = Network::new(1);
+        let (log, handler) = collector();
+        let h = handler.clone();
+        net.register("b".into(), move |s, m| h(s, m));
+        // 8 kbit/s → 1000 bytes takes 1 s, plus 50 ms latency.
+        net.set_link(
+            "a".into(),
+            "b".into(),
+            LinkSpec::with_latency(LatencyModel::constant_ms(50)).bandwidth(8_000),
+        );
+        net.send(&mut sched, &"a".into(), &"b".into(), vec![0u8; 1_000])
+            .unwrap();
+        sched.run();
+        assert_eq!(log.lock()[0].0, 1_050);
+    }
+
+    #[test]
+    fn traffic_hooks_fire_on_both_ends() {
+        let mut sched = Scheduler::new();
+        let net = Network::new(1);
+        let (_, handler) = collector();
+        let h = handler.clone();
+        net.register("b".into(), move |s, m| h(s, m));
+        let tx = Arc::new(Mutex::new(0usize));
+        let rx = Arc::new(Mutex::new(0usize));
+        let (txc, rxc) = (tx.clone(), rx.clone());
+        net.add_traffic_hook("a".into(), move |dir, size| {
+            if dir == TrafficDirection::Transmit {
+                *txc.lock() += size;
+            }
+        });
+        net.add_traffic_hook("b".into(), move |dir, size| {
+            if dir == TrafficDirection::Receive {
+                *rxc.lock() += size;
+            }
+        });
+        net.send(&mut sched, &"a".into(), &"b".into(), vec![0u8; 64])
+            .unwrap();
+        sched.run();
+        assert_eq!(*tx.lock(), 64);
+        assert_eq!(*rx.lock(), 64);
+    }
+
+    #[test]
+    fn default_link_applies_without_explicit_pair() {
+        let mut sched = Scheduler::new();
+        let net = Network::new(1);
+        net.set_default_link(LinkSpec::with_latency(LatencyModel::constant_ms(7)));
+        let (log, handler) = collector();
+        let h = handler.clone();
+        net.register("b".into(), move |s, m| h(s, m));
+        net.send(&mut sched, &"a".into(), &"b".into(), b"x".to_vec())
+            .unwrap();
+        sched.run();
+        assert_eq!(log.lock()[0].0, 7);
+        assert_eq!(sched.now(), Timestamp::from_millis(7));
+    }
+
+    #[test]
+    fn bidirectional_link_covers_both_directions() {
+        let mut sched = Scheduler::new();
+        let net = Network::new(1);
+        let (log, handler) = collector();
+        let h1 = handler.clone();
+        let h2 = handler.clone();
+        net.register("a".into(), move |s, m| h1(s, m));
+        net.register("b".into(), move |s, m| h2(s, m));
+        net.set_link_bidirectional(
+            "a".into(),
+            "b".into(),
+            LinkSpec::with_latency(LatencyModel::constant_ms(33)),
+        );
+        net.send(&mut sched, &"a".into(), &"b".into(), b"1".to_vec())
+            .unwrap();
+        net.send(&mut sched, &"b".into(), &"a".into(), b"2".to_vec())
+            .unwrap();
+        sched.run();
+        assert_eq!(log.lock().len(), 2);
+        assert!(log.lock().iter().all(|(at, _)| *at == 33));
+    }
+
+    #[test]
+    fn stats_accumulate_bytes() {
+        let mut sched = Scheduler::new();
+        let net = Network::new(1);
+        let (_, handler) = collector();
+        let h = handler.clone();
+        net.register("b".into(), move |s, m| h(s, m));
+        net.send(&mut sched, &"a".into(), &"b".into(), vec![0u8; 10])
+            .unwrap();
+        net.send(&mut sched, &"a".into(), &"b".into(), vec![0u8; 30])
+            .unwrap();
+        sched.run();
+        let stats = net.stats();
+        assert_eq!(stats.bytes_sent, 40);
+        assert_eq!(stats.delivered, 2);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests for the simulated network.
+
+use std::sync::{Arc, Mutex};
+
+use proptest::prelude::*;
+use sensocial_net::{LatencyModel, LinkSpec, Network};
+use sensocial_runtime::{Scheduler, SimRng};
+
+proptest! {
+    /// Message conservation: sent = delivered + dropped (+ in-flight, which
+    /// is zero once the scheduler drains).
+    #[test]
+    fn messages_are_conserved(
+        n in 1usize..200,
+        loss in 0.0f64..1.0,
+        seed in 0u64..1_000,
+    ) {
+        let mut sched = Scheduler::new();
+        let net = Network::new(seed);
+        net.set_default_link(
+            LinkSpec::with_latency(LatencyModel::constant_ms(10)).lossy(loss),
+        );
+        let received = Arc::new(Mutex::new(0u64));
+        let sink = received.clone();
+        net.register("b".into(), move |_s, _m| *sink.lock().unwrap() += 1);
+        for _ in 0..n {
+            net.send(&mut sched, &"a".into(), &"b".into(), b"x".to_vec()).unwrap();
+        }
+        sched.run();
+        let stats = net.stats();
+        prop_assert_eq!(stats.sent, n as u64);
+        prop_assert_eq!(stats.delivered + stats.dropped, n as u64);
+        prop_assert_eq!(*received.lock().unwrap(), stats.delivered);
+    }
+
+    /// Latency samples are non-negative and constant models are exact.
+    #[test]
+    fn latency_models_behave(mean in 0.1f64..100.0, std in 0.0f64..20.0, seed in 0u64..500) {
+        let mut rng = SimRng::seed_from(seed);
+        let normal = LatencyModel::Normal { mean_s: mean, std_s: std, min_s: 0.0 };
+        for _ in 0..50 {
+            let d = normal.sample(&mut rng);
+            prop_assert!(d.as_secs_f64() >= 0.0);
+        }
+        let exp = LatencyModel::Exponential { mean_s: mean };
+        for _ in 0..50 {
+            prop_assert!(exp.sample(&mut rng).as_secs_f64() >= 0.0);
+        }
+    }
+
+    /// Bandwidth-limited delivery time grows monotonically with payload
+    /// size.
+    #[test]
+    fn transmission_time_monotone_in_size(
+        sizes in proptest::collection::vec(1usize..100_000, 2..10),
+    ) {
+        let link = LinkSpec::with_latency(LatencyModel::constant_ms(0)).bandwidth(1_000_000);
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        let times: Vec<f64> = sorted.iter().map(|s| link.transmission_time_s(*s)).collect();
+        for w in times.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+
+    /// Deterministic: the same seed produces the same delivery outcome
+    /// under loss.
+    #[test]
+    fn same_seed_same_losses(seed in 0u64..1_000) {
+        let run = |seed: u64| {
+            let mut sched = Scheduler::new();
+            let net = Network::new(seed);
+            net.set_default_link(LinkSpec::with_latency(LatencyModel::constant_ms(5)).lossy(0.5));
+            net.register("b".into(), |_s, _m| {});
+            for _ in 0..50 {
+                net.send(&mut sched, &"a".into(), &"b".into(), b"x".to_vec()).unwrap();
+            }
+            sched.run();
+            net.stats().delivered
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+}

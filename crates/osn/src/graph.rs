@@ -1,0 +1,196 @@
+//! The social graph: users and friendship links.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use sensocial_types::UserId;
+
+/// An undirected friendship graph.
+///
+/// The SenSocial server mirrors this structure in its MongoDB tables to
+/// answer "who are A's OSN friends" for multicast streams and the Figure 2
+/// scenario; the simulation's source of truth lives here on the platform.
+///
+/// # Example
+///
+/// ```
+/// use sensocial_osn::SocialGraph;
+/// use sensocial_types::UserId;
+///
+/// let mut g = SocialGraph::new();
+/// let (a, c) = (UserId::new("a"), UserId::new("c"));
+/// g.add_user(a.clone());
+/// g.add_user(c.clone());
+/// g.add_friendship(&a, &c);
+/// assert!(g.are_friends(&a, &c));
+/// assert_eq!(g.friends(&a), vec![c]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SocialGraph {
+    adjacency: BTreeMap<UserId, BTreeSet<UserId>>,
+}
+
+impl SocialGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        SocialGraph::default()
+    }
+
+    /// Adds a user with no links. Idempotent.
+    pub fn add_user(&mut self, user: UserId) {
+        self.adjacency.entry(user).or_default();
+    }
+
+    /// Whether `user` exists in the graph.
+    pub fn contains(&self, user: &UserId) -> bool {
+        self.adjacency.contains_key(user)
+    }
+
+    /// All users, sorted.
+    pub fn users(&self) -> Vec<UserId> {
+        self.adjacency.keys().cloned().collect()
+    }
+
+    /// Number of users.
+    pub fn len(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Whether the graph has no users.
+    pub fn is_empty(&self) -> bool {
+        self.adjacency.is_empty()
+    }
+
+    /// Creates a friendship between `a` and `b` (adding either user if
+    /// missing). Returns `false` if they were already friends or `a == b`.
+    pub fn add_friendship(&mut self, a: &UserId, b: &UserId) -> bool {
+        if a == b {
+            return false;
+        }
+        let fresh = self
+            .adjacency
+            .entry(a.clone())
+            .or_default()
+            .insert(b.clone());
+        self.adjacency
+            .entry(b.clone())
+            .or_default()
+            .insert(a.clone());
+        fresh
+    }
+
+    /// Removes the friendship between `a` and `b`. Returns `false` if they
+    /// were not friends.
+    pub fn remove_friendship(&mut self, a: &UserId, b: &UserId) -> bool {
+        let removed = self
+            .adjacency
+            .get_mut(a)
+            .map(|s| s.remove(b))
+            .unwrap_or(false);
+        if let Some(s) = self.adjacency.get_mut(b) {
+            s.remove(a);
+        }
+        removed
+    }
+
+    /// Whether `a` and `b` are friends.
+    pub fn are_friends(&self, a: &UserId, b: &UserId) -> bool {
+        self.adjacency
+            .get(a)
+            .map(|s| s.contains(b))
+            .unwrap_or(false)
+    }
+
+    /// `user`'s friends, sorted. Unknown users have no friends.
+    pub fn friends(&self, user: &UserId) -> Vec<UserId> {
+        self.adjacency
+            .get(user)
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// `user`'s degree (friend count).
+    pub fn degree(&self, user: &UserId) -> usize {
+        self.adjacency.get(user).map(|s| s.len()).unwrap_or(0)
+    }
+
+    /// Friends shared by `a` and `b`, sorted.
+    pub fn mutual_friends(&self, a: &UserId, b: &UserId) -> Vec<UserId> {
+        match (self.adjacency.get(a), self.adjacency.get(b)) {
+            (Some(fa), Some(fb)) => fa.intersection(fb).cloned().collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Total friendship edges.
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.values().map(|s| s.len()).sum::<usize>() / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(s: &str) -> UserId {
+        UserId::new(s)
+    }
+
+    #[test]
+    fn friendships_are_symmetric() {
+        let mut g = SocialGraph::new();
+        assert!(g.add_friendship(&u("a"), &u("b")));
+        assert!(g.are_friends(&u("a"), &u("b")));
+        assert!(g.are_friends(&u("b"), &u("a")));
+        assert!(!g.add_friendship(&u("a"), &u("b")), "duplicate edge");
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn self_friendship_rejected() {
+        let mut g = SocialGraph::new();
+        assert!(!g.add_friendship(&u("a"), &u("a")));
+        assert!(!g.are_friends(&u("a"), &u("a")));
+    }
+
+    #[test]
+    fn removal_is_symmetric() {
+        let mut g = SocialGraph::new();
+        g.add_friendship(&u("a"), &u("b"));
+        assert!(g.remove_friendship(&u("b"), &u("a")));
+        assert!(!g.are_friends(&u("a"), &u("b")));
+        assert!(!g.remove_friendship(&u("a"), &u("b")));
+    }
+
+    #[test]
+    fn figure2_topology() {
+        // Users A,B in Paris; C,D,E in Bordeaux; A friends with C and D.
+        let mut g = SocialGraph::new();
+        for name in ["a", "b", "c", "d", "e"] {
+            g.add_user(u(name));
+        }
+        g.add_friendship(&u("a"), &u("c"));
+        g.add_friendship(&u("a"), &u("d"));
+        assert_eq!(g.friends(&u("a")), vec![u("c"), u("d")]);
+        assert_eq!(g.degree(&u("b")), 0);
+        assert_eq!(g.len(), 5);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn mutual_friends() {
+        let mut g = SocialGraph::new();
+        g.add_friendship(&u("a"), &u("x"));
+        g.add_friendship(&u("b"), &u("x"));
+        g.add_friendship(&u("a"), &u("y"));
+        assert_eq!(g.mutual_friends(&u("a"), &u("b")), vec![u("x")]);
+        assert!(g.mutual_friends(&u("a"), &u("ghost")).is_empty());
+    }
+
+    #[test]
+    fn unknown_users() {
+        let g = SocialGraph::new();
+        assert!(!g.contains(&u("nobody")));
+        assert!(g.friends(&u("nobody")).is_empty());
+        assert_eq!(g.degree(&u("nobody")), 0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Simulated online social network (Facebook/Twitter substitute).
+//!
+//! SenSocial "implements necessary plug-ins for accessing OSN information"
+//! — a Facebook application that pushes actions to a server-side script,
+//! and a Twitter plug-in that "actively scans for new tweets" (paper §4).
+//! Without API access to either platform, this crate simulates the whole
+//! stack the plug-ins face:
+//!
+//! * [`SocialGraph`] — users and friendship links, with the mutation
+//!   operations the server's OSN-link table tracks;
+//! * [`OsnPlatform`] — the platform itself: authenticated users perform
+//!   actions (posts, comments, likes, friendship changes) that land in a
+//!   feed and notify registered plug-ins;
+//! * [`PushPlugin`] — Facebook-style delivery: the platform notifies the
+//!   plug-in's receiver after a platform-controlled delay (measured by the
+//!   paper at ~46 s, the dominant term of Table 3);
+//! * [`PollPlugin`] — Twitter-style delivery: the plug-in polls for new
+//!   actions at a configurable period ("allows arbitrarily short delay");
+//! * [`UserActivityModel`] — Poisson post/comment/like generators with
+//!   topic-tagged, sentiment-bearing content, so workloads and the
+//!   future-work text-mining classifiers have something real to chew on.
+//!
+//! # Example
+//!
+//! ```
+//! use sensocial_osn::{OsnPlatform, PushPlugin};
+//! use sensocial_runtime::{Scheduler, SimRng};
+//! use sensocial_types::{OsnAction, UserId};
+//! use std::sync::{Arc, Mutex};
+//!
+//! let mut sched = Scheduler::new();
+//! let platform = OsnPlatform::new(SimRng::seed_from(1));
+//! let alice = UserId::new("alice");
+//! platform.register_user(alice.clone());
+//!
+//! let received = Arc::new(Mutex::new(Vec::new()));
+//! let sink = received.clone();
+//! let plugin = PushPlugin::new(&platform);
+//! plugin.set_receiver(move |_s, action| sink.lock().unwrap().push(action));
+//! plugin.authorize(&alice);
+//!
+//! platform.post(&mut sched, &alice, "hello world");
+//! sched.run();
+//! assert_eq!(received.lock().unwrap().len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod activity;
+mod content;
+mod graph;
+mod platform;
+mod plugin;
+
+pub use activity::{ActivityDriverHandle, UserActivityModel};
+pub use content::{generate_post, negative_phrases, positive_phrases, Sentiment, TOPICS};
+pub use graph::SocialGraph;
+pub use platform::OsnPlatform;
+pub use plugin::{PollPlugin, PushPlugin};

@@ -1,0 +1,368 @@
+//! OSN plug-ins: how SenSocial's server learns about actions.
+//!
+//! Two delivery disciplines, as in the paper:
+//!
+//! * [`PushPlugin`] (Facebook-style): "a mobile user needs to add the
+//!   Facebook plug-in to his Facebook profile, so that actions … are
+//!   captured and forwarded to a PHP script on the server". The platform
+//!   controls when the notification fires; the paper measured ~46 s.
+//! * [`PollPlugin`] (Twitter-style): "PHP files that completely reside on
+//!   the server and periodically query data from the Twitter server for
+//!   each user that has authenticated SenSocial via OAuth".
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sensocial_runtime::{Scheduler, SimDuration, SimRng, Timer, TimerHandle, Timestamp};
+use sensocial_types::{OsnAction, OsnPlatformKind, UserId};
+
+use crate::platform::OsnPlatform;
+
+/// Receiver callback: the server-side script notified of actions.
+type Receiver = Arc<dyn Fn(&mut Scheduler, OsnAction) + Send + Sync>;
+
+struct PushInner {
+    authorized: HashSet<UserId>,
+    receiver: Option<Receiver>,
+    rng: SimRng,
+    mean_delay_s: f64,
+    std_delay_s: f64,
+    delivered: u64,
+}
+
+/// Facebook-style push plug-in with a platform-controlled notification
+/// delay.
+///
+/// Default delay: normal(46.5 s, 2.8 s), truncated at 1 s — the paper's
+/// Table 3 measurement ("the overall delay is limited by the time Facebook
+/// takes to notify SenSocial about OSN actions").
+#[derive(Clone)]
+pub struct PushPlugin {
+    inner: Arc<Mutex<PushInner>>,
+}
+
+impl std::fmt::Debug for PushPlugin {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("PushPlugin")
+            .field("authorized", &inner.authorized.len())
+            .field("delivered", &inner.delivered)
+            .finish()
+    }
+}
+
+impl PushPlugin {
+    /// Creates the plug-in and hooks it into `platform`'s action stream.
+    pub fn new(platform: &OsnPlatform) -> Self {
+        let plugin = PushPlugin {
+            inner: Arc::new(Mutex::new(PushInner {
+                authorized: HashSet::new(),
+                receiver: None,
+                rng: platform.split_rng("push-plugin"),
+                mean_delay_s: 46.5,
+                std_delay_s: 2.8,
+                delivered: 0,
+            })),
+        };
+        let handle = plugin.clone();
+        platform.add_listener(Arc::new(move |sched, action| {
+            handle.on_action(sched, action);
+        }));
+        plugin
+    }
+
+    /// Overrides the notification delay distribution (seconds).
+    pub fn set_delay(&self, mean_s: f64, std_s: f64) {
+        let mut inner = self.inner.lock();
+        inner.mean_delay_s = mean_s;
+        inner.std_delay_s = std_s;
+    }
+
+    /// Installs the server-side receiver script.
+    pub fn set_receiver<F>(&self, receiver: F)
+    where
+        F: Fn(&mut Scheduler, OsnAction) + Send + Sync + 'static,
+    {
+        self.inner.lock().receiver = Some(Arc::new(receiver));
+    }
+
+    /// Authorizes a user (the user "adds the plug-in to their profile").
+    /// Only authorized users' actions are forwarded.
+    pub fn authorize(&self, user: &UserId) {
+        self.inner.lock().authorized.insert(user.clone());
+    }
+
+    /// Revokes a user's authorization.
+    pub fn revoke(&self, user: &UserId) {
+        self.inner.lock().authorized.remove(user);
+    }
+
+    /// Actions delivered to the receiver so far.
+    pub fn delivered(&self) -> u64 {
+        self.inner.lock().delivered
+    }
+
+    fn on_action(&self, sched: &mut Scheduler, mut action: OsnAction) {
+        let (receiver, delay) = {
+            let mut inner = self.inner.lock();
+            if !inner.authorized.contains(&action.user) {
+                return;
+            }
+            let Some(receiver) = inner.receiver.clone() else {
+                return;
+            };
+            let (mean, std) = (inner.mean_delay_s, inner.std_delay_s);
+            let delay = SimDuration::from_secs_f64(inner.rng.normal_min(mean, std, 1.0));
+            (receiver, delay)
+        };
+        action.platform = OsnPlatformKind::Push;
+        let plugin = self.clone();
+        sched.schedule_after(delay, move |s| {
+            plugin.inner.lock().delivered += 1;
+            receiver(s, action);
+        });
+    }
+}
+
+struct PollInner {
+    authorized: HashSet<UserId>,
+    receiver: Option<Receiver>,
+    last_poll: Timestamp,
+    delivered: u64,
+}
+
+/// Twitter-style polling plug-in: queries the platform feed every
+/// `poll_interval` and forwards new actions by authorized users.
+#[derive(Clone)]
+pub struct PollPlugin {
+    inner: Arc<Mutex<PollInner>>,
+    platform: OsnPlatform,
+}
+
+impl std::fmt::Debug for PollPlugin {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("PollPlugin")
+            .field("authorized", &inner.authorized.len())
+            .field("delivered", &inner.delivered)
+            .finish()
+    }
+}
+
+impl PollPlugin {
+    /// Creates the plug-in and starts its poll loop.
+    pub fn start(
+        sched: &mut Scheduler,
+        platform: &OsnPlatform,
+        poll_interval: SimDuration,
+    ) -> (Self, TimerHandle) {
+        let plugin = PollPlugin {
+            inner: Arc::new(Mutex::new(PollInner {
+                authorized: HashSet::new(),
+                receiver: None,
+                last_poll: sched.now(),
+                delivered: 0,
+            })),
+            platform: platform.clone(),
+        };
+        let handle = {
+            let plugin = plugin.clone();
+            Timer::start(sched, poll_interval, move |s| plugin.poll(s))
+        };
+        (plugin, handle)
+    }
+
+    /// Installs the server-side receiver.
+    pub fn set_receiver<F>(&self, receiver: F)
+    where
+        F: Fn(&mut Scheduler, OsnAction) + Send + Sync + 'static,
+    {
+        self.inner.lock().receiver = Some(Arc::new(receiver));
+    }
+
+    /// Authorizes a user via (simulated) OAuth.
+    pub fn authorize(&self, user: &UserId) {
+        self.inner.lock().authorized.insert(user.clone());
+    }
+
+    /// Actions delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.inner.lock().delivered
+    }
+
+    fn poll(&self, sched: &mut Scheduler) {
+        let (since, receiver) = {
+            let inner = self.inner.lock();
+            let Some(receiver) = inner.receiver.clone() else {
+                return;
+            };
+            (inner.last_poll, receiver)
+        };
+        let now = sched.now();
+        let fresh: Vec<OsnAction> = self
+            .platform
+            .feed_since(since)
+            .into_iter()
+            .filter(|a| a.at <= now)
+            .collect();
+        {
+            let mut inner = self.inner.lock();
+            inner.last_poll = now;
+        }
+        for mut action in fresh {
+            let authorized = self.inner.lock().authorized.contains(&action.user);
+            if !authorized {
+                continue;
+            }
+            action.platform = OsnPlatformKind::Poll;
+            self.inner.lock().delivered += 1;
+            receiver(sched, action);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as StdMutex;
+
+    type Seen = Arc<StdMutex<Vec<(u64, OsnAction)>>>;
+
+    fn receiver(seen: &Seen) -> impl Fn(&mut Scheduler, OsnAction) + Send + Sync + 'static {
+        let sink = seen.clone();
+        move |s: &mut Scheduler, a: OsnAction| {
+            sink.lock().unwrap().push((s.now().as_secs(), a));
+        }
+    }
+
+    #[test]
+    fn push_delivers_after_platform_delay() {
+        let mut sched = Scheduler::new();
+        let platform = OsnPlatform::new(SimRng::seed_from(2));
+        let alice = UserId::new("alice");
+        platform.register_user(alice.clone());
+        let plugin = PushPlugin::new(&platform);
+        let seen: Seen = Arc::new(StdMutex::new(Vec::new()));
+        plugin.set_receiver(receiver(&seen));
+        plugin.authorize(&alice);
+
+        platform.post(&mut sched, &alice, "hello");
+        sched.run();
+
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 1);
+        let at = seen[0].0;
+        assert!((35..=60).contains(&at), "delivered at {at}s");
+        assert_eq!(plugin.delivered(), 1);
+    }
+
+    #[test]
+    fn push_ignores_unauthorized_users() {
+        let mut sched = Scheduler::new();
+        let platform = OsnPlatform::new(SimRng::seed_from(2));
+        let alice = UserId::new("alice");
+        let bob = UserId::new("bob");
+        platform.register_user(alice.clone());
+        platform.register_user(bob.clone());
+        let plugin = PushPlugin::new(&platform);
+        let seen: Seen = Arc::new(StdMutex::new(Vec::new()));
+        plugin.set_receiver(receiver(&seen));
+        plugin.authorize(&alice);
+
+        platform.post(&mut sched, &bob, "not forwarded");
+        platform.post(&mut sched, &alice, "forwarded");
+        sched.run();
+
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0].1.user, alice);
+    }
+
+    #[test]
+    fn push_revoke_stops_forwarding() {
+        let mut sched = Scheduler::new();
+        let platform = OsnPlatform::new(SimRng::seed_from(2));
+        let alice = UserId::new("alice");
+        platform.register_user(alice.clone());
+        let plugin = PushPlugin::new(&platform);
+        let seen: Seen = Arc::new(StdMutex::new(Vec::new()));
+        plugin.set_receiver(receiver(&seen));
+        plugin.authorize(&alice);
+        plugin.revoke(&alice);
+        platform.post(&mut sched, &alice, "hi");
+        sched.run();
+        assert!(seen.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn push_delay_distribution_matches_table3() {
+        let mut sched = Scheduler::new();
+        let platform = OsnPlatform::new(SimRng::seed_from(5));
+        let alice = UserId::new("alice");
+        platform.register_user(alice.clone());
+        let plugin = PushPlugin::new(&platform);
+        let seen: Seen = Arc::new(StdMutex::new(Vec::new()));
+        plugin.set_receiver(receiver(&seen));
+        plugin.authorize(&alice);
+
+        // 50 posts spaced far apart, as in the paper's measurement.
+        for i in 0..50 {
+            sched.run_until(Timestamp::from_secs(i * 300));
+            platform.post(&mut sched, &alice, "post");
+        }
+        sched.run();
+
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 50);
+        let delays: Vec<f64> = seen
+            .iter()
+            .map(|(at, a)| *at as f64 - a.at.as_secs_f64())
+            .collect();
+        let mean = delays.iter().sum::<f64>() / delays.len() as f64;
+        assert!((mean - 46.5).abs() < 2.0, "mean delay {mean}");
+    }
+
+    #[test]
+    fn poll_delivers_within_poll_interval() {
+        let mut sched = Scheduler::new();
+        let platform = OsnPlatform::new(SimRng::seed_from(2));
+        let alice = UserId::new("alice");
+        platform.register_user(alice.clone());
+        let (plugin, handle) = PollPlugin::start(&mut sched, &platform, SimDuration::from_secs(15));
+        let seen: Seen = Arc::new(StdMutex::new(Vec::new()));
+        plugin.set_receiver(receiver(&seen));
+        plugin.authorize(&alice);
+
+        sched.run_until(Timestamp::from_secs(20));
+        platform.post(&mut sched, &alice, "tweet");
+        sched.run_until(Timestamp::from_secs(60));
+        handle.stop();
+
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 1);
+        // Posted at t=20, next poll at t=30.
+        assert_eq!(seen[0].0, 30);
+    }
+
+    #[test]
+    fn poll_does_not_duplicate_actions() {
+        let mut sched = Scheduler::new();
+        let platform = OsnPlatform::new(SimRng::seed_from(2));
+        let alice = UserId::new("alice");
+        platform.register_user(alice.clone());
+        let (plugin, handle) = PollPlugin::start(&mut sched, &platform, SimDuration::from_secs(10));
+        let seen: Seen = Arc::new(StdMutex::new(Vec::new()));
+        plugin.set_receiver(receiver(&seen));
+        plugin.authorize(&alice);
+
+        // Post strictly after the plug-in's start instant: `feed_since` is
+        // strict, so actions at the exact start timestamp are not replayed.
+        sched.run_until(Timestamp::from_secs(1));
+        platform.post(&mut sched, &alice, "one");
+        sched.run_until(Timestamp::from_secs(100));
+        handle.stop();
+        assert_eq!(seen.lock().unwrap().len(), 1);
+        assert_eq!(plugin.delivered(), 1);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the social graph.
+
+use proptest::prelude::*;
+use sensocial_osn::SocialGraph;
+use sensocial_types::UserId;
+
+fn user(i: u8) -> UserId {
+    UserId::new(format!("u{i}"))
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    AddFriendship(u8, u8),
+    RemoveFriendship(u8, u8),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..12, 0u8..12).prop_map(|(a, b)| Op::AddFriendship(a, b)),
+        (0u8..12, 0u8..12).prop_map(|(a, b)| Op::RemoveFriendship(a, b)),
+    ]
+}
+
+fn apply(graph: &mut SocialGraph, ops: &[Op]) {
+    for op in ops {
+        match op {
+            Op::AddFriendship(a, b) => {
+                graph.add_friendship(&user(*a), &user(*b));
+            }
+            Op::RemoveFriendship(a, b) => {
+                graph.remove_friendship(&user(*a), &user(*b));
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Friendship is always symmetric, never reflexive.
+    #[test]
+    fn symmetry_and_irreflexivity(ops in proptest::collection::vec(arb_op(), 0..60)) {
+        let mut graph = SocialGraph::new();
+        apply(&mut graph, &ops);
+        for a in graph.users() {
+            prop_assert!(!graph.are_friends(&a, &a), "reflexive edge on {a}");
+            for b in graph.friends(&a) {
+                prop_assert!(graph.are_friends(&b, &a), "{a} ~ {b} not symmetric");
+            }
+        }
+    }
+
+    /// Edge count equals half the degree sum (handshake lemma).
+    #[test]
+    fn handshake_lemma(ops in proptest::collection::vec(arb_op(), 0..60)) {
+        let mut graph = SocialGraph::new();
+        apply(&mut graph, &ops);
+        let degree_sum: usize = graph.users().iter().map(|u| graph.degree(u)).sum();
+        prop_assert_eq!(graph.edge_count() * 2, degree_sum);
+    }
+
+    /// Add followed by remove restores the original adjacency.
+    #[test]
+    fn add_remove_round_trip(
+        ops in proptest::collection::vec(arb_op(), 0..40),
+        a in 0u8..12,
+        b in 0u8..12,
+    ) {
+        prop_assume!(a != b);
+        let mut graph = SocialGraph::new();
+        apply(&mut graph, &ops);
+        let before = graph.are_friends(&user(a), &user(b));
+        if before {
+            graph.remove_friendship(&user(a), &user(b));
+            graph.add_friendship(&user(a), &user(b));
+        } else {
+            graph.add_friendship(&user(a), &user(b));
+            graph.remove_friendship(&user(a), &user(b));
+        }
+        prop_assert_eq!(graph.are_friends(&user(a), &user(b)), before);
+    }
+
+    /// Mutual friends are symmetric and are genuine common neighbours.
+    #[test]
+    fn mutual_friends_correct(ops in proptest::collection::vec(arb_op(), 0..60)) {
+        let mut graph = SocialGraph::new();
+        apply(&mut graph, &ops);
+        let users = graph.users();
+        for a in users.iter().take(5) {
+            for b in users.iter().take(5) {
+                let m1 = graph.mutual_friends(a, b);
+                let m2 = graph.mutual_friends(b, a);
+                prop_assert_eq!(&m1, &m2);
+                for m in m1 {
+                    prop_assert!(graph.are_friends(a, &m) && graph.are_friends(b, &m));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Scheduler event bookkeeping.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::clock::Timestamp;
+use crate::scheduler::Scheduler;
+
+/// Opaque handle identifying a scheduled event.
+///
+/// Returned by the `schedule_*` methods on [`Scheduler`] and accepted by
+/// [`Scheduler::cancel`]. Ids are unique for the lifetime of a scheduler and
+/// double as a deterministic tie-breaker: two events scheduled for the same
+/// instant fire in the order they were scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(pub(crate) u64);
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "event#{}", self.0)
+    }
+}
+
+/// The closure type executed when an event fires.
+pub(crate) type EventFn = Box<dyn FnOnce(&mut Scheduler) + Send>;
+
+/// An entry in the scheduler's event heap.
+pub(crate) struct ScheduledEvent {
+    pub(crate) at: Timestamp,
+    pub(crate) id: EventId,
+    pub(crate) action: EventFn,
+}
+
+impl fmt::Debug for ScheduledEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScheduledEvent")
+            .field("at", &self.at)
+            .field("id", &self.id)
+            .finish_non_exhaustive()
+    }
+}
+
+// Ordering: earliest timestamp first; ties broken by insertion order so the
+// simulation is deterministic. `BinaryHeap` is a max-heap, so the scheduler
+// wraps entries in `std::cmp::Reverse`.
+impl PartialEq for ScheduledEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.id == other.id
+    }
+}
+
+impl Eq for ScheduledEvent {}
+
+impl PartialOrd for ScheduledEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ScheduledEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.at.cmp(&other.at).then(self.id.cmp(&other.id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(at_ms: u64, id: u64) -> ScheduledEvent {
+        ScheduledEvent {
+            at: Timestamp::from_millis(at_ms),
+            id: EventId(id),
+            action: Box::new(|_| {}),
+        }
+    }
+
+    #[test]
+    fn orders_by_time_then_id() {
+        assert!(event(1, 5) < event(2, 0));
+        assert!(event(2, 0) < event(2, 1));
+        assert_eq!(event(3, 7), event(3, 7));
+    }
+
+    #[test]
+    fn debug_and_display_are_nonempty() {
+        assert!(!format!("{:?}", event(1, 1)).is_empty());
+        assert_eq!(EventId(4).to_string(), "event#4");
+    }
+}

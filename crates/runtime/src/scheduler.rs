@@ -1,0 +1,317 @@
+//! The discrete-event scheduler.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::clock::{SimDuration, Timestamp};
+use crate::event::{EventId, ScheduledEvent};
+
+/// A deterministic discrete-event scheduler with a virtual clock.
+///
+/// All SenSocial substrates (sensors, OSN plug-ins, the broker, network
+/// links) advance by scheduling closures on a shared `Scheduler`. Each
+/// closure receives `&mut Scheduler` so it can read the virtual clock and
+/// schedule follow-up events; components typically capture an
+/// `Arc<Mutex<Self>>` of themselves in the closure.
+///
+/// Two events scheduled for the same instant fire in the order they were
+/// scheduled, which — together with seeded RNGs — makes whole experiments
+/// bit-for-bit reproducible.
+///
+/// # Example
+///
+/// ```
+/// use sensocial_runtime::{Scheduler, SimDuration};
+/// use std::sync::{Arc, Mutex};
+///
+/// let mut sched = Scheduler::new();
+/// let log = Arc::new(Mutex::new(Vec::new()));
+///
+/// let l = log.clone();
+/// sched.schedule_after(SimDuration::from_secs(2), move |_| l.lock().unwrap().push("late"));
+/// let l = log.clone();
+/// sched.schedule_after(SimDuration::from_secs(1), move |_| l.lock().unwrap().push("early"));
+///
+/// sched.run();
+/// assert_eq!(*log.lock().unwrap(), vec!["early", "late"]);
+/// ```
+#[derive(Debug)]
+pub struct Scheduler {
+    now: Timestamp,
+    next_id: u64,
+    heap: BinaryHeap<Reverse<ScheduledEvent>>,
+    cancelled: HashSet<EventId>,
+    executed: u64,
+}
+
+impl Scheduler {
+    /// Creates a scheduler with the clock at [`Timestamp::ZERO`] and no
+    /// pending events.
+    pub fn new() -> Self {
+        Scheduler {
+            now: Timestamp::ZERO,
+            next_id: 0,
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            executed: 0,
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// Number of events executed so far (diagnostic).
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events currently pending (including cancelled ones not yet
+    /// reaped).
+    pub fn pending(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// Schedules `action` to run at absolute time `at`.
+    ///
+    /// Scheduling in the past is clamped to *now*: the event fires at the
+    /// current instant, after all events already queued for it.
+    pub fn schedule_at<F>(&mut self, at: Timestamp, action: F) -> EventId
+    where
+        F: FnOnce(&mut Scheduler) + Send + 'static,
+    {
+        let at = at.max(self.now);
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.heap.push(Reverse(ScheduledEvent {
+            at,
+            id,
+            action: Box::new(action),
+        }));
+        id
+    }
+
+    /// Schedules `action` to run `delay` after the current virtual time.
+    pub fn schedule_after<F>(&mut self, delay: SimDuration, action: F) -> EventId
+    where
+        F: FnOnce(&mut Scheduler) + Send + 'static,
+    {
+        self.schedule_at(self.now + delay, action)
+    }
+
+    /// Schedules `action` to run at the current instant, after all events
+    /// already queued for it.
+    pub fn schedule_now<F>(&mut self, action: F) -> EventId
+    where
+        F: FnOnce(&mut Scheduler) + Send + 'static,
+    {
+        self.schedule_at(self.now, action)
+    }
+
+    /// Cancels a pending event.
+    ///
+    /// Returns `true` if the event was still pending; cancelling an event
+    /// that already fired (or was already cancelled) returns `false` and is
+    /// otherwise harmless.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_id {
+            return false;
+        }
+        // An id is pending iff it is in the heap; we cannot search the heap
+        // cheaply, so track cancellations and skip them on pop.
+        if self.heap.iter().any(|Reverse(e)| e.id == id) && self.cancelled.insert(id) {
+            return true;
+        }
+        false
+    }
+
+    /// Executes the single earliest pending event, advancing the clock to
+    /// its timestamp. Returns `false` when no events remain.
+    pub fn step(&mut self) -> bool {
+        while let Some(Reverse(event)) = self.heap.pop() {
+            if self.cancelled.remove(&event.id) {
+                continue;
+            }
+            debug_assert!(event.at >= self.now, "event scheduled in the past");
+            self.now = event.at;
+            self.executed += 1;
+            (event.action)(self);
+            return true;
+        }
+        false
+    }
+
+    /// Runs events until the queue is empty.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs events until the queue is empty or the clock would pass
+    /// `deadline`; the clock is then advanced to exactly `deadline`.
+    ///
+    /// Events scheduled exactly at `deadline` are executed.
+    pub fn run_until(&mut self, deadline: Timestamp) {
+        loop {
+            let next_at = loop {
+                match self.heap.peek() {
+                    Some(Reverse(e)) if self.cancelled.contains(&e.id) => {
+                        let Reverse(e) = self.heap.pop().expect("peeked event missing");
+                        self.cancelled.remove(&e.id);
+                    }
+                    Some(Reverse(e)) => break Some(e.at),
+                    None => break None,
+                }
+            };
+            match next_at {
+                Some(at) if at <= deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        self.now = self.now.max(deadline);
+    }
+
+    /// Runs events for `span` of virtual time from the current instant.
+    pub fn run_for(&mut self, span: SimDuration) {
+        let deadline = self.now + span;
+        self.run_until(deadline);
+    }
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Scheduler::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    type BoxedEvent = Box<dyn FnOnce(&mut Scheduler) + Send>;
+
+    fn recorder() -> (Arc<Mutex<Vec<u64>>>, impl Fn(u64) -> BoxedEvent) {
+        let log: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let l = log.clone();
+        let mk = move |v: u64| -> BoxedEvent {
+            let l = l.clone();
+            Box::new(move |_s: &mut Scheduler| l.lock().unwrap().push(v))
+        };
+        (log, mk)
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut s = Scheduler::new();
+        let (log, mk) = recorder();
+        s.schedule_at(Timestamp::from_millis(30), mk(3));
+        s.schedule_at(Timestamp::from_millis(10), mk(1));
+        s.schedule_at(Timestamp::from_millis(20), mk(2));
+        s.run();
+        assert_eq!(*log.lock().unwrap(), vec![1, 2, 3]);
+        assert_eq!(s.now(), Timestamp::from_millis(30));
+        assert_eq!(s.events_executed(), 3);
+    }
+
+    #[test]
+    fn simultaneous_events_fire_in_schedule_order() {
+        let mut s = Scheduler::new();
+        let (log, mk) = recorder();
+        for v in 0..10 {
+            s.schedule_at(Timestamp::from_millis(5), mk(v));
+        }
+        s.run();
+        assert_eq!(*log.lock().unwrap(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_more_events() {
+        let mut s = Scheduler::new();
+        let (log, _) = recorder();
+        let l = log.clone();
+        s.schedule_after(SimDuration::from_secs(1), move |s| {
+            let l2 = l.clone();
+            l.lock().unwrap().push(1);
+            s.schedule_after(SimDuration::from_secs(1), move |s| {
+                l2.lock().unwrap().push(2);
+                assert_eq!(s.now(), Timestamp::from_secs(2));
+            });
+        });
+        s.run();
+        assert_eq!(*log.lock().unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn scheduling_in_the_past_clamps_to_now() {
+        let mut s = Scheduler::new();
+        let (log, mk) = recorder();
+        s.schedule_at(Timestamp::from_secs(10), {
+            let mk2 = mk(99);
+            move |s: &mut Scheduler| {
+                // Try to schedule for t=1s while the clock reads 10s.
+                s.schedule_at(Timestamp::from_secs(1), |s2| {
+                    assert_eq!(s2.now(), Timestamp::from_secs(10));
+                });
+                mk2(s);
+            }
+        });
+        s.run();
+        assert_eq!(*log.lock().unwrap(), vec![99]);
+    }
+
+    #[test]
+    fn cancel_prevents_execution() {
+        let mut s = Scheduler::new();
+        let (log, mk) = recorder();
+        let keep = s.schedule_at(Timestamp::from_millis(10), mk(1));
+        let drop_ = s.schedule_at(Timestamp::from_millis(20), mk(2));
+        assert!(s.cancel(drop_));
+        assert!(!s.cancel(drop_), "double-cancel reports false");
+        s.run();
+        assert_eq!(*log.lock().unwrap(), vec![1]);
+        assert!(!s.cancel(keep), "cancelling a fired event reports false");
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_harmless() {
+        let mut s = Scheduler::new();
+        assert!(!s.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline_and_advances_clock() {
+        let mut s = Scheduler::new();
+        let (log, mk) = recorder();
+        s.schedule_at(Timestamp::from_secs(1), mk(1));
+        s.schedule_at(Timestamp::from_secs(5), mk(5));
+        s.schedule_at(Timestamp::from_secs(9), mk(9));
+        s.run_until(Timestamp::from_secs(5));
+        assert_eq!(*log.lock().unwrap(), vec![1, 5]);
+        assert_eq!(s.now(), Timestamp::from_secs(5));
+        assert_eq!(s.pending(), 1);
+        s.run_for(SimDuration::from_secs(10));
+        assert_eq!(*log.lock().unwrap(), vec![1, 5, 9]);
+        assert_eq!(s.now(), Timestamp::from_secs(15));
+    }
+
+    #[test]
+    fn run_until_with_empty_queue_still_advances() {
+        let mut s = Scheduler::new();
+        s.run_until(Timestamp::from_secs(7));
+        assert_eq!(s.now(), Timestamp::from_secs(7));
+    }
+
+    #[test]
+    fn pending_excludes_cancelled() {
+        let mut s = Scheduler::new();
+        let (_, mk) = recorder();
+        let a = s.schedule_at(Timestamp::from_secs(1), mk(1));
+        s.schedule_at(Timestamp::from_secs(2), mk(2));
+        assert_eq!(s.pending(), 2);
+        s.cancel(a);
+        assert_eq!(s.pending(), 1);
+    }
+}

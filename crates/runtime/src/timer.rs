@@ -1,0 +1,197 @@
+//! Recurring timers built on the scheduler.
+//!
+//! Duty-cycled sensor sampling, Twitter-style polling and page auto-refresh
+//! (ConWeb's `T`-second reload) all need "run this every `period`" semantics
+//! with a way to stop. [`Timer::start`] returns a [`TimerHandle`]; dropping
+//! the handle does *not* stop the timer (timers usually outlive the scope
+//! that created them) — call [`TimerHandle::stop`] explicitly.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::clock::SimDuration;
+use crate::scheduler::Scheduler;
+
+/// A recurring timer.
+///
+/// See [`Timer::start`].
+#[derive(Debug)]
+pub struct Timer {
+    _private: (),
+}
+
+/// Handle used to stop a running [`Timer`].
+///
+/// Cloneable: any clone may stop the timer; stopping twice is harmless.
+///
+/// # Example
+///
+/// ```
+/// use sensocial_runtime::{Scheduler, SimDuration, Timer};
+/// use std::sync::{Arc, Mutex};
+///
+/// let mut sched = Scheduler::new();
+/// let ticks = Arc::new(Mutex::new(0u32));
+/// let t = ticks.clone();
+/// let handle = Timer::start(&mut sched, SimDuration::from_secs(60), move |_| {
+///     *t.lock().unwrap() += 1;
+/// });
+/// sched.run_for(SimDuration::from_mins(5));
+/// handle.stop();
+/// sched.run_for(SimDuration::from_mins(5));
+/// assert_eq!(*ticks.lock().unwrap(), 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimerHandle {
+    active: Arc<AtomicBool>,
+}
+
+impl TimerHandle {
+    /// Stops the timer. The tick callback will not run again.
+    pub fn stop(&self) {
+        self.active.store(false, Ordering::SeqCst);
+    }
+
+    /// Whether the timer is still running.
+    pub fn is_active(&self) -> bool {
+        self.active.load(Ordering::SeqCst)
+    }
+}
+
+impl Timer {
+    /// Starts a timer that invokes `tick` every `period`, with the first
+    /// tick one full `period` from now.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero — a zero-period timer would livelock the
+    /// scheduler.
+    pub fn start<F>(sched: &mut Scheduler, period: SimDuration, tick: F) -> TimerHandle
+    where
+        F: FnMut(&mut Scheduler) + Send + 'static,
+    {
+        Self::start_with_phase(sched, period, period, tick)
+    }
+
+    /// Starts a timer whose first tick fires after `initial_delay` and then
+    /// every `period`.
+    ///
+    /// An `initial_delay` of zero fires the first tick immediately (at the
+    /// current instant), which is how one-off-plus-subscription sensing
+    /// cycles begin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn start_with_phase<F>(
+        sched: &mut Scheduler,
+        initial_delay: SimDuration,
+        period: SimDuration,
+        tick: F,
+    ) -> TimerHandle
+    where
+        F: FnMut(&mut Scheduler) + Send + 'static,
+    {
+        assert!(!period.is_zero(), "timer period must be non-zero");
+        let active = Arc::new(AtomicBool::new(true));
+        let handle = TimerHandle {
+            active: active.clone(),
+        };
+        schedule_tick(sched, initial_delay, period, active, tick);
+        handle
+    }
+}
+
+fn schedule_tick<F>(
+    sched: &mut Scheduler,
+    delay: SimDuration,
+    period: SimDuration,
+    active: Arc<AtomicBool>,
+    mut tick: F,
+) where
+    F: FnMut(&mut Scheduler) + Send + 'static,
+{
+    sched.schedule_after(delay, move |s| {
+        if !active.load(Ordering::SeqCst) {
+            return;
+        }
+        tick(s);
+        // The callback may have stopped the timer; re-check before rearming.
+        if active.load(Ordering::SeqCst) {
+            schedule_tick(s, period, period, active, tick);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::Timestamp;
+    use std::sync::Mutex;
+
+    #[test]
+    fn ticks_at_period_boundaries() {
+        let mut s = Scheduler::new();
+        let times: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let t = times.clone();
+        Timer::start(&mut s, SimDuration::from_secs(10), move |s| {
+            t.lock().unwrap().push(s.now().as_secs());
+        });
+        s.run_until(Timestamp::from_secs(35));
+        assert_eq!(*times.lock().unwrap(), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn phase_zero_fires_immediately() {
+        let mut s = Scheduler::new();
+        let times: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let t = times.clone();
+        Timer::start_with_phase(&mut s, SimDuration::ZERO, SimDuration::from_secs(5), move |s| {
+            t.lock().unwrap().push(s.now().as_secs());
+        });
+        s.run_until(Timestamp::from_secs(11));
+        assert_eq!(*times.lock().unwrap(), vec![0, 5, 10]);
+    }
+
+    #[test]
+    fn stop_prevents_future_ticks() {
+        let mut s = Scheduler::new();
+        let count = Arc::new(Mutex::new(0));
+        let c = count.clone();
+        let h = Timer::start(&mut s, SimDuration::from_secs(1), move |_| {
+            *c.lock().unwrap() += 1;
+        });
+        s.run_until(Timestamp::from_secs(3));
+        assert!(h.is_active());
+        h.stop();
+        assert!(!h.is_active());
+        s.run_until(Timestamp::from_secs(10));
+        assert_eq!(*count.lock().unwrap(), 3);
+    }
+
+    #[test]
+    fn timer_can_stop_itself_from_callback() {
+        let mut s = Scheduler::new();
+        let count = Arc::new(Mutex::new(0u32));
+        let c = count.clone();
+        let handle_slot: Arc<Mutex<Option<TimerHandle>>> = Arc::new(Mutex::new(None));
+        let hs = handle_slot.clone();
+        let h = Timer::start(&mut s, SimDuration::from_secs(1), move |_| {
+            let mut n = c.lock().unwrap();
+            *n += 1;
+            if *n == 2 {
+                hs.lock().unwrap().as_ref().unwrap().stop();
+            }
+        });
+        *handle_slot.lock().unwrap() = Some(h);
+        s.run();
+        assert_eq!(*count.lock().unwrap(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "timer period must be non-zero")]
+    fn zero_period_panics() {
+        let mut s = Scheduler::new();
+        Timer::start(&mut s, SimDuration::ZERO, |_| {});
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for scheduler causality and determinism.
+
+use std::sync::{Arc, Mutex};
+
+use proptest::prelude::*;
+use sensocial_runtime::{Scheduler, SimDuration, Timestamp};
+
+proptest! {
+    /// Events fire in nondecreasing time order regardless of how they were
+    /// inserted, and ties preserve insertion order.
+    #[test]
+    fn firing_order_is_causal(times in proptest::collection::vec(0u64..10_000, 1..80)) {
+        let mut sched = Scheduler::new();
+        let log: Arc<Mutex<Vec<(u64, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+        for (idx, at) in times.iter().enumerate() {
+            let log = log.clone();
+            let at = *at;
+            sched.schedule_at(Timestamp::from_millis(at), move |s| {
+                log.lock().unwrap().push((s.now().as_millis(), idx));
+            });
+        }
+        sched.run();
+        let log = log.lock().unwrap();
+        prop_assert_eq!(log.len(), times.len());
+        for window in log.windows(2) {
+            prop_assert!(window[0].0 <= window[1].0, "time went backwards");
+            if window[0].0 == window[1].0 {
+                prop_assert!(window[0].1 < window[1].1, "tie broke insertion order");
+            }
+        }
+        // Each event fired at exactly its scheduled time.
+        for (fired_at, idx) in log.iter() {
+            prop_assert_eq!(*fired_at, times[*idx]);
+        }
+    }
+
+    /// `run_until` executes exactly the events at or before the deadline
+    /// and leaves the clock at the deadline.
+    #[test]
+    fn run_until_respects_deadline(
+        times in proptest::collection::vec(0u64..10_000, 0..60),
+        deadline in 0u64..10_000,
+    ) {
+        let mut sched = Scheduler::new();
+        let count = Arc::new(Mutex::new(0usize));
+        for at in &times {
+            let count = count.clone();
+            sched.schedule_at(Timestamp::from_millis(*at), move |_| {
+                *count.lock().unwrap() += 1;
+            });
+        }
+        sched.run_until(Timestamp::from_millis(deadline));
+        let expected = times.iter().filter(|t| **t <= deadline).count();
+        prop_assert_eq!(*count.lock().unwrap(), expected);
+        prop_assert!(sched.now() >= Timestamp::from_millis(deadline));
+    }
+
+    /// Cancelling a subset of events fires exactly the complement.
+    #[test]
+    fn cancellation_fires_exact_complement(
+        times in proptest::collection::vec(0u64..10_000, 1..60),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 60),
+    ) {
+        let mut sched = Scheduler::new();
+        let fired: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut ids = Vec::new();
+        for (idx, at) in times.iter().enumerate() {
+            let fired = fired.clone();
+            ids.push(sched.schedule_at(Timestamp::from_millis(*at), move |_| {
+                fired.lock().unwrap().push(idx);
+            }));
+        }
+        let mut expected: Vec<usize> = Vec::new();
+        for (idx, id) in ids.iter().enumerate() {
+            if cancel_mask[idx % cancel_mask.len()] {
+                sched.cancel(*id);
+            } else {
+                expected.push(idx);
+            }
+        }
+        sched.run();
+        let mut fired = fired.lock().unwrap().clone();
+        fired.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(fired, expected);
+    }
+
+    /// Recurring timers tick exactly floor(window / period) times.
+    #[test]
+    fn timer_tick_count_is_exact(period_s in 1u64..120, window_s in 0u64..4_000) {
+        let mut sched = Scheduler::new();
+        let ticks = Arc::new(Mutex::new(0u64));
+        let t = ticks.clone();
+        let handle = sensocial_runtime::Timer::start(
+            &mut sched,
+            SimDuration::from_secs(period_s),
+            move |_| *t.lock().unwrap() += 1,
+        );
+        sched.run_until(Timestamp::from_secs(window_s));
+        handle.stop();
+        prop_assert_eq!(*ticks.lock().unwrap(), window_s / period_s);
+    }
+}

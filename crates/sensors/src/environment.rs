@@ -1,0 +1,147 @@
+//! Ground-truth device environment.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sensocial_types::{GeoPoint, PhysicalActivity};
+
+#[derive(Debug, Clone)]
+struct State {
+    position: GeoPoint,
+    activity: PhysicalActivity,
+    ambient_audio: f64,
+    visible_aps: Vec<(String, i32)>,
+    nearby_bluetooth: Vec<String>,
+}
+
+/// The physical ground truth a virtual device is embedded in.
+///
+/// Sensors *sample* this state (with noise); mobility and activity models
+/// *drive* it. Cloneable handle — drivers and sensors share one state.
+///
+/// # Example
+///
+/// ```
+/// use sensocial_sensors::DeviceEnvironment;
+/// use sensocial_types::{geo::cities, PhysicalActivity};
+///
+/// let env = DeviceEnvironment::new(cities::bordeaux());
+/// env.set_activity(PhysicalActivity::Walking);
+/// assert_eq!(env.activity(), PhysicalActivity::Walking);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeviceEnvironment {
+    state: Arc<Mutex<State>>,
+}
+
+impl DeviceEnvironment {
+    /// Creates an environment at `position`, still, in a quiet place, with
+    /// no visible radio neighbours.
+    pub fn new(position: GeoPoint) -> Self {
+        DeviceEnvironment {
+            state: Arc::new(Mutex::new(State {
+                position,
+                activity: PhysicalActivity::Still,
+                ambient_audio: 0.05,
+                visible_aps: Vec::new(),
+                nearby_bluetooth: Vec::new(),
+            })),
+        }
+    }
+
+    /// The true position.
+    pub fn position(&self) -> GeoPoint {
+        self.state.lock().position
+    }
+
+    /// Moves the device.
+    pub fn set_position(&self, position: GeoPoint) {
+        self.state.lock().position = position;
+    }
+
+    /// The true physical activity.
+    pub fn activity(&self) -> PhysicalActivity {
+        self.state.lock().activity
+    }
+
+    /// Sets the true physical activity. Walking/running also raises the
+    /// ambient audio slightly (footsteps, wind) unless audio was explicitly
+    /// set louder.
+    pub fn set_activity(&self, activity: PhysicalActivity) {
+        self.state.lock().activity = activity;
+    }
+
+    /// Ambient audio RMS level in `[0, 1]`.
+    pub fn ambient_audio(&self) -> f64 {
+        self.state.lock().ambient_audio
+    }
+
+    /// Sets the ambient audio level (clamped to `[0, 1]`).
+    pub fn set_ambient_audio(&self, level: f64) {
+        self.state.lock().ambient_audio = level.clamp(0.0, 1.0);
+    }
+
+    /// Access points currently in radio range, as `(bssid, rssi_dbm)`.
+    pub fn visible_aps(&self) -> Vec<(String, i32)> {
+        self.state.lock().visible_aps.clone()
+    }
+
+    /// Replaces the visible access points.
+    pub fn set_visible_aps(&self, aps: Vec<(String, i32)>) {
+        self.state.lock().visible_aps = aps;
+    }
+
+    /// Bluetooth devices currently nearby.
+    pub fn nearby_bluetooth(&self) -> Vec<String> {
+        self.state.lock().nearby_bluetooth.clone()
+    }
+
+    /// Replaces the nearby Bluetooth devices.
+    pub fn set_nearby_bluetooth(&self, devices: Vec<String>) {
+        self.state.lock().nearby_bluetooth = devices;
+    }
+
+    /// Typical ground speed for the current activity, in m/s (still 0,
+    /// walking ~1.4, running ~3.3) — reported by GPS fixes.
+    pub fn ground_speed_mps(&self) -> f64 {
+        match self.activity() {
+            PhysicalActivity::Still => 0.0,
+            PhysicalActivity::Walking => 1.4,
+            PhysicalActivity::Running => 3.3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sensocial_types::geo::cities;
+
+    #[test]
+    fn state_round_trips() {
+        let env = DeviceEnvironment::new(cities::paris());
+        assert_eq!(env.position(), cities::paris());
+        env.set_position(cities::bordeaux());
+        assert_eq!(env.position(), cities::bordeaux());
+
+        env.set_activity(PhysicalActivity::Running);
+        assert_eq!(env.activity(), PhysicalActivity::Running);
+        assert!(env.ground_speed_mps() > 3.0);
+
+        env.set_ambient_audio(2.0);
+        assert_eq!(env.ambient_audio(), 1.0, "clamped");
+
+        env.set_visible_aps(vec![("ap1".into(), -40)]);
+        assert_eq!(env.visible_aps().len(), 1);
+        env.set_nearby_bluetooth(vec!["bt1".into(), "bt2".into()]);
+        assert_eq!(env.nearby_bluetooth().len(), 2);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let env = DeviceEnvironment::new(cities::paris());
+        let clone = env.clone();
+        clone.set_activity(PhysicalActivity::Walking);
+        assert_eq!(env.activity(), PhysicalActivity::Walking);
+    }
+}

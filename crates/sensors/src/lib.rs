@@ -1,0 +1,55 @@
+//! Virtual mobile sensors (ESSensorManager substitute).
+//!
+//! The paper's mobile middleware delegates raw sensing to the third-party
+//! ESSensorManager library, using its two modes: **one-off sensing** (for
+//! OSN-triggered streams) and **subscription-based sensing** (continuous,
+//! duty-cycled). This crate reproduces that library against a simulated
+//! physical world:
+//!
+//! * [`DeviceEnvironment`] — the ground truth a device is embedded in
+//!   (position, true physical activity, ambient audio level, visible WiFi
+//!   APs, nearby Bluetooth devices);
+//! * [`MobilityModel`] / [`ActivityModel`] — processes that move the ground
+//!   truth over virtual time (city routes for the Figure 2 scenario, a
+//!   Markov activity chain for still/walking/running);
+//! * per-modality signal synthesis: GPS fixes with accuracy noise,
+//!   accelerometer bursts whose magnitude statistics depend on the true
+//!   activity (so the stock classifier genuinely has to work), microphone
+//!   frames, WiFi/Bluetooth scans with dropout;
+//! * [`SensorManager`] — the ESSensorManager-shaped API: `sample_once`,
+//!   `subscribe`/`unsubscribe` with per-modality duty cycles, and battery
+//!   charging through [`BatteryMeter`](sensocial_energy::BatteryMeter) on
+//!   every sample.
+//!
+//! # Example
+//!
+//! ```
+//! use sensocial_runtime::{Scheduler, SimDuration, SimRng};
+//! use sensocial_sensors::{DeviceEnvironment, SensorManager};
+//! use sensocial_types::{geo::cities, Modality, PhysicalActivity, RawSample};
+//!
+//! let mut sched = Scheduler::new();
+//! let env = DeviceEnvironment::new(cities::paris());
+//! env.set_activity(PhysicalActivity::Running);
+//! let sensors = SensorManager::new(env, SimRng::seed_from(1));
+//!
+//! let burst = sensors.sample_once(&mut sched, Modality::Accelerometer);
+//! match burst {
+//!     RawSample::Accelerometer(samples) => assert!(!samples.is_empty()),
+//!     other => panic!("unexpected sample {other:?}"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod behavior;
+mod environment;
+mod manager;
+mod mobility;
+mod synth;
+
+pub use behavior::{ActivityDriver, ActivityModel};
+pub use environment::DeviceEnvironment;
+pub use manager::{SensorConfig, SensorManager, SensorSubscriptionId};
+pub use mobility::{MobilityDriver, MobilityModel};

@@ -1,0 +1,103 @@
+//! A virtual phone: environment + sensors + middleware client + meters.
+
+use sensocial::client::ClientManager;
+use sensocial_energy::{BatteryMeter, CpuMeter, MemoryProfiler};
+use sensocial_osn::UserActivityModel;
+use sensocial_runtime::{Scheduler, SimRng, TimerHandle};
+use sensocial_sensors::{
+    ActivityDriver, ActivityModel, DeviceEnvironment, MobilityDriver, MobilityModel, SensorManager,
+};
+use sensocial_types::{DeviceId, UserId};
+
+/// One simulated phone and everything attached to it.
+///
+/// Created through [`World::add_device`](crate::World::add_device); the
+/// handles here are all cloneable and shared with the underlying world.
+pub struct VirtualDevice {
+    /// The owning user.
+    pub user: UserId,
+    /// Device identifier.
+    pub device: DeviceId,
+    /// Ground-truth environment (move it, change activity, set ambience).
+    pub env: DeviceEnvironment,
+    /// The middleware's client-side manager.
+    pub manager: ClientManager,
+    /// The raw sensor manager (shared with `manager`).
+    pub sensors: SensorManager,
+    /// Battery account for this device.
+    pub battery: BatteryMeter,
+    /// CPU account for this device.
+    pub cpu: CpuMeter,
+    /// Memory account for this device.
+    pub memory: MemoryProfiler,
+    pub(crate) rng: SimRng,
+    pub(crate) mobility: Option<MobilityDriver>,
+    pub(crate) activity: Option<ActivityDriver>,
+    pub(crate) osn_activity: Option<sensocial_osn::ActivityDriverHandle>,
+    pub(crate) idle_timer: Option<TimerHandle>,
+}
+
+impl std::fmt::Debug for VirtualDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VirtualDevice")
+            .field("user", &self.user)
+            .field("device", &self.device)
+            .finish_non_exhaustive()
+    }
+}
+
+impl VirtualDevice {
+    /// Starts a mobility model driving this device's position.
+    pub fn start_mobility(&mut self, sched: &mut Scheduler, model: MobilityModel) {
+        if let Some(old) = self.mobility.take() {
+            old.stop();
+        }
+        let rng = self.rng.split("mobility");
+        self.mobility = Some(MobilityDriver::start(sched, self.env.clone(), model, rng));
+    }
+
+    /// Stops the mobility model, if any.
+    pub fn stop_mobility(&mut self) {
+        if let Some(driver) = self.mobility.take() {
+            driver.stop();
+        }
+    }
+
+    /// Starts a physical-activity Markov chain on this device's user.
+    pub fn start_activity_model(&mut self, sched: &mut Scheduler, model: ActivityModel) {
+        if let Some(old) = self.activity.take() {
+            old.stop();
+        }
+        let rng = self.rng.split("activity");
+        self.activity = Some(ActivityDriver::start(sched, self.env.clone(), model, rng));
+    }
+
+    /// Starts a Poisson OSN activity generator for this device's user on
+    /// `platform`.
+    pub fn start_osn_activity(
+        &mut self,
+        sched: &mut Scheduler,
+        platform: &sensocial_osn::OsnPlatform,
+        model: UserActivityModel,
+    ) {
+        if let Some(old) = self.osn_activity.take() {
+            old.stop();
+        }
+        let rng = self.rng.split("osn-activity");
+        self.osn_activity = Some(model.start(sched, platform, self.user.clone(), rng));
+    }
+
+    /// Stops every driver attached to this device.
+    pub fn stop_all_drivers(&mut self) {
+        self.stop_mobility();
+        if let Some(a) = self.activity.take() {
+            a.stop();
+        }
+        if let Some(o) = self.osn_activity.take() {
+            o.stop();
+        }
+        if let Some(t) = self.idle_timer.take() {
+            t.stop();
+        }
+    }
+}

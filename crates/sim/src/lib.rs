@@ -1,0 +1,42 @@
+//! Scenario harness for SenSocial experiments.
+//!
+//! Wires the full deployment — simulated network, broker, server, OSN
+//! platform with plug-ins, and any number of virtual devices — into a
+//! [`World`] with one virtual clock, so examples, prototype applications
+//! and the benchmark harnesses can stand up the paper's evaluation
+//! settings in a few lines.
+//!
+//! Also hosts the **GAR baseline** ([`baseline::GarApp`]): the
+//! Google-Activity-Recognition-style comparison app the paper measures
+//! SenSocial against in Table 2 and Figure 4 — activity streaming written
+//! directly against the sensor substrate, no middleware.
+//!
+//! # Example
+//!
+//! ```
+//! use sensocial_sim::{World, WorldConfig};
+//! use sensocial::{Granularity, Modality, StreamSink, StreamSpec};
+//! use sensocial_runtime::SimDuration;
+//! use sensocial_types::geo::cities;
+//!
+//! let mut world = World::new(WorldConfig::default());
+//! world.add_device("alice", "alice-phone", cities::paris());
+//!
+//! let spec = StreamSpec::continuous(Modality::Accelerometer, Granularity::Classified)
+//!     .with_sink(StreamSink::Server);
+//! let stream = world.create_stream("alice-phone", spec).unwrap();
+//! # let _ = stream;
+//! world.run_for(SimDuration::from_mins(5));
+//! assert!(world.server.stats().uplink_events >= 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+mod device;
+pub mod metrics;
+mod world;
+
+pub use device::VirtualDevice;
+pub use world::{World, WorldConfig};

@@ -1,0 +1,73 @@
+//! Summary statistics for experiment reporting.
+
+/// Mean and (population) standard deviation of a sample, as the paper's
+/// tables report.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Smallest value.
+    pub min: f64,
+    /// Largest value.
+    pub max: f64,
+    /// Sample count.
+    pub count: usize,
+}
+
+/// Summarises a sample.
+///
+/// Returns a zeroed [`Summary`] for empty input.
+///
+/// # Example
+///
+/// ```
+/// use sensocial_sim::metrics::summarize;
+///
+/// let s = summarize(&[46.0, 47.0, 48.0]);
+/// assert!((s.mean - 47.0).abs() < 1e-9);
+/// assert_eq!(s.count, 3);
+/// ```
+pub fn summarize(values: &[f64]) -> Summary {
+    if values.is_empty() {
+        return Summary::default();
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+    Summary {
+        mean,
+        std_dev: var.sqrt(),
+        min: values.iter().copied().fold(f64::INFINITY, f64::min),
+        max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        count: values.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zeroed() {
+        assert_eq!(summarize(&[]), Summary::default());
+    }
+
+    #[test]
+    fn known_values() {
+        let s = summarize(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.count, 8);
+    }
+
+    #[test]
+    fn single_value() {
+        let s = summarize(&[3.5]);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.std_dev, 0.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! VirtualDevice driver management: starting, replacing and stopping the
+//! behaviour models attached to a phone.
+
+use sensocial_osn::UserActivityModel;
+use sensocial_runtime::SimDuration;
+use sensocial_sensors::{ActivityModel, MobilityModel};
+use sensocial_sim::{World, WorldConfig};
+use sensocial_types::geo::cities;
+
+#[test]
+fn mobility_driver_replacement_stops_the_old_route() {
+    let mut world = World::new(WorldConfig::default());
+    world.add_device("a", "a-phone", cities::bordeaux());
+
+    // Head to Paris...
+    world.with_device("a-phone", |sched, device| {
+        device.start_mobility(
+            sched,
+            MobilityModel::Route {
+                waypoints: vec![cities::paris()],
+                speed_mps: 1_000.0,
+            },
+        );
+    });
+    world.run_for(SimDuration::from_mins(2));
+    let midway = world.device("a-phone").unwrap().env.position();
+    assert!(midway.distance_m(cities::bordeaux()) > 50_000.0);
+
+    // ...then change plans: replacement must stop the old driver (a leaked
+    // driver would keep pulling towards Paris).
+    world.with_device("a-phone", |sched, device| {
+        device.start_mobility(sched, MobilityModel::Stationary);
+    });
+    world.run_for(SimDuration::from_secs(5));
+    let parked = world.device("a-phone").unwrap().env.position();
+    world.run_for(SimDuration::from_mins(10));
+    assert_eq!(world.device("a-phone").unwrap().env.position(), parked);
+}
+
+#[test]
+fn stop_all_drivers_freezes_the_device() {
+    let mut world = World::new(WorldConfig::default());
+    world.add_device("a", "a-phone", cities::paris());
+    let platform = world.platform.clone();
+    world.with_device("a-phone", |sched, device| {
+        device.start_mobility(
+            sched,
+            MobilityModel::RandomWaypoint {
+                center: cities::paris(),
+                radius_m: 5_000.0,
+                speed_mps: 30.0,
+            },
+        );
+        device.start_activity_model(sched, ActivityModel::default());
+        device.start_osn_activity(
+            sched,
+            &platform,
+            UserActivityModel {
+                actions_per_hour: 30.0,
+                ..UserActivityModel::default()
+            },
+        );
+    });
+    world.run_for(SimDuration::from_mins(30));
+    assert!(!world.platform.feed().is_empty(), "OSN activity generated");
+
+    world.device("a-phone").unwrap().stop_all_drivers();
+    let frozen_pos = world.device("a-phone").unwrap().env.position();
+    let frozen_activity = world.device("a-phone").unwrap().env.activity();
+    let feed_len = world.platform.feed().len();
+
+    world.run_for(SimDuration::from_mins(60));
+    let device = world.device("a-phone").unwrap();
+    assert_eq!(device.env.position(), frozen_pos);
+    assert_eq!(device.env.activity(), frozen_activity);
+    assert_eq!(world.platform.feed().len(), feed_len, "no more OSN actions");
+}
+
+#[test]
+fn world_accessors() {
+    let mut world = World::new(WorldConfig::default());
+    assert_eq!(world.device_count(), 0);
+    assert!(world.device("ghost-phone").is_none());
+    world.add_device("a", "a-phone", cities::paris());
+    world.add_device("b", "b-phone", cities::bordeaux());
+    assert_eq!(world.device_count(), 2);
+    let ids: Vec<String> = world
+        .device_ids()
+        .iter()
+        .map(|d| d.as_str().to_owned())
+        .collect();
+    assert_eq!(ids, vec!["a-phone", "b-phone"]);
+    assert!(world.config().charge_idle);
+}

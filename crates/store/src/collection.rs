@@ -1,0 +1,429 @@
+//! Collections: documents + indices + the query planner.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde_json::Value;
+use sensocial_types::{Error, Result};
+
+use crate::document::{lookup_path, Document, DocumentId};
+use crate::geo_index::GeoGridIndex;
+use crate::index::FieldIndex;
+use crate::query::{extract_point, Query};
+
+/// Counters describing collection activity, used to assert that the
+/// planner actually uses indices.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CollectionStats {
+    /// Documents inserted over the collection's lifetime.
+    pub inserts: u64,
+    /// Queries answered via an index.
+    pub index_scans: u64,
+    /// Queries answered by scanning every document.
+    pub full_scans: u64,
+}
+
+struct Inner {
+    name: String,
+    docs: BTreeMap<DocumentId, Value>,
+    next_id: u64,
+    field_indices: HashMap<String, FieldIndex>,
+    geo_indices: HashMap<String, GeoGridIndex>,
+    stats: CollectionStats,
+}
+
+/// A named collection of JSON documents.
+///
+/// Cloneable handle (clones share the collection). See the
+/// [crate-level example](crate).
+#[derive(Clone)]
+pub struct Collection {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl std::fmt::Debug for Collection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("Collection")
+            .field("name", &inner.name)
+            .field("len", &inner.docs.len())
+            .field("stats", &inner.stats)
+            .finish()
+    }
+}
+
+impl Collection {
+    /// Creates a standalone collection (outside any [`Database`]).
+    ///
+    /// [`Database`]: crate::Database
+    pub fn new(name: impl Into<String>) -> Self {
+        Collection {
+            inner: Arc::new(Mutex::new(Inner {
+                name: name.into(),
+                docs: BTreeMap::new(),
+                next_id: 0,
+                field_indices: HashMap::new(),
+                geo_indices: HashMap::new(),
+                stats: CollectionStats::default(),
+            })),
+        }
+    }
+
+    /// The collection name.
+    pub fn name(&self) -> String {
+        self.inner.lock().name.clone()
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.inner.lock().docs.len()
+    }
+
+    /// Whether the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> CollectionStats {
+        self.inner.lock().stats
+    }
+
+    /// Creates an ordered index on a (dotted) field path and backfills it.
+    /// Idempotent.
+    pub fn create_index(&self, field: &str) {
+        let mut inner = self.inner.lock();
+        if inner.field_indices.contains_key(field) {
+            return;
+        }
+        let mut index = FieldIndex::new();
+        for (id, body) in &inner.docs {
+            if let Some(value) = lookup_path(body, field) {
+                index.insert(value, *id);
+            }
+        }
+        inner.field_indices.insert(field.to_owned(), index);
+    }
+
+    /// Creates a geospatial grid index on a `{lat, lon}` field path and
+    /// backfills it. Idempotent.
+    pub fn create_geo_index(&self, field: &str) {
+        let mut inner = self.inner.lock();
+        if inner.geo_indices.contains_key(field) {
+            return;
+        }
+        let mut index = GeoGridIndex::new();
+        for (id, body) in &inner.docs {
+            if let Some(p) = extract_point(lookup_path(body, field)) {
+                index.insert(p, *id);
+            }
+        }
+        inner.geo_indices.insert(field.to_owned(), index);
+    }
+
+    /// Inserts a document, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidQuery`] if `body` is not a JSON object —
+    /// collections hold objects, as in MongoDB.
+    pub fn insert(&self, body: Value) -> Result<DocumentId> {
+        if !body.is_object() {
+            return Err(Error::InvalidQuery(
+                "documents must be JSON objects".to_owned(),
+            ));
+        }
+        let mut inner = self.inner.lock();
+        let id = DocumentId(inner.next_id);
+        inner.next_id += 1;
+        inner.stats.inserts += 1;
+        index_doc(&mut inner, id, &body, true);
+        inner.docs.insert(id, body);
+        Ok(id)
+    }
+
+    /// Fetches a document by id.
+    pub fn get(&self, id: DocumentId) -> Option<Document> {
+        self.inner
+            .lock()
+            .docs
+            .get(&id)
+            .map(|body| Document {
+                id,
+                body: body.clone(),
+            })
+    }
+
+    /// Finds all documents matching `query`, in id order.
+    pub fn find(&self, query: &Query) -> Vec<Document> {
+        let mut inner = self.inner.lock();
+        match plan(&inner, query) {
+            Some(mut candidates) => {
+                inner.stats.index_scans += 1;
+                // Index candidates arrive in key order; results are
+                // promised in id order.
+                candidates.sort_unstable();
+                candidates.dedup();
+                candidates
+                    .into_iter()
+                    .filter_map(|id| {
+                        inner.docs.get(&id).map(|body| Document {
+                            id,
+                            body: body.clone(),
+                        })
+                    })
+                    .filter(|doc| query.matches(doc))
+                    .collect()
+            }
+            None => {
+                inner.stats.full_scans += 1;
+                inner
+                    .docs
+                    .iter()
+                    .map(|(id, body)| Document {
+                        id: *id,
+                        body: body.clone(),
+                    })
+                    .filter(|doc| query.matches(doc))
+                    .collect()
+            }
+        }
+    }
+
+    /// Finds the first matching document (lowest id).
+    pub fn find_one(&self, query: &Query) -> Option<Document> {
+        self.find(query).into_iter().next()
+    }
+
+    /// Number of documents matching `query`.
+    pub fn count(&self, query: &Query) -> usize {
+        self.find(query).len()
+    }
+
+    /// Sets `fields` (dotted paths) on every document matching `query`,
+    /// creating intermediate objects as needed. Returns the number of
+    /// documents updated.
+    pub fn update_set(&self, query: &Query, fields: &[(&str, Value)]) -> usize {
+        let ids: Vec<DocumentId> = self.find(query).into_iter().map(|d| d.id).collect();
+        let mut inner = self.inner.lock();
+        for id in &ids {
+            if let Some(body) = inner.docs.get(id).cloned() {
+                index_doc(&mut inner, *id, &body, false);
+                let mut body = body;
+                for (path, value) in fields {
+                    set_path(&mut body, path, value.clone());
+                }
+                index_doc(&mut inner, *id, &body, true);
+                inner.docs.insert(*id, body);
+            }
+        }
+        ids.len()
+    }
+
+    /// Deletes every document matching `query`, returning how many were
+    /// removed.
+    pub fn delete(&self, query: &Query) -> usize {
+        let ids: Vec<DocumentId> = self.find(query).into_iter().map(|d| d.id).collect();
+        let mut inner = self.inner.lock();
+        for id in &ids {
+            if let Some(body) = inner.docs.remove(id) {
+                index_doc(&mut inner, *id, &body, false);
+            }
+        }
+        ids.len()
+    }
+}
+
+/// Adds (`add = true`) or removes a document from every index.
+fn index_doc(inner: &mut Inner, id: DocumentId, body: &Value, add: bool) {
+    for (field, index) in inner.field_indices.iter_mut() {
+        if let Some(value) = lookup_path(body, field) {
+            if add {
+                index.insert(value, id);
+            } else {
+                index.remove(value, id);
+            }
+        }
+    }
+    for (field, index) in inner.geo_indices.iter_mut() {
+        if let Some(p) = extract_point(lookup_path(body, field)) {
+            if add {
+                index.insert(p, id);
+            } else {
+                index.remove(p, id);
+            }
+        }
+    }
+}
+
+/// Returns candidate ids if some index can narrow the query, else `None`
+/// (full scan). Candidates are always *verified* against the full query, so
+/// a plan only needs to be a superset of the true matches **restricted to
+/// the planned predicate**; for `And` we may plan on any one conjunct.
+fn plan(inner: &Inner, query: &Query) -> Option<Vec<DocumentId>> {
+    match query {
+        Query::Cmp { field, op, value } => inner
+            .field_indices
+            .get(field)
+            .and_then(|idx| idx.candidates(*op, value)),
+        Query::In { field, values } => inner
+            .field_indices
+            .get(field)
+            .map(|idx| idx.candidates_in(values)),
+        Query::Near {
+            field,
+            center,
+            max_distance_m,
+        } => inner
+            .geo_indices
+            .get(field)
+            .and_then(|idx| idx.candidates(*center, *max_distance_m)),
+        Query::And(qs) => qs.iter().find_map(|q| plan(inner, q)),
+        _ => None,
+    }
+}
+
+/// Sets a dotted path inside a JSON object, creating objects along the way.
+fn set_path(body: &mut Value, path: &str, value: Value) {
+    let mut current = body;
+    let parts: Vec<&str> = path.split('.').collect();
+    for (i, part) in parts.iter().enumerate() {
+        if i == parts.len() - 1 {
+            if let Some(obj) = current.as_object_mut() {
+                obj.insert((*part).to_owned(), value);
+            }
+            return;
+        }
+        if !current.is_object() {
+            return;
+        }
+        let obj = current.as_object_mut().expect("checked above");
+        current = obj
+            .entry((*part).to_owned())
+            .or_insert_with(|| Value::Object(Default::default()));
+        if !current.is_object() {
+            *current = Value::Object(Default::default());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::CmpOp;
+    use serde_json::json;
+
+    fn seeded() -> Collection {
+        let c = Collection::new("users");
+        c.insert(json!({"name": "alice", "home": "Paris", "age": 30})).unwrap();
+        c.insert(json!({"name": "bob", "home": "Bordeaux", "age": 24})).unwrap();
+        c.insert(json!({"name": "carol", "home": "Paris", "age": 41})).unwrap();
+        c
+    }
+
+    #[test]
+    fn insert_find_get() {
+        let c = seeded();
+        assert_eq!(c.len(), 3);
+        let parisians = c.find(&Query::eq("home", "Paris"));
+        assert_eq!(parisians.len(), 2);
+        let first = c.find_one(&Query::eq("name", "bob")).unwrap();
+        assert_eq!(c.get(first.id).unwrap().body["home"], "Bordeaux");
+    }
+
+    #[test]
+    fn non_object_rejected() {
+        let c = Collection::new("x");
+        assert!(c.insert(json!(42)).is_err());
+        assert!(c.insert(json!([1, 2])).is_err());
+    }
+
+    #[test]
+    fn indexed_and_unindexed_agree() {
+        let c = seeded();
+        let unindexed = c.find(&Query::eq("home", "Paris"));
+        c.create_index("home");
+        let indexed = c.find(&Query::eq("home", "Paris"));
+        assert_eq!(unindexed, indexed);
+        let stats = c.stats();
+        assert_eq!(stats.index_scans, 1);
+        assert_eq!(stats.full_scans, 1);
+    }
+
+    #[test]
+    fn range_queries_use_index() {
+        let c = seeded();
+        c.create_index("age");
+        let adults = c.find(&Query::cmp("age", CmpOp::Gte, 30));
+        assert_eq!(adults.len(), 2);
+        assert_eq!(c.stats().index_scans, 1);
+    }
+
+    #[test]
+    fn and_plans_on_any_indexed_conjunct() {
+        let c = seeded();
+        c.create_index("home");
+        let q = Query::and(vec![
+            Query::cmp("age", CmpOp::Lt, 40),
+            Query::eq("home", "Paris"),
+        ]);
+        let got = c.find(&q);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].body["name"], "alice");
+        assert_eq!(c.stats().index_scans, 1);
+    }
+
+    #[test]
+    fn update_set_rewrites_and_reindexes() {
+        let c = seeded();
+        c.create_index("home");
+        let n = c.update_set(&Query::eq("name", "bob"), &[("home", json!("Paris"))]);
+        assert_eq!(n, 1);
+        assert_eq!(c.count(&Query::eq("home", "Paris")), 3);
+        assert_eq!(c.count(&Query::eq("home", "Bordeaux")), 0);
+    }
+
+    #[test]
+    fn update_set_creates_nested_paths() {
+        let c = seeded();
+        c.update_set(&Query::eq("name", "alice"), &[("profile.city", json!("Paris"))]);
+        let alice = c.find_one(&Query::eq("name", "alice")).unwrap();
+        assert_eq!(alice.body["profile"]["city"], "Paris");
+    }
+
+    #[test]
+    fn delete_removes_and_unindexes() {
+        let c = seeded();
+        c.create_index("home");
+        assert_eq!(c.delete(&Query::eq("home", "Paris")), 2);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.count(&Query::eq("home", "Paris")), 0);
+    }
+
+    #[test]
+    fn geo_index_agrees_with_scan() {
+        use sensocial_types::geo::cities;
+        let c = Collection::new("locations");
+        let paris = cities::paris();
+        for i in 0..40 {
+            let p = paris.offset(400.0 * i as f64, (i * 53 % 360) as f64);
+            c.insert(json!({"user": i, "loc": {"lat": p.lat, "lon": p.lon}}))
+                .unwrap();
+        }
+        let q = Query::near("loc", paris, 2_500.0);
+        let scan = c.find(&q);
+        c.create_geo_index("loc");
+        let indexed = c.find(&q);
+        assert_eq!(scan, indexed);
+        assert!(!indexed.is_empty());
+        assert_eq!(c.stats().index_scans, 1);
+    }
+
+    #[test]
+    fn count_matches_find_len() {
+        let c = seeded();
+        assert_eq!(c.count(&Query::All), 3);
+        assert_eq!(c.count(&Query::eq("home", "Paris")), 2);
+    }
+}

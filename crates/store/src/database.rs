@@ -1,0 +1,108 @@
+//! Named collections under one database handle.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::collection::Collection;
+
+/// A database: a namespace of [`Collection`]s.
+///
+/// Cloneable handle. Collections are created lazily on first access, like
+/// MongoDB's.
+///
+/// # Example
+///
+/// ```
+/// use sensocial_store::Database;
+/// use serde_json::json;
+///
+/// let db = Database::new("sensocial");
+/// db.collection("users").insert(json!({"name": "alice"})).unwrap();
+/// assert_eq!(db.collection("users").len(), 1);
+/// assert_eq!(db.collection_names(), vec!["users".to_owned()]);
+/// ```
+#[derive(Clone)]
+pub struct Database {
+    name: String,
+    collections: Arc<Mutex<HashMap<String, Collection>>>,
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("name", &self.name)
+            .field("collections", &self.collections.lock().len())
+            .finish()
+    }
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new(name: impl Into<String>) -> Self {
+        Database {
+            name: name.into(),
+            collections: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// The database name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Returns the collection called `name`, creating it if absent. The
+    /// returned handle shares state with all other handles to the same
+    /// collection.
+    pub fn collection(&self, name: &str) -> Collection {
+        self.collections
+            .lock()
+            .entry(name.to_owned())
+            .or_insert_with(|| Collection::new(name))
+            .clone()
+    }
+
+    /// Names of all collections, sorted.
+    pub fn collection_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.collections.lock().keys().cloned().collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Drops a collection, returning whether it existed.
+    pub fn drop_collection(&self, name: &str) -> bool {
+        self.collections.lock().remove(name).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn collections_are_shared_between_handles() {
+        let db = Database::new("test");
+        let a = db.collection("c");
+        let b = db.collection("c");
+        a.insert(json!({"x": 1})).unwrap();
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn drop_collection_removes() {
+        let db = Database::new("test");
+        db.collection("gone");
+        assert!(db.drop_collection("gone"));
+        assert!(!db.drop_collection("gone"));
+        assert!(db.collection_names().is_empty());
+    }
+
+    #[test]
+    fn name_accessors() {
+        let db = Database::new("sensocial");
+        assert_eq!(db.name(), "sensocial");
+        assert_eq!(db.collection("users").name(), "users");
+    }
+}

@@ -1,0 +1,74 @@
+//! Documents and document ids.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+
+/// Identifies a document within its collection, assigned at insert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DocumentId(pub(crate) u64);
+
+impl DocumentId {
+    /// The numeric value.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for DocumentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "doc#{}", self.0)
+    }
+}
+
+/// A stored document: an id plus a JSON object body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Document {
+    /// The document's id within its collection.
+    pub id: DocumentId,
+    /// The JSON object body.
+    pub body: Value,
+}
+
+impl Document {
+    /// Reads a (possibly dotted) field path from the body, e.g.
+    /// `"profile.city"`. Returns `None` when any path component is missing
+    /// or a non-object is traversed.
+    pub fn field(&self, path: &str) -> Option<&Value> {
+        lookup_path(&self.body, path)
+    }
+}
+
+/// Resolves a dotted path inside a JSON value.
+pub(crate) fn lookup_path<'v>(value: &'v Value, path: &str) -> Option<&'v Value> {
+    let mut current = value;
+    for part in path.split('.') {
+        current = current.as_object()?.get(part)?;
+    }
+    Some(current)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn field_paths_resolve() {
+        let doc = Document {
+            id: DocumentId(1),
+            body: json!({"a": {"b": {"c": 7}}, "top": "x"}),
+        };
+        assert_eq!(doc.field("top"), Some(&json!("x")));
+        assert_eq!(doc.field("a.b.c"), Some(&json!(7)));
+        assert_eq!(doc.field("a.b"), Some(&json!({"c": 7})));
+        assert_eq!(doc.field("a.missing"), None);
+        assert_eq!(doc.field("top.deeper"), None);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(DocumentId(4).to_string(), "doc#4");
+    }
+}

@@ -1,0 +1,161 @@
+//! Geospatial grid index.
+//!
+//! MongoDB's 2d indices let SenSocial's server answer "which users are near
+//! X" without scanning every location record. This grid index buckets
+//! points into 0.1°×0.1° cells; a `$near` query enumerates the cells
+//! overlapping the query circle's bounding box and verifies candidates with
+//! the exact haversine distance.
+
+use std::collections::{BTreeSet, HashMap};
+
+use sensocial_types::GeoPoint;
+
+use crate::document::DocumentId;
+
+/// Grid cell edge, in degrees (~11 km of latitude).
+const CELL_DEG: f64 = 0.1;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Cell {
+    lat: i32,
+    lon: i32,
+}
+
+fn cell_of(point: GeoPoint) -> Cell {
+    Cell {
+        lat: (point.lat / CELL_DEG).floor() as i32,
+        lon: (point.lon / CELL_DEG).floor() as i32,
+    }
+}
+
+/// A grid index over one `{lat, lon}` field.
+#[derive(Debug, Default)]
+pub(crate) struct GeoGridIndex {
+    cells: HashMap<Cell, BTreeSet<DocumentId>>,
+}
+
+impl GeoGridIndex {
+    pub(crate) fn new() -> Self {
+        GeoGridIndex::default()
+    }
+
+    pub(crate) fn insert(&mut self, point: GeoPoint, id: DocumentId) {
+        self.cells.entry(cell_of(point)).or_default().insert(id);
+    }
+
+    pub(crate) fn remove(&mut self, point: GeoPoint, id: DocumentId) {
+        let cell = cell_of(point);
+        if let Some(set) = self.cells.get_mut(&cell) {
+            set.remove(&id);
+            if set.is_empty() {
+                self.cells.remove(&cell);
+            }
+        }
+    }
+
+    /// Ids in cells overlapping the bounding box of the query circle, or
+    /// `None` when the box cannot be expressed on the grid (near the poles
+    /// or across the antimeridian) and the caller must full-scan.
+    pub(crate) fn candidates(
+        &self,
+        center: GeoPoint,
+        max_distance_m: f64,
+    ) -> Option<Vec<DocumentId>> {
+        // Degrees of latitude per metre is constant; longitude shrinks with
+        // cos(lat).
+        let dlat = max_distance_m / 111_320.0;
+        let cos_lat = center.lat.to_radians().cos();
+        if cos_lat < 0.05 {
+            return None; // Too close to a pole for the box approximation.
+        }
+        let dlon = max_distance_m / (111_320.0 * cos_lat);
+        let (lat_min, lat_max) = (center.lat - dlat, center.lat + dlat);
+        let (lon_min, lon_max) = (center.lon - dlon, center.lon + dlon);
+        if lon_min < -180.0 || lon_max > 180.0 || lat_min < -90.0 || lat_max > 90.0 {
+            return None; // Crosses the antimeridian or a pole: full scan.
+        }
+        let lat_lo = (lat_min / CELL_DEG).floor() as i32;
+        let lat_hi = (lat_max / CELL_DEG).floor() as i32;
+        let lon_lo = (lon_min / CELL_DEG).floor() as i32;
+        let lon_hi = (lon_max / CELL_DEG).floor() as i32;
+        // Bound the number of touched cells; a continental-scale query is
+        // better served by a scan.
+        let cell_count = (i64::from(lat_hi - lat_lo) + 1) * (i64::from(lon_hi - lon_lo) + 1);
+        if cell_count > 10_000 {
+            return None;
+        }
+        let mut out = BTreeSet::new();
+        for lat in lat_lo..=lat_hi {
+            for lon in lon_lo..=lon_hi {
+                if let Some(ids) = self.cells.get(&Cell { lat, lon }) {
+                    out.extend(ids.iter().copied());
+                }
+            }
+        }
+        Some(out.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sensocial_types::geo::cities;
+
+    fn id(n: u64) -> DocumentId {
+        DocumentId(n)
+    }
+
+    #[test]
+    fn nearby_points_are_candidates() {
+        let mut idx = GeoGridIndex::new();
+        let paris = cities::paris();
+        idx.insert(paris, id(1));
+        idx.insert(paris.offset(500.0, 90.0), id(2));
+        idx.insert(cities::bordeaux(), id(3));
+        let got = idx.candidates(paris, 2_000.0).unwrap();
+        assert!(got.contains(&id(1)) && got.contains(&id(2)));
+        assert!(!got.contains(&id(3)));
+    }
+
+    #[test]
+    fn candidates_are_superset_of_true_matches() {
+        // Grid candidates may include false positives (same cell, farther
+        // than the radius) but must never miss a true match.
+        let mut idx = GeoGridIndex::new();
+        let paris = cities::paris();
+        let mut inside = Vec::new();
+        for i in 0..60 {
+            let p = paris.offset(100.0 * i as f64, (i * 37 % 360) as f64);
+            idx.insert(p, id(i));
+            if paris.distance_m(p) <= 3_000.0 {
+                inside.push(id(i));
+            }
+        }
+        let got = idx.candidates(paris, 3_000.0).unwrap();
+        for want in inside {
+            assert!(got.contains(&want), "missing {want}");
+        }
+    }
+
+    #[test]
+    fn antimeridian_falls_back_to_scan() {
+        let idx = GeoGridIndex::new();
+        let near_line = GeoPoint::new(0.0, 179.99);
+        assert!(idx.candidates(near_line, 50_000.0).is_none());
+    }
+
+    #[test]
+    fn polar_queries_fall_back_to_scan() {
+        let idx = GeoGridIndex::new();
+        assert!(idx.candidates(GeoPoint::new(89.9, 0.0), 1_000.0).is_none());
+    }
+
+    #[test]
+    fn remove_works() {
+        let mut idx = GeoGridIndex::new();
+        let p = cities::paris();
+        idx.insert(p, id(1));
+        idx.remove(p, id(1));
+        assert!(idx.candidates(p, 1_000.0).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,49 @@
+//! In-memory document store with Mongo-style queries (MongoDB substitute).
+//!
+//! SenSocial's server "uses a MongoDB database to store the information
+//! about user registration, user's OSN friendship and geographic location
+//! information" and leans on Mongo's native geospatial querying for "fast
+//! return of nearby users or those located within a certain area" (paper
+//! §4–§5). This crate reproduces the slice of MongoDB the middleware uses:
+//!
+//! * schemaless JSON documents ([`Document`]) in named collections inside a
+//!   [`Database`];
+//! * a typed query language ([`Query`]) covering `$eq`-style comparisons,
+//!   `$in`, `$exists`, `$and/$or/$not`, and the geospatial operators
+//!   `$near` (centre + max distance) and `$within` (fence);
+//! * field **indices** (hash for equality, ordered for ranges) and a
+//!   geospatial grid index, consulted automatically by the query planner —
+//!   with the invariant, property-tested, that an indexed plan returns
+//!   exactly the full-scan result;
+//! * atomic-enough `update_set` / `delete` with query predicates.
+//!
+//! # Example
+//!
+//! ```
+//! use sensocial_store::{Database, Query};
+//! use serde_json::json;
+//!
+//! let db = Database::new("sensocial");
+//! let users = db.collection("users");
+//! users.insert(json!({"name": "alice", "home": "Paris", "age": 30})).unwrap();
+//! users.insert(json!({"name": "bob", "home": "Bordeaux", "age": 24})).unwrap();
+//!
+//! let parisians = users.find(&Query::eq("home", "Paris"));
+//! assert_eq!(parisians.len(), 1);
+//! assert_eq!(parisians[0].body["name"], "alice");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod collection;
+mod database;
+mod document;
+mod geo_index;
+mod index;
+mod query;
+
+pub use collection::{Collection, CollectionStats};
+pub use database::Database;
+pub use document::{Document, DocumentId};
+pub use query::{CmpOp, Query};

@@ -1,0 +1,146 @@
+//! Property-based tests: indexed query plans return exactly the full-scan
+//! result, for every supported operator.
+
+use proptest::prelude::*;
+use sensocial_store::{CmpOp, Collection, Query};
+use serde_json::{json, Value};
+
+#[derive(Debug, Clone)]
+struct Row {
+    home: String,
+    age: i64,
+    lat: f64,
+    lon: f64,
+}
+
+fn arb_row() -> impl Strategy<Value = Row> {
+    (
+        prop_oneof![
+            Just("Paris".to_owned()),
+            Just("Bordeaux".to_owned()),
+            Just("Birmingham".to_owned()),
+            "[a-z]{3,8}".prop_map(|s| s),
+        ],
+        0i64..100,
+        44.0f64..52.0,
+        -1.0f64..3.0,
+    )
+        .prop_map(|(home, age, lat, lon)| Row { home, age, lat, lon })
+}
+
+fn build(rows: &[Row], indexed: bool) -> Collection {
+    let c = Collection::new("rows");
+    if indexed {
+        c.create_index("home");
+        c.create_index("age");
+        c.create_geo_index("loc");
+    }
+    for r in rows {
+        c.insert(json!({
+            "home": r.home,
+            "age": r.age,
+            "loc": {"lat": r.lat, "lon": r.lon},
+        }))
+        .unwrap();
+    }
+    c
+}
+
+fn ids(docs: Vec<sensocial_store::Document>) -> Vec<u64> {
+    docs.into_iter().map(|d| d.id.value()).collect()
+}
+
+fn arb_cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Gte),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Lte),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn string_eq_plans_match_scans(rows in proptest::collection::vec(arb_row(), 0..60)) {
+        let plain = build(&rows, false);
+        let indexed = build(&rows, true);
+        for city in ["Paris", "Bordeaux", "nowhere"] {
+            let q = Query::eq("home", city);
+            prop_assert_eq!(ids(plain.find(&q)), ids(indexed.find(&q)));
+        }
+    }
+
+    #[test]
+    fn numeric_range_plans_match_scans(
+        rows in proptest::collection::vec(arb_row(), 0..60),
+        pivot in 0i64..100,
+        op in arb_cmp_op(),
+    ) {
+        let plain = build(&rows, false);
+        let indexed = build(&rows, true);
+        let q = Query::cmp("age", op, pivot);
+        prop_assert_eq!(ids(plain.find(&q)), ids(indexed.find(&q)));
+    }
+
+    #[test]
+    fn in_plans_match_scans(rows in proptest::collection::vec(arb_row(), 0..60)) {
+        let plain = build(&rows, false);
+        let indexed = build(&rows, true);
+        let q = Query::is_in("home", vec![json!("Paris"), json!("Birmingham")]);
+        prop_assert_eq!(ids(plain.find(&q)), ids(indexed.find(&q)));
+    }
+
+    #[test]
+    fn near_plans_match_scans(
+        rows in proptest::collection::vec(arb_row(), 0..60),
+        clat in 45.0f64..51.0,
+        clon in -0.5f64..2.5,
+        radius in 1_000.0f64..300_000.0,
+    ) {
+        let plain = build(&rows, false);
+        let indexed = build(&rows, true);
+        let center = sensocial_types::GeoPoint::new(clat, clon);
+        let q = Query::near("loc", center, radius);
+        prop_assert_eq!(ids(plain.find(&q)), ids(indexed.find(&q)));
+    }
+
+    #[test]
+    fn and_plans_match_scans(
+        rows in proptest::collection::vec(arb_row(), 0..60),
+        pivot in 0i64..100,
+    ) {
+        let plain = build(&rows, false);
+        let indexed = build(&rows, true);
+        let q = Query::and(vec![
+            Query::eq("home", "Paris"),
+            Query::cmp("age", CmpOp::Gte, pivot),
+        ]);
+        prop_assert_eq!(ids(plain.find(&q)), ids(indexed.find(&q)));
+    }
+
+    #[test]
+    fn delete_then_find_is_empty(rows in proptest::collection::vec(arb_row(), 1..40)) {
+        let c = build(&rows, true);
+        let q = Query::eq("home", rows[0].home.clone());
+        let deleted = c.delete(&q);
+        prop_assert!(deleted >= 1);
+        prop_assert!(c.find(&q).is_empty());
+    }
+
+    #[test]
+    fn update_moves_documents_between_query_results(
+        rows in proptest::collection::vec(arb_row(), 1..40),
+    ) {
+        let c = build(&rows, true);
+        let from = Query::eq("home", rows[0].home.clone());
+        let before = c.count(&from);
+        let moved = c.update_set(&from, &[("home", Value::from("Atlantis"))]);
+        prop_assert_eq!(before, moved);
+        prop_assert_eq!(c.count(&from), 0);
+        prop_assert_eq!(c.count(&Query::eq("home", "Atlantis")), moved);
+    }
+}

@@ -1,0 +1,83 @@
+//! The common error type shared across the SenSocial crates.
+
+use std::fmt;
+
+/// Convenience alias for results carrying [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by the SenSocial middleware and its substrates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A modality name failed to parse.
+    UnknownModality(String),
+    /// A referenced user is not registered with the server.
+    UnknownUser(String),
+    /// A referenced device is not registered with the server.
+    UnknownDevice(String),
+    /// A referenced stream does not exist (or was destroyed).
+    UnknownStream(u64),
+    /// A stream configuration was rejected as malformed.
+    InvalidConfig(String),
+    /// A privacy policy denied the requested modality/granularity.
+    PrivacyDenied {
+        /// The denied modality's name.
+        modality: String,
+        /// The denied granularity's name.
+        granularity: String,
+    },
+    /// A broker client is not connected.
+    NotConnected(String),
+    /// A store query was malformed.
+    InvalidQuery(String),
+    /// The OSN platform rejected the request (e.g. unauthenticated user).
+    OsnError(String),
+    /// Any other error, with a description.
+    Other(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownModality(m) => write!(f, "unknown modality `{m}`"),
+            Error::UnknownUser(u) => write!(f, "unknown user `{u}`"),
+            Error::UnknownDevice(d) => write!(f, "unknown device `{d}`"),
+            Error::UnknownStream(s) => write!(f, "unknown stream #{s}"),
+            Error::InvalidConfig(msg) => write!(f, "invalid stream configuration: {msg}"),
+            Error::PrivacyDenied {
+                modality,
+                granularity,
+            } => write!(
+                f,
+                "privacy policy denies {granularity} data from {modality}"
+            ),
+            Error::NotConnected(c) => write!(f, "broker client `{c}` is not connected"),
+            Error::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            Error::OsnError(msg) => write!(f, "OSN platform error: {msg}"),
+            Error::Other(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = Error::PrivacyDenied {
+            modality: "location".into(),
+            granularity: "raw".into(),
+        };
+        assert_eq!(e.to_string(), "privacy policy denies raw data from location");
+        assert!(Error::UnknownStream(3).to_string().contains("#3"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<Error>();
+    }
+}

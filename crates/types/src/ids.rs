@@ -1,0 +1,203 @@
+//! Newtype identifiers.
+//!
+//! SenSocial's server keeps `User` instances with registration information,
+//! `Device` instances with device identification, and the associated
+//! `Stream` instances (paper §4, "Integration with OSNs"). Distinct newtypes
+//! keep these id spaces from being mixed up at compile time.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! string_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(String);
+
+        impl $name {
+            /// Creates an id from an arbitrary string.
+            pub fn new(id: impl Into<String>) -> Self {
+                $name(id.into())
+            }
+
+            /// The id as a string slice.
+            pub fn as_str(&self) -> &str {
+                &self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, ":{}"), self.0)
+            }
+        }
+
+        impl From<&str> for $name {
+            fn from(s: &str) -> Self {
+                $name(s.to_owned())
+            }
+        }
+
+        impl From<String> for $name {
+            fn from(s: String) -> Self {
+                $name(s)
+            }
+        }
+
+        impl AsRef<str> for $name {
+            fn as_ref(&self) -> &str {
+                &self.0
+            }
+        }
+    };
+}
+
+string_id!(
+    /// Identifies a registered SenSocial user across the OSN, the server
+    /// registry and the mobile clients.
+    UserId,
+    "user"
+);
+
+string_id!(
+    /// Identifies a physical (here: virtual) mobile device. A user may own
+    /// several devices; streams are created on devices.
+    DeviceId,
+    "device"
+);
+
+macro_rules! numeric_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Creates an id with an explicit numeric value.
+            pub const fn new(id: u64) -> Self {
+                $name(id)
+            }
+
+            /// The numeric value.
+            pub const fn value(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "#{}"), self.0)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(v: u64) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+numeric_id!(
+    /// Identifies a sensor data stream (continuous or social-event-based),
+    /// unique within a middleware deployment.
+    StreamId,
+    "stream"
+);
+
+numeric_id!(
+    /// Identifies a filter attached to a stream or multicast stream.
+    FilterId,
+    "filter"
+);
+
+numeric_id!(
+    /// Identifies an application subscription registered through the
+    /// publish–subscribe API.
+    SubscriptionId,
+    "subscription"
+);
+
+numeric_id!(
+    /// Identifies a sensing trigger sent from the server to a mobile.
+    TriggerId,
+    "trigger"
+);
+
+/// Monotonic generator for the numeric id types.
+///
+/// # Example
+///
+/// ```
+/// use sensocial_types::ids::IdGenerator;
+/// use sensocial_types::StreamId;
+///
+/// let mut gen = IdGenerator::new();
+/// let a: StreamId = StreamId::new(gen.next_id());
+/// let b: StreamId = StreamId::new(gen.next_id());
+/// assert_ne!(a, b);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct IdGenerator {
+    next: u64,
+}
+
+impl IdGenerator {
+    /// Creates a generator starting at zero.
+    pub fn new() -> Self {
+        IdGenerator::default()
+    }
+
+    /// Returns the next unused numeric value.
+    pub fn next_id(&mut self) -> u64 {
+        let id = self.next;
+        self.next += 1;
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_ids_round_trip() {
+        let u = UserId::new("alice");
+        assert_eq!(u.as_str(), "alice");
+        assert_eq!(u, UserId::from("alice"));
+        assert_eq!(u.to_string(), "user:alice");
+        let d: DeviceId = String::from("phone-1").into();
+        assert_eq!(d.as_ref(), "phone-1");
+    }
+
+    #[test]
+    fn numeric_ids_are_distinct_types_with_values() {
+        let s = StreamId::new(7);
+        assert_eq!(s.value(), 7);
+        assert_eq!(s, StreamId::from(7));
+        assert_eq!(s.to_string(), "stream#7");
+        assert_eq!(TriggerId::new(3).to_string(), "trigger#3");
+    }
+
+    #[test]
+    fn generator_is_monotonic() {
+        let mut g = IdGenerator::new();
+        let ids: Vec<u64> = (0..5).map(|_| g.next_id()).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn ids_serialize_as_plain_values() {
+        let u = UserId::new("bob");
+        assert_eq!(serde_json::to_string(&u).unwrap(), "\"bob\"");
+        let s = StreamId::new(9);
+        assert_eq!(serde_json::to_string(&s).unwrap(), "9");
+        let back: StreamId = serde_json::from_str("9").unwrap();
+        assert_eq!(back, s);
+    }
+}

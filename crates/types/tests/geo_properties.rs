@@ -1,0 +1,66 @@
+//! Property-based tests for the geographic primitives.
+
+use proptest::prelude::*;
+use sensocial_types::{GeoFence, GeoPoint};
+
+fn arb_point() -> impl Strategy<Value = GeoPoint> {
+    // Stay away from the poles where the flat-earth offset degenerates.
+    (-80.0f64..80.0, -180.0f64..180.0).prop_map(|(lat, lon)| GeoPoint::new(lat, lon))
+}
+
+proptest! {
+    #[test]
+    fn distance_is_symmetric(a in arb_point(), b in arb_point()) {
+        let ab = a.distance_m(b);
+        let ba = b.distance_m(a);
+        prop_assert!((ab - ba).abs() < 1e-6);
+    }
+
+    #[test]
+    fn distance_is_nonnegative_and_zero_on_self(a in arb_point()) {
+        prop_assert!(a.distance_m(a) < 1e-9);
+    }
+
+    #[test]
+    fn triangle_inequality(a in arb_point(), b in arb_point(), c in arb_point()) {
+        let direct = a.distance_m(c);
+        let via = a.distance_m(b) + b.distance_m(c);
+        // Generous epsilon for floating-point error on near-degenerate triangles.
+        prop_assert!(direct <= via + 1e-6);
+    }
+
+    #[test]
+    fn offset_distance_is_close(a in arb_point(), d in 1.0f64..5_000.0, bearing in 0.0f64..360.0) {
+        let moved = a.offset(d, bearing);
+        let measured = a.distance_m(moved);
+        // Flat-earth approximation: allow 2% error at city scales.
+        prop_assert!((measured - d).abs() < d * 0.02 + 1.0,
+            "requested {d} measured {measured}");
+    }
+
+    #[test]
+    fn lerp_stays_between_endpoints(a in arb_point(), b in arb_point(), f in 0.0f64..1.0) {
+        let p = a.lerp(b, f);
+        let lo_lat = a.lat.min(b.lat) - 1e-9;
+        let hi_lat = a.lat.max(b.lat) + 1e-9;
+        prop_assert!(p.lat >= lo_lat && p.lat <= hi_lat);
+    }
+
+    #[test]
+    fn fence_contains_center_and_excludes_far_points(
+        center in arb_point(),
+        radius in 10.0f64..50_000.0,
+    ) {
+        let fence = GeoFence::new(center, radius);
+        prop_assert!(fence.contains(center));
+        let outside = center.offset(radius * 3.0 + 100.0, 42.0);
+        prop_assert!(!fence.contains(outside));
+    }
+
+    #[test]
+    fn points_serde_round_trip(a in arb_point()) {
+        let json = serde_json::to_string(&a).unwrap();
+        let back: GeoPoint = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(a, back);
+    }
+}

@@ -1,0 +1,81 @@
+//! ConWeb (paper §6.2): a Web page that re-renders against the user's
+//! momentary physical and social context.
+//!
+//! Alice reads the news while her day unfolds: sitting quietly at home,
+//! then out running in the noise of the city, then posting about music.
+//! Each change reaches the Web server through SenSocial's streams and the
+//! next auto-refresh renders an adapted page.
+//!
+//! Run with `cargo run -p sensocial-examples --bin conweb`.
+
+use sensocial_apps::conweb::web::{ConWebBrowser, WebServer};
+use sensocial_apps::conweb::with_middleware::{ConWebMobile, ConWebServer};
+use sensocial_examples::section;
+use sensocial_runtime::SimDuration;
+use sensocial_sim::{World, WorldConfig};
+use sensocial_types::{geo::cities, PhysicalActivity, UserId};
+
+fn show(browser: &ConWebBrowser) {
+    match browser.last_page() {
+        Some(page) => {
+            println!(
+                "  page '{}' | contrast={} | suggestion={}",
+                page["title"].as_str().unwrap_or("?"),
+                page["contrast"].as_str().unwrap_or("?"),
+                page["suggestion"].as_str().unwrap_or("none"),
+            );
+            println!("  body: {}", page["body"].as_str().unwrap_or(""));
+        }
+        None => println!("  (no page loaded yet)"),
+    }
+}
+
+fn main() {
+    let mut world = World::new(WorldConfig::default());
+    world.add_device("alice", "alice-phone", cities::paris());
+
+    section("Installing ConWeb: mobile streams + server context table + web server");
+    let manager = world.device("alice-phone").unwrap().manager.clone();
+    ConWebMobile::install(&mut world.sched, &manager).expect("streams install");
+    let server_app = ConWebServer::install(&world.server);
+    let web = WebServer::start(&world.net, "web", server_app.context.clone());
+    web.add_page(
+        "news",
+        "Today in Paris: the river rose, the bakers baked, and the trains mostly ran on time.",
+    );
+    let browser = ConWebBrowser::open(
+        &mut world.sched,
+        &world.net,
+        "alice-browser",
+        "web",
+        UserId::new("alice"),
+        "news",
+        SimDuration::from_secs(30),
+    );
+
+    section("Reading quietly at home");
+    world.run_for(SimDuration::from_mins(3));
+    show(&browser);
+
+    section("Out running through the noisy city");
+    {
+        let device = world.device("alice-phone").unwrap();
+        device.env.set_activity(PhysicalActivity::Running);
+        device.env.set_ambient_audio(0.7);
+    }
+    world.run_for(SimDuration::from_mins(3));
+    show(&browser);
+
+    section("Posting about music — the suggestion engine reacts");
+    world.post_about("alice", "music", "I love this new album!");
+    world.run_for(SimDuration::from_mins(3));
+    show(&browser);
+
+    section("Closing the browser");
+    browser.close();
+    println!(
+        "  pages served: {}, context rows: {}",
+        web.requests_served(),
+        server_app.context.len()
+    );
+}

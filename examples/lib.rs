@@ -1,0 +1,19 @@
+//! Shared helpers for the SenSocial examples.
+//!
+//! The runnable binaries live next to this file:
+//!
+//! * `quickstart` — the smallest useful program: one device, filtered
+//!   context streams, a listener;
+//! * `facebook_sensor_map` — the paper's §6.1 prototype over a simulated
+//!   user population;
+//! * `conweb` — the paper's §6.2 contextual Web browser;
+//! * `geo_notifications` — the paper's Figure 2 running example with a
+//!   mobility model driving the friend's journey;
+//! * `emotion_map` — the paper's introduction scenario: sentiment of OSN
+//!   posts joined with sensed physical context across a population.
+
+/// Prints a section header so example output reads as a narrative.
+pub fn section(title: &str) {
+    println!();
+    println!("== {title} ==");
+}

@@ -1,0 +1,4 @@
+//! Integration test support (the tests live in `tests/tests/`).
+//!
+//! This member crate exists so the workspace can host cross-crate
+//! integration suites at the repository root, per the project layout.
