@@ -1,6 +1,6 @@
 //! The broker itself: sessions, routing, retained messages, QoS-1 retries.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -21,6 +21,12 @@ pub struct BrokerConfig {
     /// Maximum messages queued for a disconnected session; older messages
     /// are dropped first when the queue overflows.
     pub offline_queue_limit: usize,
+    /// When a QoS-1 delivery exhausts its retries, requeue it on the
+    /// session's offline queue (and mark the session disconnected, since
+    /// the client is evidently unreachable) instead of abandoning it. The
+    /// message is then delivered on the client's next connect, so triggers
+    /// survive outages longer than the whole retry budget.
+    pub requeue_on_exhaust: bool,
 }
 
 impl Default for BrokerConfig {
@@ -29,6 +35,7 @@ impl Default for BrokerConfig {
             retry_timeout: SimDuration::from_secs(5),
             max_retries: 5,
             offline_queue_limit: 1_000,
+            requeue_on_exhaust: true,
         }
     }
 }
@@ -48,7 +55,20 @@ pub struct BrokerStats {
     pub unrouted: u64,
     /// QoS-1 deliveries abandoned after exhausting retries.
     pub abandoned: u64,
+    /// QoS-1 deliveries requeued to the offline queue after exhausting
+    /// retries ([`BrokerConfig::requeue_on_exhaust`]).
+    pub requeued: u64,
+    /// Inbound QoS-1 publishes dropped as duplicates of an
+    /// already-processed `(sender, message_id)` pair (a client retry whose
+    /// first copy was routed but whose ack was lost).
+    pub duplicate_publishes: u64,
+    /// Keepalive probes answered.
+    pub pings: u64,
 }
+
+/// Per-sender window of inbound QoS-1 message ids already routed, mirroring
+/// the client-side dedup window.
+const INBOUND_DEDUP_WINDOW: usize = 1_024;
 
 #[derive(Debug)]
 struct Session {
@@ -66,11 +86,36 @@ struct PendingDelivery {
     retries_left: u32,
 }
 
+/// Dedup window for one publishing client: the set of routed message ids
+/// and their arrival order for eviction.
+#[derive(Debug, Default)]
+struct InboundWindow {
+    seen: HashSet<u64>,
+    order: VecDeque<u64>,
+}
+
+impl InboundWindow {
+    /// Records `mid`; returns `true` if it was already in the window.
+    fn check_duplicate(&mut self, mid: u64) -> bool {
+        if !self.seen.insert(mid) {
+            return true;
+        }
+        self.order.push_back(mid);
+        if self.order.len() > INBOUND_DEDUP_WINDOW {
+            if let Some(old) = self.order.pop_front() {
+                self.seen.remove(&old);
+            }
+        }
+        false
+    }
+}
+
 struct Inner {
     endpoint: EndpointId,
     sessions: HashMap<String, Session>,
     retained: HashMap<String, String>,
     pending: HashMap<u64, PendingDelivery>,
+    inbound_seen: HashMap<String, InboundWindow>,
     next_message_id: u64,
     config: BrokerConfig,
     stats: BrokerStats,
@@ -108,6 +153,7 @@ impl Broker {
                 sessions: HashMap::new(),
                 retained: HashMap::new(),
                 pending: HashMap::new(),
+                inbound_seen: HashMap::new(),
                 next_message_id: 1,
                 config: BrokerConfig::default(),
                 stats: BrokerStats::default(),
@@ -167,12 +213,17 @@ impl Broker {
             Packet::PubAck { message_id, .. } => {
                 self.inner.lock().pending.remove(&message_id);
             }
+            Packet::PingReq { client_id } => self.on_ping(sched, client_id),
+            // Broker → client packets looping back are ignored.
+            Packet::ConnAck { .. } | Packet::PingResp { .. } => {}
         }
     }
 
     fn on_connect(&self, sched: &mut Scheduler, from: EndpointId, client_id: String) {
-        let flush: Vec<(String, String, QoS)> = {
+        let (flush, ack, broker_endpoint, endpoint) = {
             let mut inner = self.inner.lock();
+            let inner = &mut *inner;
+            let session_present = inner.sessions.contains_key(&client_id);
             let session = inner.sessions.entry(client_id.clone()).or_insert(Session {
                 endpoint: from.clone(),
                 connected: true,
@@ -181,10 +232,43 @@ impl Broker {
             });
             session.endpoint = from;
             session.connected = true;
-            session.offline.drain(..).collect()
+            let ack = Packet::ConnAck {
+                client_id: client_id.clone(),
+                session_present,
+            };
+            let flush: Vec<(String, String, QoS)> = session.offline.drain(..).collect();
+            (flush, ack, inner.endpoint.clone(), session.endpoint.clone())
         };
+        // The ConnAck leaves before the offline flush so a resuming client
+        // confirms its session ahead of the queued deliveries.
+        let _ = self
+            .network
+            .send(sched, &broker_endpoint, &endpoint, ack.to_wire());
         for (topic, payload, qos) in flush {
             self.deliver(sched, &client_id, &topic, &payload, qos);
+        }
+    }
+
+    fn on_ping(&self, sched: &mut Scheduler, client_id: String) {
+        let reply = {
+            let mut inner = self.inner.lock();
+            let inner = &mut *inner;
+            match inner.sessions.get(&client_id) {
+                Some(session) if session.connected => {
+                    inner.stats.pings += 1;
+                    Some((inner.endpoint.clone(), session.endpoint.clone()))
+                }
+                // Unknown or disconnected session: stay silent so the
+                // client's keepalive declares the connection lost and
+                // re-connects from scratch.
+                _ => None,
+            }
+        };
+        if let Some((broker_endpoint, endpoint)) = reply {
+            let resp = Packet::PingResp { client_id };
+            let _ = self
+                .network
+                .send(sched, &broker_endpoint, &endpoint, resp.to_wire());
         }
     }
 
@@ -226,15 +310,37 @@ impl Broker {
         retain: bool,
         sender: Option<String>,
     ) {
-        // Acknowledge the inbound leg first.
+        // Acknowledge the inbound leg first, then drop duplicates: a client
+        // whose first copy was routed but whose ack was lost will retry
+        // with the same (sender, message_id); re-routing that copy would
+        // hand subscribers a *fresh* downstream message id, defeating their
+        // dedup window and duplicating app-level deliveries.
         if qos == QoS::AtLeastOnce {
             if let Some(mid) = message_id {
                 let ack = Packet::PubAck {
                     message_id: mid,
                     client_id: None,
                 };
-                let endpoint = self.inner.lock().endpoint.clone();
+                let (endpoint, duplicate) = {
+                    let mut inner = self.inner.lock();
+                    let inner = &mut *inner;
+                    let duplicate = match &sender {
+                        Some(sender) => inner
+                            .inbound_seen
+                            .entry(sender.clone())
+                            .or_default()
+                            .check_duplicate(mid),
+                        None => false,
+                    };
+                    if duplicate {
+                        inner.stats.duplicate_publishes += 1;
+                    }
+                    (inner.endpoint.clone(), duplicate)
+                };
                 let _ = self.network.send(sched, &endpoint, &from, ack.to_wire());
+                if duplicate {
+                    return;
+                }
             }
         }
 
@@ -354,8 +460,33 @@ impl Broker {
                 return; // Acked in the meantime.
             };
             if pending.retries_left == 0 {
-                inner.pending.remove(&message_id);
-                inner.stats.abandoned += 1;
+                let pending = inner
+                    .pending
+                    .remove(&message_id)
+                    .expect("pending entry just matched");
+                if inner.config.requeue_on_exhaust {
+                    let limit = inner.config.offline_queue_limit;
+                    match inner.sessions.get_mut(&pending.client_id) {
+                        Some(session) => {
+                            // The client never acked across the whole retry
+                            // budget: treat its connection as dead and park
+                            // the delivery for its next connect.
+                            session.connected = false;
+                            if session.offline.len() >= limit {
+                                session.offline.pop_front();
+                            }
+                            session.offline.push_back((
+                                pending.topic,
+                                pending.payload,
+                                QoS::AtLeastOnce,
+                            ));
+                            inner.stats.requeued += 1;
+                        }
+                        None => inner.stats.abandoned += 1,
+                    }
+                } else {
+                    inner.stats.abandoned += 1;
+                }
                 (None, retry_timeout)
             } else {
                 pending.retries_left -= 1;

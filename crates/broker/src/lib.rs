@@ -60,6 +60,6 @@ mod packet;
 mod topic;
 
 pub use broker::{Broker, BrokerConfig, BrokerStats};
-pub use client::BrokerClient;
-pub use packet::{Packet, QoS};
+pub use client::{BrokerClient, ClientStats, ReconnectPolicy};
+pub use packet::{Packet, QoS, MAX_WIRE_LEN};
 pub use topic::TopicFilter;

@@ -38,9 +38,31 @@ pub enum Packet {
         /// The client's stable identifier.
         client_id: String,
     },
+    /// Broker → client: the session is open. `session_present` tells a
+    /// reconnecting client whether the broker still holds its subscriptions
+    /// (if not — e.g. after a broker restart — the client re-subscribes).
+    ConnAck {
+        /// The client's stable identifier.
+        client_id: String,
+        /// Whether the broker already knew this session.
+        session_present: bool,
+    },
     /// Client → broker: close the session's connection (the session and its
     /// subscriptions persist; deliveries queue until reconnect).
     Disconnect {
+        /// The client's stable identifier.
+        client_id: String,
+    },
+    /// Client → broker: keepalive probe. The broker answers with
+    /// [`Packet::PingResp`] only while it considers the session connected,
+    /// so missing responses signal a dead connection (or a broker that has
+    /// given up on us).
+    PingReq {
+        /// The client's stable identifier.
+        client_id: String,
+    },
+    /// Broker → client: keepalive response.
+    PingResp {
         /// The client's stable identifier.
         client_id: String,
     },
@@ -85,6 +107,11 @@ pub enum Packet {
     },
 }
 
+/// Upper bound on an accepted wire frame. Anything larger is rejected
+/// before JSON parsing — a corrupted length or a hostile peer must not make
+/// the broker buffer unbounded input.
+pub const MAX_WIRE_LEN: usize = 256 * 1024;
+
 impl Packet {
     /// Serializes the packet to its JSON wire form.
     pub fn to_wire(&self) -> Vec<u8> {
@@ -95,8 +122,16 @@ impl Packet {
     ///
     /// # Errors
     ///
-    /// Returns the underlying `serde_json` error for malformed bytes.
+    /// Returns an error for frames larger than [`MAX_WIRE_LEN`], and the
+    /// underlying `serde_json` error for malformed (e.g. truncated) bytes.
     pub fn from_wire(bytes: &[u8]) -> Result<Self, serde_json::Error> {
+        if bytes.len() > MAX_WIRE_LEN {
+            use serde::de::Error as _;
+            return Err(serde_json::Error::custom(format!(
+                "wire frame of {} bytes exceeds MAX_WIRE_LEN ({MAX_WIRE_LEN})",
+                bytes.len()
+            )));
+        }
         serde_json::from_slice(bytes)
     }
 }
@@ -128,6 +163,19 @@ mod tests {
                 message_id: 42,
                 client_id: Some("phone".into()),
             },
+            Packet::ConnAck {
+                client_id: "phone".into(),
+                session_present: true,
+            },
+            Packet::Disconnect {
+                client_id: "phone".into(),
+            },
+            Packet::PingReq {
+                client_id: "phone".into(),
+            },
+            Packet::PingResp {
+                client_id: "phone".into(),
+            },
         ];
         for p in packets {
             let wire = p.to_wire();
@@ -139,6 +187,45 @@ mod tests {
     fn malformed_wire_is_an_error() {
         assert!(Packet::from_wire(b"not json").is_err());
         assert!(Packet::from_wire(b"{\"type\":\"bogus\"}").is_err());
+    }
+
+    #[test]
+    fn truncated_wire_is_an_error() {
+        let wire = Packet::Publish {
+            topic: "a/b".into(),
+            payload: "payload".into(),
+            qos: QoS::AtLeastOnce,
+            message_id: Some(7),
+            retain: false,
+            sender: Some("phone".into()),
+        }
+        .to_wire();
+        // Every strict prefix must fail to parse, not mis-parse.
+        for cut in 0..wire.len() {
+            assert!(
+                Packet::from_wire(&wire[..cut]).is_err(),
+                "prefix of {cut} bytes parsed"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_wire_is_rejected() {
+        let huge = Packet::Publish {
+            topic: "a".into(),
+            payload: "x".repeat(MAX_WIRE_LEN),
+            qos: QoS::AtMostOnce,
+            message_id: None,
+            retain: false,
+            sender: None,
+        }
+        .to_wire();
+        assert!(huge.len() > MAX_WIRE_LEN);
+        let err = Packet::from_wire(&huge).unwrap_err();
+        assert!(err.to_string().contains("MAX_WIRE_LEN"));
+        // At the boundary itself parsing still works.
+        let garbage = vec![b'x'; MAX_WIRE_LEN];
+        assert!(Packet::from_wire(&garbage).is_err(), "garbage, but not oversized");
     }
 
     #[test]

@@ -2,9 +2,9 @@
 
 use std::sync::{Arc, Mutex};
 
-use sensocial_broker::{Broker, BrokerClient, BrokerConfig, QoS};
+use sensocial_broker::{Broker, BrokerClient, BrokerConfig, QoS, ReconnectPolicy};
 use sensocial_net::{LatencyModel, LinkSpec, Network};
-use sensocial_runtime::{Scheduler, SimDuration};
+use sensocial_runtime::{Scheduler, SimDuration, Timestamp};
 
 struct Fixture {
     sched: Scheduler,
@@ -239,6 +239,7 @@ fn abandoned_delivery_after_retry_exhaustion() {
     f.broker.set_config(BrokerConfig {
         retry_timeout: SimDuration::from_secs(1),
         max_retries: 2,
+        requeue_on_exhaust: false,
         ..BrokerConfig::default()
     });
     let (_sub, seen) = subscribing_client(&mut f, "sub", "t/#", QoS::AtLeastOnce);
@@ -257,4 +258,130 @@ fn abandoned_delivery_after_retry_exhaustion() {
     assert!(seen.lock().unwrap().is_empty());
     assert_eq!(f.broker.stats().abandoned, 1);
     assert_eq!(f.broker.stats().retries, 2);
+}
+
+#[test]
+fn exhausted_delivery_requeues_and_survives_reconnect() {
+    let mut f = fixture();
+    f.broker.set_config(BrokerConfig {
+        retry_timeout: SimDuration::from_secs(1),
+        max_retries: 2,
+        ..BrokerConfig::default()
+    });
+    let (sub, seen) = subscribing_client(&mut f, "sub", "t/#", QoS::AtLeastOnce);
+    f.sched.run();
+    // Total blackout on the downlink while the retry budget burns.
+    f.net.set_link(
+        "broker".into(),
+        "sub-ep".into(),
+        LinkSpec::with_latency(LatencyModel::constant_ms(20)).lossy(1.0),
+    );
+    let publisher = BrokerClient::new(&f.net, "pub-ep", "broker", "pub");
+    publisher.connect(&mut f.sched);
+    publisher.publish(&mut f.sched, "t/x", "hi", QoS::AtLeastOnce, false);
+    f.sched.run();
+
+    assert!(seen.lock().unwrap().is_empty());
+    assert_eq!(f.broker.stats().requeued, 1);
+    assert_eq!(f.broker.stats().abandoned, 0);
+
+    // Heal the downlink and resume the session: the parked trigger arrives.
+    f.net.set_link(
+        "broker".into(),
+        "sub-ep".into(),
+        LinkSpec::with_latency(LatencyModel::constant_ms(20)),
+    );
+    sub.connect(&mut f.sched);
+    f.sched.run();
+    let seen = seen.lock().unwrap();
+    assert_eq!(seen.len(), 1, "requeued trigger delivered after reconnect");
+    assert_eq!(seen[0], ("t/x".into(), "hi".into()));
+}
+
+#[test]
+fn keepalive_detects_partition_and_resumes_with_zero_loss() {
+    let mut f = fixture();
+    let (sub, seen) = subscribing_client(&mut f, "sub", "t/#", QoS::AtLeastOnce);
+    sub.set_keepalive(SimDuration::from_secs(2));
+    sub.set_reconnect_policy(ReconnectPolicy {
+        initial_backoff: SimDuration::from_secs(1),
+        max_backoff: SimDuration::from_secs(8),
+        jitter: 0.0,
+    });
+    let publisher = BrokerClient::new(&f.net, "pub-ep", "broker", "pub");
+    publisher.connect(&mut f.sched);
+    f.sched.run_until(Timestamp::from_secs(5));
+    assert!(sub.is_session_confirmed());
+
+    // Cut both directions between subscriber and broker for 20 s; a trigger
+    // published mid-outage must survive it.
+    f.net
+        .partition(&"sub-ep".into(), &"broker".into(), Timestamp::from_secs(25));
+    publisher.publish(&mut f.sched, "t/x", "m1", QoS::AtLeastOnce, false);
+    f.sched.run_until(Timestamp::from_secs(15));
+    assert!(!sub.is_session_confirmed(), "missed pings declared the loss");
+    assert!(seen.lock().unwrap().is_empty());
+
+    f.sched.run_until(Timestamp::from_secs(60));
+    assert!(sub.is_session_confirmed(), "client reconnected after the heal");
+    let seen = seen.lock().unwrap();
+    assert_eq!(seen.len(), 1, "trigger survived the partition exactly once");
+    assert!(sub.stats().connection_losses >= 1);
+    assert!(sub.stats().connacks >= 2);
+    assert!(sub.stats().pings_missed >= 2);
+    assert!(f.broker.stats().pings > 0);
+}
+
+#[test]
+fn lost_puback_retry_is_not_rerouted() {
+    let mut f = fixture();
+    let (_sub, seen) = subscribing_client(&mut f, "sub", "t/#", QoS::AtLeastOnce);
+    f.sched.run();
+    // The publisher's acks (broker→pub-ep) are blacked out: every client
+    // retry re-sends the same (sender, message id) upstream. The broker's
+    // inbound dedup window must route only the first copy.
+    f.net.set_link(
+        "broker".into(),
+        "pub-ep".into(),
+        LinkSpec::with_latency(LatencyModel::constant_ms(20)).lossy(1.0),
+    );
+    let publisher = BrokerClient::new(&f.net, "pub-ep", "broker", "pub");
+    publisher.connect(&mut f.sched);
+    publisher.set_retry_policy(SimDuration::from_secs(1), 3);
+    publisher.publish(&mut f.sched, "t/x", "hi", QoS::AtLeastOnce, false);
+    f.sched.run();
+
+    assert_eq!(seen.lock().unwrap().len(), 1, "routed exactly once");
+    assert_eq!(f.broker.stats().published, 1);
+    assert_eq!(f.broker.stats().duplicate_publishes, 3);
+    assert_eq!(publisher.stats().dead_lettered, 1);
+}
+
+#[test]
+fn dead_letter_handler_fires_after_retry_exhaustion() {
+    let mut f = fixture();
+    let publisher = BrokerClient::new(&f.net, "pub-ep", "broker", "pub");
+    publisher.connect(&mut f.sched);
+    publisher.set_retry_policy(SimDuration::from_secs(1), 2);
+    let dead: Arc<Mutex<Vec<(u64, String, String)>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = dead.clone();
+    publisher.set_dead_letter_handler(move |_s, mid, topic, payload| {
+        sink.lock().unwrap().push((mid, topic.into(), payload.into()));
+    });
+    f.sched.run();
+    // Blackout the uplink: the publish never reaches the broker at all.
+    f.net.set_link(
+        "pub-ep".into(),
+        "broker".into(),
+        LinkSpec::with_latency(LatencyModel::constant_ms(20)).lossy(1.0),
+    );
+    publisher.publish(&mut f.sched, "t/x", "doomed", QoS::AtLeastOnce, false);
+    f.sched.run();
+
+    let dead = dead.lock().unwrap();
+    assert_eq!(dead.len(), 1);
+    assert_eq!(dead[0].1, "t/x");
+    assert_eq!(dead[0].2, "doomed");
+    assert_eq!(publisher.stats().dead_lettered, 1);
+    assert_eq!(publisher.pending_count(), 0);
 }

@@ -1,0 +1,137 @@
+//! Property tests pinning the client's QoS-1 dedup-window semantics.
+//!
+//! The client remembers the last 1 024 broker-assigned message ids. A
+//! redelivery whose id is still inside the window is acknowledged but NOT
+//! handed to the application; once 1 024 fresh ids have pushed an id out,
+//! the same id is accepted (and delivered) again. The window bounds memory,
+//! not correctness — re-acceptance of an evicted id is the documented
+//! at-least-once behaviour, and these tests pin exactly where the boundary
+//! sits.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use sensocial_broker::{BrokerClient, Packet, QoS};
+use sensocial_net::Network;
+use sensocial_runtime::Scheduler;
+
+/// Must match the client's internal `DEDUP_WINDOW`; the eviction-boundary
+/// property fails if the window ever changes silently.
+const WINDOW: usize = 1_024;
+
+struct Harness {
+    sched: Scheduler,
+    net: Network,
+    client: BrokerClient,
+    delivered: Arc<AtomicUsize>,
+    acked: Arc<AtomicUsize>,
+}
+
+fn harness() -> Harness {
+    let mut sched = Scheduler::new();
+    let net = Network::new(5);
+    // A fake broker endpoint that only counts the acks coming back.
+    let acked = Arc::new(AtomicUsize::new(0));
+    let acks = acked.clone();
+    net.register("broker".into(), move |_s: &mut Scheduler, m| {
+        if let Ok(Packet::PubAck { .. }) = Packet::from_wire(&m.payload) {
+            acks.fetch_add(1, Ordering::SeqCst);
+        }
+    });
+    let client = BrokerClient::new(&net, "c-ep", "broker", "c");
+    let delivered = Arc::new(AtomicUsize::new(0));
+    let count = delivered.clone();
+    client.subscribe(&mut sched, "t/#", QoS::AtLeastOnce, move |_s, _t, _p| {
+        count.fetch_add(1, Ordering::SeqCst);
+    });
+    Harness {
+        sched,
+        net,
+        client,
+        delivered,
+        acked,
+    }
+}
+
+impl Harness {
+    /// Injects a broker→client QoS-1 publish carrying `mid` and drains the
+    /// scheduler.
+    fn deliver(&mut self, mid: u64) {
+        let packet = Packet::Publish {
+            topic: "t/x".into(),
+            payload: format!("{mid}"),
+            qos: QoS::AtLeastOnce,
+            message_id: Some(mid),
+            retain: false,
+            sender: None,
+        };
+        self.net
+            .send(
+                &mut self.sched,
+                &"broker".into(),
+                &"c-ep".into(),
+                packet.to_wire(),
+            )
+            .unwrap();
+        self.sched.run();
+    }
+
+    fn delivered(&self) -> usize {
+        self.delivered.load(Ordering::SeqCst)
+    }
+
+    fn acked(&self) -> usize {
+        self.acked.load(Ordering::SeqCst)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Re-delivering an id is suppressed while it sits in the window and
+    /// accepted again exactly when `WINDOW` fresh ids have evicted it —
+    /// and every copy, suppressed or not, is acknowledged.
+    #[test]
+    fn eviction_boundary(extra in prop_oneof![0usize..4, (WINDOW - 3)..(WINDOW + 3)]) {
+        let mut h = harness();
+        h.deliver(0);
+        for mid in 1..=extra as u64 {
+            h.deliver(mid);
+        }
+        let before = h.delivered();
+        prop_assert_eq!(before, extra + 1, "fresh ids all delivered");
+
+        h.deliver(0); // Stale redelivery of the very first id.
+        // Id 0 is evicted once `extra + 1 > WINDOW` insertions happened.
+        let evicted = extra >= WINDOW;
+        prop_assert_eq!(h.delivered(), before + usize::from(evicted));
+        prop_assert_eq!(
+            h.client.stats().duplicates_suppressed,
+            u64::from(!evicted)
+        );
+        prop_assert_eq!(h.acked(), extra + 2, "every copy is acknowledged");
+    }
+
+    /// Within one window, any redelivery pattern yields exactly one
+    /// app-level delivery per distinct id, every copy is acknowledged, and
+    /// the suppression counter accounts for the rest.
+    #[test]
+    fn distinct_ids_within_window_delivered_once(
+        ids in proptest::collection::vec(0u64..64, 1..40)
+    ) {
+        let mut h = harness();
+        for &mid in &ids {
+            h.deliver(mid);
+        }
+        let mut distinct = ids.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert_eq!(h.delivered(), distinct.len());
+        prop_assert_eq!(h.acked(), ids.len());
+        prop_assert_eq!(
+            h.client.stats().duplicates_suppressed as usize,
+            ids.len() - distinct.len()
+        );
+    }
+}

@@ -1,6 +1,6 @@
 //! The client-side SenSocial Manager.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -37,6 +37,27 @@ const LISTENER_BYTES: u64 = 2_600;
 /// Server-assigned stream ids live in a disjoint namespace from
 /// locally-assigned ones.
 pub(crate) const REMOTE_STREAM_ID_BASE: u64 = 1 << 32;
+
+/// Default bound on the store-and-forward uplink buffer (events parked
+/// while the broker session is unconfirmed; oldest dropped on overflow).
+pub(crate) const DEFAULT_UPLINK_BUFFER: usize = 512;
+
+/// Counters for the client's store-and-forward uplink path and its
+/// configuration-convergence guard.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientNetStats {
+    /// Uplink events handed to the broker client (live or flushed).
+    pub uplink_sent: u64,
+    /// Uplink events parked because the broker session was unconfirmed.
+    pub uplink_buffered: u64,
+    /// Parked events evicted (oldest-first) by the buffer bound.
+    pub uplink_dropped: u64,
+    /// Parked events sent on a confirmed (re)connect.
+    pub uplink_flushed: u64,
+    /// Configuration commands ignored because their epoch was not newer
+    /// than the last applied one for the stream.
+    pub stale_configs: u64,
+}
 
 type Listener = Arc<dyn Fn(&mut Scheduler, &StreamEvent) + Send + Sync>;
 
@@ -100,6 +121,15 @@ struct Inner {
     context: ContextSnapshot,
     next_local_stream: u64,
     connected: bool,
+    /// Store-and-forward queue of `(topic, wire)` uplink events awaiting a
+    /// confirmed broker session. Bounded; oldest dropped on overflow.
+    uplink_buffer: VecDeque<(String, String)>,
+    uplink_limit: usize,
+    /// Highest configuration epoch applied per stream. Entries survive
+    /// stream destruction so a stale `Create` redelivered after a `Destroy`
+    /// cannot resurrect the stream.
+    config_epochs: HashMap<StreamId, u64>,
+    net_stats: ClientNetStats,
 }
 
 /// The point of entry for mobile applications — the paper's client-side
@@ -151,6 +181,10 @@ impl ClientManager {
                 context: ContextSnapshot::new(),
                 next_local_stream: 0,
                 connected: false,
+                uplink_buffer: VecDeque::new(),
+                uplink_limit: DEFAULT_UPLINK_BUFFER,
+                config_epochs: HashMap::new(),
+                net_stats: ClientNetStats::default(),
             })),
             sensors: deps.sensors,
             classifiers: deps.classifiers,
@@ -195,8 +229,66 @@ impl ClientManager {
         &self.cpu
     }
 
+    /// The underlying broker client, when one is wired. Chaos harnesses
+    /// use this to enable keepalive/reconnect supervision and to inspect
+    /// connection statistics.
+    pub fn broker_client(&self) -> Option<&BrokerClient> {
+        self.broker.as_ref()
+    }
+
+    /// Counters for the store-and-forward uplink path and config
+    /// convergence.
+    pub fn net_stats(&self) -> ClientNetStats {
+        self.inner.lock().net_stats
+    }
+
+    /// Number of uplink events currently parked awaiting a confirmed
+    /// broker session.
+    pub fn uplink_backlog(&self) -> usize {
+        self.inner.lock().uplink_buffer.len()
+    }
+
+    /// Bounds the store-and-forward uplink buffer (default 512; minimum 1).
+    /// When full, the oldest parked event is dropped and counted under
+    /// [`ClientNetStats::uplink_dropped`].
+    pub fn set_uplink_buffer_limit(&self, limit: usize) {
+        self.inner.lock().uplink_limit = limit.max(1);
+    }
+
+    /// The highest configuration epoch applied for `stream` (0 if none).
+    pub fn last_config_epoch(&self, stream: StreamId) -> u64 {
+        self.inner
+            .lock()
+            .config_epochs
+            .get(&stream)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Simulates the device dropping off the network deliberately (e.g.
+    /// flight mode): closes the broker connection. Streams keep sampling;
+    /// server-bound events park in the uplink buffer until
+    /// [`ClientManager::go_online`].
+    pub fn go_offline(&self, sched: &mut Scheduler) {
+        if let Some(broker) = &self.broker {
+            broker.disconnect(sched);
+        }
+    }
+
+    /// Resumes the broker session after [`ClientManager::go_offline`]. The
+    /// uplink buffer flushes once the broker confirms the session.
+    pub fn go_online(&self, sched: &mut Scheduler) {
+        if let Some(broker) = &self.broker {
+            broker.connect(sched);
+        }
+    }
+
     /// Connects to the broker: opens the session and subscribes to this
     /// device's trigger and configuration topics. No-op without a broker.
+    ///
+    /// Also installs the store-and-forward hook: whenever the broker
+    /// session is (re)confirmed, the bounded uplink buffer is flushed in
+    /// arrival order.
     pub fn connect(&self, sched: &mut Scheduler) {
         let Some(broker) = &self.broker else {
             return;
@@ -209,6 +301,12 @@ impl ClientManager {
             }
             inner.connected = true;
         }
+        let mgr = self.clone();
+        broker.on_connection_change(move |s, online| {
+            if online {
+                mgr.flush_uplink(s);
+            }
+        });
         broker.connect(sched);
 
         let mgr = self.clone();
@@ -686,7 +784,7 @@ impl ClientManager {
         }
 
         if spec.sink == StreamSink::Server {
-            if let Some(broker) = &self.broker {
+            if self.broker.is_some() {
                 let wire = event.to_wire();
                 self.cpu.record(
                     &format!("stream#{}/transmit", id.value()),
@@ -698,8 +796,48 @@ impl ClientManager {
                 );
                 self.battery
                     .charge(EnergyComponent::RadioTail, self.energy_profile.radio_tail_uah);
-                broker.publish(sched, &uplink_topic(&device), &wire, QoS::AtMostOnce, false);
+                self.uplink_or_buffer(sched, uplink_topic(&device), wire);
             }
+        }
+    }
+
+    /// Sends one uplink event, or parks it while the broker session is
+    /// unconfirmed (store-and-forward). The backlog is always drained
+    /// first so events leave in arrival order.
+    fn uplink_or_buffer(&self, sched: &mut Scheduler, topic: String, wire: String) {
+        let Some(broker) = &self.broker else {
+            return;
+        };
+        if broker.is_session_confirmed() {
+            self.flush_uplink(sched);
+            broker.publish(sched, &topic, &wire, QoS::AtMostOnce, false);
+            self.inner.lock().net_stats.uplink_sent += 1;
+        } else {
+            let mut inner = self.inner.lock();
+            inner.net_stats.uplink_buffered += 1;
+            if inner.uplink_buffer.len() >= inner.uplink_limit {
+                inner.uplink_buffer.pop_front();
+                inner.net_stats.uplink_dropped += 1;
+            }
+            inner.uplink_buffer.push_back((topic, wire));
+        }
+    }
+
+    /// Drains the store-and-forward buffer towards the broker, oldest
+    /// first. Called on every confirmed (re)connect.
+    fn flush_uplink(&self, sched: &mut Scheduler) {
+        let Some(broker) = &self.broker else {
+            return;
+        };
+        loop {
+            let item = self.inner.lock().uplink_buffer.pop_front();
+            let Some((topic, wire)) = item else {
+                break;
+            };
+            broker.publish(sched, &topic, &wire, QoS::AtMostOnce, false);
+            let mut inner = self.inner.lock();
+            inner.net_stats.uplink_flushed += 1;
+            inner.net_stats.uplink_sent += 1;
         }
     }
 
@@ -767,6 +905,21 @@ impl ClientManager {
         };
         if *command.device() != self.device_id() {
             return;
+        }
+        // Convergence guard: QoS-1 redelivery and outage-queued pushes can
+        // reorder commands; only an epoch strictly newer than the last one
+        // applied for this stream may take effect. Epoch 0 (legacy wire
+        // form) bypasses the guard.
+        let epoch = command.epoch();
+        if epoch != 0 {
+            let mut inner = self.inner.lock();
+            let inner = &mut *inner;
+            let last = inner.config_epochs.entry(command.stream()).or_insert(0);
+            if epoch <= *last {
+                inner.net_stats.stale_configs += 1;
+                return;
+            }
+            *last = epoch;
         }
         match command {
             ConfigCommand::Create { stream, spec, .. } => {

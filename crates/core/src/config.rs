@@ -133,6 +133,12 @@ impl StreamSpec {
 
 /// A configuration command pushed from the server to a device over the
 /// broker (the paper's config-file download + `FilterMerge`).
+///
+/// Every variant carries a server-assigned `epoch`: a monotonically
+/// increasing stamp that lets devices converge on the *latest* command per
+/// stream even when QoS-1 redelivery or an outage reorders pushes. Epoch
+/// `0` (the serde default) marks a legacy command that is always applied —
+/// old wire forms without the field keep parsing.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[serde(tag = "command", rename_all = "snake_case")]
 pub enum ConfigCommand {
@@ -144,6 +150,9 @@ pub enum ConfigCommand {
         stream: StreamId,
         /// The stream to create.
         spec: StreamSpec,
+        /// Convergence stamp (see the enum docs).
+        #[serde(default)]
+        epoch: u64,
     },
     /// Destroy a stream.
     Destroy {
@@ -151,6 +160,9 @@ pub enum ConfigCommand {
         device: DeviceId,
         /// Stream to destroy.
         stream: StreamId,
+        /// Convergence stamp (see the enum docs).
+        #[serde(default)]
+        epoch: u64,
     },
     /// Replace a stream's filter (the distributed-filter update path).
     SetFilter {
@@ -160,6 +172,9 @@ pub enum ConfigCommand {
         stream: StreamId,
         /// The new filter.
         filter: Filter,
+        /// Convergence stamp (see the enum docs).
+        #[serde(default)]
+        epoch: u64,
     },
     /// Change a stream's duty cycle.
     SetInterval {
@@ -169,6 +184,9 @@ pub enum ConfigCommand {
         stream: StreamId,
         /// New interval in milliseconds.
         interval_ms: u64,
+        /// Convergence stamp (see the enum docs).
+        #[serde(default)]
+        epoch: u64,
     },
 }
 
@@ -195,6 +213,39 @@ impl ConfigCommand {
             | ConfigCommand::SetFilter { device, .. }
             | ConfigCommand::SetInterval { device, .. } => device,
         }
+    }
+
+    /// The stream the command addresses.
+    pub fn stream(&self) -> StreamId {
+        match self {
+            ConfigCommand::Create { stream, .. }
+            | ConfigCommand::Destroy { stream, .. }
+            | ConfigCommand::SetFilter { stream, .. }
+            | ConfigCommand::SetInterval { stream, .. } => *stream,
+        }
+    }
+
+    /// The command's convergence epoch (`0` = legacy, always applied).
+    pub fn epoch(&self) -> u64 {
+        match self {
+            ConfigCommand::Create { epoch, .. }
+            | ConfigCommand::Destroy { epoch, .. }
+            | ConfigCommand::SetFilter { epoch, .. }
+            | ConfigCommand::SetInterval { epoch, .. } => *epoch,
+        }
+    }
+
+    /// Returns the command restamped with `epoch` (builder-style; used by
+    /// the server just before pushing).
+    #[must_use]
+    pub fn with_epoch(mut self, new_epoch: u64) -> Self {
+        match &mut self {
+            ConfigCommand::Create { epoch, .. }
+            | ConfigCommand::Destroy { epoch, .. }
+            | ConfigCommand::SetFilter { epoch, .. }
+            | ConfigCommand::SetInterval { epoch, .. } => *epoch = new_epoch,
+        }
+        self
     }
 }
 
@@ -243,10 +294,12 @@ mod tests {
                     Modality::Accelerometer,
                     Granularity::Classified,
                 ),
+                epoch: 1,
             },
             ConfigCommand::Destroy {
                 device: DeviceId::new("p1"),
                 stream: StreamId::new(4),
+                epoch: 2,
             },
             ConfigCommand::SetFilter {
                 device: DeviceId::new("p1"),
@@ -256,18 +309,38 @@ mod tests {
                     Operator::Equals,
                     "Paris",
                 )]),
+                epoch: 3,
             },
             ConfigCommand::SetInterval {
                 device: DeviceId::new("p1"),
                 stream: StreamId::new(4),
                 interval_ms: 30_000,
+                epoch: 4,
             },
         ];
-        for cmd in cmds {
+        for (i, cmd) in cmds.into_iter().enumerate() {
             let wire = cmd.to_wire();
             assert_eq!(ConfigCommand::from_wire(&wire).unwrap(), cmd);
             assert_eq!(cmd.device().as_str(), "p1");
+            assert_eq!(cmd.stream(), StreamId::new(4));
+            assert_eq!(cmd.epoch(), i as u64 + 1);
         }
         assert!(ConfigCommand::from_wire("{}").is_err());
+    }
+
+    #[test]
+    fn epoch_is_restamped_and_legacy_wire_parses_as_epoch_zero() {
+        let cmd = ConfigCommand::Destroy {
+            device: DeviceId::new("p1"),
+            stream: StreamId::new(9),
+            epoch: 0,
+        };
+        assert_eq!(cmd.clone().with_epoch(17).epoch(), 17);
+        // A pre-epoch wire form (no `epoch` key) still parses — as the
+        // always-applied legacy epoch 0.
+        let legacy = r#"{"command":"destroy","device":"p1","stream":9}"#;
+        let parsed = ConfigCommand::from_wire(legacy).unwrap();
+        assert_eq!(parsed.epoch(), 0);
+        assert_eq!(parsed.stream(), StreamId::new(9));
     }
 }

@@ -111,6 +111,9 @@ struct Inner {
     aggregators: HashMap<AggregatorId, (AggregatorState, Filter, Vec<Listener>)>,
     multicasts: HashMap<MulticastId, (MulticastStream, Vec<Listener>)>,
     next_remote_stream: u64,
+    /// Monotonic stamp applied to every pushed [`ConfigCommand`], so devices
+    /// can discard stale (reordered or redelivered) configuration.
+    next_config_epoch: u64,
     next_trigger: u64,
     next_aggregator: u64,
     next_multicast: u64,
@@ -167,6 +170,7 @@ impl ServerManager {
                 aggregators: HashMap::new(),
                 multicasts: HashMap::new(),
                 next_remote_stream: 0,
+                next_config_epoch: 1,
                 next_trigger: 0,
                 next_aggregator: 0,
                 next_multicast: 0,
@@ -445,8 +449,9 @@ impl ServerManager {
             device: device.clone(),
             stream: id,
             spec,
+            epoch: 0,
         };
-        self.push_config(sched, device, &command);
+        self.push_config(sched, device, command);
         Ok(id)
     }
 
@@ -468,8 +473,9 @@ impl ServerManager {
         let command = ConfigCommand::Destroy {
             device: device.clone(),
             stream,
+            epoch: 0,
         };
-        self.push_config(sched, &device, &command);
+        self.push_config(sched, &device, command);
         Ok(())
     }
 
@@ -498,8 +504,9 @@ impl ServerManager {
             device: device.clone(),
             stream,
             filter,
+            epoch: 0,
         };
-        self.push_config(sched, &device, &command);
+        self.push_config(sched, &device, command);
         Ok(())
     }
 
@@ -528,12 +535,19 @@ impl ServerManager {
             device: device.clone(),
             stream,
             interval_ms: interval.as_millis(),
+            epoch: 0,
         };
-        self.push_config(sched, &device, &command);
+        self.push_config(sched, &device, command);
         Ok(())
     }
 
-    fn push_config(&self, sched: &mut Scheduler, device: &DeviceId, command: &ConfigCommand) {
+    fn push_config(&self, sched: &mut Scheduler, device: &DeviceId, command: ConfigCommand) {
+        let command = {
+            let mut inner = self.inner.lock();
+            let epoch = inner.next_config_epoch;
+            inner.next_config_epoch += 1;
+            command.with_epoch(epoch)
+        };
         self.broker.publish(
             sched,
             &config_topic(device),

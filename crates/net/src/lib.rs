@@ -12,7 +12,11 @@
 //!   the discrete-event scheduler, with per-endpoint transmit/receive hooks
 //!   so the energy model can charge radio costs (including the "energy
 //!   tails due to the wireless interfaces being prevented from switching to
-//!   sleep mode" the paper accounts for).
+//!   sleep mode" the paper accounts for);
+//! * [`FaultWindow`] / the `Network` fault API — scripted partitions,
+//!   endpoint outages, flapping schedules and latency spikes, all windows of
+//!   virtual time so chaos scenarios replay deterministically, with
+//!   per-cause drop counters ([`DropCause`]) in [`NetworkStats`].
 //!
 //! # Example
 //!
@@ -47,12 +51,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fault;
 mod latency;
 mod link;
 mod message;
 mod network;
 
+pub use fault::{DropCause, FaultWindow};
 pub use latency::LatencyModel;
 pub use link::LinkSpec;
 pub use message::{EndpointId, Message};
-pub use network::{Network, NetworkStats, TrafficDirection};
+pub use network::{Network, NetworkStats, SendOptions, TrafficDirection};

@@ -1,13 +1,14 @@
 //! The endpoint registry and message-delivery engine.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use bytes::Bytes;
 use parking_lot::Mutex;
-use sensocial_runtime::{Scheduler, SimDuration, SimRng};
+use sensocial_runtime::{Scheduler, SimDuration, SimRng, Timestamp};
 use sensocial_types::{Error, Result};
 
+use crate::fault::{DropCause, FaultPlan, FaultWindow, FlapSchedule, LatencySpike};
 use crate::link::LinkSpec;
 use crate::message::{EndpointId, Message};
 
@@ -28,26 +29,92 @@ pub enum TrafficDirection {
     Receive,
 }
 
+/// Options controlling a single [`Network::send_with`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SendOptions {
+    /// If the destination endpoint is not registered, park the message in a
+    /// bounded store-and-forward queue instead of returning
+    /// [`Error::NotConnected`]. Parked messages sit outside the in-flight
+    /// accounting (`sent`/`delivered`/`dropped`) until
+    /// [`Network::flush_parked`] re-injects them; the network cannot flush
+    /// them itself because `register` has no scheduler in scope.
+    pub queue_if_down: bool,
+}
+
 /// Counters describing everything a [`Network`] has done.
+///
+/// Conservation invariant: once the scheduler drains,
+/// `sent == delivered + dropped`, and
+/// `dropped == dropped_loss + dropped_partition + dropped_endpoint_down`.
+/// Parked messages are accounted separately (`parked`, `parked_dropped`,
+/// `parked_flushed`) and only enter `sent` when flushed.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NetworkStats {
     /// Messages handed to [`Network::send`].
     pub sent: u64,
     /// Messages actually delivered to a handler.
     pub delivered: u64,
-    /// Messages dropped by link loss.
+    /// Messages dropped in flight, for any cause.
     pub dropped: u64,
     /// Total payload bytes handed to `send`.
     pub bytes_sent: u64,
+    /// Messages dropped by random link loss.
+    pub dropped_loss: u64,
+    /// Messages dropped by an active partition.
+    pub dropped_partition: u64,
+    /// Messages dropped because an endpoint was down (outage or flap), at
+    /// send or at arrival.
+    pub dropped_endpoint_down: u64,
+    /// Sends refused because the destination was never registered (the
+    /// [`Error::NotConnected`] path).
+    pub unreachable: u64,
+    /// Messages parked for an unregistered endpoint via
+    /// [`SendOptions::queue_if_down`].
+    pub parked: u64,
+    /// Parked messages evicted (oldest first) when a park queue overflowed.
+    pub parked_dropped: u64,
+    /// Parked messages re-injected by [`Network::flush_parked`].
+    pub parked_flushed: u64,
 }
 
-#[derive(Default)]
+impl NetworkStats {
+    /// The drop counter for a specific cause.
+    pub fn dropped_by(&self, cause: DropCause) -> u64 {
+        match cause {
+            DropCause::Loss => self.dropped_loss,
+            DropCause::Partition => self.dropped_partition,
+            DropCause::EndpointDown => self.dropped_endpoint_down,
+        }
+    }
+}
+
+/// Default bound on each per-endpoint store-and-forward queue.
+const DEFAULT_PARKED_LIMIT: usize = 256;
+
 struct Inner {
     endpoints: HashMap<EndpointId, MessageHandler>,
     links: HashMap<(EndpointId, EndpointId), LinkSpec>,
     default_link: LinkSpec,
     hooks: HashMap<EndpointId, Vec<TrafficHook>>,
     stats: NetworkStats,
+    faults: FaultPlan,
+    parked: HashMap<EndpointId, VecDeque<(EndpointId, Bytes)>>,
+    parked_limit: usize,
+}
+
+impl Default for Inner {
+    fn default() -> Self {
+        Inner {
+            endpoints: HashMap::new(),
+            links: HashMap::new(),
+            default_link: LinkSpec::default(),
+            hooks: HashMap::new(),
+            stats: NetworkStats::default(),
+            faults: FaultPlan::default(),
+            parked: HashMap::new(),
+            parked_limit: DEFAULT_PARKED_LIMIT,
+        }
+    }
 }
 
 /// The simulated network: endpoints, links and delivery.
@@ -55,6 +122,12 @@ struct Inner {
 /// `Network` is cheaply cloneable (an `Arc` handle); every component holds a
 /// clone. Delivery happens through the [`Scheduler`]: `send` samples the
 /// link's latency and schedules the receiving handler.
+///
+/// Faults (partitions, outages, flapping, latency spikes) are scripted
+/// windows of virtual time evaluated at send and delivery time — see the
+/// fault API (`partition`, `set_endpoint_down`, `flap_endpoint`,
+/// `inject_latency_spike`). All fault decisions are clock-driven, never
+/// random, so a faulted scenario replays identically under the same seed.
 ///
 /// See the [crate-level example](crate) for usage.
 #[derive(Clone)]
@@ -136,9 +209,138 @@ impl Network {
             .push(Arc::new(hook));
     }
 
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    /// Partitions `a` and `b` (both directions) from now until `until`.
+    /// Messages between them are dropped and counted under
+    /// `dropped_partition`.
+    pub fn partition(&self, a: &EndpointId, b: &EndpointId, until: Timestamp) {
+        self.partition_during(a, b, FaultWindow::until(until));
+    }
+
+    /// Partitions `a` and `b` (both directions) for an explicit window.
+    pub fn partition_during(&self, a: &EndpointId, b: &EndpointId, window: FaultWindow) {
+        let mut inner = self.inner.lock();
+        inner.faults.add_partition(a.clone(), b.clone(), window);
+        inner.faults.add_partition(b.clone(), a.clone(), window);
+    }
+
+    /// Removes every partition window between `a` and `b`, in both
+    /// directions, regardless of when it would have expired.
+    pub fn heal_partition(&self, a: &EndpointId, b: &EndpointId) {
+        self.inner.lock().faults.heal_partition(a, b);
+    }
+
+    /// Marks `id` down for the window: every message to or from it in that
+    /// interval is dropped (`dropped_endpoint_down`), including messages
+    /// already in flight when it goes down.
+    pub fn set_endpoint_down(&self, id: &EndpointId, window: FaultWindow) {
+        self.inner.lock().faults.add_down(id.clone(), window);
+    }
+
+    /// Gives `id` a deterministic flapping schedule: starting at
+    /// `window.from` it is down for `down_for`, up for `up_for`, down
+    /// again, … until `window.until`.
+    pub fn flap_endpoint(
+        &self,
+        id: &EndpointId,
+        window: FaultWindow,
+        down_for: SimDuration,
+        up_for: SimDuration,
+    ) {
+        self.inner.lock().faults.add_flap(
+            id.clone(),
+            FlapSchedule {
+                window,
+                down_for,
+                up_for,
+            },
+        );
+    }
+
+    /// Removes every outage and flapping schedule for `id`.
+    pub fn clear_endpoint_faults(&self, id: &EndpointId) {
+        self.inner.lock().faults.clear_endpoint(id);
+    }
+
+    /// Adds `extra` latency to every message sent `from → to` while the
+    /// window is active. Spikes stack additively.
+    pub fn inject_latency_spike(
+        &self,
+        from: &EndpointId,
+        to: &EndpointId,
+        window: FaultWindow,
+        extra: SimDuration,
+    ) {
+        self.inner.lock().faults.add_spike(LatencySpike {
+            from: from.clone(),
+            to: to.clone(),
+            window,
+            extra,
+        });
+    }
+
+    /// Whether `id` is down (outage or flap) at `at`.
+    pub fn is_endpoint_down(&self, id: &EndpointId, at: Timestamp) -> bool {
+        self.inner.lock().faults.endpoint_down(id, at)
+    }
+
+    /// Drops fault windows that ended before `now` (housekeeping for long
+    /// runs).
+    pub fn prune_faults(&self, now: Timestamp) {
+        self.inner.lock().faults.prune(now);
+    }
+
+    // ------------------------------------------------------------------
+    // Store-and-forward parking
+    // ------------------------------------------------------------------
+
+    /// Sets the bound on each per-endpoint park queue (default 256).
+    /// Overflow evicts the oldest parked message and counts it under
+    /// `parked_dropped`.
+    pub fn set_parked_limit(&self, limit: usize) {
+        self.inner.lock().parked_limit = limit.max(1);
+    }
+
+    /// How many messages are parked for `endpoint`.
+    pub fn parked_count(&self, endpoint: &EndpointId) -> usize {
+        self.inner
+            .lock()
+            .parked
+            .get(endpoint)
+            .map_or(0, VecDeque::len)
+    }
+
+    /// Re-injects every message parked for `endpoint` through the normal
+    /// send path (in arrival order), returning how many were flushed.
+    /// A no-op returning 0 if the endpoint is still unregistered.
+    pub fn flush_parked(&self, sched: &mut Scheduler, endpoint: &EndpointId) -> usize {
+        let queued = {
+            let mut inner = self.inner.lock();
+            if !inner.endpoints.contains_key(endpoint) {
+                return 0;
+            }
+            inner.parked.remove(endpoint).unwrap_or_default()
+        };
+        let n = queued.len();
+        for (from, payload) in queued {
+            self.inner.lock().stats.parked_flushed += 1;
+            // The endpoint can only have vanished again if a handler
+            // unregistered it mid-flush; the error path counts it.
+            let _ = self.send(sched, &from, endpoint, payload);
+        }
+        n
+    }
+
+    // ------------------------------------------------------------------
+    // Sending
+    // ------------------------------------------------------------------
+
     /// Sends `payload` from `from` to `to`, scheduling delivery after the
     /// link's sampled delay (plus transmission time under the link's
-    /// bandwidth).
+    /// bandwidth, plus any active latency spike).
     ///
     /// # Errors
     ///
@@ -152,12 +354,37 @@ impl Network {
         to: &EndpointId,
         payload: impl Into<Bytes>,
     ) -> Result<()> {
+        self.send_with(sched, from, to, payload, SendOptions::default())
+    }
+
+    /// [`Network::send`] with explicit [`SendOptions`].
+    pub fn send_with(
+        &self,
+        sched: &mut Scheduler,
+        from: &EndpointId,
+        to: &EndpointId,
+        payload: impl Into<Bytes>,
+        opts: SendOptions,
+    ) -> Result<()> {
         let payload = payload.into();
         let size = payload.len();
+        let now = sched.now();
 
-        let (delay, lost) = {
+        let (delay, killed) = {
             let mut inner = self.inner.lock();
             if !inner.endpoints.contains_key(to) {
+                if opts.queue_if_down {
+                    inner.stats.parked += 1;
+                    let limit = inner.parked_limit;
+                    let queue = inner.parked.entry(to.clone()).or_default();
+                    queue.push_back((from.clone(), payload));
+                    if queue.len() > limit {
+                        queue.pop_front();
+                        inner.stats.parked_dropped += 1;
+                    }
+                    return Ok(());
+                }
+                inner.stats.unreachable += 1;
                 return Err(Error::NotConnected(to.as_str().to_owned()));
             }
             inner.stats.sent += 1;
@@ -169,21 +396,40 @@ impl Network {
                 .unwrap_or(&inner.default_link)
                 .clone();
 
+            // Loss and latency are sampled unconditionally so the RNG
+            // stream — and therefore every later sample — is identical
+            // whether or not a fault window happens to cover this send.
             let mut rng = self.rng.lock();
             let lost = spec.loss_probability > 0.0 && rng.chance(spec.loss_probability);
             let delay = spec.latency.sample(&mut rng)
-                + SimDuration::from_secs_f64(spec.transmission_time_s(size));
+                + SimDuration::from_secs_f64(spec.transmission_time_s(size))
+                + inner.faults.extra_latency(from, to, now);
+            drop(rng);
 
             for hook in inner.hooks.get(from).into_iter().flatten() {
                 hook(TrafficDirection::Transmit, size);
             }
-            if lost {
-                inner.stats.dropped += 1;
+
+            let fault = inner.faults.drop_cause(from, to, now);
+            match fault {
+                Some(DropCause::EndpointDown) => {
+                    inner.stats.dropped += 1;
+                    inner.stats.dropped_endpoint_down += 1;
+                }
+                Some(DropCause::Partition) => {
+                    inner.stats.dropped += 1;
+                    inner.stats.dropped_partition += 1;
+                }
+                _ if lost => {
+                    inner.stats.dropped += 1;
+                    inner.stats.dropped_loss += 1;
+                }
+                _ => {}
             }
-            (delay, lost)
+            (delay, fault.is_some() || lost)
         };
 
-        if lost {
+        if killed {
             return Ok(());
         }
 
@@ -191,20 +437,24 @@ impl Network {
             from: from.clone(),
             to: to.clone(),
             payload,
-            sent_at: sched.now(),
+            sent_at: now,
         };
         let network = self.clone();
         sched.schedule_after(delay, move |s| {
-            let (handler, hooks) = {
-                let mut inner = network.inner.lock();
-                let handler = inner.endpoints.get(&msg.to).cloned();
-                if handler.is_some() {
-                    inner.stats.delivered += 1;
-                }
-                let hooks: Vec<TrafficHook> =
-                    inner.hooks.get(&msg.to).cloned().unwrap_or_default();
-                (handler, hooks)
-            };
+            let arrival = s.now();
+            let mut inner = network.inner.lock();
+            if inner.faults.endpoint_down(&msg.to, arrival) {
+                // Receiver went down while the message was in flight.
+                inner.stats.dropped += 1;
+                inner.stats.dropped_endpoint_down += 1;
+                return;
+            }
+            let handler = inner.endpoints.get(&msg.to).cloned();
+            if handler.is_some() {
+                inner.stats.delivered += 1;
+            }
+            let hooks: Vec<TrafficHook> = inner.hooks.get(&msg.to).cloned().unwrap_or_default();
+            drop(inner);
             if let Some(handler) = handler {
                 for hook in &hooks {
                     hook(TrafficDirection::Receive, msg.len());
@@ -267,6 +517,8 @@ mod tests {
             .send(&mut sched, &"a".into(), &"ghost".into(), b"x".to_vec())
             .unwrap_err();
         assert_eq!(err, Error::NotConnected("ghost".into()));
+        assert_eq!(net.stats().unreachable, 1);
+        assert_eq!(net.stats().sent, 0);
     }
 
     #[test]
@@ -312,6 +564,7 @@ mod tests {
         let stats = net.stats();
         assert_eq!(stats.sent, 400);
         assert_eq!(stats.dropped + stats.delivered, 400);
+        assert_eq!(stats.dropped, stats.dropped_loss);
     }
 
     #[test]
@@ -413,5 +666,50 @@ mod tests {
         let stats = net.stats();
         assert_eq!(stats.bytes_sent, 40);
         assert_eq!(stats.delivered, 2);
+    }
+
+    #[test]
+    fn partition_drops_and_counts() {
+        let mut sched = Scheduler::new();
+        let net = Network::new(1);
+        let (log, handler) = collector();
+        let h = handler.clone();
+        net.register("b".into(), move |s, m| h(s, m));
+        net.partition(&"a".into(), &"b".into(), Timestamp::from_secs(60));
+        net.send(&mut sched, &"a".into(), &"b".into(), b"x".to_vec())
+            .unwrap();
+        sched.run();
+        assert!(log.lock().is_empty());
+        let stats = net.stats();
+        assert_eq!(stats.sent, 1);
+        assert_eq!(stats.dropped, 1);
+        assert_eq!(stats.dropped_by(DropCause::Partition), 1);
+    }
+
+    #[test]
+    fn queue_if_down_parks_and_flushes_in_order() {
+        let mut sched = Scheduler::new();
+        let net = Network::new(1);
+        let opts = SendOptions { queue_if_down: true };
+        net.send_with(&mut sched, &"a".into(), &"b".into(), b"1".to_vec(), opts)
+            .unwrap();
+        net.send_with(&mut sched, &"a".into(), &"b".into(), b"2".to_vec(), opts)
+            .unwrap();
+        assert_eq!(net.parked_count(&"b".into()), 2);
+        assert_eq!(net.stats().sent, 0);
+
+        let (log, handler) = collector();
+        let h = handler.clone();
+        net.register("b".into(), move |s, m| h(s, m));
+        assert_eq!(net.flush_parked(&mut sched, &"b".into()), 2);
+        sched.run();
+        let log = log.lock();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].1, b"1");
+        assert_eq!(log[1].1, b"2");
+        let stats = net.stats();
+        assert_eq!(stats.parked, 2);
+        assert_eq!(stats.parked_flushed, 2);
+        assert_eq!(stats.sent, 2);
     }
 }

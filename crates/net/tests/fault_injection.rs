@@ -1,0 +1,272 @@
+//! Integration tests for the deterministic fault-injection layer.
+
+use std::sync::{Arc, Mutex};
+
+use sensocial_net::{
+    DropCause, FaultWindow, LatencyModel, LinkSpec, Network, SendOptions,
+};
+use sensocial_runtime::{Scheduler, SimDuration, Timestamp};
+
+type Log = Arc<Mutex<Vec<(u64, Vec<u8>)>>>;
+
+fn sink(net: &Network, id: &str) -> Log {
+    let log: Log = Arc::new(Mutex::new(Vec::new()));
+    let l = log.clone();
+    net.register(id.into(), move |s: &mut Scheduler, m| {
+        l.lock().unwrap().push((s.now().as_millis(), m.payload.to_vec()));
+    });
+    log
+}
+
+fn constant_link(net: &Network, from: &str, to: &str, ms: u64) {
+    net.set_link(
+        from.into(),
+        to.into(),
+        LinkSpec::with_latency(LatencyModel::constant_ms(ms)),
+    );
+}
+
+#[test]
+fn endpoint_down_window_drops_then_recovers() {
+    let mut sched = Scheduler::new();
+    let net = Network::new(1);
+    let log = sink(&net, "b");
+    constant_link(&net, "a", "b", 10);
+    net.set_endpoint_down(
+        &"b".into(),
+        FaultWindow::new(Timestamp::from_secs(0), Timestamp::from_secs(30)),
+    );
+
+    // During the outage: dropped at send time.
+    net.send(&mut sched, &"a".into(), &"b".into(), b"down".to_vec())
+        .unwrap();
+    // After the outage: delivered.
+    sched.run_until(Timestamp::from_secs(31));
+    net.send(&mut sched, &"a".into(), &"b".into(), b"up".to_vec())
+        .unwrap();
+    sched.run();
+
+    let log = log.lock().unwrap();
+    assert_eq!(log.len(), 1);
+    assert_eq!(log[0].1, b"up");
+    let stats = net.stats();
+    assert_eq!(stats.sent, 2);
+    assert_eq!(stats.delivered, 1);
+    assert_eq!(stats.dropped_by(DropCause::EndpointDown), 1);
+    assert_eq!(stats.dropped, 1);
+}
+
+#[test]
+fn receiver_going_down_mid_flight_drops_at_arrival() {
+    let mut sched = Scheduler::new();
+    let net = Network::new(1);
+    let log = sink(&net, "b");
+    constant_link(&net, "a", "b", 1_000);
+    // "b" is up at send time (t=0) but down when the message lands (t=1s).
+    net.set_endpoint_down(
+        &"b".into(),
+        FaultWindow::new(Timestamp::from_millis(500), Timestamp::from_secs(5)),
+    );
+    net.send(&mut sched, &"a".into(), &"b".into(), b"x".to_vec())
+        .unwrap();
+    sched.run();
+
+    assert!(log.lock().unwrap().is_empty());
+    let stats = net.stats();
+    assert_eq!(stats.sent, 1);
+    assert_eq!(stats.delivered, 0);
+    assert_eq!(stats.dropped_by(DropCause::EndpointDown), 1);
+}
+
+#[test]
+fn partition_is_bidirectional_and_healable() {
+    let mut sched = Scheduler::new();
+    let net = Network::new(1);
+    let log_a = sink(&net, "a");
+    let log_b = sink(&net, "b");
+    constant_link(&net, "a", "b", 5);
+    constant_link(&net, "b", "a", 5);
+    net.partition(&"a".into(), &"b".into(), Timestamp::from_secs(600));
+
+    net.send(&mut sched, &"a".into(), &"b".into(), b"1".to_vec())
+        .unwrap();
+    net.send(&mut sched, &"b".into(), &"a".into(), b"2".to_vec())
+        .unwrap();
+    sched.run();
+    assert!(log_a.lock().unwrap().is_empty());
+    assert!(log_b.lock().unwrap().is_empty());
+    assert_eq!(net.stats().dropped_by(DropCause::Partition), 2);
+
+    // Heal early (well before the 600 s window would expire).
+    net.heal_partition(&"a".into(), &"b".into());
+    net.send(&mut sched, &"a".into(), &"b".into(), b"3".to_vec())
+        .unwrap();
+    sched.run();
+    assert_eq!(log_b.lock().unwrap().len(), 1);
+}
+
+#[test]
+fn flapping_endpoint_follows_square_wave() {
+    let mut sched = Scheduler::new();
+    let net = Network::new(1);
+    let log = sink(&net, "b");
+    constant_link(&net, "a", "b", 1);
+    // Down 10 s, up 10 s, from t=0 to t=100 s.
+    net.flap_endpoint(
+        &"b".into(),
+        FaultWindow::new(Timestamp::ZERO, Timestamp::from_secs(100)),
+        SimDuration::from_secs(10),
+        SimDuration::from_secs(10),
+    );
+
+    // One send per 5 s tick; sends at t=0,5 fall in a down phase,
+    // t=10,15 in an up phase, and so on.
+    let net2 = net.clone();
+    for tick in 0..20u64 {
+        let n = net2.clone();
+        sched.schedule_at(Timestamp::from_secs(tick * 5), move |s| {
+            n.send(s, &"a".into(), &"b".into(), vec![tick as u8]).unwrap();
+        });
+    }
+    sched.run();
+
+    let delivered: Vec<u8> = log.lock().unwrap().iter().map(|(_, p)| p[0]).collect();
+    assert_eq!(delivered, vec![2, 3, 6, 7, 10, 11, 14, 15, 18, 19]);
+    let stats = net.stats();
+    assert_eq!(stats.sent, 20);
+    assert_eq!(stats.delivered, 10);
+    assert_eq!(stats.dropped_by(DropCause::EndpointDown), 10);
+}
+
+#[test]
+fn latency_spike_delays_but_does_not_drop() {
+    let mut sched = Scheduler::new();
+    let net = Network::new(1);
+    let log = sink(&net, "b");
+    constant_link(&net, "a", "b", 10);
+    net.inject_latency_spike(
+        &"a".into(),
+        &"b".into(),
+        FaultWindow::new(Timestamp::ZERO, Timestamp::from_secs(5)),
+        SimDuration::from_millis(400),
+    );
+
+    net.send(&mut sched, &"a".into(), &"b".into(), b"slow".to_vec())
+        .unwrap();
+    sched.run();
+    // After the spike window the extra latency is gone.
+    net.send(&mut sched, &"a".into(), &"b".into(), b"fast".to_vec())
+        .unwrap();
+    sched.run();
+
+    let log = log.lock().unwrap();
+    assert_eq!(log.len(), 2);
+    assert_eq!(log[0].0, 410, "spiked delivery at 10 + 400 ms");
+    assert_eq!(log[1].0 - 410, 10, "post-spike delivery back to base latency");
+    assert_eq!(net.stats().dropped, 0);
+}
+
+#[test]
+fn park_queue_is_bounded_oldest_dropped() {
+    let mut sched = Scheduler::new();
+    let net = Network::new(1);
+    net.set_parked_limit(2);
+    let opts = SendOptions { queue_if_down: true };
+    for b in [b"1", b"2", b"3"] {
+        net.send_with(&mut sched, &"a".into(), &"b".into(), b.to_vec(), opts)
+            .unwrap();
+    }
+    assert_eq!(net.parked_count(&"b".into()), 2);
+    assert_eq!(net.stats().parked, 3);
+    assert_eq!(net.stats().parked_dropped, 1);
+
+    let log = sink(&net, "b");
+    constant_link(&net, "a", "b", 1);
+    assert_eq!(net.flush_parked(&mut sched, &"b".into()), 2);
+    sched.run();
+    let payloads: Vec<Vec<u8>> = log.lock().unwrap().iter().map(|(_, p)| p.clone()).collect();
+    assert_eq!(payloads, vec![b"2".to_vec(), b"3".to_vec()], "oldest evicted");
+    assert_eq!(net.stats().parked_flushed, 2);
+}
+
+#[test]
+fn flush_to_still_missing_endpoint_is_a_noop() {
+    let mut sched = Scheduler::new();
+    let net = Network::new(1);
+    let opts = SendOptions { queue_if_down: true };
+    net.send_with(&mut sched, &"a".into(), &"b".into(), b"x".to_vec(), opts)
+        .unwrap();
+    assert_eq!(net.flush_parked(&mut sched, &"b".into()), 0);
+    assert_eq!(net.parked_count(&"b".into()), 1, "message stays parked");
+}
+
+#[test]
+fn per_cause_counters_sum_to_dropped() {
+    let mut sched = Scheduler::new();
+    let net = Network::new(11);
+    let _log = sink(&net, "b");
+    net.set_link(
+        "a".into(),
+        "b".into(),
+        LinkSpec::with_latency(LatencyModel::constant_ms(1)).lossy(0.3),
+    );
+    net.partition_during(
+        &"a".into(),
+        &"b".into(),
+        FaultWindow::new(Timestamp::from_secs(20), Timestamp::from_secs(40)),
+    );
+    net.set_endpoint_down(
+        &"b".into(),
+        FaultWindow::new(Timestamp::from_secs(60), Timestamp::from_secs(80)),
+    );
+
+    let net2 = net.clone();
+    for tick in 0..100u64 {
+        let n = net2.clone();
+        sched.schedule_at(Timestamp::from_secs(tick), move |s| {
+            n.send(s, &"a".into(), &"b".into(), b"x".to_vec()).unwrap();
+        });
+    }
+    sched.run();
+
+    let stats = net.stats();
+    assert_eq!(stats.sent, 100);
+    assert_eq!(stats.delivered + stats.dropped, stats.sent);
+    assert_eq!(
+        stats.dropped,
+        stats.dropped_loss + stats.dropped_partition + stats.dropped_endpoint_down
+    );
+    assert_eq!(stats.dropped_partition, 20);
+    assert_eq!(stats.dropped_endpoint_down, 20);
+    assert!(stats.dropped_loss > 0, "lossy link dropped something");
+}
+
+#[test]
+fn faulted_runs_are_deterministic_across_seeds() {
+    let run = |seed: u64| {
+        let mut sched = Scheduler::new();
+        let net = Network::new(seed);
+        let _log = sink(&net, "b");
+        net.set_link(
+            "a".into(),
+            "b".into(),
+            LinkSpec::with_latency(LatencyModel::constant_ms(2)).lossy(0.4),
+        );
+        net.flap_endpoint(
+            &"b".into(),
+            FaultWindow::new(Timestamp::ZERO, Timestamp::from_secs(50)),
+            SimDuration::from_secs(3),
+            SimDuration::from_secs(2),
+        );
+        let net2 = net.clone();
+        for tick in 0..50u64 {
+            let n = net2.clone();
+            sched.schedule_at(Timestamp::from_secs(tick), move |s| {
+                n.send(s, &"a".into(), &"b".into(), b"x".to_vec()).unwrap();
+            });
+        }
+        sched.run();
+        net.stats()
+    };
+    assert_eq!(run(7), run(7), "same seed, same fault plan, same stats");
+}

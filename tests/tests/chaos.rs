@@ -1,0 +1,463 @@
+//! Chaos harness: scripted fault scenarios across the full stack.
+//!
+//! Each test drives the deterministic fault-injection layer in
+//! `sensocial-net` against the supervised broker-client lifecycle and the
+//! client manager's store-and-forward uplink buffer, and asserts the
+//! delivery guarantees documented in `DESIGN.md` ("Failure model &
+//! delivery guarantees"): no QoS-1 trigger is lost, nothing is delivered
+//! to the application twice, buffered uplinks flush in order after the
+//! network heals, and a same-seed re-run reproduces every counter.
+
+use sensocial::server::StreamSelector;
+use sensocial::{
+    Condition, ConditionLhs, Filter, Granularity, Modality, Operator, StreamSink, StreamSpec,
+};
+use sensocial_broker::{BrokerClient, ReconnectPolicy};
+use sensocial_net::FaultWindow;
+use sensocial_runtime::{SimDuration, Timestamp};
+use sensocial_sim::{World, WorldConfig};
+use sensocial_types::geo::cities;
+use sensocial_types::UserId;
+use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex};
+
+/// Turns on the supervised lifecycle for a device's broker client:
+/// keepalive probing plus capped-exponential reconnect. Must run before
+/// the first scheduler step so the ping loop starts with the first
+/// `ConnAck`.
+fn supervise(world: &mut World, device: &str, keepalive: SimDuration) -> BrokerClient {
+    let client = world
+        .device(device)
+        .expect("device exists")
+        .manager
+        .broker_client()
+        .expect("device has a broker")
+        .clone();
+    client.set_keepalive(keepalive);
+    client.set_reconnect_policy(ReconnectPolicy {
+        initial_backoff: SimDuration::from_secs(1),
+        max_backoff: SimDuration::from_secs(8),
+        jitter: 0.1,
+    });
+    client
+}
+
+fn assert_in_order(ats: &[Timestamp]) {
+    assert!(
+        ats.windows(2).all(|w| w[0] <= w[1]),
+        "uplinks must arrive in sampling order: {ats:?}"
+    );
+}
+
+fn assert_distinct(ats: &[Timestamp]) {
+    let distinct: BTreeSet<_> = ats.iter().copied().collect();
+    assert_eq!(distinct.len(), ats.len(), "duplicate delivery: {ats:?}");
+}
+
+/// One full run of the acceptance scenario: a 60-simulated-second
+/// partition between a mid-stream phone and the broker. Returns every
+/// observable counter so the determinism test can compare two runs.
+#[allow(clippy::type_complexity)]
+fn run_partition_scenario() -> (
+    usize,                           // trigger-driven samples on the device
+    Vec<Timestamp>,                  // continuous-stream uplinks, arrival order
+    Vec<Timestamp>,                  // event-stream uplinks, arrival order
+    sensocial::client::ClientNetStats,
+    sensocial_broker::ClientStats,
+    sensocial_broker::BrokerStats,
+    sensocial_net::NetworkStats,
+    u64,                             // server uplink_events
+) {
+    let mut world = World::new(WorldConfig::default());
+    world.add_device("alice", "alice-phone", cities::paris());
+    let client = supervise(&mut world, "alice-phone", SimDuration::from_secs(5));
+
+    let cont = world
+        .create_stream(
+            "alice-phone",
+            StreamSpec::continuous(Modality::Wifi, Granularity::Raw)
+                .with_interval(SimDuration::from_secs(5))
+                .with_sink(StreamSink::Server),
+        )
+        .unwrap();
+    let event = world
+        .create_stream(
+            "alice-phone",
+            StreamSpec::social_event_based(Modality::Bluetooth, Granularity::Raw)
+                .with_sink(StreamSink::Server),
+        )
+        .unwrap();
+
+    // Every trigger-driven sample seen by the application, locally.
+    let trigger_samples = Arc::new(Mutex::new(0usize));
+    {
+        let sink = trigger_samples.clone();
+        let manager = world.device("alice-phone").unwrap().manager.clone();
+        manager.register_listener(event, move |_s, _e| {
+            *sink.lock().unwrap() += 1;
+        });
+    }
+    // Server-side arrival logs, per stream, in arrival order.
+    let cont_ats = Arc::new(Mutex::new(Vec::new()));
+    {
+        let sink = cont_ats.clone();
+        world
+            .server
+            .register_listener(StreamSelector::Stream(cont), Filter::pass_all(), move |_s, e| {
+                sink.lock().unwrap().push(e.at);
+            });
+    }
+    let event_ats = Arc::new(Mutex::new(Vec::new()));
+    {
+        let sink = event_ats.clone();
+        world
+            .server
+            .register_listener(StreamSelector::Stream(event), Filter::pass_all(), move |_s, e| {
+                sink.lock().unwrap().push(e.at);
+            });
+    }
+
+    world.run_for(SimDuration::from_secs(10));
+    // This post's trigger reaches the publish stage mid-partition (the OSN
+    // push notification alone averages 46.5 s): the broker's retry budget
+    // and requeue-on-exhaust must carry it across.
+    world.post("alice", "before the storm");
+    world.run_for(SimDuration::from_secs(20));
+
+    // 60 simulated seconds of total partition, starting mid-stream.
+    world.net.partition(
+        &"alice-phone-ep".into(),
+        &"broker".into(),
+        Timestamp::from_secs(90),
+    );
+    world.run_for(SimDuration::from_secs(10));
+    world.post("alice", "mid-partition 1");
+    world.run_for(SimDuration::from_secs(20));
+    world.post("alice", "mid-partition 2");
+    // Run across the heal at t=90 and give reconnect, offline-queue
+    // drains and the ~55 s OSN→trigger pipeline time to settle.
+    world.run_for(SimDuration::from_secs(160));
+
+    let manager = world.device("alice-phone").unwrap().manager.clone();
+    (
+        *trigger_samples.lock().unwrap(),
+        cont_ats.lock().unwrap().clone(),
+        event_ats.lock().unwrap().clone(),
+        manager.net_stats(),
+        client.stats(),
+        world.broker.stats(),
+        world.net.stats(),
+        world.server.stats().uplink_events,
+    )
+}
+
+/// The acceptance scenario: a phone partitioned for 60 simulated seconds
+/// mid-stream loses no QoS-1 trigger, delivers nothing twice, flushes its
+/// offline uplink buffer in order — and a same-seed re-run reproduces
+/// every counter bit-for-bit.
+#[test]
+fn partition_mid_stream_zero_loss_no_dupes_ordered_flush_deterministic() {
+    let run_a = run_partition_scenario();
+    let (triggers, cont_ats, event_ats, net, client, broker, netstats, uplinks) = run_a.clone();
+
+    // Zero QoS-1 loss: all three posts became exactly one trigger-driven
+    // sample each, despite two landing inside the outage.
+    assert_eq!(triggers, 3, "every trigger survived the partition");
+    assert_eq!(event_ats.len(), 3, "every event sample reached the server");
+    assert_distinct(&event_ats);
+
+    // No duplicate application delivery, and the buffered continuous
+    // samples flushed oldest-first after the heal.
+    assert_distinct(&cont_ats);
+    assert_in_order(&cont_ats);
+    assert_in_order(&event_ats);
+    // 5 s duty cycle over 220 s (~43 samples); only the few sent between
+    // the partition starting and the keepalive declaring the link dead may
+    // be lost (they go out live as QoS-0 and die on the partition).
+    assert!(
+        cont_ats.len() >= 36,
+        "only the detection-gap samples may be lost: {}",
+        cont_ats.len()
+    );
+
+    // The lifecycle actually engaged: pings went unanswered, the
+    // connection was declared lost, and the session resumed.
+    assert!(client.pings_missed >= 2, "{client:?}");
+    assert!(client.connection_losses >= 1, "{client:?}");
+    assert!(client.connacks >= 2, "{client:?}");
+    assert!(broker.pings > 0, "{broker:?}");
+
+    // Store-and-forward accounting: a healthy backlog flushed, nothing
+    // overflowed, nothing is still parked.
+    assert!(net.uplink_flushed >= 8, "{net:?}");
+    assert_eq!(net.uplink_dropped, 0, "{net:?}");
+    assert!(netstats.dropped_partition > 0, "{netstats:?}");
+    assert!(uplinks >= cont_ats.len() as u64);
+
+    // Determinism: the same seed reproduces every counter and every
+    // arrival, fault injection included.
+    let run_b = run_partition_scenario();
+    assert_eq!(run_a, run_b, "same-seed runs must be identical");
+}
+
+/// A total broker blackout: the device parks its uplink while the broker
+/// endpoint is down and flushes the backlog, in order, once the broker
+/// returns.
+#[test]
+fn broker_blackout_parks_uplink_and_flushes_in_order() {
+    let mut world = World::new(WorldConfig::default());
+    world.add_device("alice", "alice-phone", cities::paris());
+    supervise(&mut world, "alice-phone", SimDuration::from_secs(5));
+    world
+        .create_stream(
+            "alice-phone",
+            StreamSpec::continuous(Modality::Wifi, Granularity::Raw)
+                .with_interval(SimDuration::from_secs(5))
+                .with_sink(StreamSink::Server),
+        )
+        .unwrap();
+
+    let ats = Arc::new(Mutex::new(Vec::new()));
+    {
+        let sink = ats.clone();
+        world
+            .server
+            .register_listener(StreamSelector::AllUplinks, Filter::pass_all(), move |_s, e| {
+                sink.lock().unwrap().push(e.at);
+            });
+    }
+
+    world.run_for(SimDuration::from_secs(30));
+    let before = ats.lock().unwrap().len();
+    assert!(before >= 4, "stream warmed up: {before}");
+
+    world.net.set_endpoint_down(
+        &"broker".into(),
+        FaultWindow::new(Timestamp::from_secs(30), Timestamp::from_secs(90)),
+    );
+    world.run_for(SimDuration::from_secs(60));
+    let during = ats.lock().unwrap().len();
+    assert_eq!(during, before, "nothing crosses a dead broker");
+
+    world.run_for(SimDuration::from_secs(60));
+    let after = ats.lock().unwrap();
+    let manager = world.device("alice-phone").unwrap().manager.clone();
+    let net = manager.net_stats();
+    assert!(net.uplink_flushed >= 8, "backlog flushed on heal: {net:?}");
+    assert_eq!(net.uplink_dropped, 0, "{net:?}");
+    assert_eq!(manager.uplink_backlog(), 0, "nothing left parked");
+    assert!(
+        after.len() >= during + net.uplink_flushed as usize,
+        "flushed backlog and resumed live traffic arrived: {} vs {}",
+        after.len(),
+        during
+    );
+    assert_in_order(&after);
+    assert_distinct(&after);
+    assert!(world.net.stats().dropped_endpoint_down > 0);
+}
+
+/// The uplink buffer is bounded: under an outage longer than the buffer,
+/// the oldest samples are dropped (and counted), the newest survive, and
+/// ordering still holds.
+#[test]
+fn bounded_uplink_buffer_drops_oldest_and_keeps_newest() {
+    let mut world = World::new(WorldConfig::default());
+    world.add_device("alice", "alice-phone", cities::paris());
+    supervise(&mut world, "alice-phone", SimDuration::from_secs(5));
+    world
+        .create_stream(
+            "alice-phone",
+            StreamSpec::continuous(Modality::Wifi, Granularity::Raw)
+                .with_interval(SimDuration::from_secs(5))
+                .with_sink(StreamSink::Server),
+        )
+        .unwrap();
+    let manager = world.device("alice-phone").unwrap().manager.clone();
+    manager.set_uplink_buffer_limit(3);
+
+    let ats = Arc::new(Mutex::new(Vec::new()));
+    {
+        let sink = ats.clone();
+        world
+            .server
+            .register_listener(StreamSelector::AllUplinks, Filter::pass_all(), move |_s, e| {
+                sink.lock().unwrap().push(e.at);
+            });
+    }
+
+    world.run_for(SimDuration::from_secs(30));
+    world.net.set_endpoint_down(
+        &"broker".into(),
+        FaultWindow::new(Timestamp::from_secs(30), Timestamp::from_secs(90)),
+    );
+    world.run_for(SimDuration::from_secs(120));
+
+    let net = manager.net_stats();
+    assert!(net.uplink_dropped >= 1, "oldest samples evicted: {net:?}");
+    assert!(net.uplink_flushed <= 3, "flush bounded by the buffer: {net:?}");
+    assert_eq!(manager.uplink_backlog(), 0);
+    let ats = ats.lock().unwrap();
+    assert_in_order(&ats);
+    assert_distinct(&ats);
+}
+
+/// Client churn in the middle of a multicast membership change: one
+/// member is partitioned exactly when the refresh evicts it, another
+/// churns offline and back. The destroy command survives the outage on
+/// the broker's offline queue, so membership converges once everyone is
+/// reachable again.
+#[test]
+fn client_churn_during_multicast_membership_change_converges() {
+    use sensocial::server::MulticastSelector;
+    let mut world = World::new(WorldConfig::default());
+    for user in ["a", "b", "c"] {
+        world.add_device(user, format!("{user}-phone"), cities::paris());
+        world.server.seed_location(&UserId::new(user), cities::paris());
+    }
+    supervise(&mut world, "b-phone", SimDuration::from_secs(5));
+    supervise(&mut world, "c-phone", SimDuration::from_secs(5));
+    world.run_for(SimDuration::from_secs(1));
+
+    let template = StreamSpec::continuous(Modality::Location, Granularity::Raw)
+        .with_interval(SimDuration::from_secs(10));
+    let multicast = world.server.create_multicast(
+        &mut world.sched,
+        MulticastSelector::WithinFence(sensocial_types::GeoFence::new(cities::paris(), 20_000.0)),
+        template,
+    );
+    assert_eq!(world.server.multicast_members(multicast).len(), 3);
+
+    let events = Arc::new(Mutex::new(Vec::new()));
+    {
+        let sink = events.clone();
+        world
+            .server
+            .register_multicast_listener(multicast, move |_s, e| {
+                sink.lock().unwrap().push(e.user.as_str().to_owned());
+            });
+    }
+    world.run_for(SimDuration::from_secs(59));
+
+    // b drops off the network at t=60 for 60 s...
+    world
+        .net
+        .partition(&"b-phone-ep".into(), &"broker".into(), Timestamp::from_secs(120));
+    // ...and c churns cleanly offline at the same moment.
+    let c_manager = world.device("c-phone").unwrap().manager.clone();
+    c_manager.go_offline(&mut world.sched);
+    world.run_for(SimDuration::from_secs(5));
+
+    // While b is unreachable it leaves the fence; the refresh must evict
+    // it even though the destroy command cannot be delivered yet.
+    world
+        .device("b-phone")
+        .unwrap()
+        .env
+        .set_position(cities::bordeaux());
+    world.server.seed_location(&UserId::new("b"), cities::bordeaux());
+    world.server.refresh_multicast(&mut world.sched, multicast);
+    assert_eq!(world.server.multicast_members(multicast).len(), 2);
+
+    world.run_for(SimDuration::from_secs(25));
+    c_manager.go_online(&mut world.sched);
+    // Past the heal at t=120, plus slack for b's backoff to reconnect and
+    // the requeued destroy to land.
+    world.run_for(SimDuration::from_secs(60));
+
+    let b_manager = world.device("b-phone").unwrap().manager.clone();
+    assert!(
+        b_manager.stream_ids().is_empty(),
+        "the requeued destroy reached b after the heal: {:?}",
+        b_manager.stream_ids()
+    );
+
+    events.lock().unwrap().clear();
+    world.run_for(SimDuration::from_secs(60));
+    let seen: BTreeSet<String> = events.lock().unwrap().iter().cloned().collect();
+    assert!(!seen.contains("b"), "b's stream is gone: {seen:?}");
+    assert!(
+        seen.contains("a") && seen.contains("c"),
+        "a kept streaming and c resumed after churn: {seen:?}"
+    );
+    assert_eq!(c_manager.uplink_backlog(), 0, "c's parked samples flushed");
+}
+
+/// Filter pushes converge on the newest epoch: when only the device→broker
+/// leg dies, config deliveries land but their acks do not, so the broker
+/// requeues already-applied commands with fresh message ids. The dedup
+/// window cannot catch those — the config epoch does.
+#[test]
+fn filter_epoch_convergence_discards_stale_redeliveries() {
+    let mut world = World::new(WorldConfig::default());
+    world.add_device("alice", "alice-phone", cities::paris());
+    supervise(&mut world, "alice-phone", SimDuration::from_secs(2));
+    world.run_for(SimDuration::from_secs(1));
+
+    let stream = world
+        .server
+        .create_remote_stream(
+            &mut world.sched,
+            &"alice-phone".into(),
+            StreamSpec::continuous(Modality::Location, Granularity::Raw)
+                .with_interval(SimDuration::from_secs(10)),
+        )
+        .unwrap();
+    world.run_for(SimDuration::from_secs(5));
+
+    let manager = world.device("alice-phone").unwrap().manager.clone();
+    assert_eq!(manager.stream_ids(), vec![stream], "create applied");
+    assert_eq!(manager.last_config_epoch(stream), 1);
+
+    // Kill the ack path only: everything the phone sends dies, everything
+    // the broker sends still arrives.
+    let healthy = world.config().link.clone();
+    world.net.set_link(
+        "alice-phone-ep".into(),
+        "broker".into(),
+        sensocial_net::LinkSpec::with_latency(sensocial_net::LatencyModel::constant_ms(40))
+            .lossy(1.0),
+    );
+
+    let f1 = Filter::new(vec![Condition::new(
+        ConditionLhs::Place,
+        Operator::Equals,
+        "Paris",
+    )]);
+    let f2 = Filter::new(vec![Condition::new(
+        ConditionLhs::Place,
+        Operator::Equals,
+        "Bordeaux",
+    )]);
+    world
+        .server
+        .set_remote_filter(&mut world.sched, stream, f1)
+        .unwrap();
+    world
+        .server
+        .set_remote_filter(&mut world.sched, stream, f2.clone())
+        .unwrap();
+    // Both deliveries land and apply (epochs 2 then 3); every ack is lost,
+    // the broker's retries are suppressed by the dedup window, and on
+    // exhaustion both commands are requeued for redelivery.
+    world.run_for(SimDuration::from_secs(40));
+
+    world
+        .net
+        .set_link("alice-phone-ep".into(), "broker".into(), healthy);
+    // The client reconnects; the offline queue redelivers both commands
+    // under fresh message ids. The epoch guard must reject them.
+    world.run_for(SimDuration::from_secs(30));
+
+    assert_eq!(
+        manager.stream_spec(stream).unwrap().filter,
+        f2,
+        "the newest filter wins"
+    );
+    assert_eq!(manager.last_config_epoch(stream), 3);
+    let net = manager.net_stats();
+    assert!(
+        net.stale_configs >= 2,
+        "stale redeliveries were counted and ignored: {net:?}"
+    );
+}
