@@ -1,0 +1,134 @@
+//! Value domains for filter condition left-hand sides.
+//!
+//! Every [`ConditionLhs`] draws its values from a small, statically known
+//! domain. The type checker uses this mapping to reject operator/value
+//! mismatches at registration time, and the satisfiability pass uses it to
+//! reason about interval and set emptiness.
+
+use sensocial_types::filter::ConditionLhs;
+
+/// Physical-activity class names, in sync with
+/// `sensocial_types::PhysicalActivity::name`.
+pub const ACTIVITY_VALUES: &[&str] = &["still", "walking", "running"];
+
+/// Audio-environment class names, in sync with
+/// `sensocial_types::AudioEnvironment::name`.
+pub const AUDIO_VALUES: &[&str] = &["silent", "not_silent"];
+
+/// OSN activity states as produced on the trigger path.
+pub const OSN_ACTIVITY_VALUES: &[&str] = &["active", "inactive"];
+
+/// OSN action kinds, in sync with `sensocial_types::OsnActionKind::name`.
+pub const OSN_KIND_VALUES: &[&str] = &["post", "comment", "like", "friendship_change"];
+
+/// The value domain a condition's comparison value must live in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueDomain {
+    /// A closed set of categorical string values.
+    Enum(&'static [&'static str]),
+    /// An hour of day: integers 0–23, always evaluable (the clock never
+    /// goes missing).
+    Hour,
+    /// A non-negative integer count (WiFi APs, Bluetooth neighbours),
+    /// evaluable only once the modality has produced classified context.
+    Count,
+    /// A free-form string (place names, OSN topics) — equality tests only.
+    Text,
+}
+
+impl ValueDomain {
+    /// Whether values are numbers (orderable) rather than strings.
+    #[must_use]
+    pub fn is_numeric(self) -> bool {
+        matches!(self, ValueDomain::Hour | ValueDomain::Count)
+    }
+}
+
+/// Maps a condition left-hand side to its value domain.
+#[must_use]
+pub fn domain_of(lhs: ConditionLhs) -> ValueDomain {
+    match lhs {
+        ConditionLhs::PhysicalActivity => ValueDomain::Enum(ACTIVITY_VALUES),
+        ConditionLhs::AudioEnvironment => ValueDomain::Enum(AUDIO_VALUES),
+        ConditionLhs::OsnActivity => ValueDomain::Enum(OSN_ACTIVITY_VALUES),
+        ConditionLhs::OsnActionKind => ValueDomain::Enum(OSN_KIND_VALUES),
+        ConditionLhs::Place | ConditionLhs::OsnTopic => ValueDomain::Text,
+        ConditionLhs::HourOfDay => ValueDomain::Hour,
+        ConditionLhs::WifiDensity | ConditionLhs::BluetoothDensity => ValueDomain::Count,
+    }
+}
+
+/// Whether the left-hand side always has a value at evaluation time.
+///
+/// Conditions over a *non*-always-evaluable lhs are false while the backing
+/// context is missing, so even a tautological condition (`WifiDensity > -1`)
+/// acts as a presence gate and cannot be dropped by the normalizer. The
+/// hour of day is read from the clock, `OsnActivity` defaults to
+/// `inactive`, and a missing place reads as `"unknown"` — those three never
+/// gate on presence.
+#[must_use]
+pub fn always_evaluable(lhs: ConditionLhs) -> bool {
+    matches!(
+        lhs,
+        ConditionLhs::HourOfDay | ConditionLhs::OsnActivity | ConditionLhs::Place
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sensocial_types::{AudioEnvironment, OsnActionKind, PhysicalActivity};
+
+    #[test]
+    fn enum_domains_match_the_types_crate_names() {
+        assert_eq!(
+            ACTIVITY_VALUES,
+            &[
+                PhysicalActivity::Still.name(),
+                PhysicalActivity::Walking.name(),
+                PhysicalActivity::Running.name(),
+            ]
+        );
+        assert_eq!(
+            AUDIO_VALUES,
+            &[
+                AudioEnvironment::Silent.name(),
+                AudioEnvironment::NotSilent.name(),
+            ]
+        );
+        assert_eq!(
+            OSN_KIND_VALUES,
+            &[
+                OsnActionKind::Post.name(),
+                OsnActionKind::Comment.name(),
+                OsnActionKind::Like.name(),
+                OsnActionKind::FriendshipChange.name(),
+            ]
+        );
+    }
+
+    #[test]
+    fn every_lhs_has_a_domain() {
+        let all = [
+            ConditionLhs::PhysicalActivity,
+            ConditionLhs::AudioEnvironment,
+            ConditionLhs::Place,
+            ConditionLhs::WifiDensity,
+            ConditionLhs::BluetoothDensity,
+            ConditionLhs::HourOfDay,
+            ConditionLhs::OsnActivity,
+            ConditionLhs::OsnActionKind,
+            ConditionLhs::OsnTopic,
+        ];
+        for lhs in all {
+            let d = domain_of(lhs);
+            if lhs.required_modality().is_none() && !lhs.is_osn() {
+                assert_eq!(lhs, ConditionLhs::HourOfDay);
+                assert!(d.is_numeric());
+            }
+        }
+        assert!(always_evaluable(ConditionLhs::HourOfDay));
+        assert!(!always_evaluable(ConditionLhs::WifiDensity));
+        assert!(always_evaluable(ConditionLhs::Place));
+    }
+}

@@ -1,0 +1,209 @@
+//! Property tests for the static plan verifier.
+//!
+//! The two load-bearing guarantees:
+//!
+//! 1. **No runtime escape**: any plan accepted by `analyze()` never
+//!    produces a runtime type/eval error, for any context snapshot, hour
+//!    of day or in-flight OSN action.
+//! 2. **Normalization is a fixpoint and preserves semantics**: re-analyzing
+//!    a normalized plan returns it unchanged, and the normalized filter
+//!    agrees with the original on every context.
+
+use proptest::prelude::*;
+use sensocial_analysis::{analyze, AnalysisEnv, FilterPlan};
+use sensocial_runtime::Timestamp;
+use sensocial_types::filter::{Condition, ConditionLhs, EvalContext, Filter, Operator};
+use sensocial_types::{
+    AudioEnvironment, ClassifiedContext, ContextData, ContextSnapshot, OsnAction,
+    PhysicalActivity, UserId,
+};
+
+fn lhs_strategy() -> impl Strategy<Value = ConditionLhs> {
+    prop_oneof![
+        Just(ConditionLhs::PhysicalActivity),
+        Just(ConditionLhs::AudioEnvironment),
+        Just(ConditionLhs::Place),
+        Just(ConditionLhs::WifiDensity),
+        Just(ConditionLhs::BluetoothDensity),
+        Just(ConditionLhs::HourOfDay),
+        Just(ConditionLhs::OsnActivity),
+        Just(ConditionLhs::OsnActionKind),
+        Just(ConditionLhs::OsnTopic),
+    ]
+}
+
+fn op_strategy() -> impl Strategy<Value = Operator> {
+    prop_oneof![
+        Just(Operator::Equals),
+        Just(Operator::NotEquals),
+        Just(Operator::GreaterThan),
+        Just(Operator::LessThan),
+    ]
+}
+
+/// A grab-bag of values: domain-correct strings, junk strings, integers
+/// and fractional numbers — so the generator produces both plans the
+/// analyzer accepts and plans it must reject.
+fn value_strategy() -> impl Strategy<Value = serde_json::Value> {
+    prop_oneof![
+        prop_oneof![
+            Just("still"),
+            Just("walking"),
+            Just("running"),
+            Just("silent"),
+            Just("not_silent"),
+            Just("active"),
+            Just("inactive"),
+            Just("post"),
+            Just("comment"),
+            Just("like"),
+            Just("friendship_change"),
+            Just("Paris"),
+            Just("unknown"),
+            Just("football"),
+        ]
+        .prop_map(serde_json::Value::from),
+        (-30i64..40).prop_map(serde_json::Value::from),
+        (-5.0f64..30.0).prop_map(serde_json::Value::from),
+    ]
+}
+
+fn condition_strategy() -> impl Strategy<Value = Condition> {
+    (lhs_strategy(), op_strategy(), value_strategy(), 0u8..4).prop_map(|(lhs, op, value, subj)| {
+        let c = Condition::new(lhs, op, value);
+        // Bias toward own-user conditions; a few about other users.
+        if subj == 0 {
+            c.about(UserId::new("bob"))
+        } else {
+            c
+        }
+    })
+}
+
+fn filter_strategy() -> impl Strategy<Value = Filter> {
+    proptest::collection::vec(condition_strategy(), 0..6).prop_map(Filter::new)
+}
+
+/// A random device context: each classified modality present or absent.
+#[allow(clippy::type_complexity)]
+fn snapshot_strategy() -> impl Strategy<Value = ContextSnapshot> {
+    (
+        proptest::option::of(0u8..3),
+        proptest::option::of(0u8..2),
+        proptest::option::of(prop_oneof![Just(None), Just(Some("Paris")), Just(Some("home"))]),
+        proptest::option::of(0usize..12),
+        proptest::option::of(0usize..12),
+    )
+        .prop_map(|(activity, audio, place, wifi, bt)| {
+            let mut s = ContextSnapshot::new();
+            let at = Timestamp::from_secs(1);
+            if let Some(a) = activity {
+                let a = [
+                    PhysicalActivity::Still,
+                    PhysicalActivity::Walking,
+                    PhysicalActivity::Running,
+                ][a as usize];
+                s.record(at, ContextData::Classified(ClassifiedContext::Activity(a)));
+            }
+            if let Some(a) = audio {
+                let a = [AudioEnvironment::Silent, AudioEnvironment::NotSilent][a as usize];
+                s.record(at, ContextData::Classified(ClassifiedContext::Audio(a)));
+            }
+            if let Some(p) = place {
+                s.record(
+                    at,
+                    ContextData::Classified(ClassifiedContext::Place(p.map(str::to_owned))),
+                );
+            }
+            if let Some(n) = wifi {
+                s.record(
+                    at,
+                    ContextData::Classified(ClassifiedContext::WifiDensity(n)),
+                );
+            }
+            if let Some(n) = bt {
+                s.record(
+                    at,
+                    ContextData::Classified(ClassifiedContext::BluetoothDensity(n)),
+                );
+            }
+            s
+        })
+}
+
+fn action_strategy() -> impl Strategy<Value = Option<OsnAction>> {
+    proptest::option::of((0u8..2).prop_map(|topic| {
+        let action = OsnAction::post(UserId::new("bob"), "hi", Timestamp::ZERO);
+        if topic == 0 {
+            action.with_topic("football")
+        } else {
+            action
+        }
+    }))
+}
+
+proptest! {
+    /// Guarantee 1: accepted plans never hit a runtime eval error, on any
+    /// context — neither the normalized filter nor the original.
+    #[test]
+    fn accepted_plans_never_eval_error(
+        filter in filter_strategy(),
+        snapshot in snapshot_strategy(),
+        subject_snapshot in proptest::option::of(snapshot_strategy()),
+        action in action_strategy(),
+        hour in 0u64..24,
+    ) {
+        // Server placement accepts cross-user conditions, exercising the
+        // full evaluation path.
+        let plan = FilterPlan::server(filter.clone());
+        if let Ok(analysis) = analyze(&plan, &AnalysisEnv::new()) {
+            let ctx = EvalContext {
+                snapshot: &snapshot,
+                now: Timestamp::from_secs(hour * 3600),
+                osn_action: action.as_ref(),
+            };
+            let lookup = |_: &UserId| subject_snapshot.clone();
+            prop_assert!(analysis.filter.evaluate_full(&ctx, &lookup).is_ok());
+            prop_assert!(filter.evaluate_full(&ctx, &lookup).is_ok());
+            prop_assert!(analysis.filter.evaluate_local(&ctx).is_ok());
+        }
+    }
+
+    /// Guarantee 2a: normalization is idempotent.
+    #[test]
+    fn normalization_is_idempotent(filter in filter_strategy()) {
+        let plan = FilterPlan::server(filter);
+        if let Ok(first) = analyze(&plan, &AnalysisEnv::new()) {
+            let again = analyze(
+                &FilterPlan::server(first.filter.clone()),
+                &AnalysisEnv::new(),
+            );
+            let second = again.expect("canonical plans re-verify");
+            prop_assert_eq!(first.filter, second.filter);
+        }
+    }
+
+    /// Guarantee 2b: the normalized filter is observationally equivalent
+    /// to the original on every context.
+    #[test]
+    fn normalization_preserves_semantics(
+        filter in filter_strategy(),
+        snapshot in snapshot_strategy(),
+        subject_snapshot in proptest::option::of(snapshot_strategy()),
+        action in action_strategy(),
+        hour in 0u64..24,
+    ) {
+        let plan = FilterPlan::server(filter.clone());
+        if let Ok(analysis) = analyze(&plan, &AnalysisEnv::new()) {
+            let ctx = EvalContext {
+                snapshot: &snapshot,
+                now: Timestamp::from_secs(hour * 3600),
+                osn_action: action.as_ref(),
+            };
+            let lookup = |_: &UserId| subject_snapshot.clone();
+            let original = filter.evaluate_full(&ctx, &lookup);
+            let normalized = analysis.filter.evaluate_full(&ctx, &lookup);
+            prop_assert_eq!(original, normalized);
+        }
+    }
+}

@@ -67,7 +67,12 @@ pub struct ConWebServer {
 
 impl ConWebServer {
     /// Installs the server-side application.
-    pub fn install(server: &ServerManager) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`sensocial::Error::PlanRejected`] if the subscription plan
+    /// fails the server's static verification.
+    pub fn install(server: &ServerManager) -> sensocial::Result<Self> {
         let context = server.db().collection("conweb_context");
         let rows = context.clone();
         server.register_listener(StreamSelector::AllUplinks, Filter::pass_all(), move |_s, event| {
@@ -86,8 +91,8 @@ impl ConWebServer {
                 .and_then(|a| a.topic.clone())
                 .map(|t| ("last_topic", t));
             upsert(&rows, &event.user, field.into_iter().chain(topic));
-        });
-        ConWebServer { context }
+        })?;
+        Ok(ConWebServer { context })
     }
 }
 

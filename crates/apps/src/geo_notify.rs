@@ -13,6 +13,7 @@ use sensocial::server::{MulticastId, MulticastSelector, ServerManager};
 use sensocial::{
     Condition, ConditionLhs, Filter, Granularity, Modality, Operator, StreamSink, StreamSpec,
 };
+use sensocial_analysis::{analyze, AnalysisEnv, FilterPlan};
 use sensocial_runtime::{Scheduler, SimDuration, Timestamp};
 use sensocial_types::UserId;
 
@@ -53,27 +54,43 @@ impl GeoNotifyApp {
     /// Installs the app: a multicast stream over `user`'s OSN friends,
     /// sampling classified location every `interval`, filtered (on the
     /// devices, by the distributed filter) to reports from `home`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`sensocial::Error::PlanRejected`] if the home-town filter
+    /// plan fails static verification or the multicast would close a
+    /// cross-user dependency cycle.
     pub fn install(
         sched: &mut Scheduler,
         server: &ServerManager,
         user: UserId,
         home: impl Into<String>,
         interval: SimDuration,
-    ) -> Self {
+    ) -> sensocial::Result<Self> {
         let home = home.into();
-        let template = StreamSpec::continuous(Modality::Location, Granularity::Classified)
-            .with_interval(interval)
-            .with_filter(Filter::new(vec![Condition::new(
+        // Pre-flight the distributed plan through the static verifier: the
+        // multicast template is exactly what every member device will run.
+        let plan = FilterPlan::multicast(
+            Modality::Location,
+            Granularity::Classified,
+            Filter::new(vec![Condition::new(
                 ConditionLhs::Place,
                 Operator::Equals,
                 home.clone(),
-            )]))
+            )]),
+        );
+        let filter = analyze(&plan, &AnalysisEnv::new())
+            .map_err(sensocial::Error::from)?
+            .filter;
+        let template = StreamSpec::continuous(Modality::Location, Granularity::Classified)
+            .with_interval(interval)
+            .with_filter(filter)
             .with_sink(StreamSink::Server);
         let multicast = server.create_multicast(
             sched,
             MulticastSelector::FriendsOf(user.clone()),
             template,
-        );
+        )?;
 
         let notifications: Arc<Mutex<Vec<FriendArrival>>> = Arc::new(Mutex::new(Vec::new()));
         let sink = notifications.clone();
@@ -110,12 +127,12 @@ impl GeoNotifyApp {
             }
         });
 
-        GeoNotifyApp {
+        Ok(GeoNotifyApp {
             user,
             home,
             multicast,
             notifications,
-        }
+        })
     }
 
     /// Re-evaluates the friend set (call after OSN link changes).

@@ -14,6 +14,7 @@ use sensocial::{
     Condition, ConditionLhs, Filter, Granularity, Modality, Operator, StreamEvent, StreamId,
     StreamSink, StreamSpec,
 };
+use sensocial_analysis::{analyze, AnalysisEnv, FilterPlan};
 use sensocial_runtime::Scheduler;
 use sensocial_store::Collection;
 use sensocial_types::{ContextData, RawSample};
@@ -35,11 +36,21 @@ impl SensorMapMobile {
     /// paper's Figure 7 snippet.
     pub fn install(sched: &mut Scheduler, manager: &ClientManager) -> sensocial::Result<Self> {
         // Create list of filter condition(s): facebook_activity == active.
-        let filter = Filter::new(vec![Condition::new(
-            ConditionLhs::OsnActivity,
-            Operator::Equals,
-            "active",
-        )]);
+        // The plan is pre-flighted through the static verifier so a typo in
+        // the filter surfaces here as diagnostics, not as a stream that
+        // silently never fires; all three streams share the normalized form.
+        let plan = FilterPlan::device(
+            Modality::Accelerometer,
+            Granularity::Classified,
+            Filter::new(vec![Condition::new(
+                ConditionLhs::OsnActivity,
+                Operator::Equals,
+                "active",
+            )]),
+        );
+        let filter = analyze(&plan, &AnalysisEnv::new())
+            .map_err(sensocial::Error::from)?
+            .filter;
 
         // Three streams — classified accelerometer, classified microphone,
         // raw location — with the filter set on each.
@@ -89,7 +100,13 @@ pub struct SensorMapServer {
 
 impl SensorMapServer {
     /// Installs the server-side application.
-    pub fn install(server: &ServerManager) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`sensocial::Error::PlanRejected`] if the subscription plan
+    /// fails the server's static verification (it cannot: `pass_all` is
+    /// trivially sound — the `Result` exists for signature honesty).
+    pub fn install(server: &ServerManager) -> sensocial::Result<Self> {
         let map = MapView::new();
         let records = server.db().collection("sensor_map");
         let (m, r) = (map.clone(), records.clone());
@@ -110,8 +127,8 @@ impl SensorMapServer {
                 "lon": marker.position.map(|p| p.lon),
                 "at_ms": event.at.as_millis(),
             }));
-        });
-        SensorMapServer { map, records }
+        })?;
+        Ok(SensorMapServer { map, records })
     }
 }
 

@@ -28,7 +28,7 @@ fn sensor_map_with_middleware_end_to_end() {
     let (mobile, server_app) = {
         let manager = world.device("alice-phone").unwrap().manager.clone();
         let mobile = SensorMapMobile::install(&mut world.sched, &manager).unwrap();
-        let server_app = SensorMapServer::install(&world.server);
+        let server_app = SensorMapServer::install(&world.server).unwrap();
         (mobile, server_app)
     };
 
@@ -105,7 +105,7 @@ fn conweb_with_middleware_adapts_pages() {
 
     let manager = world.device("alice-phone").unwrap().manager.clone();
     ConWebMobile::install(&mut world.sched, &manager).unwrap();
-    let server_app = ConWebServer::install(&world.server);
+    let server_app = ConWebServer::install(&world.server).unwrap();
 
     let web = WebServer::start(&world.net, "web", server_app.context.clone());
     web.add_page("news", "A long and detailed article about everything that happened today");
@@ -231,7 +231,8 @@ fn geo_notify_reproduces_figure2() {
         UserId::new("a"),
         "Paris",
         SimDuration::from_secs(60),
-    );
+    )
+    .unwrap();
 
     // Nobody travels for a while: no notifications.
     world.run_for(SimDuration::from_mins(10));

@@ -99,11 +99,14 @@ fn measure_poll(actions: usize, interval: SimDuration) -> TriggerVariant {
         Default::default();
     {
         let queue = pending.clone();
-        world.server.register_listener(
-            StreamSelector::AllUplinks,
-            Filter::pass_all(),
-            move |_s, _e| {},
-        );
+        world
+            .server
+            .register_listener(
+                StreamSelector::AllUplinks,
+                Filter::pass_all(),
+                move |_s, _e| {},
+            )
+            .expect("pass-all subscription is always sound");
         let queue2 = queue.clone();
         world.push_plugin.set_receiver(move |_s, action| {
             queue2.lock().push(action);
@@ -218,15 +221,18 @@ fn measure_placement(
     let delivered = std::sync::Arc::new(parking_lot::Mutex::new(0u64));
     {
         let sink = delivered.clone();
-        world.server.register_listener(
-            StreamSelector::AllUplinks,
-            server_filter.unwrap_or_default(),
-            move |_s, event| {
-                if event.data.modality() == Modality::Location {
-                    *sink.lock() += 1;
-                }
-            },
-        );
+        world
+            .server
+            .register_listener(
+                StreamSelector::AllUplinks,
+                server_filter.unwrap_or_default(),
+                move |_s, event| {
+                    if event.data.modality() == Modality::Location {
+                        *sink.lock() += 1;
+                    }
+                },
+            )
+            .expect("ablation filters are verifier-sound");
     }
 
     // Walk for a quarter of each 20-minute block.

@@ -583,7 +583,8 @@ pub fn pipeline_fixture() -> World {
         .expect("stream installs");
     world
         .server
-        .register_listener(StreamSelector::AllUplinks, Filter::pass_all(), |_s, _e| {});
+        .register_listener(StreamSelector::AllUplinks, Filter::pass_all(), |_s, _e| {})
+        .expect("pass-all subscription is always sound");
     world
 }
 

@@ -463,7 +463,7 @@ impl Broker {
                 let pending = inner
                     .pending
                     .remove(&message_id)
-                    .expect("pending entry just matched");
+                    .expect("pending entry just matched"); // lint:allow(expect) — guarded by the match on the line above
                 if inner.config.requeue_on_exhaust {
                     let limit = inner.config.offline_queue_limit;
                     match inner.sessions.get_mut(&pending.client_id) {

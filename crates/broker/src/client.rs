@@ -377,7 +377,7 @@ impl BrokerClient {
     where
         F: Fn(&mut Scheduler, &str, &str) + Send + Sync + 'static,
     {
-        let filter: TopicFilter = filter.parse().expect("invalid topic filter");
+        let filter: TopicFilter = filter.parse().expect("invalid topic filter"); // lint:allow(expect) — filters are compile-time literals, validated by tests
         let client_id = {
             let mut inner = self.inner.lock();
             inner
@@ -489,7 +489,7 @@ impl BrokerClient {
                         let p = inner
                             .pending
                             .remove(&message_id)
-                            .expect("pending entry just matched");
+                            .expect("pending entry just matched"); // lint:allow(expect) — guarded by the match on the line above
                         inner.stats.dead_lettered += 1;
                         RetryAction::DeadLetter(p.packet, inner.dead_letter.clone())
                     }

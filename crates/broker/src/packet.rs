@@ -115,7 +115,7 @@ pub const MAX_WIRE_LEN: usize = 256 * 1024;
 impl Packet {
     /// Serializes the packet to its JSON wire form.
     pub fn to_wire(&self) -> Vec<u8> {
-        serde_json::to_vec(self).expect("packets always serialize")
+        serde_json::to_vec(self).expect("packets always serialize") // lint:allow(expect) — plain-field struct; serialization cannot fail
     }
 
     /// Parses a packet from its JSON wire form.

@@ -16,11 +16,13 @@ use sensocial_types::{
     Result, StreamId, UserId,
 };
 
+use sensocial_analysis::{analyze, AnalysisEnv, FilterPlan};
+
 use crate::config::{ConfigCommand, StreamMode, StreamSink, StreamSpec};
-use crate::event::{RegistrationPayload, StreamEvent, TriggerPayload};
+use crate::event::{ConfigAck, RegistrationPayload, StreamEvent, TriggerPayload};
 use crate::filter::EvalContext;
 use crate::privacy::{PrivacyPolicy, PrivacyPolicyManager};
-use crate::{config_topic, trigger_topic, uplink_topic, REGISTER_TOPIC};
+use crate::{ack_topic, config_topic, trigger_topic, uplink_topic, REGISTER_TOPIC};
 
 use super::stream::{StreamOrigin, StreamState, StreamStatus};
 
@@ -57,6 +59,12 @@ pub struct ClientNetStats {
     /// Configuration commands ignored because their epoch was not newer
     /// than the last applied one for the stream.
     pub stale_configs: u64,
+    /// Filter evaluations that hit a typed eval error at stream time
+    /// (fail-closed; should be zero for analyzer-vetted plans).
+    pub filter_eval_errors: u64,
+    /// Pushed configurations rejected by the on-device plan verifier and
+    /// negatively acked back to the server.
+    pub configs_rejected: u64,
 }
 
 type Listener = Arc<dyn Fn(&mut Scheduler, &StreamEvent) + Send + Sync>;
@@ -345,10 +353,20 @@ impl ClientManager {
 
     /// Creates a stream from `spec`, returning its id.
     ///
+    /// The spec's filter plan is statically verified first; the normalized
+    /// form is what gets installed.
+    ///
     /// If the privacy descriptor denies the spec, the stream is created
     /// **paused** (the paper pauses rather than rejects) and resumes
     /// automatically once policies allow it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::PlanRejected`] when the filter is ill-typed,
+    /// unsatisfiable, or contains a cross-user condition (which no device
+    /// can evaluate).
     pub fn create_stream(&self, sched: &mut Scheduler, spec: StreamSpec) -> Result<StreamId> {
+        let spec = self.analyze_spec(&spec)?;
         let id = {
             let mut inner = self.inner.lock();
             let id = StreamId::new(inner.next_local_stream);
@@ -357,6 +375,21 @@ impl ClientManager {
         };
         self.install_stream(sched, id, spec, StreamOrigin::Local);
         Ok(id)
+    }
+
+    /// Statically verifies `spec`'s filter plan for this device, returning
+    /// the spec with the canonical (normalized) filter installed.
+    ///
+    /// Privacy violations do not reject here: [`ClientManager::install_stream`]
+    /// screens the spec and pauses the stream until policies allow it, the
+    /// paper's pause-don't-reject semantics.
+    fn analyze_spec(&self, spec: &StreamSpec) -> Result<StreamSpec> {
+        let plan = FilterPlan::device(spec.modality, spec.granularity, spec.filter.clone());
+        let env = AnalysisEnv::new().with_privacy(&self.privacy);
+        let analysis = analyze(&plan, &env)?;
+        let mut spec = spec.clone();
+        spec.filter = analysis.filter;
+        Ok(spec)
     }
 
     fn install_stream(
@@ -395,27 +428,37 @@ impl ClientManager {
     }
 
     /// Replaces a stream's filter, re-screening privacy and re-arming
-    /// conditional sampling.
+    /// conditional sampling. The new plan is statically verified first and
+    /// the normalized filter is what gets installed.
     ///
     /// # Errors
     ///
-    /// Returns [`Error::UnknownStream`] if `id` does not exist.
+    /// Returns [`Error::UnknownStream`] if `id` does not exist, or
+    /// [`Error::PlanRejected`] if the new filter fails verification (the
+    /// previous filter stays in place).
     pub fn set_filter(
         &self,
         sched: &mut Scheduler,
         id: StreamId,
         filter: crate::filter::Filter,
     ) -> Result<()> {
-        let spec = {
+        let candidate = {
+            let inner = self.inner.lock();
+            let state = inner
+                .streams
+                .get(&id)
+                .ok_or(Error::UnknownStream(id.value()))?;
+            state.spec.clone().with_filter(filter)
+        };
+        let verified = self.analyze_spec(&candidate)?;
+        {
             let mut inner = self.inner.lock();
             let state = inner
                 .streams
                 .get_mut(&id)
                 .ok_or(Error::UnknownStream(id.value()))?;
-            state.spec.filter = filter;
-            state.spec.clone()
-        };
-        let _ = spec;
+            state.spec = verified;
+        }
         self.restart_stream(sched, id);
         Ok(())
     }
@@ -556,13 +599,31 @@ impl ClientManager {
                 let modality = spec.modality;
                 let timer = Timer::start(sched, spec.interval, move |s| {
                     let gate_passes = {
-                        let inner = mgr.inner.lock();
+                        let mut inner = mgr.inner.lock();
+                        let inner = &mut *inner;
                         let ctx = EvalContext {
                             snapshot: &inner.context,
                             now: s.now(),
                             osn_action: None,
                         };
-                        gating.iter().all(|c| c.evaluate(&ctx))
+                        let mut passes = true;
+                        for c in &gating {
+                            match c.evaluate(&ctx) {
+                                Ok(true) => {}
+                                Ok(false) => {
+                                    passes = false;
+                                    break;
+                                }
+                                // Analyzer-vetted plans never hit this; an
+                                // unvetted ill-typed gate fails closed.
+                                Err(_) => {
+                                    inner.net_stats.filter_eval_errors += 1;
+                                    passes = false;
+                                    break;
+                                }
+                            }
+                        }
+                        passes
                     };
                     if gate_passes {
                         let raw = mgr.sensors.sample_once(s, modality);
@@ -727,13 +788,22 @@ impl ClientManager {
             self.cpu_costs.filter_condition_ms * spec.filter.conditions.len() as f64,
         );
         let passes = {
-            let inner = self.inner.lock();
+            let mut inner = self.inner.lock();
+            let inner = &mut *inner;
             let ctx = EvalContext {
                 snapshot: &inner.context,
                 now: at,
                 osn_action,
             };
-            spec.filter.evaluate_local(&ctx)
+            match spec.filter.evaluate_local(&ctx) {
+                Ok(passes) => passes,
+                // Analyzer-vetted plans never hit this; an unvetted
+                // ill-typed filter fails closed rather than silently false.
+                Err(_) => {
+                    inner.net_stats.filter_eval_errors += 1;
+                    false
+                }
+            }
         };
 
         {
@@ -879,13 +949,20 @@ impl ClientManager {
                     // Too soon to sample again: couple the previous context
                     // with this action.
                     let passes = {
-                        let inner = self.inner.lock();
+                        let mut inner = self.inner.lock();
+                        let inner = &mut *inner;
                         let ctx = EvalContext {
                             snapshot: &inner.context,
                             now,
                             osn_action: Some(&action),
                         };
-                        spec.filter.evaluate_local(&ctx)
+                        match spec.filter.evaluate_local(&ctx) {
+                            Ok(passes) => passes,
+                            Err(_) => {
+                                inner.net_stats.filter_eval_errors += 1;
+                                false
+                            }
+                        }
                     };
                     if passes {
                         self.deliver(sched, id, &spec, at, data, Some(action.clone()));
@@ -922,14 +999,19 @@ impl ClientManager {
             *last = epoch;
         }
         match command {
-            ConfigCommand::Create { stream, spec, .. } => {
-                self.install_stream(sched, stream, spec, StreamOrigin::Remote);
-            }
+            ConfigCommand::Create { stream, spec, .. } => match self.analyze_spec(&spec) {
+                Ok(spec) => self.install_stream(sched, stream, spec, StreamOrigin::Remote),
+                Err(err) => self.nack_config(sched, stream, epoch, &err),
+            },
             ConfigCommand::Destroy { stream, .. } => {
                 self.destroy_stream(stream);
             }
             ConfigCommand::SetFilter { stream, filter, .. } => {
-                let _ = self.set_filter(sched, stream, filter);
+                if let Err(err) = self.set_filter(sched, stream, filter) {
+                    if matches!(err, Error::PlanRejected(_)) {
+                        self.nack_config(sched, stream, epoch, &err);
+                    }
+                }
             }
             ConfigCommand::SetInterval {
                 stream,
@@ -939,5 +1021,29 @@ impl ClientManager {
                 let _ = self.set_interval(sched, stream, SimDuration::from_millis(interval_ms));
             }
         }
+    }
+
+    /// Publishes a negative configuration ack carrying the plan verifier's
+    /// diagnostics back to the server, so a rejected push fails loudly
+    /// instead of installing a stream that can never produce data.
+    fn nack_config(&self, sched: &mut Scheduler, stream: StreamId, epoch: u64, err: &Error) {
+        self.inner.lock().net_stats.configs_rejected += 1;
+        let Some(broker) = &self.broker else {
+            return;
+        };
+        let ack = ConfigAck {
+            device: self.device_id(),
+            stream,
+            epoch,
+            accepted: false,
+            diagnostics: err.plan_diagnostics().to_vec(),
+        };
+        broker.publish(
+            sched,
+            &ack_topic(&ack.device),
+            &ack.to_wire(),
+            QoS::AtLeastOnce,
+            false,
+        );
     }
 }

@@ -76,6 +76,7 @@ pub struct StreamSpec {
 impl StreamSpec {
     /// A continuous stream with the default 60 s duty cycle, no filter,
     /// local sink.
+    #[must_use]
     pub fn continuous(modality: Modality, granularity: Granularity) -> Self {
         StreamSpec {
             modality,
@@ -88,6 +89,7 @@ impl StreamSpec {
     }
 
     /// A social-event-based stream: samples once per OSN trigger.
+    #[must_use]
     pub fn social_event_based(modality: Modality, granularity: Granularity) -> Self {
         StreamSpec {
             mode: StreamMode::SocialEventBased,
@@ -100,6 +102,7 @@ impl StreamSpec {
     /// # Panics
     ///
     /// Panics if `interval` is zero.
+    #[must_use]
     pub fn with_interval(mut self, interval: SimDuration) -> Self {
         assert!(!interval.is_zero(), "stream interval must be non-zero");
         self.interval = interval;
@@ -107,12 +110,14 @@ impl StreamSpec {
     }
 
     /// Sets the filter (builder-style).
+    #[must_use]
     pub fn with_filter(mut self, filter: Filter) -> Self {
         self.filter = filter;
         self
     }
 
     /// Sets the sink (builder-style).
+    #[must_use]
     pub fn with_sink(mut self, sink: StreamSink) -> Self {
         self.sink = sink;
         self
@@ -193,7 +198,7 @@ pub enum ConfigCommand {
 impl ConfigCommand {
     /// Serializes to the JSON wire form used on the config topic.
     pub fn to_wire(&self) -> String {
-        serde_json::to_string(self).expect("config commands always serialize")
+        serde_json::to_string(self).expect("config commands always serialize") // lint:allow(expect) — plain-field struct; serialization cannot fail
     }
 
     /// Parses the JSON wire form.

@@ -2,7 +2,9 @@
 
 use serde::{Deserialize, Serialize};
 use sensocial_runtime::Timestamp;
-use sensocial_types::{ContextData, DeviceId, OsnAction, StreamId, TriggerId, UserId};
+use sensocial_types::{
+    ContextData, DeviceId, OsnAction, PlanDiagnostic, StreamId, TriggerId, UserId,
+};
 
 /// One datum delivered on a stream: sensed context, optionally coupled
 /// with the OSN action that triggered its sampling.
@@ -30,7 +32,7 @@ pub struct StreamEvent {
 impl StreamEvent {
     /// Serializes to the JSON uplink wire form.
     pub fn to_wire(&self) -> String {
-        serde_json::to_string(self).expect("stream events always serialize")
+        serde_json::to_string(self).expect("stream events always serialize") // lint:allow(expect) — plain-field struct; serialization cannot fail
     }
 
     /// Parses the JSON uplink wire form.
@@ -61,7 +63,7 @@ pub struct TriggerPayload {
 impl TriggerPayload {
     /// Serializes to the JSON trigger wire form.
     pub fn to_wire(&self) -> String {
-        serde_json::to_string(self).expect("triggers always serialize")
+        serde_json::to_string(self).expect("triggers always serialize") // lint:allow(expect) — plain-field struct; serialization cannot fail
     }
 
     /// Parses the JSON trigger wire form.
@@ -88,7 +90,42 @@ pub struct RegistrationPayload {
 impl RegistrationPayload {
     /// Serializes to the JSON wire form.
     pub fn to_wire(&self) -> String {
-        serde_json::to_string(self).expect("registrations always serialize")
+        serde_json::to_string(self).expect("registrations always serialize") // lint:allow(expect) — plain-field struct; serialization cannot fail
+    }
+
+    /// Parses the JSON wire form.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error on malformed input.
+    pub fn from_wire(payload: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(payload)
+    }
+}
+
+/// A device's answer to a pushed stream configuration. Devices only
+/// publish *negative* acks today: when the on-device plan verifier rejects
+/// a pushed `Create`/`SetFilter`, the structured diagnostics travel back so
+/// the server (and the requesting application) learn *why* instead of the
+/// stream silently never producing data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigAck {
+    /// The answering device.
+    pub device: DeviceId,
+    /// The stream the configuration addressed.
+    pub stream: StreamId,
+    /// The configuration epoch being answered.
+    pub epoch: u64,
+    /// Whether the configuration was applied.
+    pub accepted: bool,
+    /// The verifier's error diagnostics when `accepted` is false.
+    pub diagnostics: Vec<PlanDiagnostic>,
+}
+
+impl ConfigAck {
+    /// Serializes to the JSON wire form.
+    pub fn to_wire(&self) -> String {
+        serde_json::to_string(self).expect("config acks always serialize") // lint:allow(expect) — plain-field struct; serialization cannot fail
     }
 
     /// Parses the JSON wire form.
@@ -104,7 +141,7 @@ impl RegistrationPayload {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sensocial_types::{ClassifiedContext, PhysicalActivity};
+    use sensocial_types::{ClassifiedContext, DiagnosticCode, PhysicalActivity};
 
     #[test]
     fn stream_event_round_trips() {
@@ -145,5 +182,23 @@ mod tests {
         };
         assert_eq!(TriggerPayload::from_wire(&t.to_wire()).unwrap(), t);
         assert!(TriggerPayload::from_wire("junk").is_err());
+    }
+
+    #[test]
+    fn config_ack_round_trips_with_diagnostics() {
+        let ack = ConfigAck {
+            device: DeviceId::new("p1"),
+            stream: StreamId::new(7),
+            epoch: 3,
+            accepted: false,
+            diagnostics: vec![PlanDiagnostic::error(
+                DiagnosticCode::TypeMismatch,
+                "hour_of_day expects a number",
+            )
+            .at(0)],
+        };
+        let back = ConfigAck::from_wire(&ack.to_wire()).unwrap();
+        assert_eq!(back, ack);
+        assert_eq!(back.diagnostics[0].code, DiagnosticCode::TypeMismatch);
     }
 }

@@ -1,508 +1,11 @@
-//! Distributed stream filters.
+//! Distributed stream filters — re-exported from `sensocial-types`.
 //!
-//! A filter "consists of a set of conditions where each condition comprises
-//! of a modality, a comparison operator, and a value" (paper §3.1).
-//! Conditions can reference physical context ("when the user is walking"),
-//! time intervals, and OSN activity ("when the user likes a page") — and,
-//! on the server, context belonging to *another* user ("send A's GPS only
-//! while B is walking").
+//! The filter data model and its typed evaluation moved to
+//! [`sensocial_types::filter`] so the static plan verifier
+//! (`sensocial-analysis`) can reason about filters without depending on
+//! the middleware runtime. This module keeps the historical
+//! `sensocial::filter` paths working.
 
-use serde::{Deserialize, Serialize};
-use serde_json::Value;
-use sensocial_runtime::Timestamp;
-use sensocial_types::{ContextSnapshot, Modality, OsnAction, OsnActionKind, UserId};
-
-/// Comparison operators available in filter conditions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[serde(rename_all = "snake_case")]
-pub enum Operator {
-    /// Values are equal.
-    Equals,
-    /// Values differ.
-    NotEquals,
-    /// Left value is numerically greater.
-    GreaterThan,
-    /// Left value is numerically smaller.
-    LessThan,
-}
-
-/// What a condition inspects.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[serde(rename_all = "snake_case")]
-pub enum ConditionLhs {
-    /// The classified physical activity (`still`/`walking`/`running`).
-    PhysicalActivity,
-    /// The classified audio environment (`silent`/`not_silent`).
-    AudioEnvironment,
-    /// The classified place name (e.g. `Paris`), `unknown` when outside
-    /// the gazetteer.
-    Place,
-    /// The classified WiFi access-point count.
-    WifiDensity,
-    /// The classified Bluetooth neighbour count.
-    BluetoothDensity,
-    /// Hour of (virtual) day, 0–23 — the paper's time-interval conditions.
-    HourOfDay,
-    /// Whether an OSN action is currently being processed (`active` /
-    /// `inactive`) — the Facebook Sensor Map filter.
-    OsnActivity,
-    /// The kind of the OSN action being processed (`post`/`comment`/`like`).
-    OsnActionKind,
-    /// The topic of the OSN action being processed (e.g. `football`).
-    OsnTopic,
-}
-
-impl ConditionLhs {
-    /// The sensing modality this condition needs sampled (and classified)
-    /// to be evaluable, if any. Conditions over modalities other than the
-    /// stream's own cause those *conditional modalities* to be sampled
-    /// continuously (paper §4, "Sensor Sampling") and are screened by the
-    /// privacy manager alongside the stream's modality.
-    pub fn required_modality(self) -> Option<Modality> {
-        match self {
-            ConditionLhs::PhysicalActivity => Some(Modality::Accelerometer),
-            ConditionLhs::AudioEnvironment => Some(Modality::Microphone),
-            ConditionLhs::Place => Some(Modality::Location),
-            ConditionLhs::WifiDensity => Some(Modality::Wifi),
-            ConditionLhs::BluetoothDensity => Some(Modality::Bluetooth),
-            ConditionLhs::HourOfDay
-            | ConditionLhs::OsnActivity
-            | ConditionLhs::OsnActionKind
-            | ConditionLhs::OsnTopic => None,
-        }
-    }
-
-    /// Whether this condition inspects OSN activity rather than physical
-    /// or temporal context.
-    pub fn is_osn(self) -> bool {
-        matches!(
-            self,
-            ConditionLhs::OsnActivity | ConditionLhs::OsnActionKind | ConditionLhs::OsnTopic
-        )
-    }
-}
-
-/// Everything a condition evaluation can see.
-#[derive(Debug, Clone, Copy)]
-pub struct EvalContext<'a> {
-    /// The device's latest context snapshot.
-    pub snapshot: &'a ContextSnapshot,
-    /// Current virtual time (for [`ConditionLhs::HourOfDay`]).
-    pub now: Timestamp,
-    /// The OSN action being processed, when evaluation happens on the
-    /// trigger path.
-    pub osn_action: Option<&'a OsnAction>,
-}
-
-/// One `(lhs, operator, value)` condition, optionally about another user.
-///
-/// # Example
-///
-/// ```
-/// use sensocial::{Condition, ConditionLhs, Operator};
-///
-/// // The paper's example: obtain GPS data only when the user is walking.
-/// let c = Condition::new(
-///     ConditionLhs::PhysicalActivity,
-///     Operator::Equals,
-///     "walking",
-/// );
-/// assert_eq!(c.lhs.required_modality(), Some(sensocial::Modality::Accelerometer));
-/// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Condition {
-    /// What is inspected.
-    pub lhs: ConditionLhs,
-    /// How it is compared.
-    pub op: Operator,
-    /// The comparison value: a string for categorical conditions, a number
-    /// for [`ConditionLhs::HourOfDay`] and the density conditions.
-    pub value: Value,
-    /// When set, the condition is about *that* user's context and can only
-    /// be evaluated by the server's filter manager ("one can create a
-    /// filter that sends user's GPS data only when another user is
-    /// walking", paper §3.1). `None` means the stream's own user.
-    pub subject: Option<UserId>,
-}
-
-impl Condition {
-    /// Creates a condition about the stream's own user.
-    pub fn new(lhs: ConditionLhs, op: Operator, value: impl Into<Value>) -> Self {
-        Condition {
-            lhs,
-            op,
-            value: value.into(),
-            subject: None,
-        }
-    }
-
-    /// Makes the condition about another user's context (builder-style).
-    pub fn about(mut self, subject: UserId) -> Self {
-        self.subject = Some(subject);
-        self
-    }
-
-    /// Whether this condition references another user's context.
-    pub fn is_cross_user(&self) -> bool {
-        self.subject.is_some()
-    }
-
-    /// Evaluates the condition against `ctx`.
-    ///
-    /// Context conditions with no recorded value evaluate to `false` (the
-    /// conditional modality has not produced data yet, so the guard cannot
-    /// be known to hold). OSN conditions evaluate against the in-flight
-    /// action; with no action in flight, `OsnActivity equals active` is
-    /// `false` and `… equals inactive` is `true`.
-    pub fn evaluate(&self, ctx: &EvalContext<'_>) -> bool {
-        match self.lhs {
-            ConditionLhs::PhysicalActivity => self.compare_string(
-                ctx.snapshot.activity().map(|a| a.name().to_owned()),
-            ),
-            ConditionLhs::AudioEnvironment => self.compare_string(
-                ctx.snapshot
-                    .classified(Modality::Microphone)
-                    .map(|(_, c)| c.value_string()),
-            ),
-            ConditionLhs::Place => self.compare_string(Some(
-                ctx.snapshot.place().unwrap_or("unknown").to_owned(),
-            )),
-            ConditionLhs::WifiDensity => self.compare_number(
-                ctx.snapshot
-                    .classified(Modality::Wifi)
-                    .and_then(|(_, c)| c.value_string().parse::<f64>().ok()),
-            ),
-            ConditionLhs::BluetoothDensity => self.compare_number(
-                ctx.snapshot
-                    .classified(Modality::Bluetooth)
-                    .and_then(|(_, c)| c.value_string().parse::<f64>().ok()),
-            ),
-            ConditionLhs::HourOfDay => {
-                self.compare_number(Some(f64::from(ctx.now.hour_of_day())))
-            }
-            ConditionLhs::OsnActivity => {
-                let state = if ctx.osn_action.is_some() {
-                    "active"
-                } else {
-                    "inactive"
-                };
-                self.compare_string(Some(state.to_owned()))
-            }
-            ConditionLhs::OsnActionKind => self.compare_string(
-                ctx.osn_action.map(|a| kind_name(a.kind).to_owned()),
-            ),
-            ConditionLhs::OsnTopic => {
-                self.compare_string(ctx.osn_action.and_then(|a| a.topic.clone()))
-            }
-        }
-    }
-
-    fn compare_string(&self, actual: Option<String>) -> bool {
-        let Some(actual) = actual else {
-            return false;
-        };
-        let expected = match &self.value {
-            Value::String(s) => s.clone(),
-            other => other.to_string(),
-        };
-        match self.op {
-            Operator::Equals => actual == expected,
-            Operator::NotEquals => actual != expected,
-            // Ordering on categorical values is lexicographic, rarely
-            // useful but well-defined.
-            Operator::GreaterThan => actual > expected,
-            Operator::LessThan => actual < expected,
-        }
-    }
-
-    fn compare_number(&self, actual: Option<f64>) -> bool {
-        let Some(actual) = actual else {
-            return false;
-        };
-        let Some(expected) = self.value.as_f64() else {
-            return false;
-        };
-        match self.op {
-            Operator::Equals => (actual - expected).abs() < f64::EPSILON,
-            Operator::NotEquals => (actual - expected).abs() >= f64::EPSILON,
-            Operator::GreaterThan => actual > expected,
-            Operator::LessThan => actual < expected,
-        }
-    }
-}
-
-fn kind_name(kind: OsnActionKind) -> &'static str {
-    kind.name()
-}
-
-/// A conjunction of [`Condition`]s attached to a stream.
-///
-/// An empty filter passes everything. Filters are serializable because they
-/// travel inside remotely-pushed stream configurations.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
-pub struct Filter {
-    /// The conditions, all of which must hold.
-    pub conditions: Vec<Condition>,
-}
-
-impl Filter {
-    /// Creates a filter from conditions.
-    pub fn new(conditions: Vec<Condition>) -> Self {
-        Filter { conditions }
-    }
-
-    /// The always-pass filter.
-    pub fn pass_all() -> Self {
-        Filter::default()
-    }
-
-    /// Whether the filter has no conditions.
-    pub fn is_empty(&self) -> bool {
-        self.conditions.is_empty()
-    }
-
-    /// Evaluates the *local* (own-user) conditions; cross-user conditions
-    /// are skipped here and enforced by the server's filter manager.
-    pub fn evaluate_local(&self, ctx: &EvalContext<'_>) -> bool {
-        self.conditions
-            .iter()
-            .filter(|c| !c.is_cross_user())
-            .all(|c| c.evaluate(ctx))
-    }
-
-    /// Evaluates every condition, resolving cross-user subjects through
-    /// `lookup` (the server's per-user context table). A cross-user
-    /// condition whose subject has no context yet fails.
-    pub fn evaluate_full(
-        &self,
-        ctx: &EvalContext<'_>,
-        lookup: &dyn Fn(&UserId) -> Option<ContextSnapshot>,
-    ) -> bool {
-        self.conditions.iter().all(|c| match &c.subject {
-            None => c.evaluate(ctx),
-            Some(user) => match lookup(user) {
-                Some(snapshot) => {
-                    let sub_ctx = EvalContext {
-                        snapshot: &snapshot,
-                        now: ctx.now,
-                        osn_action: ctx.osn_action,
-                    };
-                    c.evaluate(&sub_ctx)
-                }
-                None => false,
-            },
-        })
-    }
-
-    /// Modalities that must be sampled continuously for the filter to be
-    /// evaluable on the device (own-user conditions only), excluding
-    /// `own_modality` which the stream samples anyway.
-    pub fn conditional_modalities(&self, own_modality: Modality) -> Vec<Modality> {
-        let mut out: Vec<Modality> = self
-            .conditions
-            .iter()
-            .filter(|c| !c.is_cross_user())
-            .filter_map(|c| c.lhs.required_modality())
-            .filter(|m| *m != own_modality)
-            .collect();
-        out.sort_unstable();
-        out.dedup();
-        out
-    }
-
-    /// Whether any condition inspects OSN activity — such streams are
-    /// driven by OSN triggers rather than the duty cycle.
-    pub fn has_osn_condition(&self) -> bool {
-        self.conditions.iter().any(|c| c.lhs.is_osn())
-    }
-
-    /// Whether any condition references another user's context.
-    pub fn has_cross_user_condition(&self) -> bool {
-        self.conditions.iter().any(Condition::is_cross_user)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use sensocial_runtime::Timestamp;
-    use sensocial_types::{
-        ClassifiedContext, ContextData, PhysicalActivity,
-    };
-
-    fn snapshot_with_activity(activity: PhysicalActivity) -> ContextSnapshot {
-        let mut s = ContextSnapshot::new();
-        s.record(
-            Timestamp::from_secs(1),
-            ContextData::Classified(ClassifiedContext::Activity(activity)),
-        );
-        s
-    }
-
-    fn ctx<'a>(snapshot: &'a ContextSnapshot, action: Option<&'a OsnAction>) -> EvalContext<'a> {
-        EvalContext {
-            snapshot,
-            now: Timestamp::from_secs(10 * 3600),
-            osn_action: action,
-        }
-    }
-
-    #[test]
-    fn paper_example_gps_when_walking() {
-        let filter = Filter::new(vec![Condition::new(
-            ConditionLhs::PhysicalActivity,
-            Operator::Equals,
-            "walking",
-        )]);
-        let walking = snapshot_with_activity(PhysicalActivity::Walking);
-        let still = snapshot_with_activity(PhysicalActivity::Still);
-        assert!(filter.evaluate_local(&ctx(&walking, None)));
-        assert!(!filter.evaluate_local(&ctx(&still, None)));
-        assert_eq!(
-            filter.conditional_modalities(Modality::Location),
-            vec![Modality::Accelerometer],
-            "the unrelated accelerometer stream has to be sensed"
-        );
-    }
-
-    #[test]
-    fn missing_context_fails_condition() {
-        let filter = Filter::new(vec![Condition::new(
-            ConditionLhs::PhysicalActivity,
-            Operator::Equals,
-            "walking",
-        )]);
-        let empty = ContextSnapshot::new();
-        assert!(!filter.evaluate_local(&ctx(&empty, None)));
-    }
-
-    #[test]
-    fn hour_of_day_conditions() {
-        let business_hours = Filter::new(vec![
-            Condition::new(ConditionLhs::HourOfDay, Operator::GreaterThan, 8),
-            Condition::new(ConditionLhs::HourOfDay, Operator::LessThan, 17),
-        ]);
-        let snapshot = ContextSnapshot::new();
-        let at = |hour: u64| EvalContext {
-            snapshot: &snapshot,
-            now: Timestamp::from_secs(hour * 3600),
-            osn_action: None,
-        };
-        assert!(business_hours.evaluate_local(&at(10)));
-        assert!(!business_hours.evaluate_local(&at(7)));
-        assert!(!business_hours.evaluate_local(&at(20)));
-    }
-
-    #[test]
-    fn osn_activity_condition() {
-        let filter = Filter::new(vec![Condition::new(
-            ConditionLhs::OsnActivity,
-            Operator::Equals,
-            "active",
-        )]);
-        assert!(filter.has_osn_condition());
-        let snapshot = ContextSnapshot::new();
-        let action = OsnAction::post(UserId::new("u"), "hi", Timestamp::ZERO);
-        assert!(filter.evaluate_local(&ctx(&snapshot, Some(&action))));
-        assert!(!filter.evaluate_local(&ctx(&snapshot, None)));
-    }
-
-    #[test]
-    fn osn_topic_and_kind_conditions() {
-        let football_posts = Filter::new(vec![
-            Condition::new(ConditionLhs::OsnActionKind, Operator::Equals, "post"),
-            Condition::new(ConditionLhs::OsnTopic, Operator::Equals, "football"),
-        ]);
-        let snapshot = ContextSnapshot::new();
-        let on_topic = OsnAction::post(UserId::new("u"), "goal!", Timestamp::ZERO)
-            .with_topic("football");
-        let off_topic = OsnAction::post(UserId::new("u"), "song", Timestamp::ZERO)
-            .with_topic("music");
-        assert!(football_posts.evaluate_local(&ctx(&snapshot, Some(&on_topic))));
-        assert!(!football_posts.evaluate_local(&ctx(&snapshot, Some(&off_topic))));
-        assert!(!football_posts.evaluate_local(&ctx(&snapshot, None)));
-    }
-
-    #[test]
-    fn cross_user_conditions_skipped_locally_enforced_fully() {
-        let other = UserId::new("bob");
-        let filter = Filter::new(vec![Condition::new(
-            ConditionLhs::PhysicalActivity,
-            Operator::Equals,
-            "walking",
-        )
-        .about(other.clone())]);
-        assert!(filter.has_cross_user_condition());
-
-        let own = ContextSnapshot::new();
-        // Locally the condition is ignored: passes.
-        assert!(filter.evaluate_local(&ctx(&own, None)));
-
-        // Fully: depends on bob's context.
-        let bob_walking = snapshot_with_activity(PhysicalActivity::Walking);
-        let found = filter.evaluate_full(&ctx(&own, None), &|u| {
-            (u == &other).then(|| bob_walking.clone())
-        });
-        assert!(found);
-        let missing = filter.evaluate_full(&ctx(&own, None), &|_| None);
-        assert!(!missing);
-    }
-
-    #[test]
-    fn numeric_density_conditions() {
-        let crowded = Filter::new(vec![Condition::new(
-            ConditionLhs::BluetoothDensity,
-            Operator::GreaterThan,
-            3,
-        )]);
-        let mut snapshot = ContextSnapshot::new();
-        snapshot.record(
-            Timestamp::from_secs(1),
-            ContextData::Classified(ClassifiedContext::BluetoothDensity(5)),
-        );
-        assert!(crowded.evaluate_local(&ctx(&snapshot, None)));
-        let mut sparse = ContextSnapshot::new();
-        sparse.record(
-            Timestamp::from_secs(1),
-            ContextData::Classified(ClassifiedContext::BluetoothDensity(1)),
-        );
-        assert!(!crowded.evaluate_local(&ctx(&sparse, None)));
-    }
-
-    #[test]
-    fn empty_filter_passes() {
-        let snapshot = ContextSnapshot::new();
-        assert!(Filter::pass_all().evaluate_local(&ctx(&snapshot, None)));
-        assert!(Filter::pass_all().is_empty());
-    }
-
-    #[test]
-    fn not_equals_operator() {
-        let filter = Filter::new(vec![Condition::new(
-            ConditionLhs::Place,
-            Operator::NotEquals,
-            "Paris",
-        )]);
-        let mut in_paris = ContextSnapshot::new();
-        in_paris.record(
-            Timestamp::from_secs(1),
-            ContextData::Classified(ClassifiedContext::Place(Some("Paris".into()))),
-        );
-        assert!(!filter.evaluate_local(&ctx(&in_paris, None)));
-        let nowhere = ContextSnapshot::new();
-        // Place defaults to "unknown" ≠ "Paris".
-        assert!(filter.evaluate_local(&ctx(&nowhere, None)));
-    }
-
-    #[test]
-    fn filters_serialize_round_trip() {
-        let filter = Filter::new(vec![
-            Condition::new(ConditionLhs::Place, Operator::Equals, "Paris"),
-            Condition::new(ConditionLhs::HourOfDay, Operator::LessThan, 22)
-                .about(UserId::new("carol")),
-        ]);
-        let json = serde_json::to_string(&filter).unwrap();
-        let back: Filter = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, filter);
-    }
-}
+pub use sensocial_types::filter::{
+    Condition, ConditionLhs, EvalContext, EvalError, EvalErrorKind, Filter, Operator,
+};

@@ -72,13 +72,15 @@ mod privacy;
 pub mod server;
 
 pub use config::{ConfigCommand, StreamMode, StreamSink, StreamSpec};
-pub use event::{RegistrationPayload, StreamEvent, TriggerPayload};
-pub use filter::{Condition, ConditionLhs, EvalContext, Filter, Operator};
+pub use event::{ConfigAck, RegistrationPayload, StreamEvent, TriggerPayload};
+pub use filter::{Condition, ConditionLhs, EvalContext, EvalError, EvalErrorKind, Filter, Operator};
 pub use privacy::{PrivacyPolicy, PrivacyPolicyManager};
 
-// Re-export the vocabulary types users need at the API surface.
+// Re-export the vocabulary types users need at the API surface, including
+// the plan diagnostics carried by `Error::PlanRejected`.
 pub use sensocial_types::{
-    ContextData, DeviceId, Error, Granularity, Modality, OsnAction, Result, StreamId, UserId,
+    ContextData, DeviceId, DiagnosticCode, DiagnosticSeverity, Error, Granularity, Modality,
+    OsnAction, PlanDiagnostic, Result, StreamId, UserId,
 };
 
 /// Broker topic carrying stream-configuration pushes for a device.
@@ -96,9 +98,19 @@ pub fn uplink_topic(device: &DeviceId) -> String {
     format!("sensocial/uplink/{}", device.as_str())
 }
 
+/// Broker topic on which a device acknowledges (or rejects, with plan
+/// diagnostics) a pushed stream configuration.
+pub fn ack_topic(device: &DeviceId) -> String {
+    format!("sensocial/ack/{}", device.as_str())
+}
+
 /// Wildcard filter matching every device's uplink topic (the server's
 /// subscription).
 pub const UPLINK_WILDCARD: &str = "sensocial/uplink/+";
+
+/// Wildcard filter matching every device's configuration-ack topic (the
+/// server's subscription).
+pub const ACK_WILDCARD: &str = "sensocial/ack/+";
 
 /// Topic on which devices announce themselves to the server.
 pub const REGISTER_TOPIC: &str = "sensocial/register";

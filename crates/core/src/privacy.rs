@@ -70,6 +70,7 @@ impl std::fmt::Debug for PrivacyPolicyManager {
 
 impl PrivacyPolicyManager {
     /// A manager that allows everything not explicitly denied.
+    #[must_use]
     pub fn allow_all() -> Self {
         PrivacyPolicyManager {
             inner: Arc::new(RwLock::new(Inner {
@@ -81,6 +82,7 @@ impl PrivacyPolicyManager {
     }
 
     /// A manager that denies everything not explicitly allowed.
+    #[must_use]
     pub fn deny_all() -> Self {
         PrivacyPolicyManager {
             inner: Arc::new(RwLock::new(Inner {
@@ -166,6 +168,15 @@ impl Default for PrivacyPolicyManager {
     /// Equivalent to [`PrivacyPolicyManager::allow_all`].
     fn default() -> Self {
         PrivacyPolicyManager::allow_all()
+    }
+}
+
+/// The static plan verifier screens conditional modalities through the
+/// same policy table the runtime pause/resume machinery consults, so the
+/// registration-time verdict and the stream-time behaviour cannot drift.
+impl sensocial_analysis::PrivacyView for PrivacyPolicyManager {
+    fn is_allowed(&self, modality: Modality, granularity: Granularity) -> bool {
+        PrivacyPolicyManager::is_allowed(self, modality, granularity)
     }
 }
 

@@ -16,11 +16,13 @@ use sensocial_types::{
 };
 use serde_json::json;
 
+use sensocial_analysis::{analyze, AnalysisEnv, DependencyGraph, FilterPlan};
+
 use crate::client::manager_internals::REMOTE_STREAM_ID_BASE;
 use crate::config::{ConfigCommand, StreamSink, StreamSpec};
-use crate::event::{RegistrationPayload, StreamEvent, TriggerPayload};
+use crate::event::{ConfigAck, RegistrationPayload, StreamEvent, TriggerPayload};
 use crate::filter::{EvalContext, Filter};
-use crate::{config_topic, trigger_topic, REGISTER_TOPIC, UPLINK_WILDCARD};
+use crate::{config_topic, trigger_topic, ACK_WILDCARD, REGISTER_TOPIC, UPLINK_WILDCARD};
 
 use super::aggregator::{AggregatorId, AggregatorState};
 use super::multicast::{MulticastId, MulticastSelector, MulticastStream};
@@ -60,6 +62,12 @@ pub struct ServerStats {
     pub triggers_sent: u64,
     /// Uplinked stream events received.
     pub uplink_events: u64,
+    /// Negative configuration acks received from devices (pushed plans the
+    /// on-device verifier rejected).
+    pub config_rejections: u64,
+    /// Server-side filter evaluations that hit a typed eval error
+    /// (fail-closed; should be zero for analyzer-vetted plans).
+    pub filter_eval_errors: u64,
 }
 
 type Listener = Arc<dyn Fn(&mut Scheduler, &StreamEvent) + Send + Sync>;
@@ -122,6 +130,8 @@ struct Inner {
     stats: ServerStats,
     /// (action time, server receive time) pairs — Table 3's raw data.
     action_log: Vec<(Timestamp, Timestamp)>,
+    /// Negative configuration acks, oldest first, with their diagnostics.
+    rejection_log: Vec<ConfigAck>,
     /// Whether OSN text mining (topic extraction + sentiment) runs on
     /// incoming actions — the paper's §9 future work, implemented.
     text_mining: bool,
@@ -178,6 +188,7 @@ impl ServerManager {
                 rng: deps.rng,
                 stats: ServerStats::default(),
                 action_log: Vec::new(),
+                rejection_log: Vec::new(),
                 text_mining: false,
             })),
             db: deps.db,
@@ -209,6 +220,34 @@ impl ServerManager {
                 }
             },
         );
+        let server = self.clone();
+        self.broker.subscribe(
+            sched,
+            ACK_WILDCARD,
+            QoS::AtLeastOnce,
+            move |_s, _topic, payload| {
+                if let Ok(ack) = ConfigAck::from_wire(payload) {
+                    server.on_config_ack(ack);
+                }
+            },
+        );
+    }
+
+    fn on_config_ack(&self, ack: ConfigAck) {
+        if ack.accepted {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        inner.stats.config_rejections += 1;
+        inner.rejection_log.push(ack);
+    }
+
+    /// Negative configuration acks received from devices — pushed plans
+    /// the on-device verifier rejected, with their diagnostics — oldest
+    /// first. Lets applications learn *why* a remote stream never produced
+    /// data instead of debugging silence.
+    pub fn config_rejections(&self) -> Vec<ConfigAck> {
+        self.inner.lock().rejection_log.clone()
     }
 
     /// Activity counters.
@@ -423,9 +462,16 @@ impl ServerManager {
     /// command; the stream's data is uplinked to this server (the sink is
     /// forced to [`StreamSink::Server`]).
     ///
+    /// The spec's filter plan is verified for device placement before
+    /// anything is pushed, so an unsound plan fails here instead of as a
+    /// negative ack round-trip later; the normalized filter is what gets
+    /// pushed. (The device still re-verifies against its own privacy
+    /// policies, which the server cannot see.)
+    ///
     /// # Errors
     ///
-    /// Returns [`Error::UnknownDevice`] if `device` is not registered.
+    /// Returns [`Error::UnknownDevice`] if `device` is not registered, or
+    /// [`Error::PlanRejected`] if the filter fails verification.
     pub fn create_remote_stream(
         &self,
         sched: &mut Scheduler,
@@ -433,6 +479,11 @@ impl ServerManager {
         mut spec: StreamSpec,
     ) -> Result<StreamId> {
         spec.sink = StreamSink::Server;
+        let analysis = analyze(
+            &FilterPlan::device(spec.modality, spec.granularity, spec.filter.clone()),
+            &AnalysisEnv::new(),
+        )?;
+        spec.filter = analysis.filter;
         let id = {
             let mut inner = self.inner.lock();
             if !inner.devices.contains_key(device) {
@@ -479,18 +530,33 @@ impl ServerManager {
         Ok(())
     }
 
-    /// Replaces a remote stream's filter.
+    /// Replaces a remote stream's filter. The plan is verified for device
+    /// placement first; the normalized filter is what gets pushed.
     ///
     /// # Errors
     ///
     /// Returns [`Error::UnknownStream`] if the server did not create
-    /// `stream`.
+    /// `stream`, or [`Error::PlanRejected`] if the filter fails
+    /// verification (the previous filter stays in place).
     pub fn set_remote_filter(
         &self,
         sched: &mut Scheduler,
         stream: StreamId,
         filter: Filter,
     ) -> Result<()> {
+        let (modality, granularity) = {
+            let inner = self.inner.lock();
+            let (_, spec) = inner
+                .remote_streams
+                .get(&stream)
+                .ok_or(Error::UnknownStream(stream.value()))?;
+            (spec.modality, spec.granularity)
+        };
+        let analysis = analyze(
+            &FilterPlan::device(modality, granularity, filter),
+            &AnalysisEnv::new(),
+        )?;
+        let filter = analysis.filter;
         let device = {
             let mut inner = self.inner.lock();
             let (device, spec) = inner
@@ -565,15 +631,35 @@ impl ServerManager {
     /// `selector` and passing `filter`. The filter may contain cross-user
     /// conditions ("report A's location only while B is walking"):
     /// subjects are resolved against the server's per-user context table.
-    pub fn register_listener<F>(&self, selector: StreamSelector, filter: Filter, listener: F)
+    ///
+    /// The plan is verified for server placement first; the normalized
+    /// filter is what gets installed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::PlanRejected`] if the filter is ill-typed or
+    /// unsatisfiable, or if its cross-user conditions would close a
+    /// dependency cycle with already-installed plans.
+    pub fn register_listener<F>(
+        &self,
+        selector: StreamSelector,
+        filter: Filter,
+        listener: F,
+    ) -> Result<()>
     where
         F: Fn(&mut Scheduler, &StreamEvent) + Send + Sync + 'static,
     {
+        let analysis = analyze(&FilterPlan::server(filter), &AnalysisEnv::new())?;
+        let filter = analysis.filter;
+        if let StreamSelector::User(owner) = &selector {
+            self.check_dependency_cycles(None, std::slice::from_ref(owner), &filter)?;
+        }
         self.inner.lock().subscriptions.push(Subscription {
             selector,
             filter,
             listener: Arc::new(listener),
         });
+        Ok(())
     }
 
     /// Wraps `streams` into one aggregated stream.
@@ -594,10 +680,19 @@ impl ServerManager {
     /// Sets a filter on an aggregated stream — "such streams can be
     /// treated as any plain data stream", filtering included (paper §3.2).
     /// Cross-user subjects resolve against the server's context table.
-    pub fn set_aggregator_filter(&self, id: AggregatorId, filter: Filter) {
+    ///
+    /// The plan is verified for server placement first; the normalized
+    /// filter is what gets installed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::PlanRejected`] if the filter fails verification.
+    pub fn set_aggregator_filter(&self, id: AggregatorId, filter: Filter) -> Result<()> {
+        let analysis = analyze(&FilterPlan::server(filter), &AnalysisEnv::new())?;
         if let Some((_, f, _)) = self.inner.lock().aggregators.get_mut(&id) {
-            *f = filter;
+            *f = analysis.filter;
         }
+        Ok(())
     }
 
     /// Subscribes to an aggregator's joined stream.
@@ -613,12 +708,35 @@ impl ServerManager {
     /// Creates a multicast stream: selects users via `selector`, creates a
     /// remote stream from `template` on each member's first device, and
     /// returns a handle for filtering/listening/refreshing.
+    ///
+    /// The template's filter plan is verified for multicast placement
+    /// first (the normalized filter is what gets installed), and its
+    /// cross-user conditions are checked against the server's dependency
+    /// graph so two multicasts whose members gate on each other cannot
+    /// both be admitted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::PlanRejected`] if the template filter fails
+    /// verification or closes a cross-user dependency cycle.
     pub fn create_multicast(
         &self,
         sched: &mut Scheduler,
         selector: MulticastSelector,
         template: StreamSpec,
-    ) -> MulticastId {
+    ) -> Result<MulticastId> {
+        let analysis = analyze(
+            &FilterPlan::multicast(
+                template.modality,
+                template.granularity,
+                template.filter.clone(),
+            ),
+            &AnalysisEnv::new(),
+        )?;
+        let mut template = template;
+        template.filter = analysis.filter;
+        let members = self.resolve_selector(&selector);
+        self.check_dependency_cycles(None, &members, &template.filter)?;
         let id = {
             let mut inner = self.inner.lock();
             let id = MulticastId(inner.next_multicast);
@@ -629,7 +747,7 @@ impl ServerManager {
             id
         };
         self.refresh_multicast(sched, id);
-        id
+        Ok(id)
     }
 
     /// Member users of a multicast stream.
@@ -652,20 +770,55 @@ impl ServerManager {
         }
     }
 
-    /// Sets a filter on a multicast stream, transparently distributing it
-    /// to every member device.
-    pub fn set_multicast_filter(&self, sched: &mut Scheduler, id: MulticastId, filter: Filter) {
+    /// Sets a filter on a multicast stream, transparently distributing its
+    /// device-evaluable part to every member device; cross-user conditions
+    /// stay on the server, enforced when members' events arrive.
+    ///
+    /// The plan is verified for multicast placement and checked against
+    /// the cross-user dependency graph first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownStream`] if `id` does not exist, or
+    /// [`Error::PlanRejected`] if the filter fails verification or closes
+    /// a cross-user dependency cycle (the previous filter stays in place).
+    pub fn set_multicast_filter(
+        &self,
+        sched: &mut Scheduler,
+        id: MulticastId,
+        filter: Filter,
+    ) -> Result<()> {
+        let (modality, granularity, members) = {
+            let inner = self.inner.lock();
+            let (multicast, _) = inner
+                .multicasts
+                .get(&id)
+                .ok_or(Error::UnknownStream(id.0))?;
+            (
+                multicast.template.modality,
+                multicast.template.granularity,
+                multicast.member_users(),
+            )
+        };
+        let analysis = analyze(
+            &FilterPlan::multicast(modality, granularity, filter),
+            &AnalysisEnv::new(),
+        )?;
+        let filter = analysis.filter;
+        self.check_dependency_cycles(Some(id), &members, &filter)?;
+        let (local, _cross) = filter.partition_cross_user();
         let streams = {
             let mut inner = self.inner.lock();
             let Some((multicast, _)) = inner.multicasts.get_mut(&id) else {
-                return;
+                return Err(Error::UnknownStream(id.0));
             };
             multicast.template.filter = filter.clone();
             multicast.member_streams()
         };
         for stream in streams {
-            let _ = self.set_remote_filter(sched, stream, filter.clone());
+            let _ = self.set_remote_filter(sched, stream, local.clone());
         }
+        Ok(())
     }
 
     /// Starts a timer re-evaluating the multicast's membership every
@@ -711,7 +864,13 @@ impl ServerManager {
                 }
             }
         }
-        // Joiners.
+        // Joiners. Devices get only the locally-evaluable part of the
+        // template filter; cross-user conditions stay on the server and
+        // are enforced in `on_uplink` (a device cannot see other users'
+        // context, and the verifier rejects cross-user plans at device
+        // placement).
+        let mut device_template = template.clone();
+        device_template.filter = template.filter.partition_cross_user().0;
         for user in desired {
             if current.contains_key(&user) {
                 continue;
@@ -719,12 +878,70 @@ impl ServerManager {
             let Some(device) = self.devices_of(&user).into_iter().next() else {
                 continue;
             };
-            if let Ok(stream) = self.create_remote_stream(sched, &device, template.clone()) {
+            if let Ok(stream) = self.create_remote_stream(sched, &device, device_template.clone())
+            {
                 if let Some((m, _)) = self.inner.lock().multicasts.get_mut(&id) {
                     m.members.insert(user, stream);
                 }
             }
         }
+    }
+
+    /// Rebuilds the cross-user dependency graph from every installed plan
+    /// — one `owner → subject` edge per cross-user condition in a
+    /// user-selected subscription or multicast template (on behalf of each
+    /// member) — adds the candidate plan's edges, and rejects on a cycle.
+    ///
+    /// `exclude` names a multicast whose current edges are being replaced
+    /// and must not count against its own successor.
+    fn check_dependency_cycles(
+        &self,
+        exclude: Option<MulticastId>,
+        owners: &[UserId],
+        filter: &Filter,
+    ) -> Result<()> {
+        let subjects: Vec<&UserId> = filter
+            .conditions
+            .iter()
+            .filter_map(|c| c.subject.as_ref())
+            .collect();
+        if subjects.is_empty() {
+            return Ok(());
+        }
+        let mut graph = DependencyGraph::new();
+        {
+            let inner = self.inner.lock();
+            for sub in &inner.subscriptions {
+                if let StreamSelector::User(owner) = &sub.selector {
+                    for c in &sub.filter.conditions {
+                        if let Some(subject) = &c.subject {
+                            graph.depend(owner, subject);
+                        }
+                    }
+                }
+            }
+            for (mid, (multicast, _)) in &inner.multicasts {
+                if Some(*mid) == exclude {
+                    continue;
+                }
+                for owner in multicast.member_users() {
+                    for c in &multicast.template.filter.conditions {
+                        if let Some(subject) = &c.subject {
+                            graph.depend(&owner, subject);
+                        }
+                    }
+                }
+            }
+        }
+        for owner in owners {
+            for subject in &subjects {
+                graph.depend(owner, subject);
+            }
+        }
+        if let Some(diag) = graph.cycle_diagnostic() {
+            return Err(Error::PlanRejected(vec![diag]));
+        }
+        Ok(())
     }
 
     /// Reads a user's last stored position from the locations collection.
@@ -801,8 +1018,11 @@ impl ServerManager {
         }
 
         // Collect every listener whose selector + (fully evaluated) filter
-        // admits the event, then invoke outside the lock.
+        // admits the event, then invoke outside the lock. Typed eval
+        // errors fail closed and are counted: analyzer-vetted plans never
+        // produce them.
         let mut to_call: Vec<Listener> = Vec::new();
+        let mut eval_errors = 0u64;
         {
             let inner = self.inner.lock();
             let lookup = |user: &UserId| inner.contexts.get(user).cloned();
@@ -817,20 +1037,42 @@ impl ServerManager {
                 osn_action: event.osn_action.as_ref(),
             };
             for sub in &inner.subscriptions {
-                if sub.selector.matches(&event) && sub.filter.evaluate_full(&ctx, &lookup) {
-                    to_call.push(sub.listener.clone());
+                if !sub.selector.matches(&event) {
+                    continue;
+                }
+                match sub.filter.evaluate_full(&ctx, &lookup) {
+                    Ok(true) => to_call.push(sub.listener.clone()),
+                    Ok(false) => {}
+                    Err(_) => eval_errors += 1,
                 }
             }
             for (agg, filter, listeners) in inner.aggregators.values() {
-                if agg.contains(event.stream) && filter.evaluate_full(&ctx, &lookup) {
-                    to_call.extend(listeners.iter().cloned());
+                if !agg.contains(event.stream) {
+                    continue;
+                }
+                match filter.evaluate_full(&ctx, &lookup) {
+                    Ok(true) => to_call.extend(listeners.iter().cloned()),
+                    Ok(false) => {}
+                    Err(_) => eval_errors += 1,
                 }
             }
+            // Multicast members' devices already enforced the local part
+            // of the template filter; the server enforces the cross-user
+            // part here, completing the distributed plan.
             for (multicast, listeners) in inner.multicasts.values() {
-                if multicast.owns_stream(event.stream) {
-                    to_call.extend(listeners.iter().cloned());
+                if !multicast.owns_stream(event.stream) {
+                    continue;
+                }
+                let (_local, cross) = multicast.template.filter.partition_cross_user();
+                match cross.evaluate_full(&ctx, &lookup) {
+                    Ok(true) => to_call.extend(listeners.iter().cloned()),
+                    Ok(false) => {}
+                    Err(_) => eval_errors += 1,
                 }
             }
+        }
+        if eval_errors > 0 {
+            self.inner.lock().stats.filter_eval_errors += eval_errors;
         }
         for listener in to_call {
             listener(sched, &event);

@@ -1,0 +1,296 @@
+//! The static plan verifier gating every register/multicast path, end to
+//! end: rejections carry typed diagnostics, privacy denials pause instead
+//! of rejecting, normalized filters are what gets installed, and rogue
+//! configuration pushes are negatively acked back to the server.
+
+use sensocial::client::{ClientDeps, ClientManager, StreamStatus};
+use sensocial::server::{MulticastSelector, ServerDeps, ServerManager, StreamSelector};
+use sensocial::{
+    ack_topic, config_topic, Condition, ConditionLhs, ConfigCommand, DiagnosticCode, Filter,
+    Granularity, Modality, Operator, StreamSink, StreamSpec,
+};
+use sensocial_broker::{Broker, BrokerClient, QoS};
+use sensocial_energy::{BatteryMeter, CpuCosts, CpuMeter, EnergyProfile, MemoryProfiler};
+use sensocial_net::Network;
+use sensocial_runtime::{Scheduler, SimDuration, SimRng};
+use sensocial_sensors::{DeviceEnvironment, SensorManager};
+use sensocial_store::Database;
+use sensocial_types::geo::cities;
+use sensocial_types::{DeviceId, StreamId, UserId};
+
+struct Deployment {
+    sched: Scheduler,
+    net: Network,
+    server: ServerManager,
+}
+
+fn deployment(seed: u64) -> Deployment {
+    let mut sched = Scheduler::new();
+    let net = Network::new(seed);
+    let _broker = Broker::new(&net, "broker");
+    let server_client = BrokerClient::new(&net, "server-ep", "broker", "server");
+    let server = ServerManager::new(ServerDeps::new(
+        Database::new("sensocial"),
+        server_client,
+        SimRng::seed_from(seed ^ 0xA5),
+    ));
+    server.connect(&mut sched);
+    Deployment { sched, net, server }
+}
+
+fn add_device(
+    d: &mut Deployment,
+    user: &str,
+    device: &str,
+    privacy: sensocial::PrivacyPolicyManager,
+) -> ClientManager {
+    let env = DeviceEnvironment::new(cities::paris());
+    let sensors = SensorManager::new(env.clone(), SimRng::seed_from(7));
+    let broker_client = BrokerClient::new(&d.net, format!("{device}-ep"), "broker", device);
+    let manager = ClientManager::new(ClientDeps {
+        user: UserId::new(user),
+        device: DeviceId::new(device),
+        sensors,
+        classifiers: sensocial_classify::ClassifierRegistry::with_defaults(vec![
+            cities::paris_place(),
+        ]),
+        privacy,
+        broker: Some(broker_client),
+        battery: BatteryMeter::new(),
+        cpu: CpuMeter::new(),
+        memory: MemoryProfiler::new(),
+        energy_profile: EnergyProfile::default(),
+        cpu_costs: CpuCosts::default(),
+    });
+    manager.connect(&mut d.sched);
+    d.server
+        .register_device(UserId::new(user), DeviceId::new(device));
+    manager
+}
+
+fn spec_with(conditions: Vec<Condition>) -> StreamSpec {
+    StreamSpec::continuous(Modality::Location, Granularity::Classified)
+        .with_interval(SimDuration::from_secs(10))
+        .with_filter(Filter::new(conditions))
+        .with_sink(StreamSink::Server)
+}
+
+fn first_code(err: &sensocial::Error) -> DiagnosticCode {
+    err.plan_diagnostics()
+        .first()
+        .unwrap_or_else(|| panic!("expected plan diagnostics, got {err}"))
+        .code
+}
+
+#[test]
+fn create_stream_rejects_each_static_error_class() {
+    let mut d = deployment(1);
+    let manager = add_device(&mut d, "alice", "alice-phone", sensocial::PrivacyPolicyManager::allow_all());
+
+    // Type mismatch: HourOfDay compared against a string.
+    let err = manager
+        .create_stream(
+            &mut d.sched,
+            spec_with(vec![Condition::new(
+                ConditionLhs::HourOfDay,
+                Operator::GreaterThan,
+                "walking",
+            )]),
+        )
+        .expect_err("ill-typed plan must be rejected");
+    assert_eq!(first_code(&err), DiagnosticCode::TypeMismatch);
+
+    // Unsatisfiable: the classic Hour > 20 ∧ Hour < 5 contradiction.
+    let err = manager
+        .create_stream(
+            &mut d.sched,
+            spec_with(vec![
+                Condition::new(ConditionLhs::HourOfDay, Operator::GreaterThan, 20),
+                Condition::new(ConditionLhs::HourOfDay, Operator::LessThan, 5),
+            ]),
+        )
+        .expect_err("unsatisfiable plan must be rejected");
+    assert_eq!(first_code(&err), DiagnosticCode::Unsatisfiable);
+
+    // Misplaced: a cross-user condition can never be evaluated on-device.
+    let err = manager
+        .create_stream(
+            &mut d.sched,
+            spec_with(vec![Condition::new(
+                ConditionLhs::PhysicalActivity,
+                Operator::Equals,
+                "walking",
+            )
+            .about(UserId::new("bob"))]),
+        )
+        .expect_err("cross-user device plan must be rejected");
+    assert_eq!(first_code(&err), DiagnosticCode::MisplacedCondition);
+
+    // Nothing leaked into the stream table.
+    assert!(manager.stream_ids().is_empty());
+}
+
+#[test]
+fn privacy_denial_pauses_instead_of_rejecting() {
+    // The paper's semantics: privacy violations are not plan errors — the
+    // stream installs but stays paused until the policy is relaxed.
+    let mut d = deployment(2);
+    let manager = add_device(&mut d, "alice", "alice-phone", sensocial::PrivacyPolicyManager::deny_all());
+
+    let stream = manager
+        .create_stream(&mut d.sched, spec_with(Vec::new()))
+        .expect("privacy-denied plan still installs");
+    assert_eq!(manager.stream_status(stream), Some(StreamStatus::PausedByPrivacy));
+}
+
+#[test]
+fn normalized_filter_is_installed_and_never_eval_errors() {
+    let mut d = deployment(3);
+    let manager = add_device(&mut d, "alice", "alice-phone", sensocial::PrivacyPolicyManager::allow_all());
+
+    // Hour > 8 implies Hour > 5: the verifier collapses the pair, and the
+    // canonical plan is what the stream actually runs.
+    let stream = manager
+        .create_stream(
+            &mut d.sched,
+            spec_with(vec![
+                Condition::new(ConditionLhs::HourOfDay, Operator::GreaterThan, 8),
+                Condition::new(ConditionLhs::HourOfDay, Operator::GreaterThan, 5),
+                Condition::new(ConditionLhs::PhysicalActivity, Operator::Equals, "walking"),
+            ]),
+        )
+        .expect("sound plan");
+    let installed = manager.stream_spec(stream).expect("spec is queryable");
+    assert_eq!(installed.filter.conditions.len(), 2, "{:?}", installed.filter);
+
+    // An analyzer-vetted plan never hits a typed eval error at stream time.
+    d.sched.run_for(SimDuration::from_mins(5));
+    assert_eq!(manager.net_stats().filter_eval_errors, 0);
+}
+
+#[test]
+fn set_filter_rejection_keeps_previous_filter() {
+    let mut d = deployment(4);
+    let manager = add_device(&mut d, "alice", "alice-phone", sensocial::PrivacyPolicyManager::allow_all());
+
+    let good = vec![Condition::new(ConditionLhs::Place, Operator::Equals, "Paris")];
+    let stream = manager
+        .create_stream(&mut d.sched, spec_with(good.clone()))
+        .expect("sound plan");
+
+    let err = manager
+        .set_filter(
+            &mut d.sched,
+            stream,
+            Filter::new(vec![
+                Condition::new(ConditionLhs::HourOfDay, Operator::GreaterThan, 20),
+                Condition::new(ConditionLhs::HourOfDay, Operator::LessThan, 5),
+            ]),
+        )
+        .expect_err("unsatisfiable update must be rejected");
+    assert_eq!(first_code(&err), DiagnosticCode::Unsatisfiable);
+
+    let spec = manager.stream_spec(stream).expect("stream survives");
+    assert_eq!(spec.filter, Filter::new(good));
+}
+
+#[test]
+fn rogue_config_push_is_nacked_back_to_the_server() {
+    // A configuration push that bypassed server-side verification (stale
+    // controller, bug, hand-rolled tooling) is re-checked on-device and
+    // negatively acked with the verifier's diagnostics.
+    let mut d = deployment(5);
+    let manager = add_device(&mut d, "alice", "alice-phone", sensocial::PrivacyPolicyManager::allow_all());
+    d.sched.run_for(SimDuration::from_secs(2));
+
+    let rogue = BrokerClient::new(&d.net, "rogue-ep", "broker", "rogue");
+    rogue.connect(&mut d.sched);
+    d.sched.run_for(SimDuration::from_secs(1));
+    let device = DeviceId::new("alice-phone");
+    let command = ConfigCommand::Create {
+        device: device.clone(),
+        stream: StreamId::new(5000),
+        spec: spec_with(vec![
+            Condition::new(ConditionLhs::HourOfDay, Operator::GreaterThan, 20),
+            Condition::new(ConditionLhs::HourOfDay, Operator::LessThan, 5),
+        ]),
+        epoch: 1,
+    };
+    rogue.publish(
+        &mut d.sched,
+        &config_topic(&device),
+        &command.to_wire(),
+        QoS::AtLeastOnce,
+        false,
+    );
+    d.sched.run_for(SimDuration::from_secs(5));
+
+    // The device refused the plan and told the server why.
+    assert!(!manager.stream_ids().contains(&StreamId::new(5000)));
+    assert_eq!(manager.net_stats().configs_rejected, 1);
+    assert_eq!(d.server.stats().config_rejections, 1);
+    let rejections = d.server.config_rejections();
+    assert_eq!(rejections.len(), 1);
+    let ack = &rejections[0];
+    assert!(!ack.accepted);
+    assert_eq!(ack.device, device);
+    assert_eq!(ack.stream, StreamId::new(5000));
+    assert_eq!(ack.epoch, 1);
+    assert_eq!(ack.diagnostics[0].code, DiagnosticCode::Unsatisfiable);
+    // The nack travels on the device's ack topic, which the server holds a
+    // wildcard subscription for.
+    assert!(ack_topic(&device).starts_with("sensocial/ack/"));
+}
+
+#[test]
+fn cyclic_multicast_dependency_is_rejected_at_admission() {
+    let mut d = deployment(6);
+    let alice = UserId::new("alice");
+    let bob = UserId::new("bob");
+    add_device(&mut d, "alice", "alice-phone", sensocial::PrivacyPolicyManager::allow_all());
+    add_device(&mut d, "bob", "bob-phone", sensocial::PrivacyPolicyManager::allow_all());
+    d.server.record_friendship(&alice, &bob);
+
+    // Multicast 1: bob (alice's friend) samples location gated on *alice's*
+    // activity — bob's plan depends on alice.
+    let template = spec_with(vec![Condition::new(
+        ConditionLhs::PhysicalActivity,
+        Operator::Equals,
+        "walking",
+    )
+    .about(alice.clone())]);
+    d.server
+        .create_multicast(&mut d.sched, MulticastSelector::FriendsOf(alice.clone()), template)
+        .expect("first multicast is acyclic");
+
+    // Multicast 2 would make alice depend on bob, closing the cycle.
+    let template = spec_with(vec![Condition::new(
+        ConditionLhs::PhysicalActivity,
+        Operator::Equals,
+        "walking",
+    )
+    .about(bob.clone())]);
+    let err = d
+        .server
+        .create_multicast(&mut d.sched, MulticastSelector::FriendsOf(bob), template)
+        .expect_err("cycle must be rejected");
+    assert_eq!(first_code(&err), DiagnosticCode::DependencyCycle);
+}
+
+#[test]
+fn server_subscription_plans_are_verified() {
+    let d = deployment(7);
+    let err = d
+        .server
+        .register_listener(
+            StreamSelector::AllUplinks,
+            Filter::new(vec![Condition::new(
+                ConditionLhs::HourOfDay,
+                Operator::GreaterThan,
+                "noon",
+            )]),
+            |_s, _e| {},
+        )
+        .expect_err("ill-typed subscription filter must be rejected");
+    assert_eq!(first_code(&err), DiagnosticCode::TypeMismatch);
+}

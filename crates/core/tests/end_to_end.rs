@@ -122,7 +122,8 @@ fn osn_action_triggers_coupled_sensing() {
 
     let (server_events, server_cb) = collector();
     d.server
-        .register_listener(StreamSelector::AllUplinks, Filter::pass_all(), server_cb);
+        .register_listener(StreamSelector::AllUplinks, Filter::pass_all(), server_cb)
+        .unwrap();
 
     d.sched.run_for(SimDuration::from_secs(5));
     d.platform.post(&mut d.sched, &UserId::new("alice"), "out for a walk!");
@@ -224,7 +225,8 @@ fn remote_stream_lifecycle() {
 
     let (server_events, cb) = collector();
     d.server
-        .register_listener(StreamSelector::Stream(stream), Filter::pass_all(), cb);
+        .register_listener(StreamSelector::Stream(stream), Filter::pass_all(), cb)
+        .unwrap();
 
     d.sched.run_for(SimDuration::from_mins(3));
     let count = server_events.lock().unwrap().len();
@@ -256,7 +258,8 @@ fn remote_interval_reconfiguration() {
         .unwrap();
     let (events, cb) = collector();
     d.server
-        .register_listener(StreamSelector::Stream(stream), Filter::pass_all(), cb);
+        .register_listener(StreamSelector::Stream(stream), Filter::pass_all(), cb)
+        .unwrap();
 
     d.sched.run_for(SimDuration::from_mins(2));
     let slow = events.lock().unwrap().len();
@@ -343,7 +346,8 @@ fn cross_user_filter_on_server() {
     .about(UserId::new("bob"))]);
     let (events, cb) = collector();
     d.server
-        .register_listener(StreamSelector::Stream(alice_id), gate, cb);
+        .register_listener(StreamSelector::Stream(alice_id), gate, cb)
+        .unwrap();
 
     d.sched.run_for(SimDuration::from_mins(3));
     assert!(events.lock().unwrap().is_empty(), "bob still → nothing delivered");
@@ -367,11 +371,14 @@ fn multicast_selects_by_geography_and_refreshes_on_movement() {
     let paris_fence = GeoFence::new(cities::paris(), 20_000.0);
     let template = StreamSpec::continuous(Modality::Location, Granularity::Raw)
         .with_interval(SimDuration::from_secs(30));
-    let multicast = d.server.create_multicast(
-        &mut d.sched,
-        MulticastSelector::WithinFence(paris_fence),
-        template,
-    );
+    let multicast = d
+        .server
+        .create_multicast(
+            &mut d.sched,
+            MulticastSelector::WithinFence(paris_fence),
+            template,
+        )
+        .unwrap();
     assert_eq!(
         d.server.multicast_members(multicast),
         vec![UserId::new("a"), UserId::new("b")]
@@ -415,23 +422,28 @@ fn multicast_friends_of_and_filter_distribution() {
 
     let template = StreamSpec::continuous(Modality::Location, Granularity::Classified)
         .with_interval(SimDuration::from_secs(30));
-    let multicast = d.server.create_multicast(
-        &mut d.sched,
-        MulticastSelector::FriendsOf(UserId::new("a")),
-        template,
-    );
+    let multicast = d
+        .server
+        .create_multicast(
+            &mut d.sched,
+            MulticastSelector::FriendsOf(UserId::new("a")),
+            template,
+        )
+        .unwrap();
     assert_eq!(d.server.multicast_members(multicast), vec![UserId::new("c")]);
 
     // Distribute a "only when in Paris" filter to all members.
-    d.server.set_multicast_filter(
-        &mut d.sched,
-        multicast,
-        Filter::new(vec![Condition::new(
-            ConditionLhs::Place,
-            Operator::Equals,
-            "Paris",
-        )]),
-    );
+    d.server
+        .set_multicast_filter(
+            &mut d.sched,
+            multicast,
+            Filter::new(vec![Condition::new(
+                ConditionLhs::Place,
+                Operator::Equals,
+                "Paris",
+            )]),
+        )
+        .unwrap();
     let (events, cb) = collector();
     d.server.register_multicast_listener(multicast, cb);
 

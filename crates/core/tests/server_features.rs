@@ -102,14 +102,16 @@ fn aggregator_filter_gates_the_joined_stream() {
     let s2 = mk(&bob, &mut rig.sched);
 
     let agg = rig.server.create_aggregator([s1, s2]);
-    rig.server.set_aggregator_filter(
-        agg,
-        Filter::new(vec![Condition::new(
-            ConditionLhs::PhysicalActivity,
-            Operator::Equals,
-            "walking",
-        )]),
-    );
+    rig.server
+        .set_aggregator_filter(
+            agg,
+            Filter::new(vec![Condition::new(
+                ConditionLhs::PhysicalActivity,
+                Operator::Equals,
+                "walking",
+            )]),
+        )
+        .unwrap();
     let seen: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
     {
         let sink = seen.clone();

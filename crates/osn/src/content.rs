@@ -77,11 +77,11 @@ pub fn generate_post(rng: &mut SimRng, topic: &str, sentiment: Sentiment) -> Str
         .unwrap_or("things in general");
     match sentiment {
         Sentiment::Positive => {
-            let phrase = rng.choose(&POSITIVE_PHRASES).expect("non-empty");
+            let phrase = rng.choose(&POSITIVE_PHRASES).expect("non-empty"); // lint:allow(expect) — const array is non-empty
             format!("I {phrase} {fragment}!")
         }
         Sentiment::Negative => {
-            let phrase = rng.choose(&NEGATIVE_PHRASES).expect("non-empty");
+            let phrase = rng.choose(&NEGATIVE_PHRASES).expect("non-empty"); // lint:allow(expect) — const array is non-empty
             format!("I {phrase} {fragment}.")
         }
         Sentiment::Neutral => format!("Thinking about {fragment}."),

@@ -156,7 +156,7 @@ impl Scheduler {
             let next_at = loop {
                 match self.heap.peek() {
                     Some(Reverse(e)) if self.cancelled.contains(&e.id) => {
-                        let Reverse(e) = self.heap.pop().expect("peeked event missing");
+                        let Reverse(e) = self.heap.pop().expect("peeked event missing"); // lint:allow(expect) — peek on the line above proved non-empty
                         self.cancelled.remove(&e.id);
                     }
                     Some(Reverse(e)) => break Some(e.at),

@@ -214,7 +214,7 @@ impl World {
             idle_timer,
         };
         self.devices.insert(device.clone(), virtual_device);
-        self.devices.get_mut(&device).expect("just inserted")
+        self.devices.get_mut(&device).expect("just inserted") // lint:allow(expect) — entry inserted two lines above
     }
 
     /// Looks up a device by id.

@@ -298,7 +298,7 @@ fn set_path(body: &mut Value, path: &str, value: Value) {
         if !current.is_object() {
             return;
         }
-        let obj = current.as_object_mut().expect("checked above");
+        let obj = current.as_object_mut().expect("checked above"); // lint:allow(expect) — is_object checked above
         current = obj
             .entry((*part).to_owned())
             .or_insert_with(|| Value::Object(Default::default()));

@@ -1,9 +1,125 @@
-//! The common error type shared across the SenSocial crates.
+//! The common error type shared across the SenSocial crates, plus the
+//! structured diagnostics the static plan verifier (`sensocial-analysis`)
+//! attaches to rejected filter plans.
 
 use std::fmt;
 
+use serde::{Deserialize, Serialize};
+
 /// Convenience alias for results carrying [`Error`].
 pub type Result<T> = std::result::Result<T, Error>;
+
+/// What a plan diagnostic is about. Error codes are stable identifiers:
+/// they travel over the wire inside configuration acks and are matched on
+/// by tests and callers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum DiagnosticCode {
+    /// A condition's operator/value does not fit its left-hand side's value
+    /// domain (e.g. `HourOfDay > "walking"`).
+    TypeMismatch,
+    /// The condition set (or one same-lhs group of it) can never hold.
+    Unsatisfiable,
+    /// A condition is implied by the others and was dropped during
+    /// normalization.
+    Redundant,
+    /// A condition (or the whole filter) holds for every possible context
+    /// value — it constrains nothing.
+    AlwaysTrue,
+    /// A conditional modality is denied by the privacy policy at the
+    /// granularity the plan needs.
+    PrivacyViolation,
+    /// A cross-user condition appeared in a device-side plan where it can
+    /// never be evaluated.
+    MisplacedCondition,
+    /// A conditional modality cannot be sampled on the target device.
+    UnsamplableModality,
+    /// Multicast/subscription filters form a cross-user dependency cycle.
+    DependencyCycle,
+}
+
+impl DiagnosticCode {
+    /// The stable snake_case name used in rendered diagnostics.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DiagnosticCode::TypeMismatch => "type_mismatch",
+            DiagnosticCode::Unsatisfiable => "unsatisfiable",
+            DiagnosticCode::Redundant => "redundant",
+            DiagnosticCode::AlwaysTrue => "always_true",
+            DiagnosticCode::PrivacyViolation => "privacy_violation",
+            DiagnosticCode::MisplacedCondition => "misplaced_condition",
+            DiagnosticCode::UnsamplableModality => "unsamplable_modality",
+            DiagnosticCode::DependencyCycle => "dependency_cycle",
+        }
+    }
+}
+
+/// How severe a plan diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum DiagnosticSeverity {
+    /// The plan is rejected.
+    Error,
+    /// The plan is accepted, possibly in a normalized form, but the author
+    /// should look at this.
+    Warning,
+}
+
+/// One structured finding from the static plan verifier.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlanDiagnostic {
+    /// What kind of finding this is.
+    pub code: DiagnosticCode,
+    /// Whether it rejects the plan or merely warns.
+    pub severity: DiagnosticSeverity,
+    /// Index of the offending condition in the submitted filter, when the
+    /// finding is about a single condition.
+    pub condition: Option<usize>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl PlanDiagnostic {
+    /// Creates an error-severity diagnostic.
+    #[must_use]
+    pub fn error(code: DiagnosticCode, message: impl Into<String>) -> Self {
+        PlanDiagnostic {
+            code,
+            severity: DiagnosticSeverity::Error,
+            condition: None,
+            message: message.into(),
+        }
+    }
+
+    /// Creates a warning-severity diagnostic.
+    #[must_use]
+    pub fn warning(code: DiagnosticCode, message: impl Into<String>) -> Self {
+        PlanDiagnostic {
+            code,
+            severity: DiagnosticSeverity::Warning,
+            condition: None,
+            message: message.into(),
+        }
+    }
+
+    /// Attaches the index of the offending condition (builder-style).
+    #[must_use]
+    pub fn at(mut self, condition: usize) -> Self {
+        self.condition = Some(condition);
+        self
+    }
+}
+
+impl fmt::Display for PlanDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code.name(), self.message)?;
+        if let Some(i) = self.condition {
+            write!(f, " (condition #{i})")?;
+        }
+        Ok(())
+    }
+}
 
 /// Errors surfaced by the SenSocial middleware and its substrates.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,8 +148,22 @@ pub enum Error {
     InvalidQuery(String),
     /// The OSN platform rejected the request (e.g. unauthenticated user).
     OsnError(String),
+    /// The static plan verifier rejected a filter/subscription/multicast
+    /// plan. Carries every error-severity diagnostic.
+    PlanRejected(Vec<PlanDiagnostic>),
     /// Any other error, with a description.
     Other(String),
+}
+
+impl Error {
+    /// The diagnostics attached to a [`Error::PlanRejected`], empty for any
+    /// other variant. Convenient for tests matching on diagnostic codes.
+    pub fn plan_diagnostics(&self) -> &[PlanDiagnostic] {
+        match self {
+            Error::PlanRejected(diags) => diags,
+            _ => &[],
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -54,6 +184,14 @@ impl fmt::Display for Error {
             Error::NotConnected(c) => write!(f, "broker client `{c}` is not connected"),
             Error::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
             Error::OsnError(msg) => write!(f, "OSN platform error: {msg}"),
+            Error::PlanRejected(diags) => {
+                write!(f, "filter plan rejected")?;
+                for (i, d) in diags.iter().enumerate() {
+                    let sep = if i == 0 { ": " } else { "; " };
+                    write!(f, "{sep}{d}")?;
+                }
+                Ok(())
+            }
             Error::Other(msg) => f.write_str(msg),
         }
     }
@@ -73,6 +211,29 @@ mod tests {
         };
         assert_eq!(e.to_string(), "privacy policy denies raw data from location");
         assert!(Error::UnknownStream(3).to_string().contains("#3"));
+    }
+
+    #[test]
+    fn plan_rejected_display_lists_diagnostics() {
+        let e = Error::PlanRejected(vec![
+            PlanDiagnostic::error(DiagnosticCode::TypeMismatch, "hour expects a number").at(0),
+            PlanDiagnostic::error(DiagnosticCode::Unsatisfiable, "hour interval is empty"),
+        ]);
+        let rendered = e.to_string();
+        assert!(rendered.contains("type_mismatch"));
+        assert!(rendered.contains("condition #0"));
+        assert!(rendered.contains("unsatisfiable"));
+        assert!(e.plan_diagnostics().len() == 2);
+        assert!(Error::Other("x".into()).plan_diagnostics().is_empty());
+    }
+
+    #[test]
+    fn plan_diagnostics_serialize_round_trip() {
+        let d = PlanDiagnostic::warning(DiagnosticCode::Redundant, "implied by condition #1").at(2);
+        let json = serde_json::to_string(&d).expect("diagnostics serialize");
+        let back: PlanDiagnostic = serde_json::from_str(&json).expect("diagnostics deserialize");
+        assert_eq!(back, d);
+        assert_eq!(back.severity, DiagnosticSeverity::Warning);
     }
 
     #[test]

@@ -14,7 +14,11 @@
 //!   [`ContextSnapshot`] a device holds at any instant;
 //! * [`osn`] — online-social-network actions (posts, comments, likes) as the
 //!   middleware sees them;
-//! * [`error`] — the common error type.
+//! * [`filter`] — the distributed stream-filter model (conditions,
+//!   operators, typed evaluation) shared by the middleware runtime and the
+//!   static plan verifier in `sensocial-analysis`;
+//! * [`error`] — the common error type, including the structured
+//!   plan-rejection diagnostics emitted by the verifier.
 //!
 //! Everything here is plain data: `Clone`, `Debug`, `PartialEq` and Serde
 //! serializable, so values can flow through the simulated network, the
@@ -25,6 +29,7 @@
 
 pub mod context;
 pub mod error;
+pub mod filter;
 pub mod geo;
 pub mod ids;
 pub mod modality;
@@ -34,7 +39,12 @@ pub use context::{
     AccelSample, AudioEnvironment, AudioFrame, BluetoothScan, ClassifiedContext, ContextData,
     ContextSnapshot, GpsFix, PhysicalActivity, RawSample, WifiScan,
 };
-pub use error::{Error, Result};
+pub use error::{
+    DiagnosticCode, DiagnosticSeverity, Error, PlanDiagnostic, Result,
+};
+pub use filter::{
+    Condition, ConditionLhs, EvalContext, EvalError, EvalErrorKind, Filter, Operator,
+};
 pub use geo::{GeoFence, GeoPoint, Place};
 pub use ids::{DeviceId, FilterId, StreamId, SubscriptionId, TriggerId, UserId};
 pub use modality::{Granularity, Modality};

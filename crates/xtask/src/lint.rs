@@ -1,0 +1,283 @@
+//! The repo-wide lint gate.
+//!
+//! Greps every non-test library/binary source under `crates/*/src` for
+//! patterns that have no business in deterministic middleware code:
+//!
+//! * panicking escapes (`.unwrap()`, `.expect(`, `todo!`, `unimplemented!`)
+//!   — the workspace's error model is typed `Result`s end to end, and a
+//!   panic in the middleware takes the whole simulated deployment with it;
+//! * leftover debugging (`dbg!`);
+//! * nondeterminism (`SystemTime::now`, `Instant::now`, `thread_rng`,
+//!   `from_entropy`) — the simulation is virtual-time and seeded, and a
+//!   single wall-clock read makes runs irreproducible.
+//!
+//! Scope: `crates/*/src`, minus `crates/bench` (experiment harness code,
+//! expect-on-setup is idiomatic there). Test modules (everything after a
+//! `#[cfg(test)]` line), `tests/`, `examples/` and comments are exempt —
+//! the ban is on shipping code, not on assertions.
+//!
+//! A line may opt out with a trailing `lint:allow(<pattern>)` comment,
+//! reserved for provably-infallible cases (e.g. serializing a struct of
+//! plain fields) where the justification lives next to the code.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// A banned pattern. Needles are assembled at runtime from halves so the
+/// scanner's own source (and its tests) never match themselves.
+struct Pattern {
+    /// Name used in `lint:allow(<name>)` escapes and in reports.
+    name: &'static str,
+    needle: String,
+    why: &'static str,
+}
+
+fn patterns() -> Vec<Pattern> {
+    let pat = |name: &'static str, parts: &[&str], why: &'static str| Pattern {
+        name,
+        needle: parts.concat(),
+        why,
+    };
+    vec![
+        pat(
+            "unwrap",
+            &[".unwr", "ap()"],
+            "panicking escape; return a typed Result instead",
+        ),
+        pat(
+            "expect",
+            &[".exp", "ect("],
+            "panicking escape; return a typed Result instead",
+        ),
+        pat("todo", &["to", "do!"], "unfinished code must not ship"),
+        pat(
+            "unimplemented",
+            &["unimpl", "emented!"],
+            "unfinished code must not ship",
+        ),
+        pat("dbg", &["db", "g!("], "leftover debugging must not ship"),
+        pat(
+            "system-time",
+            &["SystemTime::n", "ow"],
+            "wall-clock read; use the scheduler's virtual time",
+        ),
+        pat(
+            "instant-now",
+            &["Instant::n", "ow"],
+            "wall-clock read; use the scheduler's virtual time",
+        ),
+        pat(
+            "thread-rng",
+            &["thread_r", "ng("],
+            "unseeded randomness; use SimRng",
+        ),
+        pat(
+            "from-entropy",
+            &["from_entr", "opy("],
+            "unseeded randomness; use SimRng",
+        ),
+    ]
+}
+
+/// One finding.
+struct Violation {
+    file: String,
+    line: usize,
+    pattern: &'static str,
+    why: &'static str,
+    text: String,
+}
+
+/// Scans `content` (labelled `file` for reporting) against `patterns`.
+///
+/// Comment-only lines are skipped; everything after the first
+/// `#[cfg(test)]` line is treated as test code and skipped (the
+/// workspace's test modules all trail their file); a matching
+/// `lint:allow(<name>)` marker on the line suppresses that pattern.
+fn scan_source(file: &str, content: &str, patterns: &[Pattern]) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let mut in_tests = false;
+    for (i, line) in content.lines().enumerate() {
+        if line.trim_start().starts_with("#[cfg(test)]") {
+            in_tests = true;
+        }
+        if in_tests {
+            continue;
+        }
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("//") {
+            continue;
+        }
+        for p in patterns {
+            if !line.contains(p.needle.as_str()) {
+                continue;
+            }
+            let marker = format!("lint:allow({})", p.name);
+            if line.contains(marker.as_str()) {
+                continue;
+            }
+            violations.push(Violation {
+                file: file.to_owned(),
+                line: i + 1,
+                pattern: p.name,
+                why: p.why,
+                text: trimmed.to_owned(),
+            });
+        }
+    }
+    violations
+}
+
+/// The workspace root: two levels above this crate's manifest.
+fn repo_root() -> PathBuf {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    match manifest.parent().and_then(Path::parent) {
+        Some(root) => root.to_owned(),
+        None => manifest.to_owned(),
+    }
+}
+
+/// Every `.rs` file under `crates/*/src`, except `crates/bench`.
+fn collect_sources(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let crates_dir = root.join("crates");
+    let entries = fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?;
+    let mut files = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot enumerate crates/: {e}"))?;
+        let path = entry.path();
+        if !path.is_dir() || path.file_name().is_some_and(|n| n == "bench") {
+            continue;
+        }
+        let src = path.join("src");
+        if src.is_dir() {
+            walk_rs(&src, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn walk_rs(dir: &Path, files: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot enumerate {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            walk_rs(&path, files)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn scan_repo(root: &Path) -> Result<Vec<Violation>, String> {
+    let patterns = patterns();
+    let mut violations = Vec::new();
+    for file in collect_sources(root)? {
+        let content = fs::read_to_string(&file)
+            .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+        let label = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .display()
+            .to_string();
+        violations.extend(scan_source(&label, &content, &patterns));
+    }
+    Ok(violations)
+}
+
+/// Entry point for `cargo run -p xtask -- lint`.
+pub fn run() -> ExitCode {
+    let violations = match scan_repo(&repo_root()) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if violations.is_empty() {
+        println!("xtask lint: clean");
+        return ExitCode::SUCCESS;
+    }
+    let mut report = String::new();
+    for v in &violations {
+        let _ = writeln!(
+            report,
+            "{}:{}: banned pattern `{}` ({})\n    {}",
+            v.file, v.line, v.pattern, v.why, v.text
+        );
+    }
+    eprintln!("{report}xtask lint: {} violation(s)", violations.len());
+    ExitCode::FAILURE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a banned token at runtime so this test file itself stays
+    /// clean under the scanner.
+    fn tok(parts: &[&str]) -> String {
+        parts.concat()
+    }
+
+    #[test]
+    fn seeded_unwrap_fixture_fails() {
+        let fixture = format!(
+            "fn main() {{\n    let x = maybe(){};\n}}\n",
+            tok(&[".unwr", "ap()"])
+        );
+        let violations = scan_source("fixture.rs", &fixture, &patterns());
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].pattern, "unwrap");
+        assert_eq!(violations[0].line, 2);
+    }
+
+    #[test]
+    fn test_modules_and_comments_are_exempt() {
+        let fixture = format!(
+            "fn main() {{}}\n// a comment mentioning {u}\n#[cfg(test)]\nmod tests {{\n    fn t() {{ maybe(){u}; }}\n}}\n",
+            u = tok(&[".unwr", "ap()"])
+        );
+        assert!(scan_source("fixture.rs", &fixture, &patterns()).is_empty());
+    }
+
+    #[test]
+    fn allow_marker_suppresses_a_single_line() {
+        let needle = tok(&[".exp", "ect("]);
+        let marker = tok(&["lint:", "allow(expect)"]);
+        let allowed = format!("fn f() {{ g(){needle}\"ok\"); }} // {marker}\n");
+        assert!(scan_source("fixture.rs", &allowed, &patterns()).is_empty());
+        let denied = format!("fn f() {{ g(){needle}\"ok\"); }}\n");
+        assert_eq!(scan_source("fixture.rs", &denied, &patterns()).len(), 1);
+    }
+
+    #[test]
+    fn nondeterminism_patterns_are_flagged() {
+        let fixture = format!(
+            "fn f() {{ let t = std::time::{}(); }}\n",
+            tok(&["SystemTime::n", "ow"])
+        );
+        let violations = scan_source("fixture.rs", &fixture, &patterns());
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].pattern, "system-time");
+    }
+
+    #[test]
+    fn repository_is_clean() {
+        let violations = match scan_repo(&repo_root()) {
+            Ok(v) => v,
+            Err(e) => panic!("scan failed: {e}"),
+        };
+        let report: Vec<String> = violations
+            .iter()
+            .map(|v| format!("{}:{} {}", v.file, v.line, v.pattern))
+            .collect();
+        assert!(report.is_empty(), "lint violations: {report:#?}");
+    }
+}

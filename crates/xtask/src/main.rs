@@ -1,0 +1,31 @@
+//! Repository maintenance tasks, invoked as `cargo run -p xtask -- <task>`.
+//!
+//! Std-only on purpose: the gate must build and run in any environment the
+//! workspace builds in, with no extra dependencies to fetch.
+
+#![forbid(unsafe_code)]
+
+mod lint;
+
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: cargo run -p xtask -- <task>
+
+tasks:
+  lint    scan non-test sources for banned patterns (panics, debug
+          macros, nondeterminism); exits non-zero on any finding";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => lint::run(),
+        Some(other) => {
+            eprintln!("xtask: unknown task `{other}`\n{USAGE}");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

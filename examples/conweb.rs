@@ -37,7 +37,7 @@ fn main() {
     section("Installing ConWeb: mobile streams + server context table + web server");
     let manager = world.device("alice-phone").unwrap().manager.clone();
     ConWebMobile::install(&mut world.sched, &manager).expect("streams install");
-    let server_app = ConWebServer::install(&world.server);
+    let server_app = ConWebServer::install(&world.server).expect("pass-all plan is sound");
     let web = WebServer::start(&world.net, "web", server_app.context.clone());
     web.add_page(
         "news",

@@ -76,7 +76,8 @@ fn main() {
                 TextSentiment::Neutral => "neutral",
             };
             *table.lock().unwrap().entry((place, mood.to_owned())).or_insert(0) += 1;
-        });
+        })
+        .expect("pass-all subscription is always sound");
 
     section("Life happens for twelve simulated hours");
     let platform = world.platform.clone();

@@ -31,7 +31,7 @@ fn main() {
     }
 
     section("Installing Facebook Sensor Map (mobile on every phone, one server app)");
-    let server_app = SensorMapServer::install(&world.server);
+    let server_app = SensorMapServer::install(&world.server).expect("pass-all plan is sound");
     for (user, _) in homes {
         let manager = world
             .device(&format!("{user}-phone"))

@@ -38,7 +38,8 @@ fn main() {
         UserId::new("a"),
         "Paris",
         SimDuration::from_secs(60),
-    );
+    )
+    .expect("home-town plan is verifier-sound");
     println!(
         "  multicast members (A's friends): {:?}",
         world.server.graph().friends(&UserId::new("a"))

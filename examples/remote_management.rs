@@ -32,7 +32,8 @@ fn main() {
             .register_listener(StreamSelector::AllUplinks, Filter::pass_all(), move |s, e| {
                 *sink.lock().unwrap() += 1;
                 println!("  [{}] server received {:?}", s.now(), e.data.modality());
-            });
+            })
+            .expect("pass-all subscription is always sound");
     }
 
     section("The server creates a location stream on alice's phone (config push over MQTT)");

@@ -105,7 +105,8 @@ fn run_partition_scenario() -> (
             .server
             .register_listener(StreamSelector::Stream(cont), Filter::pass_all(), move |_s, e| {
                 sink.lock().unwrap().push(e.at);
-            });
+            })
+            .unwrap();
     }
     let event_ats = Arc::new(Mutex::new(Vec::new()));
     {
@@ -114,7 +115,8 @@ fn run_partition_scenario() -> (
             .server
             .register_listener(StreamSelector::Stream(event), Filter::pass_all(), move |_s, e| {
                 sink.lock().unwrap().push(e.at);
-            });
+            })
+            .unwrap();
     }
 
     world.run_for(SimDuration::from_secs(10));
@@ -224,7 +226,8 @@ fn broker_blackout_parks_uplink_and_flushes_in_order() {
             .server
             .register_listener(StreamSelector::AllUplinks, Filter::pass_all(), move |_s, e| {
                 sink.lock().unwrap().push(e.at);
-            });
+            })
+            .unwrap();
     }
 
     world.run_for(SimDuration::from_secs(30));
@@ -283,7 +286,8 @@ fn bounded_uplink_buffer_drops_oldest_and_keeps_newest() {
             .server
             .register_listener(StreamSelector::AllUplinks, Filter::pass_all(), move |_s, e| {
                 sink.lock().unwrap().push(e.at);
-            });
+            })
+            .unwrap();
     }
 
     world.run_for(SimDuration::from_secs(30));
@@ -321,11 +325,17 @@ fn client_churn_during_multicast_membership_change_converges() {
 
     let template = StreamSpec::continuous(Modality::Location, Granularity::Raw)
         .with_interval(SimDuration::from_secs(10));
-    let multicast = world.server.create_multicast(
-        &mut world.sched,
-        MulticastSelector::WithinFence(sensocial_types::GeoFence::new(cities::paris(), 20_000.0)),
-        template,
-    );
+    let multicast = world
+        .server
+        .create_multicast(
+            &mut world.sched,
+            MulticastSelector::WithinFence(sensocial_types::GeoFence::new(
+                cities::paris(),
+                20_000.0,
+            )),
+            template,
+        )
+        .unwrap();
     assert_eq!(world.server.multicast_members(multicast).len(), 3);
 
     let events = Arc::new(Mutex::new(Vec::new()));

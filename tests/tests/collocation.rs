@@ -44,14 +44,17 @@ fn collocation_multicast_follows_a_moving_person() {
 
     let template = StreamSpec::continuous(Modality::Location, Granularity::Raw)
         .with_interval(SimDuration::from_secs(30));
-    let multicast = world.server.create_multicast(
-        &mut world.sched,
-        MulticastSelector::NearUser {
-            user: UserId::new("vip"),
-            radius_m: 30_000.0,
-        },
-        template,
-    );
+    let multicast = world
+        .server
+        .create_multicast(
+            &mut world.sched,
+            MulticastSelector::NearUser {
+                user: UserId::new("vip"),
+                radius_m: 30_000.0,
+            },
+            template,
+        )
+        .unwrap();
     assert_eq!(
         world.server.multicast_members(multicast),
         vec![UserId::new("p1"), UserId::new("p2")],
@@ -102,11 +105,14 @@ fn topic_based_subscription_selects_by_modality() {
     let seen = Arc::new(Mutex::new(Vec::new()));
     {
         let sink = seen.clone();
-        world.server.register_listener(
-            StreamSelector::Modality(Modality::Microphone),
-            Filter::pass_all(),
-            move |_s, e| sink.lock().unwrap().push(e.data.modality()),
-        );
+        world
+            .server
+            .register_listener(
+                StreamSelector::Modality(Modality::Microphone),
+                Filter::pass_all(),
+                move |_s, e| sink.lock().unwrap().push(e.data.modality()),
+            )
+            .unwrap();
     }
     // A second of slack so the t=180 s cycle's uplink clears the network.
     world.run_for(SimDuration::from_mins(3) + SimDuration::from_secs(1));

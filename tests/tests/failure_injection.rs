@@ -118,14 +118,17 @@ fn device_churn_mid_multicast() {
 
     let template = StreamSpec::continuous(Modality::Location, Granularity::Raw)
         .with_interval(SimDuration::from_secs(30));
-    let multicast = world.server.create_multicast(
-        &mut world.sched,
-        MulticastSelector::WithinFence(sensocial_types::GeoFence::new(
-            cities::paris(),
-            20_000.0,
-        )),
-        template,
-    );
+    let multicast = world
+        .server
+        .create_multicast(
+            &mut world.sched,
+            MulticastSelector::WithinFence(sensocial_types::GeoFence::new(
+                cities::paris(),
+                20_000.0,
+            )),
+            template,
+        )
+        .unwrap();
     assert_eq!(world.server.multicast_members(multicast).len(), 3);
 
     let events = Arc::new(Mutex::new(Vec::new()));
@@ -205,7 +208,8 @@ fn malformed_broker_payloads_are_ignored() {
             .server
             .register_listener(StreamSelector::AllUplinks, Filter::pass_all(), move |_s, _e| {
                 *sink.lock().unwrap() += 1;
-            });
+            })
+            .unwrap();
     }
     // A little slack past 5 minutes so the 10th cycle's uplink (which
     // pays two 40 ms network legs) lands inside the window.

@@ -34,7 +34,7 @@ fn busy_world(seed: u64) -> (World, SensorMapServer, GeoNotifyApp) {
         .server
         .record_friendship(&UserId::new("amelie"), &UserId::new("claire"));
 
-    let map_server = SensorMapServer::install(&world.server);
+    let map_server = SensorMapServer::install(&world.server).unwrap();
     for user in ["amelie", "bruno", "claire"] {
         let manager = world
             .device(&format!("{user}-phone"))
@@ -49,7 +49,8 @@ fn busy_world(seed: u64) -> (World, SensorMapServer, GeoNotifyApp) {
         UserId::new("amelie"),
         "Paris",
         SimDuration::from_secs(60),
-    );
+    )
+    .unwrap();
 
     let platform = world.platform.clone();
     for user in ["amelie", "bruno", "claire"] {
@@ -164,7 +165,8 @@ fn cross_user_and_geo_selectors_compose() {
         .with_interval(SimDuration::from_secs(30));
     let multicast = world
         .server
-        .create_multicast(&mut world.sched, selector, template);
+        .create_multicast(&mut world.sched, selector, template)
+        .unwrap();
     // bruno and dora are friends near Bordeaux; claire is near but not a
     // friend; amelie is a friend of nobody relevant and in Paris.
     assert_eq!(
@@ -193,7 +195,8 @@ fn time_of_day_filters_gate_delivery() {
         .server
         .register_listener(StreamSelector::AllUplinks, Filter::pass_all(), move |s, _e| {
             sink.lock().unwrap().push(s.now().hour_of_day());
-        });
+        })
+        .unwrap();
 
     // Run one full virtual day.
     world.run_for(SimDuration::from_mins(24 * 60));
