@@ -46,12 +46,8 @@ fn bench_broker_routing(c: &mut Criterion) {
                 let publisher = BrokerClient::new(&net, "pub-ep", "broker", "pub");
                 publisher.connect(&mut sched);
                 for i in 0..20 {
-                    let sub = BrokerClient::new(
-                        &net,
-                        format!("sub{i}-ep"),
-                        "broker",
-                        format!("sub{i}"),
-                    );
+                    let sub =
+                        BrokerClient::new(&net, format!("sub{i}-ep"), "broker", format!("sub{i}"));
                     sub.connect(&mut sched);
                     sub.subscribe(&mut sched, "ctx/#", QoS::AtMostOnce, |_s, _t, _p| {});
                 }
@@ -103,7 +99,13 @@ fn bench_trigger_pipeline(c: &mut Criterion) {
             |mut world| {
                 world.post("alice", "bench post");
                 world.run_for(SimDuration::from_mins(3));
-                std::hint::black_box(world.server.stats().uplink_events)
+                std::hint::black_box(
+                    world
+                        .server
+                        .telemetry()
+                        .snapshot()
+                        .counter("server.uplink_events"),
+                )
             },
             BatchSize::SmallInput,
         )

@@ -208,7 +208,9 @@ fn measure_placement(
     // The server-side variant still needs the activity context on the
     // server, so the device also uplinks classified activity — exactly the
     // cost asymmetry the ablation is about.
-    world.create_stream("alice-phone", spec).expect("gps stream");
+    world
+        .create_stream("alice-phone", spec)
+        .expect("gps stream");
     world
         .create_stream(
             "alice-phone",
@@ -262,11 +264,15 @@ fn measure_placement(
     let breakdown = battery.breakdown();
     FilterPlacementVariant {
         label: label.to_owned(),
-        gps_sampling_uah: breakdown.component_uah(
-            sensocial_energy::EnergyComponent::Sampling(Modality::Location),
-        ),
+        gps_sampling_uah: breakdown.component_uah(sensocial_energy::EnergyComponent::Sampling(
+            Modality::Location,
+        )),
         device_tx_uah: breakdown.transmission_uah(),
-        uplink_events: world.server.stats().uplink_events,
+        uplink_events: world
+            .server
+            .telemetry()
+            .snapshot()
+            .counter("server.uplink_events"),
         delivered_events,
     }
 }
@@ -306,12 +312,12 @@ pub fn classification_placement() -> Vec<ClassificationVariant> {
             .expect("stream installs");
         let battery = world.device("alice-phone").unwrap().battery.clone();
         battery.reset();
-        let bytes_before = world.net.stats().bytes_sent;
+        let bytes_before = world.net.telemetry().counter("bytes_sent");
         world.run_for(SimDuration::from_mins(60));
         ClassificationVariant {
             label: label.to_owned(),
             device_uah: battery.total_uah(),
-            bytes_sent: world.net.stats().bytes_sent - bytes_before,
+            bytes_sent: world.net.telemetry().counter("bytes_sent") - bytes_before,
         }
     })
     .collect()

@@ -1,0 +1,156 @@
+//! `cargo run -p sensocial-bench` — the PR-5 telemetry benchmark.
+//!
+//! Drives one deterministic chaos scenario (two phones, continuous +
+//! social-event streams, a mid-run partition) and emits `BENCH_5.json`:
+//! per-stage pipeline latency summaries (sense → privacy → filter →
+//! uplink → broker → server → subscriber), every drop-cause counter, and
+//! the backlog gauges' high-water marks — all read from the merged
+//! deployment-wide telemetry snapshot.
+//!
+//! With `--snapshot-out <path>` the canonical wire form of the merged
+//! snapshot is also written there; CI runs the binary twice with the same
+//! (fixed) seed and fails if the two files differ by a single byte.
+
+use sensocial::server::StreamSelector;
+use sensocial::{Filter, Granularity, Modality, StreamSink, StreamSpec};
+use sensocial_runtime::{SimDuration, Timestamp};
+use sensocial_sim::metrics::summarize_histogram;
+use sensocial_sim::{World, WorldConfig};
+use sensocial_telemetry::{Snapshot, Stage};
+use sensocial_types::geo::cities;
+use serde_json::{json, Value};
+
+/// One full run of the benchmark scenario, returning the merged
+/// deployment-wide telemetry snapshot.
+fn run_scenario() -> Snapshot {
+    let mut world = World::new(WorldConfig::default());
+    world.add_device("alice", "alice-phone", cities::paris());
+    world.add_device("bob", "bob-phone", cities::bordeaux());
+
+    world
+        .create_stream(
+            "alice-phone",
+            StreamSpec::continuous(Modality::Wifi, Granularity::Raw)
+                .with_interval(SimDuration::from_secs(5))
+                .with_sink(StreamSink::Server),
+        )
+        .expect("continuous stream installs");
+    world
+        .create_stream(
+            "alice-phone",
+            StreamSpec::social_event_based(Modality::Bluetooth, Granularity::Raw)
+                .with_sink(StreamSink::Server),
+        )
+        .expect("event stream installs");
+    world
+        .create_stream(
+            "bob-phone",
+            StreamSpec::continuous(Modality::Location, Granularity::Classified)
+                .with_interval(SimDuration::from_secs(10))
+                .with_sink(StreamSink::Server),
+        )
+        .expect("classified stream installs");
+
+    // A server-side subscriber, so the last pipeline stage sees traffic.
+    world
+        .server
+        .register_listener(StreamSelector::AllUplinks, Filter::pass_all(), |_s, _e| {})
+        .expect("pass-all listener installs");
+
+    world.run_for(SimDuration::from_secs(30));
+    world.post("alice", "benchmark post");
+    // A 60-second partition mid-stream exercises store-and-forward
+    // buffering, drop counters and the backlog gauges.
+    world.net.partition(
+        &"alice-phone-ep".into(),
+        &"broker".into(),
+        Timestamp::from_secs(100),
+    );
+    world.run_for(SimDuration::from_secs(60));
+    world.post("bob", "second post");
+    world.run_for(SimDuration::from_secs(150));
+
+    world.telemetry_snapshot()
+}
+
+/// Per-stage latency summaries in pipeline order.
+fn stage_summaries(snap: &Snapshot) -> Value {
+    let mut stages = serde_json::Map::new();
+    for stage in Stage::ALL {
+        let summary = snap
+            .stage(stage)
+            .map(summarize_histogram)
+            .unwrap_or_default();
+        stages.insert(
+            stage.as_str().to_owned(),
+            json!({
+                "mean_ms": summary.mean,
+                "std_dev_ms": summary.std_dev,
+                "min_ms": summary.min,
+                "max_ms": summary.max,
+                "count": summary.count,
+            }),
+        );
+    }
+    Value::Object(stages)
+}
+
+/// Every drop-cause counter (counters whose key names a drop, an abandoned
+/// retry budget, or an unroutable publish).
+fn drop_counters(snap: &Snapshot) -> Value {
+    let mut drops = serde_json::Map::new();
+    for (key, value) in &snap.counters {
+        if key.contains("drop") || key.contains("abandoned") || key.contains("unrouted") {
+            drops.insert(key.clone(), json!(value));
+        }
+    }
+    Value::Object(drops)
+}
+
+/// Backlog gauges: final value and high-water mark.
+fn backlog_high_water(snap: &Snapshot) -> Value {
+    let mut backlogs = serde_json::Map::new();
+    for (key, gauge) in &snap.gauges {
+        backlogs.insert(
+            key.clone(),
+            json!({"value": gauge.value, "high_water": gauge.high_water}),
+        );
+    }
+    Value::Object(backlogs)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut snapshot_out: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--snapshot-out" => {
+                snapshot_out = Some(args.next().expect("--snapshot-out needs a path"));
+            }
+            other => panic!("unknown argument {other:?} (expected --snapshot-out <path>)"),
+        }
+    }
+
+    let snap = run_scenario();
+    if let Some(path) = &snapshot_out {
+        std::fs::write(path, snap.to_wire()).expect("write snapshot wire file");
+        eprintln!("wrote canonical snapshot to {path}");
+    }
+
+    let report = json!({
+        "benchmark": "BENCH_5",
+        "description": "per-stage pipeline latency, drop causes and backlog high-water marks",
+        "stages": stage_summaries(&snap),
+        "drops": drop_counters(&snap),
+        "backlogs": backlog_high_water(&snap),
+        "totals": {
+            "uplink_events": snap.counter("server.uplink_events"),
+            "triggers_sent": snap.counter("server.triggers_sent"),
+            "broker_published": snap.counter("broker.published"),
+            "net_delivered": snap.counter("net.delivered"),
+        },
+    });
+    let rendered = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_5.json", &rendered).expect("write BENCH_5.json");
+    println!("{rendered}");
+}

@@ -6,6 +6,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use sensocial_net::{EndpointId, Network};
 use sensocial_runtime::{Scheduler, SimDuration};
+use sensocial_telemetry::{Registry, Stage};
 
 use crate::packet::{Packet, QoS};
 use crate::topic::TopicFilter;
@@ -130,6 +131,7 @@ struct Inner {
 pub struct Broker {
     inner: Arc<Mutex<Inner>>,
     network: Network,
+    telemetry: Registry,
 }
 
 impl std::fmt::Debug for Broker {
@@ -159,14 +161,31 @@ impl Broker {
                 stats: BrokerStats::default(),
             })),
             network: network.clone(),
+            telemetry: Registry::new("broker"),
         };
         let handle = broker.clone();
         network.register(endpoint, move |sched, msg| {
             if let Ok(packet) = Packet::from_wire(&msg.payload) {
+                if matches!(packet, Packet::Publish { .. }) {
+                    // Ingress transit: how long the publish spent on the
+                    // wire between the client and the broker.
+                    let transit = sched
+                        .now()
+                        .as_millis()
+                        .saturating_sub(msg.sent_at.as_millis());
+                    handle.telemetry.observe(Stage::Broker, transit);
+                }
                 handle.handle_packet(sched, msg.from.clone(), packet);
             }
         });
         broker
+    }
+
+    /// The broker's telemetry registry (scope `broker`): activity counters
+    /// mirroring [`BrokerStats`] plus the [`Stage::Broker`] ingress-transit
+    /// histogram.
+    pub fn telemetry(&self) -> &Registry {
+        &self.telemetry
     }
 
     /// Replaces the broker configuration.
@@ -256,6 +275,7 @@ impl Broker {
             match inner.sessions.get(&client_id) {
                 Some(session) if session.connected => {
                     inner.stats.pings += 1;
+                    self.telemetry.count("pings");
                     Some((inner.endpoint.clone(), session.endpoint.clone()))
                 }
                 // Unknown or disconnected session: stay silent so the
@@ -334,6 +354,7 @@ impl Broker {
                     };
                     if duplicate {
                         inner.stats.duplicate_publishes += 1;
+                        self.telemetry.count("duplicate_publishes");
                     }
                     (inner.endpoint.clone(), duplicate)
                 };
@@ -347,6 +368,7 @@ impl Broker {
         let targets: Vec<(String, QoS, bool)> = {
             let mut inner = self.inner.lock();
             inner.stats.published += 1;
+            self.telemetry.count("published");
             if retain {
                 if payload.is_empty() {
                     inner.retained.remove(&topic);
@@ -372,10 +394,12 @@ impl Broker {
                 .collect();
             if targets.is_empty() {
                 inner.stats.unrouted += 1;
+                self.telemetry.count("unrouted");
             }
             for (cid, q, connected) in &targets {
                 if !connected {
                     inner.stats.queued_offline += 1;
+                    self.telemetry.count("queued_offline");
                     let limit = inner.config.offline_queue_limit;
                     if let Some(session) = inner.sessions.get_mut(cid) {
                         if session.offline.len() >= limit {
@@ -399,10 +423,18 @@ impl Broker {
 
     /// Sends one delivery towards a connected client, installing retry
     /// state when the effective QoS demands acknowledgement.
-    fn deliver(&self, sched: &mut Scheduler, client_id: &str, topic: &str, payload: &str, qos: QoS) {
+    fn deliver(
+        &self,
+        sched: &mut Scheduler,
+        client_id: &str,
+        topic: &str,
+        payload: &str,
+        qos: QoS,
+    ) {
         let (endpoint, broker_endpoint, message_id, retry_timeout) = {
             let mut inner = self.inner.lock();
             inner.stats.delivered += 1;
+            self.telemetry.count("delivered");
             let Some(session) = inner.sessions.get(client_id) else {
                 return;
             };
@@ -425,7 +457,12 @@ impl Broker {
             } else {
                 None
             };
-            (endpoint, broker_endpoint, message_id, inner.config.retry_timeout)
+            (
+                endpoint,
+                broker_endpoint,
+                message_id,
+                inner.config.retry_timeout,
+            )
         };
 
         let packet = Packet::Publish {
@@ -481,23 +518,32 @@ impl Broker {
                                 QoS::AtLeastOnce,
                             ));
                             inner.stats.requeued += 1;
+                            self.telemetry.count("requeued");
                         }
-                        None => inner.stats.abandoned += 1,
+                        None => {
+                            inner.stats.abandoned += 1;
+                            self.telemetry.count("abandoned");
+                        }
                     }
                 } else {
                     inner.stats.abandoned += 1;
+                    self.telemetry.count("abandoned");
                 }
                 (None, retry_timeout)
             } else {
                 pending.retries_left -= 1;
                 let pending = pending.clone();
                 inner.stats.retries += 1;
+                self.telemetry.count("retries");
                 let endpoint = inner
                     .sessions
                     .get(&pending.client_id)
                     .map(|s| (s.endpoint.clone(), s.connected));
                 let broker_endpoint = inner.endpoint.clone();
-                (endpoint.map(|e| (pending, e, broker_endpoint)), retry_timeout)
+                (
+                    endpoint.map(|e| (pending, e, broker_endpoint)),
+                    retry_timeout,
+                )
             }
         };
 

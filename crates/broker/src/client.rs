@@ -195,7 +195,9 @@ impl BrokerClient {
         // id so two same-seed runs reconnect at identical instants.
         let mut seed = 0xcbf29ce484222325u64;
         for byte in client_id.as_bytes() {
-            seed = seed.wrapping_mul(0x100000001b3).wrapping_add(u64::from(*byte));
+            seed = seed
+                .wrapping_mul(0x100000001b3)
+                .wrapping_add(u64::from(*byte));
         }
         let client = BrokerClient {
             inner: Arc::new(Mutex::new(Inner {
@@ -368,16 +370,24 @@ impl BrokerClient {
 
     /// Subscribes to `filter`, routing matching messages to `callback`.
     ///
+    /// Accepts anything stringly (`&str`, `String`, or a typed topic that
+    /// converts into its wire form).
+    ///
     /// # Panics
     ///
     /// Panics if `filter` is not a valid topic filter — subscriptions are
     /// developer-written constants, so malformed ones are programming
     /// errors.
-    pub fn subscribe<F>(&self, sched: &mut Scheduler, filter: &str, qos: QoS, callback: F)
-    where
+    pub fn subscribe<F>(
+        &self,
+        sched: &mut Scheduler,
+        filter: impl Into<String>,
+        qos: QoS,
+        callback: F,
+    ) where
         F: Fn(&mut Scheduler, &str, &str) + Send + Sync + 'static,
     {
-        let filter: TopicFilter = filter.parse().expect("invalid topic filter"); // lint:allow(expect) — filters are compile-time literals, validated by tests
+        let filter: TopicFilter = filter.into().parse().expect("invalid topic filter"); // lint:allow(expect) — filters are compile-time literals, validated by tests
         let client_id = {
             let mut inner = self.inner.lock();
             inner
@@ -397,8 +407,8 @@ impl BrokerClient {
 
     /// Removes the subscription for `filter` (exact string match), both
     /// locally and on the broker.
-    pub fn unsubscribe(&self, sched: &mut Scheduler, filter: &str) {
-        let Ok(filter) = filter.parse::<TopicFilter>() else {
+    pub fn unsubscribe(&self, sched: &mut Scheduler, filter: impl Into<String>) {
+        let Ok(filter) = filter.into().parse::<TopicFilter>() else {
             return;
         };
         let client_id = {
@@ -419,11 +429,12 @@ impl BrokerClient {
     pub fn publish(
         &self,
         sched: &mut Scheduler,
-        topic: &str,
+        topic: impl Into<String>,
         payload: &str,
         qos: QoS,
         retain: bool,
     ) {
+        let topic = topic.into();
         let (packet, retry) = {
             let mut inner = self.inner.lock();
             let message_id = if qos == QoS::AtLeastOnce {
@@ -434,7 +445,7 @@ impl BrokerClient {
                 None
             };
             let packet = Packet::Publish {
-                topic: topic.to_owned(),
+                topic,
                 payload: payload.to_owned(),
                 qos,
                 message_id,
@@ -508,10 +519,8 @@ impl BrokerClient {
                     client.schedule_retry(s, message_id, timeout);
                 }
                 RetryAction::DeadLetter(packet, handler) => {
-                    if let (
-                        Some(handler),
-                        Packet::Publish { topic, payload, .. },
-                    ) = (handler, &packet)
+                    if let (Some(handler), Packet::Publish { topic, payload, .. }) =
+                        (handler, &packet)
                     {
                         handler(s, message_id, topic, payload);
                     }
@@ -602,16 +611,16 @@ impl BrokerClient {
             // our session (e.g. it restarted). On the very first ConnAck the
             // subscribe packets sent right after connect() are still in
             // flight — re-sending them would double retained deliveries.
-            let resubscribe: Vec<(TopicFilter, QoS)> = if session_present || inner.stats.connacks == 1
-            {
-                Vec::new()
-            } else {
-                inner
-                    .subscriptions
-                    .iter()
-                    .map(|(f, q, _)| (f.clone(), *q))
-                    .collect()
-            };
+            let resubscribe: Vec<(TopicFilter, QoS)> =
+                if session_present || inner.stats.connacks == 1 {
+                    Vec::new()
+                } else {
+                    inner
+                        .subscriptions
+                        .iter()
+                        .map(|(f, q, _)| (f.clone(), *q))
+                        .collect()
+                };
             // Drain the pending queue in message-id order so resumed
             // publishes leave deterministically and oldest-first.
             let mut mids: Vec<u64> = inner.pending.keys().copied().collect();

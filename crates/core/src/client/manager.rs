@@ -18,11 +18,13 @@ use sensocial_types::{
 
 use sensocial_analysis::{analyze, AnalysisEnv, FilterPlan};
 
+use sensocial_telemetry::{Registry, Snapshot, Stage};
+
 use crate::config::{ConfigCommand, StreamMode, StreamSink, StreamSpec};
 use crate::event::{ConfigAck, RegistrationPayload, StreamEvent, TriggerPayload};
 use crate::filter::EvalContext;
 use crate::privacy::{PrivacyPolicy, PrivacyPolicyManager};
-use crate::{ack_topic, config_topic, trigger_topic, uplink_topic, REGISTER_TOPIC};
+use crate::{Topic, REGISTER_TOPIC};
 
 use super::stream::{StreamOrigin, StreamState, StreamStatus};
 
@@ -46,6 +48,10 @@ pub(crate) const DEFAULT_UPLINK_BUFFER: usize = 512;
 
 /// Counters for the client's store-and-forward uplink path and its
 /// configuration-convergence guard.
+///
+/// This struct is now a read-only view reconstructed from the manager's
+/// unified [`telemetry`](ClientManager::telemetry) registry; new code
+/// should read the [`Snapshot`] directly.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ClientNetStats {
     /// Uplink events handed to the broker client (live or flushed).
@@ -65,6 +71,22 @@ pub struct ClientNetStats {
     /// Pushed configurations rejected by the on-device plan verifier and
     /// negatively acked back to the server.
     pub configs_rejected: u64,
+}
+
+impl ClientNetStats {
+    /// Reconstructs the legacy counter struct from a telemetry snapshot
+    /// (the `client.*` counters a [`ClientManager`] registry records).
+    pub fn from_snapshot(snap: &Snapshot) -> Self {
+        ClientNetStats {
+            uplink_sent: snap.counter("client.uplink.sent"),
+            uplink_buffered: snap.counter("client.uplink.buffered"),
+            uplink_dropped: snap.counter("client.uplink.dropped"),
+            uplink_flushed: snap.counter("client.uplink.flushed"),
+            stale_configs: snap.counter("client.stale_configs"),
+            filter_eval_errors: snap.counter("client.filter_eval_errors"),
+            configs_rejected: snap.counter("client.configs_rejected"),
+        }
+    }
 }
 
 type Listener = Arc<dyn Fn(&mut Scheduler, &StreamEvent) + Send + Sync>;
@@ -129,15 +151,16 @@ struct Inner {
     context: ContextSnapshot,
     next_local_stream: u64,
     connected: bool,
-    /// Store-and-forward queue of `(topic, wire)` uplink events awaiting a
-    /// confirmed broker session. Bounded; oldest dropped on overflow.
-    uplink_buffer: VecDeque<(String, String)>,
+    /// Store-and-forward queue of `(topic, wire, birth)` uplink events
+    /// awaiting a confirmed broker session; `birth` is the event's sample
+    /// time, so the uplink-stage latency absorbs the buffering delay.
+    /// Bounded; oldest dropped on overflow.
+    uplink_buffer: VecDeque<(String, String, Timestamp)>,
     uplink_limit: usize,
     /// Highest configuration epoch applied per stream. Entries survive
     /// stream destruction so a stale `Create` redelivered after a `Destroy`
     /// cannot resurrect the stream.
     config_epochs: HashMap<StreamId, u64>,
-    net_stats: ClientNetStats,
 }
 
 /// The point of entry for mobile applications — the paper's client-side
@@ -156,6 +179,7 @@ pub struct ClientManager {
     memory: MemoryProfiler,
     energy_profile: Arc<EnergyProfile>,
     cpu_costs: Arc<CpuCosts>,
+    telemetry: Registry,
 }
 
 impl std::fmt::Debug for ClientManager {
@@ -192,7 +216,6 @@ impl ClientManager {
                 uplink_buffer: VecDeque::new(),
                 uplink_limit: DEFAULT_UPLINK_BUFFER,
                 config_epochs: HashMap::new(),
-                net_stats: ClientNetStats::default(),
             })),
             sensors: deps.sensors,
             classifiers: deps.classifiers,
@@ -203,6 +226,7 @@ impl ClientManager {
             memory: deps.memory,
             energy_profile: Arc::new(deps.energy_profile),
             cpu_costs: Arc::new(deps.cpu_costs),
+            telemetry: Registry::new("client"),
         }
     }
 
@@ -244,10 +268,29 @@ impl ClientManager {
         self.broker.as_ref()
     }
 
+    /// The manager's telemetry registry (scope `client`): uplink/config
+    /// counters, drop causes, the per-stage latency histograms recorded on
+    /// this device and the `client.uplink_backlog` gauge.
+    pub fn telemetry(&self) -> &Registry {
+        &self.telemetry
+    }
+
     /// Counters for the store-and-forward uplink path and config
     /// convergence.
+    #[deprecated(
+        since = "0.1.0",
+        note = "read `telemetry().snapshot()` (counters under `client.*`) instead"
+    )]
     pub fn net_stats(&self) -> ClientNetStats {
-        self.inner.lock().net_stats
+        ClientNetStats::from_snapshot(&self.telemetry.snapshot())
+    }
+
+    /// Records a fail-closed filter evaluation error (the
+    /// `client.filter_eval_errors` counter). Analyzer-vetted plans never
+    /// hit this; the single bookkeeping point keeps the three evaluation
+    /// sites (duty-cycle gate, sample filter, trigger coupling) in sync.
+    fn record_filter_eval_error(&self) {
+        self.telemetry.count("filter_eval_errors");
     }
 
     /// Number of uplink events currently parked awaiting a confirmed
@@ -320,7 +363,7 @@ impl ClientManager {
         let mgr = self.clone();
         broker.subscribe(
             sched,
-            &trigger_topic(&device),
+            Topic::Trigger(device.clone()),
             QoS::AtLeastOnce,
             move |s, _topic, payload| {
                 mgr.on_trigger(s, payload);
@@ -329,7 +372,7 @@ impl ClientManager {
         let mgr = self.clone();
         broker.subscribe(
             sched,
-            &config_topic(&device),
+            Topic::Config(device.clone()),
             QoS::AtLeastOnce,
             move |s, _topic, payload| {
                 mgr.on_config(s, payload);
@@ -404,7 +447,8 @@ impl ClientManager {
         if self.inner.lock().streams.contains_key(&id) {
             self.destroy_stream(id);
         }
-        self.memory.alloc("sensocial/stream", STREAM_OBJECTS, STREAM_BYTES);
+        self.memory
+            .alloc("sensocial/stream", STREAM_OBJECTS, STREAM_BYTES);
         let mut state = StreamState::new(spec, origin);
         state.status = match self.privacy.screen(&state.spec) {
             Ok(()) => StreamStatus::Active,
@@ -423,7 +467,8 @@ impl ClientManager {
         };
         self.stop_subscriptions(&state);
         self.inner.lock().listeners.remove(&id);
-        self.memory.free("sensocial/stream", STREAM_OBJECTS, STREAM_BYTES);
+        self.memory
+            .free("sensocial/stream", STREAM_OBJECTS, STREAM_BYTES);
         true
     }
 
@@ -587,11 +632,9 @@ impl ClientManager {
         let (own_subscription, own_timer) = match spec.effective_mode() {
             StreamMode::Continuous if gating.is_empty() => {
                 let mgr = self.clone();
-                let sub = self
-                    .sensors
-                    .subscribe(sched, spec.modality, move |s, raw| {
-                        mgr.handle_sample(s, id, raw, None);
-                    });
+                let sub = self.sensors.subscribe(sched, spec.modality, move |s, raw| {
+                    mgr.handle_sample(s, id, raw, None);
+                });
                 (Some(sub), None)
             }
             StreamMode::Continuous => {
@@ -617,7 +660,7 @@ impl ClientManager {
                                 // Analyzer-vetted plans never hit this; an
                                 // unvetted ill-typed gate fails closed.
                                 Err(_) => {
-                                    inner.net_stats.filter_eval_errors += 1;
+                                    mgr.record_filter_eval_error();
                                     passes = false;
                                     break;
                                 }
@@ -695,7 +738,8 @@ impl ClientManager {
         let at = _sched.now();
         let modality = raw.modality();
         if let Some(classified) = self.classifiers.classify(&raw) {
-            self.cpu.record("conditional/classify", self.cpu_costs.classify_ms);
+            self.cpu
+                .record("conditional/classify", self.cpu_costs.classify_ms);
             self.battery.charge(
                 EnergyComponent::Classification(modality),
                 self.energy_profile.classification_uah(modality),
@@ -720,16 +764,25 @@ impl ClientManager {
         osn_action: Option<&OsnAction>,
     ) {
         let at = sched.now();
+        // `at` is the event's birth timestamp; every later stage records
+        // its latency relative to it.
+        self.telemetry.observe(Stage::Sense, 0);
         let spec = {
             let inner = self.inner.lock();
             let Some(state) = inner.streams.get(&id) else {
                 return;
             };
             if state.status != StreamStatus::Active {
+                // Paused (privacy or otherwise): the sample dies at the
+                // privacy gate.
+                drop(inner);
+                self.telemetry.count("drop.paused");
                 return;
             }
             state.spec.clone()
         };
+        self.telemetry
+            .observe(Stage::Privacy, sched.now().as_millis() - at.as_millis());
 
         self.cpu.record(
             &format!("stream#{}/sample", id.value()),
@@ -744,24 +797,23 @@ impl ClientManager {
             .conditions
             .iter()
             .any(|c| !c.is_cross_user() && c.lhs.required_modality() == Some(modality));
-        let classified = if spec.granularity == Granularity::Classified
-            || needs_classified_for_filter
-        {
-            let c = self.classifiers.classify(&raw);
-            if c.is_some() {
-                self.cpu.record(
-                    &format!("stream#{}/classify", id.value()),
-                    self.cpu_costs.classify_ms,
-                );
-                self.battery.charge(
-                    EnergyComponent::Classification(modality),
-                    self.energy_profile.classification_uah(modality),
-                );
-            }
-            c
-        } else {
-            None
-        };
+        let classified =
+            if spec.granularity == Granularity::Classified || needs_classified_for_filter {
+                let c = self.classifiers.classify(&raw);
+                if c.is_some() {
+                    self.cpu.record(
+                        &format!("stream#{}/classify", id.value()),
+                        self.cpu_costs.classify_ms,
+                    );
+                    self.battery.charge(
+                        EnergyComponent::Classification(modality),
+                        self.energy_profile.classification_uah(modality),
+                    );
+                }
+                c
+            } else {
+                None
+            };
 
         // Update the device snapshot.
         {
@@ -800,7 +852,7 @@ impl ClientManager {
                 // Analyzer-vetted plans never hit this; an unvetted
                 // ill-typed filter fails closed rather than silently false.
                 Err(_) => {
-                    inner.net_stats.filter_eval_errors += 1;
+                    self.record_filter_eval_error();
                     false
                 }
             }
@@ -814,8 +866,11 @@ impl ClientManager {
         }
 
         if !passes {
+            self.telemetry.count("drop.filter");
             return;
         }
+        self.telemetry
+            .observe(Stage::Filter, sched.now().as_millis() - at.as_millis());
         self.deliver(sched, id, &spec, at, data, osn_action.cloned());
     }
 
@@ -862,34 +917,50 @@ impl ClientManager {
                 );
                 self.battery.charge(
                     EnergyComponent::Transmission,
-                    self.energy_profile.transmission_uah(event.data.payload_bytes()),
+                    self.energy_profile
+                        .transmission_uah(event.data.payload_bytes()),
                 );
-                self.battery
-                    .charge(EnergyComponent::RadioTail, self.energy_profile.radio_tail_uah);
-                self.uplink_or_buffer(sched, uplink_topic(&device), wire);
+                self.battery.charge(
+                    EnergyComponent::RadioTail,
+                    self.energy_profile.radio_tail_uah,
+                );
+                self.uplink_or_buffer(sched, Topic::Uplink(device.clone()).to_string(), wire, at);
             }
         }
     }
 
     /// Sends one uplink event, or parks it while the broker session is
     /// unconfirmed (store-and-forward). The backlog is always drained
-    /// first so events leave in arrival order.
-    fn uplink_or_buffer(&self, sched: &mut Scheduler, topic: String, wire: String) {
+    /// first so events leave in arrival order. `birth` is the event's
+    /// sample time: the uplink-stage latency recorded at publish time
+    /// absorbs any store-and-forward delay.
+    fn uplink_or_buffer(
+        &self,
+        sched: &mut Scheduler,
+        topic: String,
+        wire: String,
+        birth: Timestamp,
+    ) {
         let Some(broker) = &self.broker else {
             return;
         };
         if broker.is_session_confirmed() {
             self.flush_uplink(sched);
-            broker.publish(sched, &topic, &wire, QoS::AtMostOnce, false);
-            self.inner.lock().net_stats.uplink_sent += 1;
+            broker.publish(sched, topic, &wire, QoS::AtMostOnce, false);
+            self.telemetry.count("uplink.sent");
+            self.telemetry
+                .observe(Stage::Uplink, sched.now().as_millis() - birth.as_millis());
         } else {
             let mut inner = self.inner.lock();
-            inner.net_stats.uplink_buffered += 1;
+            self.telemetry.count("uplink.buffered");
             if inner.uplink_buffer.len() >= inner.uplink_limit {
                 inner.uplink_buffer.pop_front();
-                inner.net_stats.uplink_dropped += 1;
+                self.telemetry.count("uplink.dropped");
             }
-            inner.uplink_buffer.push_back((topic, wire));
+            inner.uplink_buffer.push_back((topic, wire, birth));
+            let backlog = inner.uplink_buffer.len() as u64;
+            drop(inner);
+            self.telemetry.gauge_set("uplink_backlog", backlog);
         }
     }
 
@@ -901,14 +972,19 @@ impl ClientManager {
         };
         loop {
             let item = self.inner.lock().uplink_buffer.pop_front();
-            let Some((topic, wire)) = item else {
+            let Some((topic, wire, birth)) = item else {
                 break;
             };
-            broker.publish(sched, &topic, &wire, QoS::AtMostOnce, false);
-            let mut inner = self.inner.lock();
-            inner.net_stats.uplink_flushed += 1;
-            inner.net_stats.uplink_sent += 1;
+            broker.publish(sched, topic, &wire, QoS::AtMostOnce, false);
+            self.telemetry.count("uplink.flushed");
+            self.telemetry.count("uplink.sent");
+            self.telemetry
+                .observe(Stage::Uplink, sched.now().as_millis() - birth.as_millis());
         }
+        self.telemetry.gauge_set(
+            "uplink_backlog",
+            self.inner.lock().uplink_buffer.len() as u64,
+        );
     }
 
     // ------------------------------------------------------------------
@@ -959,7 +1035,7 @@ impl ClientManager {
                         match spec.filter.evaluate_local(&ctx) {
                             Ok(passes) => passes,
                             Err(_) => {
-                                inner.net_stats.filter_eval_errors += 1;
+                                self.record_filter_eval_error();
                                 false
                             }
                         }
@@ -993,7 +1069,7 @@ impl ClientManager {
             let inner = &mut *inner;
             let last = inner.config_epochs.entry(command.stream()).or_insert(0);
             if epoch <= *last {
-                inner.net_stats.stale_configs += 1;
+                self.telemetry.count("stale_configs");
                 return;
             }
             *last = epoch;
@@ -1027,7 +1103,7 @@ impl ClientManager {
     /// diagnostics back to the server, so a rejected push fails loudly
     /// instead of installing a stream that can never produce data.
     fn nack_config(&self, sched: &mut Scheduler, stream: StreamId, epoch: u64, err: &Error) {
-        self.inner.lock().net_stats.configs_rejected += 1;
+        self.telemetry.count("configs_rejected");
         let Some(broker) = &self.broker else {
             return;
         };
@@ -1040,7 +1116,7 @@ impl ClientManager {
         };
         broker.publish(
             sched,
-            &ack_topic(&ack.device),
+            Topic::Ack(ack.device.clone()),
             &ack.to_wire(),
             QoS::AtLeastOnce,
             false,

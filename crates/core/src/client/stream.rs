@@ -1,6 +1,6 @@
 //! Client-side stream state.
 
-use sensocial_runtime::{Timestamp, TimerHandle};
+use sensocial_runtime::{TimerHandle, Timestamp};
 use sensocial_sensors::SensorSubscriptionId;
 use sensocial_types::ContextData;
 

@@ -7,9 +7,9 @@
 //! same push–merge lifecycle with JSON as the serialization (see
 //! `DESIGN.md`, substitutions).
 
-use serde::{Deserialize, Serialize};
 use sensocial_runtime::SimDuration;
 use sensocial_types::{DeviceId, Granularity, Modality, StreamId};
+use serde::{Deserialize, Serialize};
 
 use crate::filter::Filter;
 

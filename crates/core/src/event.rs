@@ -1,10 +1,10 @@
 //! Events flowing through the publish–subscribe API.
 
-use serde::{Deserialize, Serialize};
 use sensocial_runtime::Timestamp;
 use sensocial_types::{
     ContextData, DeviceId, OsnAction, PlanDiagnostic, StreamId, TriggerId, UserId,
 };
+use serde::{Deserialize, Serialize};
 
 /// One datum delivered on a stream: sensed context, optionally coupled
 /// with the OSN action that triggered its sampling.
@@ -150,9 +150,7 @@ mod tests {
             user: UserId::new("alice"),
             device: DeviceId::new("alice-phone"),
             at: Timestamp::from_secs(12),
-            data: ContextData::Classified(ClassifiedContext::Activity(
-                PhysicalActivity::Walking,
-            )),
+            data: ContextData::Classified(ClassifiedContext::Activity(PhysicalActivity::Walking)),
             osn_action: Some(OsnAction::post(
                 UserId::new("alice"),
                 "hello",

@@ -70,11 +70,19 @@ mod event;
 mod filter;
 mod privacy;
 pub mod server;
+mod topic;
 
 pub use config::{ConfigCommand, StreamMode, StreamSink, StreamSpec};
 pub use event::{ConfigAck, RegistrationPayload, StreamEvent, TriggerPayload};
-pub use filter::{Condition, ConditionLhs, EvalContext, EvalError, EvalErrorKind, Filter, Operator};
+pub use filter::{
+    Condition, ConditionLhs, EvalContext, EvalError, EvalErrorKind, Filter, Operator,
+};
 pub use privacy::{PrivacyPolicy, PrivacyPolicyManager};
+pub use topic::Topic;
+
+// The unified telemetry layer is part of the public API surface: managers
+// expose their registries via `telemetry()` accessors.
+pub use sensocial_telemetry::{Registry as TelemetryRegistry, Snapshot as TelemetrySnapshot};
 
 // Re-export the vocabulary types users need at the API surface, including
 // the plan diagnostics carried by `Error::PlanRejected`.
@@ -84,24 +92,28 @@ pub use sensocial_types::{
 };
 
 /// Broker topic carrying stream-configuration pushes for a device.
+#[deprecated(since = "0.1.0", note = "use `Topic::Config(device)` instead")]
 pub fn config_topic(device: &DeviceId) -> String {
-    format!("sensocial/config/{}", device.as_str())
+    Topic::Config(device.clone()).to_string()
 }
 
 /// Broker topic carrying sensing triggers for a device.
+#[deprecated(since = "0.1.0", note = "use `Topic::Trigger(device)` instead")]
 pub fn trigger_topic(device: &DeviceId) -> String {
-    format!("sensocial/trigger/{}", device.as_str())
+    Topic::Trigger(device.clone()).to_string()
 }
 
 /// Broker topic carrying a device's uplinked stream events.
+#[deprecated(since = "0.1.0", note = "use `Topic::Uplink(device)` instead")]
 pub fn uplink_topic(device: &DeviceId) -> String {
-    format!("sensocial/uplink/{}", device.as_str())
+    Topic::Uplink(device.clone()).to_string()
 }
 
 /// Broker topic on which a device acknowledges (or rejects, with plan
 /// diagnostics) a pushed stream configuration.
+#[deprecated(since = "0.1.0", note = "use `Topic::Ack(device)` instead")]
 pub fn ack_topic(device: &DeviceId) -> String {
-    format!("sensocial/ack/{}", device.as_str())
+    Topic::Ack(device.clone()).to_string()
 }
 
 /// Wildcard filter matching every device's uplink topic (the server's
@@ -123,8 +135,23 @@ mod topic_tests {
     fn topics_are_distinct_per_device() {
         let d1 = DeviceId::new("p1");
         let d2 = DeviceId::new("p2");
-        assert_ne!(config_topic(&d1), config_topic(&d2));
-        assert_ne!(config_topic(&d1), trigger_topic(&d1));
-        assert!(uplink_topic(&d1).starts_with("sensocial/uplink/"));
+        assert_ne!(Topic::Config(d1.clone()), Topic::Config(d2));
+        assert_ne!(
+            Topic::Config(d1.clone()).to_string(),
+            Topic::Trigger(d1.clone()).to_string()
+        );
+        assert!(Topic::Uplink(d1)
+            .to_string()
+            .starts_with("sensocial/uplink/"));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_typed_topics() {
+        let d = DeviceId::new("p1");
+        assert_eq!(config_topic(&d), Topic::Config(d.clone()).to_string());
+        assert_eq!(trigger_topic(&d), Topic::Trigger(d.clone()).to_string());
+        assert_eq!(uplink_topic(&d), Topic::Uplink(d.clone()).to_string());
+        assert_eq!(ack_topic(&d), Topic::Ack(d).to_string());
     }
 }

@@ -11,8 +11,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::RwLock;
-use serde::{Deserialize, Serialize};
 use sensocial_types::{Error, Granularity, Modality, Result};
+use serde::{Deserialize, Serialize};
 
 use crate::config::StreamSpec;
 
@@ -215,8 +215,7 @@ mod tests {
                 granularity: "raw".into()
             }
         );
-        let classified_gps =
-            StreamSpec::continuous(Modality::Location, Granularity::Classified);
+        let classified_gps = StreamSpec::continuous(Modality::Location, Granularity::Classified);
         assert!(p.screen(&classified_gps).is_ok());
     }
 

@@ -5,11 +5,12 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use sensocial_broker::{BrokerClient, QoS};
-use sensocial_net::LatencyModel;
 use sensocial_classify::{extract_topic, SentimentClassifier, TextSentiment};
+use sensocial_net::LatencyModel;
 use sensocial_osn::{PollPlugin, PushPlugin, SocialGraph};
 use sensocial_runtime::{Scheduler, SimDuration, SimRng, Timestamp};
 use sensocial_store::{Database, Query};
+use sensocial_telemetry::{Registry, Snapshot, Stage};
 use sensocial_types::{
     ContextData, ContextSnapshot, DeviceId, Error, GeoPoint, OsnAction, OsnActionKind, RawSample,
     Result, StreamId, TriggerId, UserId,
@@ -22,7 +23,7 @@ use crate::client::manager_internals::REMOTE_STREAM_ID_BASE;
 use crate::config::{ConfigCommand, StreamSink, StreamSpec};
 use crate::event::{ConfigAck, RegistrationPayload, StreamEvent, TriggerPayload};
 use crate::filter::{EvalContext, Filter};
-use crate::{config_topic, trigger_topic, ACK_WILDCARD, REGISTER_TOPIC, UPLINK_WILDCARD};
+use crate::{Topic, ACK_WILDCARD, REGISTER_TOPIC, UPLINK_WILDCARD};
 
 use super::aggregator::{AggregatorId, AggregatorState};
 use super::multicast::{MulticastId, MulticastSelector, MulticastStream};
@@ -68,6 +69,21 @@ pub struct ServerStats {
     /// Server-side filter evaluations that hit a typed eval error
     /// (fail-closed; should be zero for analyzer-vetted plans).
     pub filter_eval_errors: u64,
+}
+
+impl ServerStats {
+    /// Rebuilds the legacy counter view from a telemetry [`Snapshot`]
+    /// (counters under the `server.*` scope).
+    #[must_use]
+    pub fn from_snapshot(snap: &Snapshot) -> Self {
+        ServerStats {
+            osn_actions: snap.counter("server.osn_actions"),
+            triggers_sent: snap.counter("server.triggers_sent"),
+            uplink_events: snap.counter("server.uplink_events"),
+            config_rejections: snap.counter("server.config_rejections"),
+            filter_eval_errors: snap.counter("server.filter_eval_errors"),
+        }
+    }
 }
 
 type Listener = Arc<dyn Fn(&mut Scheduler, &StreamEvent) + Send + Sync>;
@@ -127,7 +143,6 @@ struct Inner {
     next_multicast: u64,
     processing_delay: LatencyModel,
     rng: SimRng,
-    stats: ServerStats,
     /// (action time, server receive time) pairs — Table 3's raw data.
     action_log: Vec<(Timestamp, Timestamp)>,
     /// Negative configuration acks, oldest first, with their diagnostics.
@@ -146,6 +161,7 @@ pub struct ServerManager {
     inner: Arc<Mutex<Inner>>,
     db: Database,
     broker: BrokerClient,
+    telemetry: Registry,
 }
 
 impl std::fmt::Debug for ServerManager {
@@ -154,7 +170,10 @@ impl std::fmt::Debug for ServerManager {
         f.debug_struct("ServerManager")
             .field("devices", &inner.devices.len())
             .field("remote_streams", &inner.remote_streams.len())
-            .field("stats", &inner.stats)
+            .field(
+                "stats",
+                &ServerStats::from_snapshot(&self.telemetry.snapshot()),
+            )
             .finish()
     }
 }
@@ -186,13 +205,13 @@ impl ServerManager {
                 next_multicast: 0,
                 processing_delay: deps.processing_delay,
                 rng: deps.rng,
-                stats: ServerStats::default(),
                 action_log: Vec::new(),
                 rejection_log: Vec::new(),
                 text_mining: false,
             })),
             db: deps.db,
             broker: deps.broker,
+            telemetry: Registry::new("server"),
         }
     }
 
@@ -205,8 +224,8 @@ impl ServerManager {
             sched,
             UPLINK_WILDCARD,
             QoS::AtMostOnce,
-            move |s, _topic, payload| {
-                server.on_uplink(s, payload);
+            move |s, topic, payload| {
+                server.on_uplink(s, topic, payload);
             },
         );
         let server = self.clone();
@@ -225,21 +244,28 @@ impl ServerManager {
             sched,
             ACK_WILDCARD,
             QoS::AtLeastOnce,
-            move |_s, _topic, payload| {
-                if let Ok(ack) = ConfigAck::from_wire(payload) {
-                    server.on_config_ack(ack);
-                }
+            move |_s, topic, payload| {
+                server.on_ack(topic, payload);
             },
         );
+    }
+
+    fn on_ack(&self, topic: &str, payload: &str) {
+        if Topic::expect_ack(topic).is_err() {
+            self.telemetry.count("malformed_topics");
+            return;
+        }
+        if let Ok(ack) = ConfigAck::from_wire(payload) {
+            self.on_config_ack(ack);
+        }
     }
 
     fn on_config_ack(&self, ack: ConfigAck) {
         if ack.accepted {
             return;
         }
-        let mut inner = self.inner.lock();
-        inner.stats.config_rejections += 1;
-        inner.rejection_log.push(ack);
+        self.telemetry.count("config_rejections");
+        self.inner.lock().rejection_log.push(ack);
     }
 
     /// Negative configuration acks received from devices — pushed plans
@@ -250,9 +276,26 @@ impl ServerManager {
         self.inner.lock().rejection_log.clone()
     }
 
+    /// The server's telemetry registry (counters under `server.*`, stage
+    /// histograms for [`Stage::Server`] and [`Stage::Subscriber`]).
+    pub fn telemetry(&self) -> &Registry {
+        &self.telemetry
+    }
+
     /// Activity counters.
+    #[deprecated(
+        since = "0.1.0",
+        note = "read `telemetry().snapshot()` (counters under `server.*`) instead"
+    )]
     pub fn stats(&self) -> ServerStats {
-        self.inner.lock().stats
+        ServerStats::from_snapshot(&self.telemetry.snapshot())
+    }
+
+    /// Counts a server-side filter evaluation that hit a typed eval error.
+    /// The single bookkeeping point for fail-closed filter evaluation,
+    /// mirroring the client-side helper of the same name.
+    fn record_filter_eval_error(&self) {
+        self.telemetry.count("filter_eval_errors");
     }
 
     /// The `(action time, server receive time)` log behind Table 3.
@@ -393,9 +436,9 @@ impl ServerManager {
         } else {
             None
         };
+        self.telemetry.count("osn_actions");
         let delay = {
             let mut inner = self.inner.lock();
-            inner.stats.osn_actions += 1;
             inner.action_log.push((action.at, now));
             // "The server component classifies OSN actions to infer any
             // change in the OSN."
@@ -435,9 +478,10 @@ impl ServerManager {
                 .unwrap_or_default();
             let base = inner.next_trigger;
             inner.next_trigger += devices.len() as u64;
-            inner.stats.triggers_sent += devices.len() as u64;
             (devices, base)
         };
+        self.telemetry
+            .count_by("triggers_sent", devices.len() as u64);
         for (i, device) in devices.iter().enumerate() {
             let payload = TriggerPayload {
                 trigger: TriggerId::new(trigger_base + i as u64),
@@ -446,7 +490,7 @@ impl ServerManager {
             };
             self.broker.publish(
                 sched,
-                &trigger_topic(device),
+                Topic::Trigger(device.clone()),
                 &payload.to_wire(),
                 QoS::AtLeastOnce,
                 false,
@@ -616,7 +660,7 @@ impl ServerManager {
         };
         self.broker.publish(
             sched,
-            &config_topic(device),
+            Topic::Config(device.clone()),
             &command.to_wire(),
             QoS::AtLeastOnce,
             false,
@@ -663,16 +707,17 @@ impl ServerManager {
     }
 
     /// Wraps `streams` into one aggregated stream.
-    pub fn create_aggregator(
-        &self,
-        streams: impl IntoIterator<Item = StreamId>,
-    ) -> AggregatorId {
+    pub fn create_aggregator(&self, streams: impl IntoIterator<Item = StreamId>) -> AggregatorId {
         let mut inner = self.inner.lock();
         let id = AggregatorId(inner.next_aggregator);
         inner.next_aggregator += 1;
         inner.aggregators.insert(
             id,
-            (AggregatorState::new(streams), Filter::pass_all(), Vec::new()),
+            (
+                AggregatorState::new(streams),
+                Filter::pass_all(),
+                Vec::new(),
+            ),
         );
         id
     }
@@ -878,8 +923,7 @@ impl ServerManager {
             let Some(device) = self.devices_of(&user).into_iter().next() else {
                 continue;
             };
-            if let Ok(stream) = self.create_remote_stream(sched, &device, device_template.clone())
-            {
+            if let Ok(stream) = self.create_remote_stream(sched, &device, device_template.clone()) {
                 if let Some((m, _)) = self.inner.lock().multicasts.get_mut(&id) {
                     m.members.insert(user, stream);
                 }
@@ -1001,15 +1045,28 @@ impl ServerManager {
     // Uplink handling + server Filter Manager
     // ------------------------------------------------------------------
 
-    fn on_uplink(&self, sched: &mut Scheduler, payload: &str) {
+    fn on_uplink(&self, sched: &mut Scheduler, topic: &str, payload: &str) {
+        // The wildcard subscription hands over everything under
+        // `sensocial/uplink/+`; a topic that does not parse is counted and
+        // dropped instead of silently half-processed.
+        if Topic::expect_uplink(topic).is_err() {
+            self.telemetry.count("malformed_topics");
+            return;
+        }
         let Ok(event) = StreamEvent::from_wire(payload) else {
+            self.telemetry.count("malformed_uplinks");
             return;
         };
+        self.telemetry.count("uplink_events");
+        // Server-stage latency: sample birth to server-side arrival.
+        self.telemetry.observe(
+            Stage::Server,
+            sched.now().as_millis().saturating_sub(event.at.as_millis()),
+        );
 
         // Keep the context table and location collection fresh.
         {
             let mut inner = self.inner.lock();
-            inner.stats.uplink_events += 1;
             let snapshot = inner.contexts.entry(event.user.clone()).or_default();
             snapshot.record(event.at, event.data.clone());
         }
@@ -1022,15 +1079,10 @@ impl ServerManager {
         // errors fail closed and are counted: analyzer-vetted plans never
         // produce them.
         let mut to_call: Vec<Listener> = Vec::new();
-        let mut eval_errors = 0u64;
         {
             let inner = self.inner.lock();
             let lookup = |user: &UserId| inner.contexts.get(user).cloned();
-            let own_snapshot = inner
-                .contexts
-                .get(&event.user)
-                .cloned()
-                .unwrap_or_default();
+            let own_snapshot = inner.contexts.get(&event.user).cloned().unwrap_or_default();
             let ctx = EvalContext {
                 snapshot: &own_snapshot,
                 now: sched.now(),
@@ -1043,7 +1095,7 @@ impl ServerManager {
                 match sub.filter.evaluate_full(&ctx, &lookup) {
                     Ok(true) => to_call.push(sub.listener.clone()),
                     Ok(false) => {}
-                    Err(_) => eval_errors += 1,
+                    Err(_) => self.record_filter_eval_error(),
                 }
             }
             for (agg, filter, listeners) in inner.aggregators.values() {
@@ -1053,7 +1105,7 @@ impl ServerManager {
                 match filter.evaluate_full(&ctx, &lookup) {
                     Ok(true) => to_call.extend(listeners.iter().cloned()),
                     Ok(false) => {}
-                    Err(_) => eval_errors += 1,
+                    Err(_) => self.record_filter_eval_error(),
                 }
             }
             // Multicast members' devices already enforced the local part
@@ -1067,14 +1119,17 @@ impl ServerManager {
                 match cross.evaluate_full(&ctx, &lookup) {
                     Ok(true) => to_call.extend(listeners.iter().cloned()),
                     Ok(false) => {}
-                    Err(_) => eval_errors += 1,
+                    Err(_) => self.record_filter_eval_error(),
                 }
             }
         }
-        if eval_errors > 0 {
-            self.inner.lock().stats.filter_eval_errors += eval_errors;
-        }
         for listener in to_call {
+            // Subscriber-stage latency: sample birth to application
+            // callback, one observation per delivery.
+            self.telemetry.observe(
+                Stage::Subscriber,
+                sched.now().as_millis().saturating_sub(event.at.as_millis()),
+            );
             listener(sched, &event);
         }
     }

@@ -1,0 +1,217 @@
+//! Typed broker topics.
+//!
+//! The middleware's broker traffic lives under the `sensocial/` namespace.
+//! [`Topic`] replaces the earlier stringly helpers (`config_topic` & co.):
+//! it round-trips through [`Display`]/[`FromStr`], converts into the
+//! `String`s the broker layer accepts (`BrokerClient::publish` takes
+//! `impl Into<String>`, so a `Topic` can be passed directly), and turns a
+//! malformed incoming topic into a typed [`Error::MalformedTopic`] instead
+//! of a silent non-match.
+//!
+//! [`Display`]: std::fmt::Display
+//! [`FromStr`]: std::str::FromStr
+
+use std::fmt;
+use std::str::FromStr;
+
+use sensocial_types::{DeviceId, Error};
+
+/// The `sensocial/…` namespace prefix shared by every topic.
+const NAMESPACE: &str = "sensocial";
+
+/// A typed SenSocial broker topic.
+///
+/// # Example
+///
+/// ```
+/// use sensocial::{DeviceId, Topic};
+///
+/// let topic = Topic::Uplink(DeviceId::new("alice-phone"));
+/// assert_eq!(topic.to_string(), "sensocial/uplink/alice-phone");
+/// assert_eq!("sensocial/uplink/alice-phone".parse::<Topic>(), Ok(topic));
+/// assert!("sensocial/uplink/".parse::<Topic>().is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Topic {
+    /// Stream-configuration pushes for a device.
+    Config(DeviceId),
+    /// Sensing triggers for a device.
+    Trigger(DeviceId),
+    /// A device's uplinked stream events.
+    Uplink(DeviceId),
+    /// A device's configuration acknowledgements (or rejections, with plan
+    /// diagnostics).
+    Ack(DeviceId),
+    /// The shared topic on which devices announce themselves.
+    Register,
+}
+
+impl Topic {
+    /// The kind segment (`config`, `trigger`, `uplink`, `ack`,
+    /// `register`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Topic::Config(_) => "config",
+            Topic::Trigger(_) => "trigger",
+            Topic::Uplink(_) => "uplink",
+            Topic::Ack(_) => "ack",
+            Topic::Register => "register",
+        }
+    }
+
+    /// The device the topic addresses, when it is per-device.
+    pub fn device(&self) -> Option<&DeviceId> {
+        match self {
+            Topic::Config(d) | Topic::Trigger(d) | Topic::Uplink(d) | Topic::Ack(d) => Some(d),
+            Topic::Register => None,
+        }
+    }
+
+    /// Parses a topic, reporting failures as the typed
+    /// [`Error::MalformedTopic`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::MalformedTopic`] when `s` is not under the
+    /// `sensocial/` namespace, the kind segment is unknown, or the device
+    /// segment is empty/missing.
+    pub fn parse(s: &str) -> Result<Topic, Error> {
+        let malformed = || Error::MalformedTopic(s.to_owned());
+        let mut parts = s.splitn(3, '/');
+        if parts.next() != Some(NAMESPACE) {
+            return Err(malformed());
+        }
+        let kind = parts.next().ok_or_else(malformed)?;
+        let device = parts.next();
+        match (kind, device) {
+            ("register", None) => Ok(Topic::Register),
+            (_, Some("")) | (_, None) if kind != "register" => Err(malformed()),
+            ("config", Some(d)) => Ok(Topic::Config(DeviceId::new(d))),
+            ("trigger", Some(d)) => Ok(Topic::Trigger(DeviceId::new(d))),
+            ("uplink", Some(d)) => Ok(Topic::Uplink(DeviceId::new(d))),
+            ("ack", Some(d)) => Ok(Topic::Ack(DeviceId::new(d))),
+            _ => Err(malformed()),
+        }
+    }
+
+    /// Parses an uplink topic, returning the device it belongs to.
+    ///
+    /// The server's wildcard subscription hands every `sensocial/uplink/+`
+    /// match to this; anything else is a typed error rather than a silent
+    /// skip.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::MalformedTopic`] when `s` is not an uplink topic.
+    pub fn expect_uplink(s: &str) -> Result<DeviceId, Error> {
+        match Topic::parse(s)? {
+            Topic::Uplink(device) => Ok(device),
+            _ => Err(Error::MalformedTopic(s.to_owned())),
+        }
+    }
+
+    /// Parses an ack topic, returning the device it belongs to.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::MalformedTopic`] when `s` is not an ack topic.
+    pub fn expect_ack(s: &str) -> Result<DeviceId, Error> {
+        match Topic::parse(s)? {
+            Topic::Ack(device) => Ok(device),
+            _ => Err(Error::MalformedTopic(s.to_owned())),
+        }
+    }
+}
+
+impl fmt::Display for Topic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.device() {
+            Some(device) => write!(f, "{NAMESPACE}/{}/{}", self.kind(), device.as_str()),
+            None => write!(f, "{NAMESPACE}/{}", self.kind()),
+        }
+    }
+}
+
+impl FromStr for Topic {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Topic::parse(s)
+    }
+}
+
+impl From<Topic> for String {
+    fn from(topic: Topic) -> String {
+        topic.to_string()
+    }
+}
+
+impl From<&Topic> for String {
+    fn from(topic: &Topic) -> String {
+        topic.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_wire_scheme() {
+        let d = DeviceId::new("p1");
+        assert_eq!(Topic::Config(d.clone()).to_string(), "sensocial/config/p1");
+        assert_eq!(
+            Topic::Trigger(d.clone()).to_string(),
+            "sensocial/trigger/p1"
+        );
+        assert_eq!(Topic::Uplink(d.clone()).to_string(), "sensocial/uplink/p1");
+        assert_eq!(Topic::Ack(d).to_string(), "sensocial/ack/p1");
+        assert_eq!(Topic::Register.to_string(), "sensocial/register");
+    }
+
+    #[test]
+    fn round_trip_with_slashes_in_device() {
+        let topic = Topic::Uplink(DeviceId::new("fleet/7/phone"));
+        assert_eq!(topic.to_string().parse::<Topic>(), Ok(topic));
+    }
+
+    #[test]
+    fn malformed_topics_are_typed_errors() {
+        for bad in [
+            "",
+            "sensocial",
+            "sensocial/",
+            "sensocial/uplink",
+            "sensocial/uplink/",
+            "sensocial/warp/p1",
+            "mqtt/uplink/p1",
+            "sensocial/register/extra",
+        ] {
+            match bad.parse::<Topic>() {
+                Err(Error::MalformedTopic(t)) => assert_eq!(t, bad),
+                other => panic!("{bad:?} parsed as {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn expect_helpers_enforce_kind() {
+        assert_eq!(
+            Topic::expect_uplink("sensocial/uplink/p1"),
+            Ok(DeviceId::new("p1"))
+        );
+        assert!(Topic::expect_uplink("sensocial/ack/p1").is_err());
+        assert_eq!(
+            Topic::expect_ack("sensocial/ack/p1"),
+            Ok(DeviceId::new("p1"))
+        );
+        assert!(Topic::expect_ack("sensocial/uplink/p1").is_err());
+    }
+
+    #[test]
+    fn into_string_matches_display() {
+        let topic = Topic::Trigger(DeviceId::new("p9"));
+        let s: String = (&topic).into();
+        assert_eq!(s, topic.to_string());
+    }
+}

@@ -6,8 +6,8 @@
 use sensocial::client::{ClientDeps, ClientManager, StreamStatus};
 use sensocial::server::{MulticastSelector, ServerDeps, ServerManager, StreamSelector};
 use sensocial::{
-    ack_topic, config_topic, Condition, ConditionLhs, ConfigCommand, DiagnosticCode, Filter,
-    Granularity, Modality, Operator, StreamSink, StreamSpec,
+    Condition, ConditionLhs, ConfigCommand, DiagnosticCode, Filter, Granularity, Modality,
+    Operator, StreamSink, StreamSpec, Topic,
 };
 use sensocial_broker::{Broker, BrokerClient, QoS};
 use sensocial_energy::{BatteryMeter, CpuCosts, CpuMeter, EnergyProfile, MemoryProfiler};
@@ -85,7 +85,12 @@ fn first_code(err: &sensocial::Error) -> DiagnosticCode {
 #[test]
 fn create_stream_rejects_each_static_error_class() {
     let mut d = deployment(1);
-    let manager = add_device(&mut d, "alice", "alice-phone", sensocial::PrivacyPolicyManager::allow_all());
+    let manager = add_device(
+        &mut d,
+        "alice",
+        "alice-phone",
+        sensocial::PrivacyPolicyManager::allow_all(),
+    );
 
     // Type mismatch: HourOfDay compared against a string.
     let err = manager
@@ -135,18 +140,31 @@ fn privacy_denial_pauses_instead_of_rejecting() {
     // The paper's semantics: privacy violations are not plan errors — the
     // stream installs but stays paused until the policy is relaxed.
     let mut d = deployment(2);
-    let manager = add_device(&mut d, "alice", "alice-phone", sensocial::PrivacyPolicyManager::deny_all());
+    let manager = add_device(
+        &mut d,
+        "alice",
+        "alice-phone",
+        sensocial::PrivacyPolicyManager::deny_all(),
+    );
 
     let stream = manager
         .create_stream(&mut d.sched, spec_with(Vec::new()))
         .expect("privacy-denied plan still installs");
-    assert_eq!(manager.stream_status(stream), Some(StreamStatus::PausedByPrivacy));
+    assert_eq!(
+        manager.stream_status(stream),
+        Some(StreamStatus::PausedByPrivacy)
+    );
 }
 
 #[test]
 fn normalized_filter_is_installed_and_never_eval_errors() {
     let mut d = deployment(3);
-    let manager = add_device(&mut d, "alice", "alice-phone", sensocial::PrivacyPolicyManager::allow_all());
+    let manager = add_device(
+        &mut d,
+        "alice",
+        "alice-phone",
+        sensocial::PrivacyPolicyManager::allow_all(),
+    );
 
     // Hour > 8 implies Hour > 5: the verifier collapses the pair, and the
     // canonical plan is what the stream actually runs.
@@ -161,19 +179,39 @@ fn normalized_filter_is_installed_and_never_eval_errors() {
         )
         .expect("sound plan");
     let installed = manager.stream_spec(stream).expect("spec is queryable");
-    assert_eq!(installed.filter.conditions.len(), 2, "{:?}", installed.filter);
+    assert_eq!(
+        installed.filter.conditions.len(),
+        2,
+        "{:?}",
+        installed.filter
+    );
 
     // An analyzer-vetted plan never hits a typed eval error at stream time.
     d.sched.run_for(SimDuration::from_mins(5));
-    assert_eq!(manager.net_stats().filter_eval_errors, 0);
+    assert_eq!(
+        manager
+            .telemetry()
+            .snapshot()
+            .counter("client.filter_eval_errors"),
+        0
+    );
 }
 
 #[test]
 fn set_filter_rejection_keeps_previous_filter() {
     let mut d = deployment(4);
-    let manager = add_device(&mut d, "alice", "alice-phone", sensocial::PrivacyPolicyManager::allow_all());
+    let manager = add_device(
+        &mut d,
+        "alice",
+        "alice-phone",
+        sensocial::PrivacyPolicyManager::allow_all(),
+    );
 
-    let good = vec![Condition::new(ConditionLhs::Place, Operator::Equals, "Paris")];
+    let good = vec![Condition::new(
+        ConditionLhs::Place,
+        Operator::Equals,
+        "Paris",
+    )];
     let stream = manager
         .create_stream(&mut d.sched, spec_with(good.clone()))
         .expect("sound plan");
@@ -200,7 +238,12 @@ fn rogue_config_push_is_nacked_back_to_the_server() {
     // controller, bug, hand-rolled tooling) is re-checked on-device and
     // negatively acked with the verifier's diagnostics.
     let mut d = deployment(5);
-    let manager = add_device(&mut d, "alice", "alice-phone", sensocial::PrivacyPolicyManager::allow_all());
+    let manager = add_device(
+        &mut d,
+        "alice",
+        "alice-phone",
+        sensocial::PrivacyPolicyManager::allow_all(),
+    );
     d.sched.run_for(SimDuration::from_secs(2));
 
     let rogue = BrokerClient::new(&d.net, "rogue-ep", "broker", "rogue");
@@ -218,7 +261,7 @@ fn rogue_config_push_is_nacked_back_to_the_server() {
     };
     rogue.publish(
         &mut d.sched,
-        &config_topic(&device),
+        Topic::Config(device.clone()),
         &command.to_wire(),
         QoS::AtLeastOnce,
         false,
@@ -227,8 +270,20 @@ fn rogue_config_push_is_nacked_back_to_the_server() {
 
     // The device refused the plan and told the server why.
     assert!(!manager.stream_ids().contains(&StreamId::new(5000)));
-    assert_eq!(manager.net_stats().configs_rejected, 1);
-    assert_eq!(d.server.stats().config_rejections, 1);
+    assert_eq!(
+        manager
+            .telemetry()
+            .snapshot()
+            .counter("client.configs_rejected"),
+        1
+    );
+    assert_eq!(
+        d.server
+            .telemetry()
+            .snapshot()
+            .counter("server.config_rejections"),
+        1
+    );
     let rejections = d.server.config_rejections();
     assert_eq!(rejections.len(), 1);
     let ack = &rejections[0];
@@ -239,7 +294,7 @@ fn rogue_config_push_is_nacked_back_to_the_server() {
     assert_eq!(ack.diagnostics[0].code, DiagnosticCode::Unsatisfiable);
     // The nack travels on the device's ack topic, which the server holds a
     // wildcard subscription for.
-    assert!(ack_topic(&device).starts_with("sensocial/ack/"));
+    assert!(Topic::Ack(device).to_string().starts_with("sensocial/ack/"));
 }
 
 #[test]
@@ -247,8 +302,18 @@ fn cyclic_multicast_dependency_is_rejected_at_admission() {
     let mut d = deployment(6);
     let alice = UserId::new("alice");
     let bob = UserId::new("bob");
-    add_device(&mut d, "alice", "alice-phone", sensocial::PrivacyPolicyManager::allow_all());
-    add_device(&mut d, "bob", "bob-phone", sensocial::PrivacyPolicyManager::allow_all());
+    add_device(
+        &mut d,
+        "alice",
+        "alice-phone",
+        sensocial::PrivacyPolicyManager::allow_all(),
+    );
+    add_device(
+        &mut d,
+        "bob",
+        "bob-phone",
+        sensocial::PrivacyPolicyManager::allow_all(),
+    );
     d.server.record_friendship(&alice, &bob);
 
     // Multicast 1: bob (alice's friend) samples location gated on *alice's*
@@ -260,7 +325,11 @@ fn cyclic_multicast_dependency_is_rejected_at_admission() {
     )
     .about(alice.clone())]);
     d.server
-        .create_multicast(&mut d.sched, MulticastSelector::FriendsOf(alice.clone()), template)
+        .create_multicast(
+            &mut d.sched,
+            MulticastSelector::FriendsOf(alice.clone()),
+            template,
+        )
         .expect("first multicast is acyclic");
 
     // Multicast 2 would make alice depend on bob, closing the cycle.

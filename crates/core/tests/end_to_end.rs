@@ -4,9 +4,7 @@
 use std::sync::{Arc, Mutex};
 
 use sensocial::client::{ClientDeps, ClientManager, StreamOrigin, StreamStatus};
-use sensocial::server::{
-    MulticastSelector, ServerDeps, ServerManager, StreamSelector,
-};
+use sensocial::server::{MulticastSelector, ServerDeps, ServerManager, StreamSelector};
 use sensocial::{
     Condition, ConditionLhs, Filter, Granularity, Modality, Operator, StreamEvent, StreamSink,
     StreamSpec,
@@ -61,7 +59,12 @@ struct Device {
     env: DeviceEnvironment,
 }
 
-fn add_device(d: &mut Deployment, user: &str, device: &str, at: sensocial_types::GeoPoint) -> Device {
+fn add_device(
+    d: &mut Deployment,
+    user: &str,
+    device: &str,
+    at: sensocial_types::GeoPoint,
+) -> Device {
     let env = DeviceEnvironment::new(at);
     let sensors = SensorManager::new(env.clone(), SimRng::seed_from(hash(device)));
     let broker_client = BrokerClient::new(&d.net, format!("{device}-ep"), "broker", device);
@@ -98,7 +101,10 @@ fn hash(s: &str) -> u64 {
 
 type Events = Arc<Mutex<Vec<StreamEvent>>>;
 
-fn collector() -> (Events, impl Fn(&mut Scheduler, &StreamEvent) + Send + Sync + 'static) {
+fn collector() -> (
+    Events,
+    impl Fn(&mut Scheduler, &StreamEvent) + Send + Sync + 'static,
+) {
     let events: Events = Arc::new(Mutex::new(Vec::new()));
     let sink = events.clone();
     (events, move |_s: &mut Scheduler, e: &StreamEvent| {
@@ -126,7 +132,8 @@ fn osn_action_triggers_coupled_sensing() {
         .unwrap();
 
     d.sched.run_for(SimDuration::from_secs(5));
-    d.platform.post(&mut d.sched, &UserId::new("alice"), "out for a walk!");
+    d.platform
+        .post(&mut d.sched, &UserId::new("alice"), "out for a walk!");
     d.sched.run_for(SimDuration::from_mins(3));
 
     let local = local_events.lock().unwrap();
@@ -143,9 +150,10 @@ fn osn_action_triggers_coupled_sensing() {
     );
     // The event also reached the server listener.
     assert_eq!(server_events.lock().unwrap().len(), 1);
-    assert_eq!(d.server.stats().osn_actions, 1);
-    assert_eq!(d.server.stats().triggers_sent, 1);
-    assert_eq!(d.server.stats().uplink_events, 1);
+    let snap = d.server.telemetry().snapshot();
+    assert_eq!(snap.counter("server.osn_actions"), 1);
+    assert_eq!(snap.counter("server.triggers_sent"), 1);
+    assert_eq!(snap.counter("server.uplink_events"), 1);
 }
 
 #[test]
@@ -173,8 +181,14 @@ fn trigger_delay_decomposes_like_table3() {
     let events = events.lock().unwrap();
     assert_eq!(events.len(), 1);
     let osn_to_mobile = (events[0].at - log[0].0).as_secs_f64();
-    assert!(osn_to_mobile > osn_to_server + 5.0, "{osn_to_mobile} vs {osn_to_server}");
-    assert!(osn_to_mobile < osn_to_server + 15.0, "{osn_to_mobile} vs {osn_to_server}");
+    assert!(
+        osn_to_mobile > osn_to_server + 5.0,
+        "{osn_to_mobile} vs {osn_to_server}"
+    );
+    assert!(
+        osn_to_mobile < osn_to_server + 15.0,
+        "{osn_to_mobile} vs {osn_to_server}"
+    );
 }
 
 #[test]
@@ -191,9 +205,11 @@ fn rapid_actions_share_one_sampling_cycle() {
 
     // Two posts 5 s apart; triggers land ~46 s later, still < 60 s apart.
     d.sched.run_for(SimDuration::from_secs(5));
-    d.platform.post(&mut d.sched, &UserId::new("alice"), "first");
+    d.platform
+        .post(&mut d.sched, &UserId::new("alice"), "first");
     d.sched.run_for(SimDuration::from_secs(5));
-    d.platform.post(&mut d.sched, &UserId::new("alice"), "second");
+    d.platform
+        .post(&mut d.sched, &UserId::new("alice"), "second");
     d.sched.run_for(SimDuration::from_mins(5));
 
     let events = events.lock().unwrap();
@@ -206,7 +222,10 @@ fn rapid_actions_share_one_sampling_cycle() {
     assert!(contents.contains(&"second".to_owned()));
     // Same context snapshot mapped to both actions.
     assert_eq!(events[0].data, events[1].data);
-    assert_eq!(events[0].at, events[1].at, "second action reused the sample");
+    assert_eq!(
+        events[0].at, events[1].at,
+        "second action reused the sample"
+    );
 }
 
 #[test]
@@ -237,7 +256,9 @@ fn remote_stream_lifecycle() {
     );
 
     // Destroying the stream stops the flow.
-    d.server.destroy_remote_stream(&mut d.sched, stream).unwrap();
+    d.server
+        .destroy_remote_stream(&mut d.sched, stream)
+        .unwrap();
     d.sched.run_for(SimDuration::from_secs(2));
     let settled = server_events.lock().unwrap().len();
     d.sched.run_for(SimDuration::from_mins(3));
@@ -268,7 +289,10 @@ fn remote_interval_reconfiguration() {
         .unwrap();
     d.sched.run_for(SimDuration::from_mins(2));
     let fast = events.lock().unwrap().len() - slow;
-    assert!(fast >= slow * 3, "tighter duty cycle should multiply events: {slow} then {fast}");
+    assert!(
+        fast >= slow * 3,
+        "tighter duty cycle should multiply events: {slow} then {fast}"
+    );
 }
 
 #[test]
@@ -283,7 +307,10 @@ fn privacy_pauses_and_resumes_streams() {
 
     d.sched.run_for(SimDuration::from_secs(35));
     assert_eq!(events.lock().unwrap().len(), 3);
-    assert_eq!(device.manager.stream_status(stream), Some(StreamStatus::Active));
+    assert_eq!(
+        device.manager.stream_status(stream),
+        Some(StreamStatus::Active)
+    );
 
     // Deny raw microphone: the stream pauses automatically.
     device.manager.set_privacy_policy(
@@ -310,7 +337,10 @@ fn privacy_pauses_and_resumes_streams() {
             allow: true,
         },
     );
-    assert_eq!(device.manager.stream_status(stream), Some(StreamStatus::Active));
+    assert_eq!(
+        device.manager.stream_status(stream),
+        Some(StreamStatus::Active)
+    );
     d.sched.run_for(SimDuration::from_secs(35));
     assert_eq!(events.lock().unwrap().len(), 6);
 }
@@ -335,7 +365,10 @@ fn cross_user_filter_on_server() {
     let alice_stream = StreamSpec::continuous(Modality::Location, Granularity::Raw)
         .with_interval(SimDuration::from_secs(20))
         .with_sink(StreamSink::Server);
-    let alice_id = alice.manager.create_stream(&mut d.sched, alice_stream).unwrap();
+    let alice_id = alice
+        .manager
+        .create_stream(&mut d.sched, alice_stream)
+        .unwrap();
 
     // Server subscription: alice's stream, gated on bob walking.
     let gate = Filter::new(vec![Condition::new(
@@ -350,11 +383,17 @@ fn cross_user_filter_on_server() {
         .unwrap();
 
     d.sched.run_for(SimDuration::from_mins(3));
-    assert!(events.lock().unwrap().is_empty(), "bob still → nothing delivered");
+    assert!(
+        events.lock().unwrap().is_empty(),
+        "bob still → nothing delivered"
+    );
 
     bob.env.set_activity(PhysicalActivity::Walking);
     d.sched.run_for(SimDuration::from_mins(3));
-    assert!(!events.lock().unwrap().is_empty(), "bob walking → alice's GPS flows");
+    assert!(
+        !events.lock().unwrap().is_empty(),
+        "bob walking → alice's GPS flows"
+    );
 }
 
 #[test]
@@ -363,7 +402,11 @@ fn multicast_selects_by_geography_and_refreshes_on_movement() {
     let _a = add_device(&mut d, "a", "a-phone", cities::paris());
     let _b = add_device(&mut d, "b", "b-phone", cities::paris());
     let c = add_device(&mut d, "c", "c-phone", cities::bordeaux());
-    for (user, at) in [("a", cities::paris()), ("b", cities::paris()), ("c", cities::bordeaux())] {
+    for (user, at) in [
+        ("a", cities::paris()),
+        ("b", cities::paris()),
+        ("c", cities::bordeaux()),
+    ] {
         d.server.seed_location(&UserId::new(user), at);
     }
     d.sched.run_for(SimDuration::from_secs(1));
@@ -417,7 +460,8 @@ fn multicast_friends_of_and_filter_distribution() {
     let _a = add_device(&mut d, "a", "a-phone", cities::paris());
     let c = add_device(&mut d, "c", "c-phone", cities::bordeaux());
     let _e = add_device(&mut d, "e", "e-phone", cities::bordeaux());
-    d.server.record_friendship(&UserId::new("a"), &UserId::new("c"));
+    d.server
+        .record_friendship(&UserId::new("a"), &UserId::new("c"));
     d.sched.run_for(SimDuration::from_secs(1));
 
     let template = StreamSpec::continuous(Modality::Location, Granularity::Classified)
@@ -430,7 +474,10 @@ fn multicast_friends_of_and_filter_distribution() {
             template,
         )
         .unwrap();
-    assert_eq!(d.server.multicast_members(multicast), vec![UserId::new("c")]);
+    assert_eq!(
+        d.server.multicast_members(multicast),
+        vec![UserId::new("c")]
+    );
 
     // Distribute a "only when in Paris" filter to all members.
     d.server
@@ -448,11 +495,17 @@ fn multicast_friends_of_and_filter_distribution() {
     d.server.register_multicast_listener(multicast, cb);
 
     d.sched.run_for(SimDuration::from_mins(3));
-    assert!(events.lock().unwrap().is_empty(), "c is in Bordeaux: filtered out");
+    assert!(
+        events.lock().unwrap().is_empty(),
+        "c is in Bordeaux: filtered out"
+    );
 
     c.env.set_position(cities::paris());
     d.sched.run_for(SimDuration::from_mins(3));
-    assert!(!events.lock().unwrap().is_empty(), "c arrived in Paris: flows");
+    assert!(
+        !events.lock().unwrap().is_empty(),
+        "c arrived in Paris: flows"
+    );
 }
 
 #[test]
@@ -479,9 +532,12 @@ fn aggregator_multiplexes_streams() {
 
     d.sched.run_for(SimDuration::from_mins(2));
     let events = events.lock().unwrap();
-    assert!(events.len() >= 6, "joined flow from both devices: {}", events.len());
-    let users: std::collections::BTreeSet<&str> =
-        events.iter().map(|e| e.user.as_str()).collect();
+    assert!(
+        events.len() >= 6,
+        "joined flow from both devices: {}",
+        events.len()
+    );
+    let users: std::collections::BTreeSet<&str> = events.iter().map(|e| e.user.as_str()).collect();
     assert_eq!(users.len(), 2, "both sources present in the joined stream");
 }
 
@@ -500,9 +556,15 @@ fn uplink_updates_server_context_and_location_table() {
     assert!(pos.distance_m(cities::paris()) < 100.0);
 
     // The locations collection is queryable geospatially.
-    let nearby = d.server.db().collection("locations").find(
-        &sensocial_store::Query::near("loc", cities::paris(), 1_000.0),
-    );
+    let nearby = d
+        .server
+        .db()
+        .collection("locations")
+        .find(&sensocial_store::Query::near(
+            "loc",
+            cities::paris(),
+            1_000.0,
+        ));
     assert_eq!(nearby.len(), 1);
     assert_eq!(nearby[0].body["user"], "alice");
 }
@@ -521,17 +583,21 @@ fn disconnected_device_receives_queued_trigger_on_reconnect() {
     // The phone loses its broker connection (e.g. network outage).
     let broker_client = BrokerClient::new(&d.net, "alice-phone-ep2", "broker", "alice-phone");
     let _ = broker_client; // (documentation: sessions are per client id)
-    // Simulate by disconnecting the session directly through a throwaway
-    // client handle sharing the same id is not possible; instead we cut the
-    // downlink entirely while the action is processed.
+                           // Simulate by disconnecting the session directly through a throwaway
+                           // client handle sharing the same id is not possible; instead we cut the
+                           // downlink entirely while the action is processed.
     d.net.set_link(
         "broker".into(),
         "alice-phone-ep".into(),
         LinkSpec::with_latency(LatencyModel::constant_ms(40)).lossy(1.0),
     );
-    d.platform.post(&mut d.sched, &UserId::new("alice"), "missed?");
+    d.platform
+        .post(&mut d.sched, &UserId::new("alice"), "missed?");
     d.sched.run_for(SimDuration::from_secs(70));
-    assert!(events.lock().unwrap().is_empty(), "blackout: nothing arrives");
+    assert!(
+        events.lock().unwrap().is_empty(),
+        "blackout: nothing arrives"
+    );
 
     // Link restored: QoS-1 retries deliver the trigger.
     d.net.set_link(
@@ -540,5 +606,9 @@ fn disconnected_device_receives_queued_trigger_on_reconnect() {
         LinkSpec::with_latency(LatencyModel::constant_ms(40)),
     );
     d.sched.run_for(SimDuration::from_mins(2));
-    assert_eq!(events.lock().unwrap().len(), 1, "trigger recovered by retries");
+    assert_eq!(
+        events.lock().unwrap().len(),
+        1,
+        "trigger recovered by retries"
+    );
 }

@@ -57,7 +57,10 @@ fn devices_self_register_on_connect() {
     );
     // The registry also landed in the document store.
     assert_eq!(
-        server.db().collection("users").count(&Query::eq("user", "alice")),
+        server
+            .db()
+            .collection("users")
+            .count(&Query::eq("user", "alice")),
         1
     );
 }
@@ -73,7 +76,10 @@ fn reannouncement_does_not_duplicate() {
     server.register_device(UserId::new("alice"), DeviceId::new("alice-phone"));
     assert_eq!(server.devices_of(&UserId::new("alice")).len(), 1);
     assert_eq!(
-        server.db().collection("users").count(&Query::eq("user", "alice")),
+        server
+            .db()
+            .collection("users")
+            .count(&Query::eq("user", "alice")),
         1
     );
 }
@@ -96,7 +102,13 @@ fn self_registered_device_accepts_remote_streams() {
         .expect("registered via broker");
     sched.run_for(SimDuration::from_mins(2));
     assert_eq!(manager.stream_ids(), vec![stream]);
-    assert!(server.stats().uplink_events >= 3);
+    assert!(
+        server
+            .telemetry()
+            .snapshot()
+            .counter("server.uplink_events")
+            >= 3
+    );
 }
 
 #[test]

@@ -1,0 +1,63 @@
+//! Property-based tests for the typed [`Topic`] API: every constructible
+//! topic round-trips through its wire string, and malformed strings always
+//! surface as typed errors rather than mis-parses.
+
+use proptest::prelude::*;
+use sensocial::{DeviceId, Error, Topic};
+
+/// Device-id strings as they occur in deployments (broker client ids,
+/// wildcard-matched segments). Slashes are allowed — the parser treats
+/// everything after the kind segment as the device id.
+fn device_id() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9_-]{1,16}(/[a-zA-Z0-9_-]{1,8}){0,2}"
+}
+
+fn any_topic() -> impl Strategy<Value = Topic> {
+    prop_oneof![
+        device_id().prop_map(|d| Topic::Config(DeviceId::new(d))),
+        device_id().prop_map(|d| Topic::Trigger(DeviceId::new(d))),
+        device_id().prop_map(|d| Topic::Uplink(DeviceId::new(d))),
+        device_id().prop_map(|d| Topic::Ack(DeviceId::new(d))),
+        Just(Topic::Register),
+    ]
+}
+
+proptest! {
+    /// parse(display(topic)) == topic, through both `FromStr` and the
+    /// `Into<String>` conversions the broker API accepts.
+    #[test]
+    fn topics_round_trip(topic in any_topic()) {
+        let rendered = topic.to_string();
+        prop_assert_eq!(rendered.parse::<Topic>(), Ok(topic.clone()));
+        let via_into: String = topic.clone().into();
+        prop_assert_eq!(&via_into, &rendered);
+        prop_assert_eq!(Topic::parse(&rendered), Ok(topic));
+    }
+
+    /// The expect_* helpers accept exactly their own kind.
+    #[test]
+    fn expect_helpers_partition_by_kind(device in device_id()) {
+        let d = DeviceId::new(device);
+        prop_assert_eq!(
+            Topic::expect_uplink(&Topic::Uplink(d.clone()).to_string()),
+            Ok(d.clone())
+        );
+        prop_assert_eq!(
+            Topic::expect_ack(&Topic::Ack(d.clone()).to_string()),
+            Ok(d.clone())
+        );
+        prop_assert!(Topic::expect_uplink(&Topic::Ack(d.clone()).to_string()).is_err());
+        prop_assert!(Topic::expect_ack(&Topic::Trigger(d).to_string()).is_err());
+    }
+
+    /// Strings outside the `sensocial/<kind>/<device>` scheme never parse,
+    /// and the typed error echoes the offending string.
+    #[test]
+    fn malformed_strings_are_typed_errors(s in "[a-z/]{0,24}") {
+        prop_assume!(s.parse::<Topic>().is_err());
+        match s.parse::<Topic>() {
+            Err(Error::MalformedTopic(echoed)) => prop_assert_eq!(echoed, s),
+            other => prop_assert!(false, "expected MalformedTopic, got {:?}", other),
+        }
+    }
+}

@@ -6,6 +6,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 use parking_lot::Mutex;
 use sensocial_runtime::{Scheduler, SimDuration, SimRng, Timestamp};
+use sensocial_telemetry::{Registry, Snapshot};
 use sensocial_types::{Error, Result};
 
 use crate::fault::{DropCause, FaultPlan, FaultWindow, FlapSchedule, LatencySpike};
@@ -48,6 +49,10 @@ pub struct SendOptions {
 /// `dropped == dropped_loss + dropped_partition + dropped_endpoint_down`.
 /// Parked messages are accounted separately (`parked`, `parked_dropped`,
 /// `parked_flushed`) and only enter `sent` when flushed.
+///
+/// This struct is now a read-only view reconstructed from the network's
+/// unified [`telemetry`](Network::telemetry) registry; new code should read
+/// the [`Snapshot`] directly.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NetworkStats {
     /// Messages handed to [`Network::send`].
@@ -86,6 +91,24 @@ impl NetworkStats {
             DropCause::EndpointDown => self.dropped_endpoint_down,
         }
     }
+
+    /// Reconstructs the legacy counter struct from a telemetry snapshot
+    /// (the `net.*` counters a [`Network`] registry records).
+    pub fn from_snapshot(snap: &Snapshot) -> Self {
+        NetworkStats {
+            sent: snap.counter("net.sent"),
+            delivered: snap.counter("net.delivered"),
+            dropped: snap.counter("net.dropped"),
+            bytes_sent: snap.counter("net.bytes_sent"),
+            dropped_loss: snap.counter("net.dropped.loss"),
+            dropped_partition: snap.counter("net.dropped.partition"),
+            dropped_endpoint_down: snap.counter("net.dropped.endpoint_down"),
+            unreachable: snap.counter("net.unreachable"),
+            parked: snap.counter("net.parked"),
+            parked_dropped: snap.counter("net.parked.dropped"),
+            parked_flushed: snap.counter("net.parked.flushed"),
+        }
+    }
 }
 
 /// Default bound on each per-endpoint store-and-forward queue.
@@ -96,7 +119,6 @@ struct Inner {
     links: HashMap<(EndpointId, EndpointId), LinkSpec>,
     default_link: LinkSpec,
     hooks: HashMap<EndpointId, Vec<TrafficHook>>,
-    stats: NetworkStats,
     faults: FaultPlan,
     parked: HashMap<EndpointId, VecDeque<(EndpointId, Bytes)>>,
     parked_limit: usize,
@@ -109,7 +131,6 @@ impl Default for Inner {
             links: HashMap::new(),
             default_link: LinkSpec::default(),
             hooks: HashMap::new(),
-            stats: NetworkStats::default(),
             faults: FaultPlan::default(),
             parked: HashMap::new(),
             parked_limit: DEFAULT_PARKED_LIMIT,
@@ -134,6 +155,7 @@ impl Default for Inner {
 pub struct Network {
     inner: Arc<Mutex<Inner>>,
     rng: Arc<Mutex<SimRng>>,
+    telemetry: Registry,
 }
 
 impl std::fmt::Debug for Network {
@@ -142,7 +164,7 @@ impl std::fmt::Debug for Network {
         f.debug_struct("Network")
             .field("endpoints", &inner.endpoints.len())
             .field("links", &inner.links.len())
-            .field("stats", &inner.stats)
+            .field("telemetry", &self.telemetry)
             .finish()
     }
 }
@@ -154,7 +176,15 @@ impl Network {
         Network {
             inner: Arc::new(Mutex::new(Inner::default())),
             rng: Arc::new(Mutex::new(SimRng::seed_from(seed))),
+            telemetry: Registry::new("net"),
         }
+    }
+
+    /// The network's telemetry registry (scope `net`): delivery counters,
+    /// the `net.transit_ms` latency histogram and the `net.parked_backlog`
+    /// gauge, all driven by scheduler time.
+    pub fn telemetry(&self) -> &Registry {
+        &self.telemetry
     }
 
     /// Registers an endpoint and its receive handler, replacing any
@@ -325,13 +355,21 @@ impl Network {
             inner.parked.remove(endpoint).unwrap_or_default()
         };
         let n = queued.len();
+        self.update_parked_backlog();
         for (from, payload) in queued {
-            self.inner.lock().stats.parked_flushed += 1;
+            self.telemetry.count("parked.flushed");
             // The endpoint can only have vanished again if a handler
             // unregistered it mid-flush; the error path counts it.
             let _ = self.send(sched, &from, endpoint, payload);
         }
         n
+    }
+
+    /// Refreshes the `net.parked_backlog` gauge (and its high-water mark)
+    /// from the current total of parked messages across all endpoints.
+    fn update_parked_backlog(&self) {
+        let backlog: usize = self.inner.lock().parked.values().map(VecDeque::len).sum();
+        self.telemetry.gauge_set("parked_backlog", backlog as u64);
     }
 
     // ------------------------------------------------------------------
@@ -374,21 +412,23 @@ impl Network {
             let mut inner = self.inner.lock();
             if !inner.endpoints.contains_key(to) {
                 if opts.queue_if_down {
-                    inner.stats.parked += 1;
+                    self.telemetry.count("parked");
                     let limit = inner.parked_limit;
                     let queue = inner.parked.entry(to.clone()).or_default();
                     queue.push_back((from.clone(), payload));
                     if queue.len() > limit {
                         queue.pop_front();
-                        inner.stats.parked_dropped += 1;
+                        self.telemetry.count("parked.dropped");
                     }
+                    drop(inner);
+                    self.update_parked_backlog();
                     return Ok(());
                 }
-                inner.stats.unreachable += 1;
+                self.telemetry.count("unreachable");
                 return Err(Error::NotConnected(to.as_str().to_owned()));
             }
-            inner.stats.sent += 1;
-            inner.stats.bytes_sent += size as u64;
+            self.telemetry.count("sent");
+            self.telemetry.count_by("bytes_sent", size as u64);
 
             let spec = inner
                 .links
@@ -413,16 +453,16 @@ impl Network {
             let fault = inner.faults.drop_cause(from, to, now);
             match fault {
                 Some(DropCause::EndpointDown) => {
-                    inner.stats.dropped += 1;
-                    inner.stats.dropped_endpoint_down += 1;
+                    self.telemetry.count("dropped");
+                    self.telemetry.count("dropped.endpoint_down");
                 }
                 Some(DropCause::Partition) => {
-                    inner.stats.dropped += 1;
-                    inner.stats.dropped_partition += 1;
+                    self.telemetry.count("dropped");
+                    self.telemetry.count("dropped.partition");
                 }
                 _ if lost => {
-                    inner.stats.dropped += 1;
-                    inner.stats.dropped_loss += 1;
+                    self.telemetry.count("dropped");
+                    self.telemetry.count("dropped.loss");
                 }
                 _ => {}
             }
@@ -442,20 +482,20 @@ impl Network {
         let network = self.clone();
         sched.schedule_after(delay, move |s| {
             let arrival = s.now();
-            let mut inner = network.inner.lock();
+            let inner = network.inner.lock();
             if inner.faults.endpoint_down(&msg.to, arrival) {
                 // Receiver went down while the message was in flight.
-                inner.stats.dropped += 1;
-                inner.stats.dropped_endpoint_down += 1;
+                network.telemetry.count("dropped");
+                network.telemetry.count("dropped.endpoint_down");
                 return;
             }
             let handler = inner.endpoints.get(&msg.to).cloned();
-            if handler.is_some() {
-                inner.stats.delivered += 1;
-            }
             let hooks: Vec<TrafficHook> = inner.hooks.get(&msg.to).cloned().unwrap_or_default();
             drop(inner);
             if let Some(handler) = handler {
+                network.telemetry.count("delivered");
+                let transit = arrival.as_millis().saturating_sub(msg.sent_at.as_millis());
+                network.telemetry.observe_named("transit_ms", transit);
                 for hook in &hooks {
                     hook(TrafficDirection::Receive, msg.len());
                 }
@@ -466,8 +506,12 @@ impl Network {
     }
 
     /// A snapshot of the delivery counters.
+    #[deprecated(
+        since = "0.1.0",
+        note = "read `telemetry().snapshot()` (counters under `net.*`) instead"
+    )]
     pub fn stats(&self) -> NetworkStats {
-        self.inner.lock().stats
+        NetworkStats::from_snapshot(&self.telemetry.snapshot())
     }
 }
 
@@ -478,6 +522,11 @@ mod tests {
     use sensocial_runtime::Timestamp;
 
     type Log = Arc<Mutex<Vec<(u64, Vec<u8>)>>>;
+
+    /// Reads the delivery counters the non-deprecated way.
+    fn stats(net: &Network) -> NetworkStats {
+        NetworkStats::from_snapshot(&net.telemetry().snapshot())
+    }
 
     fn collector() -> (Log, MessageHandler) {
         let log: Log = Arc::new(Mutex::new(Vec::new()));
@@ -517,8 +566,8 @@ mod tests {
             .send(&mut sched, &"a".into(), &"ghost".into(), b"x".to_vec())
             .unwrap_err();
         assert_eq!(err, Error::NotConnected("ghost".into()));
-        assert_eq!(net.stats().unreachable, 1);
-        assert_eq!(net.stats().sent, 0);
+        assert_eq!(stats(&net).unreachable, 1);
+        assert_eq!(stats(&net).sent, 0);
     }
 
     #[test]
@@ -538,8 +587,8 @@ mod tests {
         assert!(net.unregister(&"b".into()));
         sched.run();
         assert!(log.lock().is_empty());
-        assert_eq!(net.stats().delivered, 0);
-        assert_eq!(net.stats().sent, 1);
+        assert_eq!(stats(&net).delivered, 0);
+        assert_eq!(stats(&net).sent, 1);
     }
 
     #[test]
@@ -561,7 +610,7 @@ mod tests {
         sched.run();
         let delivered = log.lock().len();
         assert!((120..=280).contains(&delivered), "delivered {delivered}");
-        let stats = net.stats();
+        let stats = stats(&net);
         assert_eq!(stats.sent, 400);
         assert_eq!(stats.dropped + stats.delivered, 400);
         assert_eq!(stats.dropped, stats.dropped_loss);
@@ -663,7 +712,7 @@ mod tests {
         net.send(&mut sched, &"a".into(), &"b".into(), vec![0u8; 30])
             .unwrap();
         sched.run();
-        let stats = net.stats();
+        let stats = stats(&net);
         assert_eq!(stats.bytes_sent, 40);
         assert_eq!(stats.delivered, 2);
     }
@@ -680,23 +729,62 @@ mod tests {
             .unwrap();
         sched.run();
         assert!(log.lock().is_empty());
-        let stats = net.stats();
+        let stats = stats(&net);
         assert_eq!(stats.sent, 1);
         assert_eq!(stats.dropped, 1);
         assert_eq!(stats.dropped_by(DropCause::Partition), 1);
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_stats_shim_matches_snapshot() {
+        let mut sched = Scheduler::new();
+        let net = Network::new(1);
+        let (_, handler) = collector();
+        let h = handler.clone();
+        net.register("b".into(), move |s, m| h(s, m));
+        net.send(&mut sched, &"a".into(), &"b".into(), vec![0u8; 5])
+            .unwrap();
+        sched.run();
+        assert_eq!(net.stats(), stats(&net));
+        assert_eq!(net.stats().delivered, 1);
+    }
+
+    #[test]
+    fn transit_latency_lands_in_stage_histogram() {
+        let mut sched = Scheduler::new();
+        let net = Network::new(1);
+        let (_, handler) = collector();
+        let h = handler.clone();
+        net.register("b".into(), move |s, m| h(s, m));
+        net.set_link(
+            "a".into(),
+            "b".into(),
+            LinkSpec::with_latency(LatencyModel::constant_ms(120)),
+        );
+        net.send(&mut sched, &"a".into(), &"b".into(), b"hi".to_vec())
+            .unwrap();
+        sched.run();
+        let snap = net.telemetry().snapshot();
+        let h = snap.histogram("net.transit_ms").expect("transit histogram");
+        assert_eq!(h.count, 1);
+        assert_eq!(h.min_ms, 120);
+        assert_eq!(h.max_ms, 120);
+    }
+
+    #[test]
     fn queue_if_down_parks_and_flushes_in_order() {
         let mut sched = Scheduler::new();
         let net = Network::new(1);
-        let opts = SendOptions { queue_if_down: true };
+        let opts = SendOptions {
+            queue_if_down: true,
+        };
         net.send_with(&mut sched, &"a".into(), &"b".into(), b"1".to_vec(), opts)
             .unwrap();
         net.send_with(&mut sched, &"a".into(), &"b".into(), b"2".to_vec(), opts)
             .unwrap();
         assert_eq!(net.parked_count(&"b".into()), 2);
-        assert_eq!(net.stats().sent, 0);
+        assert_eq!(stats(&net).sent, 0);
 
         let (log, handler) = collector();
         let h = handler.clone();
@@ -707,7 +795,7 @@ mod tests {
         assert_eq!(log.len(), 2);
         assert_eq!(log[0].1, b"1");
         assert_eq!(log[1].1, b"2");
-        let stats = net.stats();
+        let stats = stats(&net);
         assert_eq!(stats.parked, 2);
         assert_eq!(stats.parked_flushed, 2);
         assert_eq!(stats.sent, 2);

@@ -3,17 +3,24 @@
 use std::sync::{Arc, Mutex};
 
 use sensocial_net::{
-    DropCause, FaultWindow, LatencyModel, LinkSpec, Network, SendOptions,
+    DropCause, FaultWindow, LatencyModel, LinkSpec, Network, NetworkStats, SendOptions,
 };
 use sensocial_runtime::{Scheduler, SimDuration, Timestamp};
 
 type Log = Arc<Mutex<Vec<(u64, Vec<u8>)>>>;
 
+/// Reads the delivery counters from the unified telemetry snapshot.
+fn stats(net: &Network) -> NetworkStats {
+    NetworkStats::from_snapshot(&net.telemetry().snapshot())
+}
+
 fn sink(net: &Network, id: &str) -> Log {
     let log: Log = Arc::new(Mutex::new(Vec::new()));
     let l = log.clone();
     net.register(id.into(), move |s: &mut Scheduler, m| {
-        l.lock().unwrap().push((s.now().as_millis(), m.payload.to_vec()));
+        l.lock()
+            .unwrap()
+            .push((s.now().as_millis(), m.payload.to_vec()));
     });
     log
 }
@@ -49,7 +56,7 @@ fn endpoint_down_window_drops_then_recovers() {
     let log = log.lock().unwrap();
     assert_eq!(log.len(), 1);
     assert_eq!(log[0].1, b"up");
-    let stats = net.stats();
+    let stats = stats(&net);
     assert_eq!(stats.sent, 2);
     assert_eq!(stats.delivered, 1);
     assert_eq!(stats.dropped_by(DropCause::EndpointDown), 1);
@@ -72,7 +79,7 @@ fn receiver_going_down_mid_flight_drops_at_arrival() {
     sched.run();
 
     assert!(log.lock().unwrap().is_empty());
-    let stats = net.stats();
+    let stats = stats(&net);
     assert_eq!(stats.sent, 1);
     assert_eq!(stats.delivered, 0);
     assert_eq!(stats.dropped_by(DropCause::EndpointDown), 1);
@@ -95,7 +102,7 @@ fn partition_is_bidirectional_and_healable() {
     sched.run();
     assert!(log_a.lock().unwrap().is_empty());
     assert!(log_b.lock().unwrap().is_empty());
-    assert_eq!(net.stats().dropped_by(DropCause::Partition), 2);
+    assert_eq!(stats(&net).dropped_by(DropCause::Partition), 2);
 
     // Heal early (well before the 600 s window would expire).
     net.heal_partition(&"a".into(), &"b".into());
@@ -125,14 +132,15 @@ fn flapping_endpoint_follows_square_wave() {
     for tick in 0..20u64 {
         let n = net2.clone();
         sched.schedule_at(Timestamp::from_secs(tick * 5), move |s| {
-            n.send(s, &"a".into(), &"b".into(), vec![tick as u8]).unwrap();
+            n.send(s, &"a".into(), &"b".into(), vec![tick as u8])
+                .unwrap();
         });
     }
     sched.run();
 
     let delivered: Vec<u8> = log.lock().unwrap().iter().map(|(_, p)| p[0]).collect();
     assert_eq!(delivered, vec![2, 3, 6, 7, 10, 11, 14, 15, 18, 19]);
-    let stats = net.stats();
+    let stats = stats(&net);
     assert_eq!(stats.sent, 20);
     assert_eq!(stats.delivered, 10);
     assert_eq!(stats.dropped_by(DropCause::EndpointDown), 10);
@@ -162,8 +170,12 @@ fn latency_spike_delays_but_does_not_drop() {
     let log = log.lock().unwrap();
     assert_eq!(log.len(), 2);
     assert_eq!(log[0].0, 410, "spiked delivery at 10 + 400 ms");
-    assert_eq!(log[1].0 - 410, 10, "post-spike delivery back to base latency");
-    assert_eq!(net.stats().dropped, 0);
+    assert_eq!(
+        log[1].0 - 410,
+        10,
+        "post-spike delivery back to base latency"
+    );
+    assert_eq!(stats(&net).dropped, 0);
 }
 
 #[test]
@@ -171,29 +183,37 @@ fn park_queue_is_bounded_oldest_dropped() {
     let mut sched = Scheduler::new();
     let net = Network::new(1);
     net.set_parked_limit(2);
-    let opts = SendOptions { queue_if_down: true };
+    let opts = SendOptions {
+        queue_if_down: true,
+    };
     for b in [b"1", b"2", b"3"] {
         net.send_with(&mut sched, &"a".into(), &"b".into(), b.to_vec(), opts)
             .unwrap();
     }
     assert_eq!(net.parked_count(&"b".into()), 2);
-    assert_eq!(net.stats().parked, 3);
-    assert_eq!(net.stats().parked_dropped, 1);
+    assert_eq!(stats(&net).parked, 3);
+    assert_eq!(stats(&net).parked_dropped, 1);
 
     let log = sink(&net, "b");
     constant_link(&net, "a", "b", 1);
     assert_eq!(net.flush_parked(&mut sched, &"b".into()), 2);
     sched.run();
     let payloads: Vec<Vec<u8>> = log.lock().unwrap().iter().map(|(_, p)| p.clone()).collect();
-    assert_eq!(payloads, vec![b"2".to_vec(), b"3".to_vec()], "oldest evicted");
-    assert_eq!(net.stats().parked_flushed, 2);
+    assert_eq!(
+        payloads,
+        vec![b"2".to_vec(), b"3".to_vec()],
+        "oldest evicted"
+    );
+    assert_eq!(stats(&net).parked_flushed, 2);
 }
 
 #[test]
 fn flush_to_still_missing_endpoint_is_a_noop() {
     let mut sched = Scheduler::new();
     let net = Network::new(1);
-    let opts = SendOptions { queue_if_down: true };
+    let opts = SendOptions {
+        queue_if_down: true,
+    };
     net.send_with(&mut sched, &"a".into(), &"b".into(), b"x".to_vec(), opts)
         .unwrap();
     assert_eq!(net.flush_parked(&mut sched, &"b".into()), 0);
@@ -229,7 +249,7 @@ fn per_cause_counters_sum_to_dropped() {
     }
     sched.run();
 
-    let stats = net.stats();
+    let stats = stats(&net);
     assert_eq!(stats.sent, 100);
     assert_eq!(stats.delivered + stats.dropped, stats.sent);
     assert_eq!(
@@ -266,7 +286,7 @@ fn faulted_runs_are_deterministic_across_seeds() {
             });
         }
         sched.run();
-        net.stats()
+        stats(&net)
     };
     assert_eq!(run(7), run(7), "same seed, same fault plan, same stats");
 }

@@ -3,7 +3,12 @@
 use std::sync::{Arc, Mutex};
 
 use proptest::prelude::*;
-use sensocial_net::{LatencyModel, LinkSpec, Network};
+use sensocial_net::{LatencyModel, LinkSpec, Network, NetworkStats};
+
+/// Reads the delivery counters from the unified telemetry snapshot.
+fn stats(net: &Network) -> NetworkStats {
+    NetworkStats::from_snapshot(&net.telemetry().snapshot())
+}
 use sensocial_runtime::{Scheduler, SimRng};
 
 proptest! {
@@ -27,7 +32,7 @@ proptest! {
             net.send(&mut sched, &"a".into(), &"b".into(), b"x".to_vec()).unwrap();
         }
         sched.run();
-        let stats = net.stats();
+        let stats = stats(&net);
         prop_assert_eq!(stats.sent, n as u64);
         prop_assert_eq!(stats.delivered + stats.dropped, n as u64);
         prop_assert_eq!(*received.lock().unwrap(), stats.delivered);
@@ -76,7 +81,7 @@ proptest! {
                 net.send(&mut sched, &"a".into(), &"b".into(), b"x".to_vec()).unwrap();
             }
             sched.run();
-            net.stats().delivered
+            stats(&net).delivered
         };
         prop_assert_eq!(run(seed), run(seed));
     }

@@ -72,7 +72,13 @@ impl GarApp {
                     user.as_str(),
                     env.activity().name()
                 );
-                broker.publish(s, &format!("gar/{}", user.as_str()), &payload, QoS::AtMostOnce, false);
+                broker.publish(
+                    s,
+                    &format!("gar/{}", user.as_str()),
+                    &payload,
+                    QoS::AtMostOnce,
+                    false,
+                );
             }
         });
         GarApp { timer, cycles }
@@ -127,7 +133,15 @@ mod tests {
         let memory = MemoryProfiler::new();
         memory.alloc("gar/app", GAR_OBJECTS, GAR_BYTES);
         let snap = memory.snapshot();
-        assert!(snap.total_bytes() < 2_000_000, "GAR bytes {}", snap.total_bytes());
-        assert!(snap.total_objects() < 2_000, "GAR objects {}", snap.total_objects());
+        assert!(
+            snap.total_bytes() < 2_000_000,
+            "GAR bytes {}",
+            snap.total_bytes()
+        );
+        assert!(
+            snap.total_objects() < 2_000,
+            "GAR objects {}",
+            snap.total_objects()
+        );
     }
 }

@@ -27,7 +27,8 @@
 //! let stream = world.create_stream("alice-phone", spec).unwrap();
 //! # let _ = stream;
 //! world.run_for(SimDuration::from_mins(5));
-//! assert!(world.server.stats().uplink_events >= 4);
+//! let snapshot = world.telemetry_snapshot();
+//! assert!(snapshot.counter("server.uplink_events") >= 4);
 //! ```
 
 #![forbid(unsafe_code)]

@@ -1,5 +1,7 @@
 //! Summary statistics for experiment reporting.
 
+use sensocial_telemetry::HistogramSnapshot;
+
 /// Mean and (population) standard deviation of a sample, as the paper's
 /// tables report.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -45,6 +47,29 @@ pub fn summarize(values: &[f64]) -> Summary {
     }
 }
 
+/// Builds a [`Summary`] from a telemetry latency histogram's exact
+/// moments (sum and sum of squares), so per-stage pipeline latencies can
+/// be reported in the same shape as the paper's tables without keeping
+/// the raw samples around.
+///
+/// Returns a zeroed [`Summary`] for an empty histogram.
+#[must_use]
+pub fn summarize_histogram(hist: &HistogramSnapshot) -> Summary {
+    if hist.count == 0 {
+        return Summary::default();
+    }
+    let n = hist.count as f64;
+    let mean = hist.sum_ms as f64 / n;
+    let var = (hist.sum_sq_ms as f64 / n - mean * mean).max(0.0);
+    Summary {
+        mean,
+        std_dev: var.sqrt(),
+        min: hist.min_ms as f64,
+        max: hist.max_ms as f64,
+        count: hist.count as usize,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -52,6 +77,29 @@ mod tests {
     #[test]
     fn empty_is_zeroed() {
         assert_eq!(summarize(&[]), Summary::default());
+    }
+
+    #[test]
+    fn histogram_moments_match_raw_samples() {
+        let mut hist = HistogramSnapshot::default();
+        for ms in [2, 4, 4, 4, 5, 5, 7, 9] {
+            hist.observe(ms);
+        }
+        let from_hist = summarize_histogram(&hist);
+        let from_raw = summarize(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((from_hist.mean - from_raw.mean).abs() < 1e-9);
+        assert!((from_hist.std_dev - from_raw.std_dev).abs() < 1e-9);
+        assert_eq!(from_hist.min, from_raw.min);
+        assert_eq!(from_hist.max, from_raw.max);
+        assert_eq!(from_hist.count, from_raw.count);
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        assert_eq!(
+            summarize_histogram(&HistogramSnapshot::default()),
+            Summary::default()
+        );
     }
 
     #[test]

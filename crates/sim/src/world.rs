@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 use sensocial::client::{ClientDeps, ClientManager};
 use sensocial::server::{ServerDeps, ServerManager};
 use sensocial::PrivacyPolicyManager;
+use sensocial::{StreamId, StreamSpec};
 use sensocial_broker::{Broker, BrokerClient};
 use sensocial_classify::ClassifierRegistry;
 use sensocial_energy::{
@@ -15,7 +16,6 @@ use sensocial_osn::{OsnPlatform, PollPlugin, PushPlugin};
 use sensocial_runtime::{Scheduler, SimDuration, SimRng, Timer};
 use sensocial_sensors::{DeviceEnvironment, SensorManager};
 use sensocial_store::Database;
-use sensocial::{StreamId, StreamSpec};
 use sensocial_types::{DeviceId, GeoPoint, Place, UserId};
 
 use crate::device::VirtualDevice;
@@ -250,11 +250,7 @@ impl World {
     ///
     /// Returns [`sensocial::Error::UnknownDevice`] for an unknown device,
     /// or whatever the manager returns.
-    pub fn create_stream(
-        &mut self,
-        device: &str,
-        spec: StreamSpec,
-    ) -> sensocial::Result<StreamId> {
+    pub fn create_stream(&mut self, device: &str, spec: StreamSpec) -> sensocial::Result<StreamId> {
         let manager = self
             .devices
             .get(&DeviceId::new(device))
@@ -287,6 +283,23 @@ impl World {
         platform.like(&mut self.sched, &UserId::new(user), page)
     }
 
+    /// One merged, deterministic telemetry snapshot for the whole
+    /// deployment: the server, the broker, the network and every device's
+    /// client manager. Counter scopes keep the sources apart (`server.*`,
+    /// `broker.*`, `net.*`, `client.*` — client counters sum across the
+    /// fleet), while the unscoped per-stage latency histograms
+    /// (`stage.sense` … `stage.subscriber`) merge into one histogram per
+    /// pipeline stage.
+    pub fn telemetry_snapshot(&self) -> sensocial::TelemetrySnapshot {
+        let mut snap = self.server.telemetry().snapshot();
+        snap.merge(&self.broker.telemetry().snapshot());
+        snap.merge(&self.net.telemetry().snapshot());
+        for device in self.devices.values() {
+            snap.merge(&device.manager.telemetry().snapshot());
+        }
+        snap
+    }
+
     /// Advances the world by `span` of virtual time.
     pub fn run_for(&mut self, span: SimDuration) {
         self.sched.run_for(span);
@@ -317,7 +330,13 @@ mod tests {
             .with_sink(StreamSink::Server);
         world.create_stream("alice-phone", spec).unwrap();
         world.run_for(SimDuration::from_mins(3));
-        assert!(world.server.stats().uplink_events >= 5);
+        let snap = world.telemetry_snapshot();
+        assert!(snap.counter("server.uplink_events") >= 5);
+        // Every pipeline stage up to the server saw traffic.
+        for stage in ["sense", "filter", "uplink", "broker", "server"] {
+            let hist = snap.histogram(&format!("stage.{stage}"));
+            assert!(hist.is_some_and(|h| h.count >= 5), "stage {stage} empty");
+        }
     }
 
     #[test]
@@ -340,7 +359,24 @@ mod tests {
         world.add_device("alice", "alice-phone", cities::paris());
         world.post("alice", "hello");
         world.run_for(SimDuration::from_mins(2));
-        assert_eq!(world.server.stats().osn_actions, 1);
-        assert_eq!(world.server.stats().triggers_sent, 1);
+        let snap = world.server.telemetry().snapshot();
+        assert_eq!(snap.counter("server.osn_actions"), 1);
+        assert_eq!(snap.counter("server.triggers_sent"), 1);
+    }
+
+    #[test]
+    fn same_seed_worlds_produce_identical_snapshots() {
+        let run = || {
+            let mut world = World::new(WorldConfig::default());
+            world.add_device("alice", "alice-phone", cities::paris());
+            let spec = StreamSpec::continuous(Modality::Location, Granularity::Raw)
+                .with_interval(SimDuration::from_secs(30))
+                .with_sink(StreamSink::Server);
+            world.create_stream("alice-phone", spec).unwrap();
+            world.post("alice", "hello");
+            world.run_for(SimDuration::from_mins(3));
+            world.telemetry_snapshot().to_wire()
+        };
+        assert_eq!(run(), run());
     }
 }

@@ -1,0 +1,232 @@
+//! The live metrics registry.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use crate::snapshot::{GaugeSnapshot, HistogramSnapshot, Snapshot};
+use crate::stage::Stage;
+use crate::trace::{SpanGuard, TraceEvent, TRACE_CAPACITY};
+
+/// A cheaply clonable handle to one component's metrics.
+///
+/// Each component (a device's client manager, the server, the network, the
+/// broker) owns a registry created with a *scope* — `"client"`, `"server"`,
+/// `"net"`, `"broker"` — that prefixes every counter and gauge key, so
+/// snapshots from different components merge without collisions. Pipeline
+/// latency histograms recorded through [`Registry::observe`] are keyed by
+/// [`Stage`] *without* the scope prefix: merging a fleet of snapshots
+/// yields one histogram per pipeline stage, the end-to-end latency profile.
+///
+/// The registry holds no clock: callers pass virtual-time milliseconds from
+/// the scheduler, keeping snapshots deterministic (see the crate docs).
+#[derive(Debug, Clone)]
+pub struct Registry {
+    scope: Arc<str>,
+    inner: Arc<Mutex<Inner>>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, GaugeSnapshot>,
+    histograms: BTreeMap<String, HistogramSnapshot>,
+    trace: VecDeque<TraceEvent>,
+}
+
+impl Registry {
+    /// Creates an empty registry for the given scope.
+    pub fn new(scope: impl Into<String>) -> Self {
+        Registry {
+            scope: Arc::from(scope.into()),
+            inner: Arc::new(Mutex::new(Inner::default())),
+        }
+    }
+
+    /// The scope prefix applied to counter and gauge keys.
+    pub fn scope(&self) -> &str {
+        &self.scope
+    }
+
+    fn locked(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn scoped(&self, name: &str) -> String {
+        format!("{}.{}", self.scope, name)
+    }
+
+    /// Adds 1 to the counter `scope.name`.
+    pub fn count(&self, name: &str) {
+        self.count_by(name, 1);
+    }
+
+    /// Adds `n` to the counter `scope.name`.
+    pub fn count_by(&self, name: &str, n: u64) {
+        let key = self.scoped(name);
+        *self.locked().counters.entry(key).or_insert(0) += n;
+    }
+
+    /// The current value of the counter `scope.name` (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.locked()
+            .counters
+            .get(&self.scoped(name))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Sets the gauge `scope.name`, advancing its high-water mark.
+    pub fn gauge_set(&self, name: &str, value: u64) {
+        let key = self.scoped(name);
+        let mut inner = self.locked();
+        let gauge = inner.gauges.entry(key).or_default();
+        gauge.value = value;
+        gauge.high_water = gauge.high_water.max(value);
+    }
+
+    /// The gauge `scope.name`, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<GaugeSnapshot> {
+        self.locked().gauges.get(&self.scoped(name)).copied()
+    }
+
+    /// Records a pipeline-stage latency observation: `latency_ms` is the
+    /// virtual time elapsed since the sample's birth timestamp.
+    pub fn observe(&self, stage: Stage, latency_ms: u64) {
+        let mut inner = self.locked();
+        inner
+            .histograms
+            .entry(stage.metric_key())
+            .or_default()
+            .observe(latency_ms);
+    }
+
+    /// Records a latency observation into the scope-local histogram
+    /// `scope.name` (for component-internal latencies that are not one of
+    /// the seven pipeline stages, e.g. per-hop network transit).
+    pub fn observe_named(&self, name: &str, latency_ms: u64) {
+        let key = self.scoped(name);
+        let mut inner = self.locked();
+        inner.histograms.entry(key).or_default().observe(latency_ms);
+    }
+
+    /// Appends a trace event at virtual time `at_ms`.
+    ///
+    /// The trace is a bounded ring (capacity [`TRACE_CAPACITY`]); once
+    /// full, the oldest event is evicted and the counter
+    /// `scope.trace.dropped` is incremented. Trace events are a debugging
+    /// surface and are *not* part of [`Snapshot`].
+    pub fn trace(&self, at_ms: u64, label: impl Into<String>) {
+        let dropped_key = self.scoped("trace.dropped");
+        let mut inner = self.locked();
+        if inner.trace.len() == TRACE_CAPACITY {
+            inner.trace.pop_front();
+            *inner.counters.entry(dropped_key).or_insert(0) += 1;
+        }
+        inner.trace.push_back(TraceEvent {
+            at_ms,
+            label: label.into(),
+        });
+    }
+
+    /// Opens a span starting at `start_ms`; finishing it records the
+    /// duration into the histogram `scope.span.<name>` plus a trace event.
+    pub fn span(&self, name: impl Into<String>, start_ms: u64) -> SpanGuard {
+        SpanGuard::new(self.clone(), name.into(), start_ms)
+    }
+
+    /// The most recent trace events, oldest first.
+    pub fn recent_traces(&self) -> Vec<TraceEvent> {
+        self.locked().trace.iter().cloned().collect()
+    }
+
+    /// Freezes the registry into a [`Snapshot`].
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.locked();
+        Snapshot {
+            counters: inner.counters.clone(),
+            gauges: inner.gauges.clone(),
+            histograms: inner.histograms.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_scoped_and_additive() {
+        let reg = Registry::new("client");
+        reg.count("uplink.sent");
+        reg.count_by("uplink.sent", 4);
+        assert_eq!(reg.counter("uplink.sent"), 5);
+        assert_eq!(reg.snapshot().counter("client.uplink.sent"), 5);
+    }
+
+    #[test]
+    fn gauges_track_high_water() {
+        let reg = Registry::new("net");
+        reg.gauge_set("parked", 7);
+        reg.gauge_set("parked", 2);
+        let gauge = reg.gauge("parked").unwrap();
+        assert_eq!(gauge.value, 2);
+        assert_eq!(gauge.high_water, 7);
+    }
+
+    #[test]
+    fn stage_histograms_are_unscoped() {
+        let client = Registry::new("client");
+        let server = Registry::new("server");
+        client.observe(Stage::Uplink, 0);
+        server.observe(Stage::Server, 80);
+        let mut merged = client.snapshot();
+        merged.merge(&server.snapshot());
+        assert_eq!(merged.stage(Stage::Uplink).unwrap().count, 1);
+        assert_eq!(merged.stage(Stage::Server).unwrap().max_ms, 80);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let reg = Registry::new("broker");
+        let other = reg.clone();
+        other.count("published");
+        assert_eq!(reg.counter("published"), 1);
+    }
+
+    #[test]
+    fn trace_ring_is_bounded() {
+        let reg = Registry::new("client");
+        for i in 0..(TRACE_CAPACITY as u64 + 10) {
+            reg.trace(i, "tick");
+        }
+        let traces = reg.recent_traces();
+        assert_eq!(traces.len(), TRACE_CAPACITY);
+        assert_eq!(traces[0].at_ms, 10);
+        assert_eq!(reg.counter("trace.dropped"), 10);
+    }
+
+    #[test]
+    fn spans_record_durations() {
+        let reg = Registry::new("server");
+        let span = reg.span("db_insert", 100);
+        span.finish(140);
+        let snap = reg.snapshot();
+        let h = snap.histogram("server.span.db_insert").unwrap();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum_ms, 40);
+        assert_eq!(reg.recent_traces().len(), 1);
+    }
+
+    #[test]
+    fn macros_compile_and_record() {
+        let reg = Registry::new("client");
+        crate::count!(reg, "uplink.sent");
+        crate::count!(reg, "uplink.sent", 2);
+        crate::gauge!(reg, "backlog", 9);
+        crate::observe!(reg, Stage::Sense, 0);
+        crate::trace_event!(reg, 5, "sample");
+        assert_eq!(reg.counter("uplink.sent"), 3);
+        assert_eq!(reg.gauge("backlog").unwrap().high_water, 9);
+        assert_eq!(reg.snapshot().stage(Stage::Sense).unwrap().count, 1);
+    }
+}

@@ -1,0 +1,501 @@
+//! Frozen, wire-serializable registry state.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::stage::Stage;
+use crate::wire::{self, JsonValue};
+
+/// Fixed latency-histogram bucket upper bounds, in milliseconds.
+///
+/// An observation lands in the first bucket whose bound it does not
+/// exceed; anything above the last bound lands in the overflow bucket.
+/// The bounds are part of the wire format and identical for every
+/// histogram, which is what makes merges across devices well-defined.
+pub(crate) const BUCKET_BOUNDS_MS: [u64; 15] = [
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 30_000, 60_000,
+];
+
+/// A gauge frozen at snapshot time: current value plus the largest value
+/// ever set (the high-water mark — backlog peaks survive the backlog
+/// draining).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GaugeSnapshot {
+    /// The most recently set value.
+    pub value: u64,
+    /// The largest value ever set.
+    pub high_water: u64,
+}
+
+/// A fixed-bucket latency histogram with exact integer moments.
+///
+/// Alongside the bucket counts the histogram keeps `count`, `sum_ms` and
+/// `sum_sq_ms` as integers, so the mean and (population) standard
+/// deviation are exact and — crucially — independent of observation
+/// order: merging is plain addition, making the histogram commutative and
+/// associative under [`HistogramSnapshot::merge`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds in milliseconds (shared by all histograms).
+    pub bounds_ms: Vec<u64>,
+    /// Per-bucket observation counts; one extra overflow bucket at the end.
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values (ms).
+    pub sum_ms: u64,
+    /// Sum of squares of all observed values (ms²).
+    pub sum_sq_ms: u128,
+    /// Smallest observed value, 0 when empty.
+    pub min_ms: u64,
+    /// Largest observed value, 0 when empty.
+    pub max_ms: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            bounds_ms: BUCKET_BOUNDS_MS.to_vec(),
+            buckets: vec![0; BUCKET_BOUNDS_MS.len() + 1],
+            count: 0,
+            sum_ms: 0,
+            sum_sq_ms: 0,
+            min_ms: 0,
+            max_ms: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Records one latency observation.
+    pub fn observe(&mut self, ms: u64) {
+        let idx = self
+            .bounds_ms
+            .iter()
+            .position(|bound| ms <= *bound)
+            .unwrap_or(self.bounds_ms.len());
+        if let Some(bucket) = self.buckets.get_mut(idx) {
+            *bucket += 1;
+        }
+        if self.count == 0 {
+            self.min_ms = ms;
+            self.max_ms = ms;
+        } else {
+            self.min_ms = self.min_ms.min(ms);
+            self.max_ms = self.max_ms.max(ms);
+        }
+        self.count += 1;
+        self.sum_ms = self.sum_ms.saturating_add(ms);
+        self.sum_sq_ms = self
+            .sum_sq_ms
+            .saturating_add(u128::from(ms) * u128::from(ms));
+    }
+
+    /// Folds `other` into `self` (bucket-wise addition).
+    ///
+    /// Merging is commutative and associative. Histograms always share the
+    /// crate-wide bucket bounds; should a foreign snapshot disagree, the
+    /// overlapping bucket prefix is merged and the rest of `other` is
+    /// folded into the overflow bucket so no observation is lost.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        let shared = self
+            .buckets
+            .len()
+            .min(other.buckets.len())
+            .saturating_sub(1);
+        let mut spill = 0u64;
+        for (idx, n) in other.buckets.iter().enumerate() {
+            if idx < shared && self.bounds_ms.get(idx) == other.bounds_ms.get(idx) {
+                self.buckets[idx] += n;
+            } else {
+                spill += n;
+            }
+        }
+        if let Some(overflow) = self.buckets.last_mut() {
+            *overflow += spill;
+        }
+        if self.count == 0 {
+            self.min_ms = other.min_ms;
+            self.max_ms = other.max_ms;
+        } else {
+            self.min_ms = self.min_ms.min(other.min_ms);
+            self.max_ms = self.max_ms.max(other.max_ms);
+        }
+        self.count += other.count;
+        self.sum_ms = self.sum_ms.saturating_add(other.sum_ms);
+        self.sum_sq_ms = self.sum_sq_ms.saturating_add(other.sum_sq_ms);
+    }
+
+    /// Mean observed latency in milliseconds (0.0 when empty).
+    pub fn mean_ms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ms as f64 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation in milliseconds (0.0 when empty).
+    pub fn std_dev_ms(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let n = self.count as f64;
+        let mean = self.sum_ms as f64 / n;
+        let var = (self.sum_sq_ms as f64 / n) - mean * mean;
+        var.max(0.0).sqrt()
+    }
+}
+
+/// A frozen registry: every counter, gauge and histogram at one virtual
+/// instant, in deterministic (sorted) order.
+///
+/// Snapshots are plain values: diff them against a baseline with
+/// [`Snapshot::diff`], fold fleets together with [`Snapshot::merge`], and
+/// ship them with [`Snapshot::to_wire`] / [`Snapshot::from_wire`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// Monotonic event counters, keyed `scope.name`.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges (current + high-water), keyed `scope.name`.
+    pub gauges: BTreeMap<String, GaugeSnapshot>,
+    /// Latency histograms: pipeline stages under `stage.<name>`, plus any
+    /// scope-local histograms under `scope.name`.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// An empty snapshot (useful as a merge identity or diff baseline).
+    pub fn new() -> Self {
+        Snapshot::default()
+    }
+
+    /// The value of a counter, 0 if absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The gauge under `name`, if any.
+    pub fn gauge(&self, name: &str) -> Option<GaugeSnapshot> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The histogram under `name`, if any.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// The latency histogram for a pipeline stage, if any samples reached
+    /// that stage.
+    pub fn stage(&self, stage: Stage) -> Option<&HistogramSnapshot> {
+        self.histograms.get(&stage.metric_key())
+    }
+
+    /// Folds `other` into `self`: counters and histograms add, gauge
+    /// current values add (a fleet's backlog is the sum of device
+    /// backlogs) and high-water marks take the maximum.
+    ///
+    /// Merging is commutative and associative, so folding a fleet of
+    /// device snapshots in any order yields the same result.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (name, value) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, gauge) in &other.gauges {
+            let entry = self.gauges.entry(name.clone()).or_default();
+            entry.value += gauge.value;
+            entry.high_water = entry.high_water.max(gauge.high_water);
+        }
+        for (name, histogram) in &other.histograms {
+            self.histograms
+                .entry(name.clone())
+                .or_default()
+                .merge(histogram);
+        }
+    }
+
+    /// The change since `baseline`: counters and histogram counts/moments
+    /// subtract (saturating), gauges keep their current value and
+    /// high-water mark. Keys absent from `self` are dropped.
+    pub fn diff(&self, baseline: &Snapshot) -> Snapshot {
+        let mut out = self.clone();
+        for (name, value) in &mut out.counters {
+            *value = value.saturating_sub(baseline.counter(name));
+        }
+        for (name, histogram) in &mut out.histograms {
+            if let Some(base) = baseline.histograms.get(name) {
+                for (idx, bucket) in histogram.buckets.iter_mut().enumerate() {
+                    *bucket = bucket.saturating_sub(base.buckets.get(idx).copied().unwrap_or(0));
+                }
+                histogram.count = histogram.count.saturating_sub(base.count);
+                histogram.sum_ms = histogram.sum_ms.saturating_sub(base.sum_ms);
+                histogram.sum_sq_ms = histogram.sum_sq_ms.saturating_sub(base.sum_sq_ms);
+            }
+        }
+        out
+    }
+
+    /// Serializes to the canonical wire form: JSON with alphabetically
+    /// ordered keys and integer-only values. Byte-identical across runs of
+    /// the same seeded scenario.
+    pub fn to_wire(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"counters\":{");
+        for (idx, (name, value)) in self.counters.iter().enumerate() {
+            if idx > 0 {
+                out.push(',');
+            }
+            wire::write_string(&mut out, name);
+            out.push(':');
+            out.push_str(&value.to_string());
+        }
+        out.push_str("},\"gauges\":{");
+        for (idx, (name, gauge)) in self.gauges.iter().enumerate() {
+            if idx > 0 {
+                out.push(',');
+            }
+            wire::write_string(&mut out, name);
+            out.push_str(&format!(
+                ":{{\"high_water\":{},\"value\":{}}}",
+                gauge.high_water, gauge.value
+            ));
+        }
+        out.push_str("},\"histograms\":{");
+        for (idx, (name, h)) in self.histograms.iter().enumerate() {
+            if idx > 0 {
+                out.push(',');
+            }
+            wire::write_string(&mut out, name);
+            out.push_str(":{\"bounds_ms\":");
+            wire::write_u64_array(&mut out, &h.bounds_ms);
+            out.push_str(",\"buckets\":");
+            wire::write_u64_array(&mut out, &h.buckets);
+            out.push_str(&format!(
+                ",\"count\":{},\"max_ms\":{},\"min_ms\":{},\"sum_ms\":{},\"sum_sq_ms\":{}}}",
+                h.count, h.max_ms, h.min_ms, h.sum_ms, h.sum_sq_ms
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Parses the wire form produced by [`Snapshot::to_wire`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on malformed JSON or a shape that is not a
+    /// snapshot.
+    pub fn from_wire(input: &str) -> Result<Snapshot, WireError> {
+        let value = wire::parse(input).map_err(WireError)?;
+        let root = value
+            .as_object()
+            .ok_or(WireError("snapshot is not an object".into()))?;
+        let mut snapshot = Snapshot::new();
+
+        if let Some(counters) = root.get("counters").and_then(JsonValue::as_object) {
+            for (name, v) in counters {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| WireError(format!("counter {name} is not an integer")))?;
+                snapshot.counters.insert(name.clone(), n);
+            }
+        }
+        if let Some(gauges) = root.get("gauges").and_then(JsonValue::as_object) {
+            for (name, v) in gauges {
+                let obj = v
+                    .as_object()
+                    .ok_or_else(|| WireError(format!("gauge {name} is not an object")))?;
+                snapshot.gauges.insert(
+                    name.clone(),
+                    GaugeSnapshot {
+                        value: wire::field_u64(obj, "value", name)?,
+                        high_water: wire::field_u64(obj, "high_water", name)?,
+                    },
+                );
+            }
+        }
+        if let Some(histograms) = root.get("histograms").and_then(JsonValue::as_object) {
+            for (name, v) in histograms {
+                let obj = v
+                    .as_object()
+                    .ok_or_else(|| WireError(format!("histogram {name} is not an object")))?;
+                snapshot.histograms.insert(
+                    name.clone(),
+                    HistogramSnapshot {
+                        bounds_ms: wire::field_u64_array(obj, "bounds_ms", name)?,
+                        buckets: wire::field_u64_array(obj, "buckets", name)?,
+                        count: wire::field_u64(obj, "count", name)?,
+                        sum_ms: wire::field_u64(obj, "sum_ms", name)?,
+                        sum_sq_ms: wire::field_u128(obj, "sum_sq_ms", name)?,
+                        min_ms: wire::field_u64(obj, "min_ms", name)?,
+                        max_ms: wire::field_u64(obj, "max_ms", name)?,
+                    },
+                );
+            }
+        }
+        Ok(snapshot)
+    }
+}
+
+/// A malformed snapshot wire payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl From<String> for WireError {
+    fn from(message: String) -> Self {
+        WireError(message)
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed telemetry snapshot: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(values: &[u64]) -> HistogramSnapshot {
+        let mut h = HistogramSnapshot::default();
+        for v in values {
+            h.observe(*v);
+        }
+        h
+    }
+
+    #[test]
+    fn observe_tracks_moments_exactly() {
+        let h = hist(&[3, 50, 7]);
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum_ms, 60);
+        assert_eq!(h.sum_sq_ms, 9 + 2500 + 49);
+        assert_eq!(h.min_ms, 3);
+        assert_eq!(h.max_ms, 50);
+        assert_eq!(h.buckets.iter().sum::<u64>(), 3);
+        assert!((h.mean_ms() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overflow_bucket_catches_huge_values() {
+        let h = hist(&[1_000_000]);
+        assert_eq!(*h.buckets.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn merge_matches_combined_observation() {
+        let mut a = hist(&[1, 10, 100]);
+        let b = hist(&[5, 50_000]);
+        let combined = hist(&[1, 10, 100, 5, 50_000]);
+        a.merge(&b);
+        assert_eq!(a, combined);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = hist(&[4, 9]);
+        let before = a.clone();
+        a.merge(&HistogramSnapshot::default());
+        assert_eq!(a, before);
+        let mut e = HistogramSnapshot::default();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn snapshot_merge_adds_and_high_waters() {
+        let mut a = Snapshot::new();
+        a.counters.insert("client.sent".into(), 2);
+        a.gauges.insert(
+            "client.backlog".into(),
+            GaugeSnapshot {
+                value: 1,
+                high_water: 5,
+            },
+        );
+        let mut b = Snapshot::new();
+        b.counters.insert("client.sent".into(), 3);
+        b.gauges.insert(
+            "client.backlog".into(),
+            GaugeSnapshot {
+                value: 2,
+                high_water: 3,
+            },
+        );
+        a.merge(&b);
+        assert_eq!(a.counter("client.sent"), 5);
+        assert_eq!(
+            a.gauge("client.backlog"),
+            Some(GaugeSnapshot {
+                value: 3,
+                high_water: 5
+            })
+        );
+    }
+
+    #[test]
+    fn diff_subtracts_counters_and_histograms() {
+        let mut base = Snapshot::new();
+        base.counters.insert("net.sent".into(), 4);
+        base.histograms.insert("stage.uplink".into(), hist(&[10]));
+        let mut now = Snapshot::new();
+        now.counters.insert("net.sent".into(), 10);
+        now.histograms
+            .insert("stage.uplink".into(), hist(&[10, 20, 30]));
+        let d = now.diff(&base);
+        assert_eq!(d.counter("net.sent"), 6);
+        let h = d.histogram("stage.uplink").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum_ms, 50);
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let mut snap = Snapshot::new();
+        snap.counters.insert("client.uplink.sent".into(), 7);
+        snap.counters.insert("net.drop.loss".into(), 1);
+        snap.gauges.insert(
+            "net.parked".into(),
+            GaugeSnapshot {
+                value: 0,
+                high_water: 12,
+            },
+        );
+        snap.histograms
+            .insert("stage.server".into(), hist(&[40, 80, 80]));
+        let wire = snap.to_wire();
+        let back = Snapshot::from_wire(&wire).unwrap();
+        assert_eq!(snap, back);
+        // Canonical form is stable: re-serializing gives the same bytes.
+        assert_eq!(back.to_wire(), wire);
+    }
+
+    #[test]
+    fn wire_escapes_odd_keys() {
+        let mut snap = Snapshot::new();
+        snap.counters.insert("weird\"key\\with\ncontrol".into(), 1);
+        let back = Snapshot::from_wire(&snap.to_wire()).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn malformed_wire_is_a_typed_error() {
+        assert!(Snapshot::from_wire("not json").is_err());
+        assert!(Snapshot::from_wire("[]").is_err());
+        assert!(Snapshot::from_wire("{\"counters\":{\"a\":\"nope\"}}").is_err());
+    }
+
+    #[test]
+    fn empty_snapshot_wire_form() {
+        assert_eq!(
+            Snapshot::new().to_wire(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}"
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! The pipeline stage taxonomy.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A stage of the sample pipeline, in delivery order.
+///
+/// Each stage records, at the moment a sample passes through it, the
+/// latency since the sample's *birth* (the virtual instant the sensor
+/// produced it). Client-side stages therefore usually read 0 ms (they run
+/// within the sampling event), the uplink stage absorbs store-and-forward
+/// buffering delay, and the broker/server/subscriber stages absorb network
+/// transit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// Sensor sample produced (birth).
+    Sense,
+    /// Privacy gate consulted.
+    Privacy,
+    /// Filter plan evaluated.
+    Filter,
+    /// Sample handed to the broker client for uplink (after any
+    /// store-and-forward buffering).
+    Uplink,
+    /// Broker ingress: a publish packet arrived at the broker.
+    Broker,
+    /// Server ingested the uplink event.
+    Server,
+    /// Subscriber callback invoked.
+    Subscriber,
+}
+
+impl Stage {
+    /// All stages in pipeline order.
+    pub const ALL: [Stage; 7] = [
+        Stage::Sense,
+        Stage::Privacy,
+        Stage::Filter,
+        Stage::Uplink,
+        Stage::Broker,
+        Stage::Server,
+        Stage::Subscriber,
+    ];
+
+    /// The stable metric-key segment for the stage.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Stage::Sense => "sense",
+            Stage::Privacy => "privacy",
+            Stage::Filter => "filter",
+            Stage::Uplink => "uplink",
+            Stage::Broker => "broker",
+            Stage::Server => "server",
+            Stage::Subscriber => "subscriber",
+        }
+    }
+
+    /// The histogram key the stage records under (`stage.<name>`).
+    pub fn metric_key(self) -> String {
+        format!("stage.{}", self.as_str())
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Stage {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Stage::ALL
+            .iter()
+            .copied()
+            .find(|stage| stage.as_str() == s)
+            .ok_or_else(|| format!("unknown pipeline stage: {s:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_stages() {
+        for stage in Stage::ALL {
+            assert_eq!(stage.to_string().parse::<Stage>(), Ok(stage));
+        }
+    }
+
+    #[test]
+    fn unknown_stage_rejected() {
+        assert!("warp".parse::<Stage>().is_err());
+    }
+
+    #[test]
+    fn metric_keys_are_prefixed() {
+        assert_eq!(Stage::Uplink.metric_key(), "stage.uplink");
+    }
+}

@@ -1,0 +1,55 @@
+//! Lightweight span/event tracing.
+
+use crate::registry::Registry;
+
+/// Maximum trace events retained per registry (oldest evicted first).
+pub const TRACE_CAPACITY: usize = 256;
+
+/// A point annotation on the virtual timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time of the event, in milliseconds.
+    pub at_ms: u64,
+    /// Free-form label.
+    pub label: String,
+}
+
+/// An open span: a named interval whose duration is recorded when
+/// finished.
+///
+/// Spans have no implicit clock — the caller supplies both endpoints from
+/// scheduler time. Dropping a guard without calling [`SpanGuard::finish`]
+/// records nothing (there is no wall clock to fall back on), which keeps
+/// abandoned spans from injecting nondeterministic durations.
+#[derive(Debug)]
+#[must_use = "a span records nothing until finish(end_ms) is called"]
+pub struct SpanGuard {
+    registry: Registry,
+    name: String,
+    start_ms: u64,
+}
+
+impl SpanGuard {
+    pub(crate) fn new(registry: Registry, name: String, start_ms: u64) -> Self {
+        SpanGuard {
+            registry,
+            name,
+            start_ms,
+        }
+    }
+
+    /// The span's start, in virtual milliseconds.
+    pub fn start_ms(&self) -> u64 {
+        self.start_ms
+    }
+
+    /// Closes the span at `end_ms`: records the duration into the
+    /// histogram `scope.span.<name>` and appends a trace event.
+    pub fn finish(self, end_ms: u64) {
+        let duration = end_ms.saturating_sub(self.start_ms);
+        self.registry
+            .observe_named(&format!("span.{}", self.name), duration);
+        self.registry
+            .trace(end_ms, format!("span.{} {}ms", self.name, duration));
+    }
+}

@@ -1,0 +1,344 @@
+//! A minimal JSON reader/writer for the snapshot wire format.
+//!
+//! The telemetry crate is dependency-free by design (see the crate docs),
+//! so it carries its own encoder for the tiny JSON subset snapshots use:
+//! objects, arrays, strings and unsigned integers.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value (subset: no floats, bools or null — snapshots are
+/// integer-only by construction).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum JsonValue {
+    /// An object with sorted keys.
+    Object(BTreeMap<String, JsonValue>),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// A string.
+    String(String),
+    /// An unsigned integer (wide enough for `sum_sq_ms`).
+    UInt(u128),
+}
+
+impl JsonValue {
+    pub(crate) fn as_object(&self) -> Option<&BTreeMap<String, JsonValue>> {
+        match self {
+            JsonValue::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::UInt(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn as_u128(&self) -> Option<u128> {
+        match self {
+            JsonValue::UInt(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Writes a JSON string literal (with escaping) into `out`.
+pub(crate) fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Writes a `[1,2,3]`-style array of integers into `out`.
+pub(crate) fn write_u64_array(out: &mut String, values: &[u64]) {
+    out.push('[');
+    for (idx, v) in values.iter().enumerate() {
+        if idx > 0 {
+            out.push(',');
+        }
+        out.push_str(&v.to_string());
+    }
+    out.push(']');
+}
+
+/// Reads a `u64` field out of a parsed object.
+pub(crate) fn field_u64(
+    obj: &BTreeMap<String, JsonValue>,
+    field: &str,
+    ctx: &str,
+) -> Result<u64, String> {
+    obj.get(field)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| format!("{ctx}: missing integer field {field:?}"))
+}
+
+/// Reads a `u128` field out of a parsed object.
+pub(crate) fn field_u128(
+    obj: &BTreeMap<String, JsonValue>,
+    field: &str,
+    ctx: &str,
+) -> Result<u128, String> {
+    obj.get(field)
+        .and_then(JsonValue::as_u128)
+        .ok_or_else(|| format!("{ctx}: missing integer field {field:?}"))
+}
+
+/// Reads an array-of-`u64` field out of a parsed object.
+pub(crate) fn field_u64_array(
+    obj: &BTreeMap<String, JsonValue>,
+    field: &str,
+    ctx: &str,
+) -> Result<Vec<u64>, String> {
+    let value = obj
+        .get(field)
+        .ok_or_else(|| format!("{ctx}: missing array field {field:?}"))?;
+    match value {
+        JsonValue::Array(items) => items
+            .iter()
+            .map(|item| {
+                item.as_u64()
+                    .ok_or_else(|| format!("{ctx}: non-integer entry in {field:?}"))
+            })
+            .collect(),
+        _ => Err(format!("{ctx}: field {field:?} is not an array")),
+    }
+}
+
+/// Parses a JSON document (subset: objects, arrays, strings, unsigned
+/// integers).
+pub(crate) fn parse(input: &str) -> Result<JsonValue, String> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(format!("trailing data at byte {}", parser.pos));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect_byte(&mut self, byte: u8) -> Result<(), String> {
+        match self.bump() {
+            Some(b) if b == byte => Ok(()),
+            other => Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                byte as char,
+                self.pos.saturating_sub(1),
+                other.map(|b| b as char)
+            )),
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b'0'..=b'9') => self.integer(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect_byte(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect_byte(b':')?;
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(JsonValue::Object(map)),
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' in object, found {:?}",
+                        other.map(|b| b as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect_byte(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(JsonValue::Array(items)),
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' in array, found {:?}",
+                        other.map(|b| b as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect_byte(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let digit = self
+                                .bump()
+                                .and_then(|b| (b as char).to_digit(16))
+                                .ok_or("bad \\u escape")?;
+                            code = code * 16 + digit;
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("bad escape {:?}", other.map(|b| b as char))),
+                },
+                Some(byte) => {
+                    // Re-assemble UTF-8 runs byte-by-byte.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && !self.bytes[end].is_ascii() {
+                        end += 1;
+                    }
+                    if byte.is_ascii() {
+                        out.push(byte as char);
+                    } else {
+                        let chunk = std::str::from_utf8(&self.bytes[start..end])
+                            .map_err(|_| "invalid utf-8 in string".to_string())?;
+                        out.push_str(chunk);
+                        self.pos = end;
+                    }
+                }
+            }
+        }
+    }
+
+    fn integer(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "invalid integer".to_string())?;
+        text.parse::<u128>()
+            .map(JsonValue::UInt)
+            .map_err(|e| format!("invalid integer {text:?}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = parse(r#"{"a":{"b":[1,2,3]},"c":"x"}"#).unwrap();
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj.get("c"), Some(&JsonValue::String("x".into())));
+        let inner = obj.get("a").unwrap().as_object().unwrap();
+        assert_eq!(
+            inner.get("b"),
+            Some(&JsonValue::Array(vec![
+                JsonValue::UInt(1),
+                JsonValue::UInt(2),
+                JsonValue::UInt(3)
+            ]))
+        );
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let mut s = String::new();
+        write_string(&mut s, "a\"b\\c\nd\u{0007}é");
+        let v = parse(&format!("{{{s}:1}}")).unwrap();
+        let obj = v.as_object().unwrap();
+        assert!(obj.contains_key("a\"b\\c\nd\u{0007}é"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("{}x").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("\"abc").is_err());
+        assert!(parse("-5").is_err());
+    }
+
+    #[test]
+    fn u128_fits() {
+        let v = parse("340282366920938463463374607431768211455").unwrap();
+        assert_eq!(v.as_u128(), Some(u128::MAX));
+    }
+}

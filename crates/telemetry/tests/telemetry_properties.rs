@@ -1,0 +1,109 @@
+//! Property-based tests for the telemetry layer: histogram merging is a
+//! commutative, associative monoid with the empty histogram as identity,
+//! snapshots survive the canonical wire format unchanged, and the wire
+//! form is byte-stable.
+
+use proptest::prelude::*;
+use sensocial_telemetry::{HistogramSnapshot, Registry, Snapshot, Stage};
+
+fn histogram(values: &[u64]) -> HistogramSnapshot {
+    let mut h = HistogramSnapshot::default();
+    for &v in values {
+        h.observe(v);
+    }
+    h
+}
+
+fn merged(a: &HistogramSnapshot, b: &HistogramSnapshot) -> HistogramSnapshot {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+/// Latency samples spanning every bucket, including the overflow bucket.
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..200_000, 0..50)
+}
+
+proptest! {
+    /// merge(a, b) == merge(b, a).
+    #[test]
+    fn histogram_merge_commutes(a in samples(), b in samples()) {
+        let (ha, hb) = (histogram(&a), histogram(&b));
+        prop_assert_eq!(merged(&ha, &hb), merged(&hb, &ha));
+    }
+
+    /// merge(merge(a, b), c) == merge(a, merge(b, c)).
+    #[test]
+    fn histogram_merge_is_associative(
+        a in samples(),
+        b in samples(),
+        c in samples(),
+    ) {
+        let (ha, hb, hc) = (histogram(&a), histogram(&b), histogram(&c));
+        prop_assert_eq!(
+            merged(&merged(&ha, &hb), &hc),
+            merged(&ha, &merged(&hb, &hc))
+        );
+    }
+
+    /// The empty histogram is the merge identity, and merging equals
+    /// observing the concatenated sample set directly.
+    #[test]
+    fn histogram_merge_identity_and_concat(a in samples(), b in samples()) {
+        let ha = histogram(&a);
+        prop_assert_eq!(merged(&ha, &HistogramSnapshot::default()), ha.clone());
+        prop_assert_eq!(merged(&HistogramSnapshot::default(), &ha), ha.clone());
+
+        let concat: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(merged(&ha, &histogram(&b)), histogram(&concat));
+    }
+
+    /// A snapshot round-trips through the wire format unchanged, and the
+    /// wire form itself is canonical (re-encoding reproduces it byte for
+    /// byte).
+    #[test]
+    fn snapshot_wire_round_trip(
+        counters in proptest::collection::vec(("[a-z.]{1,12}", 0u64..1_000_000), 0..8),
+        gauges in proptest::collection::vec(("[a-z.]{1,12}", 0u64..10_000), 0..4),
+        observations in samples(),
+    ) {
+        let reg = Registry::new("client");
+        for (name, n) in &counters {
+            reg.count_by(name, *n);
+        }
+        for (name, v) in &gauges {
+            reg.gauge_set(name, *v);
+        }
+        for (i, ms) in observations.iter().enumerate() {
+            let stage = Stage::ALL[i % Stage::ALL.len()];
+            reg.observe(stage, *ms);
+        }
+        let snap = reg.snapshot();
+        let wire = snap.to_wire();
+        let back = Snapshot::from_wire(&wire).expect("wire parses");
+        prop_assert_eq!(&back, &snap);
+        prop_assert_eq!(back.to_wire(), wire);
+    }
+
+    /// Merging snapshots built from the same observations in any
+    /// interleaving yields identical wire bytes — the property that makes
+    /// fleet-merged snapshots deterministic.
+    #[test]
+    fn snapshot_merge_order_is_irrelevant(a in samples(), b in samples()) {
+        let build = |values: &[u64], scope: &str| {
+            let reg = Registry::new(scope.to_owned());
+            for &ms in values {
+                reg.observe(Stage::Uplink, ms);
+                reg.count("uplink.sent");
+            }
+            reg.snapshot()
+        };
+        let (sa, sb) = (build(&a, "client"), build(&b, "client"));
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(ab.to_wire(), ba.to_wire());
+    }
+}

@@ -151,6 +151,9 @@ pub enum Error {
     /// The static plan verifier rejected a filter/subscription/multicast
     /// plan. Carries every error-severity diagnostic.
     PlanRejected(Vec<PlanDiagnostic>),
+    /// An incoming broker topic did not parse as a SenSocial topic (wrong
+    /// prefix, unknown kind, or empty device segment).
+    MalformedTopic(String),
     /// Any other error, with a description.
     Other(String),
 }
@@ -192,6 +195,7 @@ impl fmt::Display for Error {
                 }
                 Ok(())
             }
+            Error::MalformedTopic(t) => write!(f, "malformed sensocial topic `{t}`"),
             Error::Other(msg) => f.write_str(msg),
         }
     }
@@ -209,7 +213,10 @@ mod tests {
             modality: "location".into(),
             granularity: "raw".into(),
         };
-        assert_eq!(e.to_string(), "privacy policy denies raw data from location");
+        assert_eq!(
+            e.to_string(),
+            "privacy policy denies raw data from location"
+        );
         assert!(Error::UnknownStream(3).to_string().contains("#3"));
     }
 

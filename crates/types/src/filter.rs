@@ -14,14 +14,14 @@
 //! returns an [`EvalError`] instead of silently evaluating false, so the
 //! runtime verdict always agrees with the static analyzer's.
 
+use sensocial_runtime::Timestamp;
 use serde::{Deserialize, Serialize};
 use serde_json::Value;
-use sensocial_runtime::Timestamp;
 
 use crate::{ContextSnapshot, Modality, OsnAction, UserId};
 
 /// Comparison operators available in filter conditions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(rename_all = "snake_case")]
 pub enum Operator {
     /// Values are equal.
@@ -282,9 +282,7 @@ impl Condition {
                     .classified(Modality::Bluetooth)
                     .and_then(|(_, c)| c.value_string().parse::<f64>().ok()),
             ),
-            ConditionLhs::HourOfDay => {
-                self.compare_number(Some(f64::from(ctx.now.hour_of_day())))
-            }
+            ConditionLhs::HourOfDay => self.compare_number(Some(f64::from(ctx.now.hour_of_day()))),
             ConditionLhs::OsnActivity => {
                 let state = if ctx.osn_action.is_some() {
                     "active"

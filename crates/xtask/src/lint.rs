@@ -9,12 +9,22 @@
 //! * leftover debugging (`dbg!`);
 //! * nondeterminism (`SystemTime::now`, `Instant::now`, `thread_rng`,
 //!   `from_entropy`) — the simulation is virtual-time and seeded, and a
-//!   single wall-clock read makes runs irreproducible.
+//!   single wall-clock read makes runs irreproducible;
+//! * ad-hoc stdout instrumentation (`println!`, `eprintln!`) — observable
+//!   behaviour belongs in the `sensocial-telemetry` layer, where it is
+//!   deterministic, snapshottable and wire-comparable.
+//!
+//! The telemetry macros (`count!`, `observe!`, `gauge!`, `trace_event!`)
+//! are the *approved* instrumentation surface: lines invoking them are
+//! recognized as such and skipped outright, so a trace label or counter
+//! name can never trip a textual ban.
 //!
 //! Scope: `crates/*/src`, minus `crates/bench` (experiment harness code,
-//! expect-on-setup is idiomatic there). Test modules (everything after a
-//! `#[cfg(test)]` line), `tests/`, `examples/` and comments are exempt —
-//! the ban is on shipping code, not on assertions.
+//! expect-on-setup and report printing are idiomatic there) and
+//! `crates/xtask` (a CLI tool whose stdout *is* its interface). Test
+//! modules (everything after a `#[cfg(test)]` line), `tests/`,
+//! `examples/` and comments are exempt — the ban is on shipping code, not
+//! on assertions.
 //!
 //! A line may opt out with a trailing `lint:allow(<pattern>)` comment,
 //! reserved for provably-infallible cases (e.g. serializing a struct of
@@ -78,7 +88,24 @@ fn patterns() -> Vec<Pattern> {
             &["from_entr", "opy("],
             "unseeded randomness; use SimRng",
         ),
+        // The needle also matches `eprintln!` as a substring, covering
+        // both stdout and stderr with one pattern/escape name.
+        pat(
+            "println",
+            &["printl", "n!("],
+            "ad-hoc stdout/stderr instrumentation; record through sensocial-telemetry",
+        ),
     ]
+}
+
+/// The telemetry macros recognized as approved instrumentation. A line
+/// invoking one records into a `sensocial_telemetry::Registry` — the
+/// sanctioned observability surface — so the textual bans do not apply to
+/// it (a trace label mentioning a banned token must not fail the gate).
+const TELEMETRY_MACROS: [&str; 4] = ["count!(", "observe!(", "gauge!(", "trace_event!("];
+
+fn is_approved_instrumentation(line: &str) -> bool {
+    TELEMETRY_MACROS.iter().any(|m| line.contains(m))
 }
 
 /// One finding.
@@ -110,6 +137,9 @@ fn scan_source(file: &str, content: &str, patterns: &[Pattern]) -> Vec<Violation
         if trimmed.starts_with("//") {
             continue;
         }
+        if is_approved_instrumentation(line) {
+            continue;
+        }
         for p in patterns {
             if !line.contains(p.needle.as_str()) {
                 continue;
@@ -139,7 +169,8 @@ fn repo_root() -> PathBuf {
     }
 }
 
-/// Every `.rs` file under `crates/*/src`, except `crates/bench`.
+/// Every `.rs` file under `crates/*/src`, except `crates/bench` and
+/// `crates/xtask`.
 fn collect_sources(root: &Path) -> Result<Vec<PathBuf>, String> {
     let crates_dir = root.join("crates");
     let entries = fs::read_dir(&crates_dir)
@@ -148,7 +179,11 @@ fn collect_sources(root: &Path) -> Result<Vec<PathBuf>, String> {
     for entry in entries {
         let entry = entry.map_err(|e| format!("cannot enumerate crates/: {e}"))?;
         let path = entry.path();
-        if !path.is_dir() || path.file_name().is_some_and(|n| n == "bench") {
+        if !path.is_dir()
+            || path
+                .file_name()
+                .is_some_and(|n| n == "bench" || n == "xtask")
+        {
             continue;
         }
         let src = path.join("src");
@@ -161,8 +196,7 @@ fn collect_sources(root: &Path) -> Result<Vec<PathBuf>, String> {
 }
 
 fn walk_rs(dir: &Path, files: &mut Vec<PathBuf>) -> Result<(), String> {
-    let entries =
-        fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let entries = fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
     for entry in entries {
         let entry = entry.map_err(|e| format!("cannot enumerate {}: {e}", dir.display()))?;
         let path = entry.path();
@@ -266,6 +300,27 @@ mod tests {
         let violations = scan_source("fixture.rs", &fixture, &patterns());
         assert_eq!(violations.len(), 1);
         assert_eq!(violations[0].pattern, "system-time");
+    }
+
+    #[test]
+    fn telemetry_macros_are_approved_instrumentation() {
+        // A trace label mentioning a banned token is fine: the line is a
+        // telemetry-macro invocation, the approved instrumentation surface.
+        let needle = tok(&["thread_r", "ng("]);
+        let fixture =
+            format!("fn f(reg: &Registry) {{ trace_event!(reg, 0, \"saw {needle})\"); }}\n");
+        assert!(scan_source("fixture.rs", &fixture, &patterns()).is_empty());
+        // The same token outside a telemetry macro still fails.
+        let fixture = format!("fn f() {{ let r = rand::{needle}); }}\n");
+        assert_eq!(scan_source("fixture.rs", &fixture, &patterns()).len(), 1);
+    }
+
+    #[test]
+    fn stdout_instrumentation_is_banned() {
+        let fixture = format!("fn f() {{ {}\"sent\"); }}\n", tok(&["printl", "n!("]));
+        let violations = scan_source("fixture.rs", &fixture, &patterns());
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].pattern, "println");
     }
 
     #[test]

@@ -85,9 +85,10 @@ fn main() {
         server_app.records.count(&walking),
         server_app.records.len()
     );
+    let snap = world.server.telemetry().snapshot();
     println!(
         "  OSN actions received by server: {}, triggers fired: {}",
-        world.server.stats().osn_actions,
-        world.server.stats().triggers_sent
+        snap.counter("server.osn_actions"),
+        snap.counter("server.triggers_sent")
     );
 }

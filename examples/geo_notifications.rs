@@ -28,8 +28,12 @@ fn main() {
     ] {
         world.add_device(user, format!("{user}-phone"), home);
     }
-    world.server.record_friendship(&UserId::new("a"), &UserId::new("c"));
-    world.server.record_friendship(&UserId::new("a"), &UserId::new("d"));
+    world
+        .server
+        .record_friendship(&UserId::new("a"), &UserId::new("c"));
+    world
+        .server
+        .record_friendship(&UserId::new("a"), &UserId::new("d"));
 
     section("Installing the geo-notification app for user A (home town: Paris)");
     let app = GeoNotifyApp::install(
@@ -77,6 +81,10 @@ fn main() {
     );
     println!(
         "  (server processed {} location uplinks along the way)",
-        world.server.stats().uplink_events
+        world
+            .server
+            .telemetry()
+            .snapshot()
+            .counter("server.uplink_events")
     );
 }

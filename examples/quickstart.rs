@@ -69,5 +69,16 @@ fn main() {
         manager.battery().total_uah(),
         sensors.samples_taken(),
     );
+
+    section("Telemetry snapshot (deterministic: same seed, same bytes)");
+    let snapshot = manager.telemetry().snapshot();
+    println!(
+        "  sensed {} samples, filter held back {}",
+        snapshot
+            .stage(sensocial_telemetry::Stage::Sense)
+            .map_or(0, |h| h.count),
+        snapshot.counter("client.drop.filter"),
+    );
+    println!("  wire form: {}", snapshot.to_wire());
     println!("  done — see `facebook_sensor_map` and `conweb` for the paper's full apps");
 }

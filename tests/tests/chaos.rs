@@ -8,12 +8,13 @@
 //! to the application twice, buffered uplinks flush in order after the
 //! network heals, and a same-seed re-run reproduces every counter.
 
+use sensocial::client::{ClientManager, ClientNetStats};
 use sensocial::server::StreamSelector;
 use sensocial::{
     Condition, ConditionLhs, Filter, Granularity, Modality, Operator, StreamSink, StreamSpec,
 };
 use sensocial_broker::{BrokerClient, ReconnectPolicy};
-use sensocial_net::FaultWindow;
+use sensocial_net::{FaultWindow, Network, NetworkStats};
 use sensocial_runtime::{SimDuration, Timestamp};
 use sensocial_sim::{World, WorldConfig};
 use sensocial_types::geo::cities;
@@ -42,6 +43,17 @@ fn supervise(world: &mut World, device: &str, keepalive: SimDuration) -> BrokerC
     client
 }
 
+/// The legacy client counter view, rebuilt from the unified telemetry
+/// snapshot (the deprecated `net_stats()` accessor reads the same data).
+fn client_net_stats(manager: &ClientManager) -> ClientNetStats {
+    ClientNetStats::from_snapshot(&manager.telemetry().snapshot())
+}
+
+/// Ditto for the network's counters.
+fn network_stats(net: &Network) -> NetworkStats {
+    NetworkStats::from_snapshot(&net.telemetry().snapshot())
+}
+
 fn assert_in_order(ats: &[Timestamp]) {
     assert!(
         ats.windows(2).all(|w| w[0] <= w[1]),
@@ -59,14 +71,15 @@ fn assert_distinct(ats: &[Timestamp]) {
 /// observable counter so the determinism test can compare two runs.
 #[allow(clippy::type_complexity)]
 fn run_partition_scenario() -> (
-    usize,                           // trigger-driven samples on the device
-    Vec<Timestamp>,                  // continuous-stream uplinks, arrival order
-    Vec<Timestamp>,                  // event-stream uplinks, arrival order
+    usize,          // trigger-driven samples on the device
+    Vec<Timestamp>, // continuous-stream uplinks, arrival order
+    Vec<Timestamp>, // event-stream uplinks, arrival order
     sensocial::client::ClientNetStats,
     sensocial_broker::ClientStats,
     sensocial_broker::BrokerStats,
     sensocial_net::NetworkStats,
-    u64,                             // server uplink_events
+    u64,    // server uplink_events
+    String, // merged telemetry snapshot, wire form
 ) {
     let mut world = World::new(WorldConfig::default());
     world.add_device("alice", "alice-phone", cities::paris());
@@ -103,9 +116,13 @@ fn run_partition_scenario() -> (
         let sink = cont_ats.clone();
         world
             .server
-            .register_listener(StreamSelector::Stream(cont), Filter::pass_all(), move |_s, e| {
-                sink.lock().unwrap().push(e.at);
-            })
+            .register_listener(
+                StreamSelector::Stream(cont),
+                Filter::pass_all(),
+                move |_s, e| {
+                    sink.lock().unwrap().push(e.at);
+                },
+            )
             .unwrap();
     }
     let event_ats = Arc::new(Mutex::new(Vec::new()));
@@ -113,9 +130,13 @@ fn run_partition_scenario() -> (
         let sink = event_ats.clone();
         world
             .server
-            .register_listener(StreamSelector::Stream(event), Filter::pass_all(), move |_s, e| {
-                sink.lock().unwrap().push(e.at);
-            })
+            .register_listener(
+                StreamSelector::Stream(event),
+                Filter::pass_all(),
+                move |_s, e| {
+                    sink.lock().unwrap().push(e.at);
+                },
+            )
             .unwrap();
     }
 
@@ -145,11 +166,16 @@ fn run_partition_scenario() -> (
         *trigger_samples.lock().unwrap(),
         cont_ats.lock().unwrap().clone(),
         event_ats.lock().unwrap().clone(),
-        manager.net_stats(),
+        client_net_stats(&manager),
         client.stats(),
         world.broker.stats(),
-        world.net.stats(),
-        world.server.stats().uplink_events,
+        network_stats(&world.net),
+        world
+            .server
+            .telemetry()
+            .snapshot()
+            .counter("server.uplink_events"),
+        world.telemetry_snapshot().to_wire(),
     )
 }
 
@@ -160,7 +186,8 @@ fn run_partition_scenario() -> (
 #[test]
 fn partition_mid_stream_zero_loss_no_dupes_ordered_flush_deterministic() {
     let run_a = run_partition_scenario();
-    let (triggers, cont_ats, event_ats, net, client, broker, netstats, uplinks) = run_a.clone();
+    let (triggers, cont_ats, event_ats, net, client, broker, netstats, uplinks, _wire) =
+        run_a.clone();
 
     // Zero QoS-1 loss: all three posts became exactly one trigger-driven
     // sample each, despite two landing inside the outage.
@@ -197,7 +224,8 @@ fn partition_mid_stream_zero_loss_no_dupes_ordered_flush_deterministic() {
     assert!(uplinks >= cont_ats.len() as u64);
 
     // Determinism: the same seed reproduces every counter and every
-    // arrival, fault injection included.
+    // arrival, fault injection included — down to the byte-identical wire
+    // form of the merged telemetry snapshot.
     let run_b = run_partition_scenario();
     assert_eq!(run_a, run_b, "same-seed runs must be identical");
 }
@@ -224,9 +252,13 @@ fn broker_blackout_parks_uplink_and_flushes_in_order() {
         let sink = ats.clone();
         world
             .server
-            .register_listener(StreamSelector::AllUplinks, Filter::pass_all(), move |_s, e| {
-                sink.lock().unwrap().push(e.at);
-            })
+            .register_listener(
+                StreamSelector::AllUplinks,
+                Filter::pass_all(),
+                move |_s, e| {
+                    sink.lock().unwrap().push(e.at);
+                },
+            )
             .unwrap();
     }
 
@@ -245,7 +277,7 @@ fn broker_blackout_parks_uplink_and_flushes_in_order() {
     world.run_for(SimDuration::from_secs(60));
     let after = ats.lock().unwrap();
     let manager = world.device("alice-phone").unwrap().manager.clone();
-    let net = manager.net_stats();
+    let net = client_net_stats(&manager);
     assert!(net.uplink_flushed >= 8, "backlog flushed on heal: {net:?}");
     assert_eq!(net.uplink_dropped, 0, "{net:?}");
     assert_eq!(manager.uplink_backlog(), 0, "nothing left parked");
@@ -257,7 +289,7 @@ fn broker_blackout_parks_uplink_and_flushes_in_order() {
     );
     assert_in_order(&after);
     assert_distinct(&after);
-    assert!(world.net.stats().dropped_endpoint_down > 0);
+    assert!(network_stats(&world.net).dropped_endpoint_down > 0);
 }
 
 /// The uplink buffer is bounded: under an outage longer than the buffer,
@@ -284,9 +316,13 @@ fn bounded_uplink_buffer_drops_oldest_and_keeps_newest() {
         let sink = ats.clone();
         world
             .server
-            .register_listener(StreamSelector::AllUplinks, Filter::pass_all(), move |_s, e| {
-                sink.lock().unwrap().push(e.at);
-            })
+            .register_listener(
+                StreamSelector::AllUplinks,
+                Filter::pass_all(),
+                move |_s, e| {
+                    sink.lock().unwrap().push(e.at);
+                },
+            )
             .unwrap();
     }
 
@@ -297,9 +333,12 @@ fn bounded_uplink_buffer_drops_oldest_and_keeps_newest() {
     );
     world.run_for(SimDuration::from_secs(120));
 
-    let net = manager.net_stats();
+    let net = client_net_stats(&manager);
     assert!(net.uplink_dropped >= 1, "oldest samples evicted: {net:?}");
-    assert!(net.uplink_flushed <= 3, "flush bounded by the buffer: {net:?}");
+    assert!(
+        net.uplink_flushed <= 3,
+        "flush bounded by the buffer: {net:?}"
+    );
     assert_eq!(manager.uplink_backlog(), 0);
     let ats = ats.lock().unwrap();
     assert_in_order(&ats);
@@ -317,7 +356,9 @@ fn client_churn_during_multicast_membership_change_converges() {
     let mut world = World::new(WorldConfig::default());
     for user in ["a", "b", "c"] {
         world.add_device(user, format!("{user}-phone"), cities::paris());
-        world.server.seed_location(&UserId::new(user), cities::paris());
+        world
+            .server
+            .seed_location(&UserId::new(user), cities::paris());
     }
     supervise(&mut world, "b-phone", SimDuration::from_secs(5));
     supervise(&mut world, "c-phone", SimDuration::from_secs(5));
@@ -350,9 +391,11 @@ fn client_churn_during_multicast_membership_change_converges() {
     world.run_for(SimDuration::from_secs(59));
 
     // b drops off the network at t=60 for 60 s...
-    world
-        .net
-        .partition(&"b-phone-ep".into(), &"broker".into(), Timestamp::from_secs(120));
+    world.net.partition(
+        &"b-phone-ep".into(),
+        &"broker".into(),
+        Timestamp::from_secs(120),
+    );
     // ...and c churns cleanly offline at the same moment.
     let c_manager = world.device("c-phone").unwrap().manager.clone();
     c_manager.go_offline(&mut world.sched);
@@ -365,7 +408,9 @@ fn client_churn_during_multicast_membership_change_converges() {
         .unwrap()
         .env
         .set_position(cities::bordeaux());
-    world.server.seed_location(&UserId::new("b"), cities::bordeaux());
+    world
+        .server
+        .seed_location(&UserId::new("b"), cities::bordeaux());
     world.server.refresh_multicast(&mut world.sched, multicast);
     assert_eq!(world.server.multicast_members(multicast).len(), 2);
 
@@ -465,7 +510,7 @@ fn filter_epoch_convergence_discards_stale_redeliveries() {
         "the newest filter wins"
     );
     assert_eq!(manager.last_config_epoch(stream), 3);
-    let net = manager.net_stats();
+    let net = client_net_stats(&manager);
     assert!(
         net.stale_configs >= 2,
         "stale redeliveries were counted and ignored: {net:?}"

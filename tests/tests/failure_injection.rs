@@ -71,7 +71,11 @@ fn uplink_loss_degrades_but_does_not_break() {
         .net
         .set_link("alice-phone-ep".into(), "broker".into(), lossy_link(0.4));
     world.run_for(SimDuration::from_mins(60));
-    let received = world.server.stats().uplink_events;
+    let received = world
+        .server
+        .telemetry()
+        .snapshot()
+        .counter("server.uplink_events");
     assert!(received > 40, "most cycles arrive: {received}");
     assert!(received < 120, "losses visible: {received}");
 }
@@ -91,19 +95,41 @@ fn plugin_revocation_is_an_osn_outage() {
     world.run_for(SimDuration::from_secs(2));
     world.post("alice", "while authorized");
     world.run_for(SimDuration::from_mins(2));
-    assert_eq!(world.server.stats().osn_actions, 1);
+    assert_eq!(
+        world
+            .server
+            .telemetry()
+            .snapshot()
+            .counter("server.osn_actions"),
+        1
+    );
 
     // The user revokes the Facebook plug-in; actions stop flowing.
     world.push_plugin.revoke(&UserId::new("alice"));
     world.post("alice", "while revoked");
     world.run_for(SimDuration::from_mins(2));
-    assert_eq!(world.server.stats().osn_actions, 1, "no actions during outage");
+    assert_eq!(
+        world
+            .server
+            .telemetry()
+            .snapshot()
+            .counter("server.osn_actions"),
+        1,
+        "no actions during outage"
+    );
 
     // Re-authorization restores the pipeline.
     world.push_plugin.authorize(&UserId::new("alice"));
     world.post("alice", "after re-auth");
     world.run_for(SimDuration::from_mins(2));
-    assert_eq!(world.server.stats().osn_actions, 2);
+    assert_eq!(
+        world
+            .server
+            .telemetry()
+            .snapshot()
+            .counter("server.osn_actions"),
+        2
+    );
 }
 
 #[test]
@@ -112,7 +138,9 @@ fn device_churn_mid_multicast() {
     let mut world = World::new(WorldConfig::default());
     for user in ["a", "b", "c"] {
         world.add_device(user, format!("{user}-phone"), cities::paris());
-        world.server.seed_location(&UserId::new(user), cities::paris());
+        world
+            .server
+            .seed_location(&UserId::new(user), cities::paris());
     }
     world.run_for(SimDuration::from_secs(1));
 
@@ -145,8 +173,14 @@ fn device_churn_mid_multicast() {
     assert!(before >= 6, "all three devices stream: {before}");
 
     // b leaves town; refresh churns the member set.
-    world.device("b-phone").unwrap().env.set_position(cities::bordeaux());
-    world.server.seed_location(&UserId::new("b"), cities::bordeaux());
+    world
+        .device("b-phone")
+        .unwrap()
+        .env
+        .set_position(cities::bordeaux());
+    world
+        .server
+        .seed_location(&UserId::new("b"), cities::bordeaux());
     world.server.refresh_multicast(&mut world.sched, multicast);
     assert_eq!(world.server.multicast_members(multicast).len(), 2);
 
@@ -206,9 +240,13 @@ fn malformed_broker_payloads_are_ignored() {
         let sink = seen.clone();
         world
             .server
-            .register_listener(StreamSelector::AllUplinks, Filter::pass_all(), move |_s, _e| {
-                *sink.lock().unwrap() += 1;
-            })
+            .register_listener(
+                StreamSelector::AllUplinks,
+                Filter::pass_all(),
+                move |_s, _e| {
+                    *sink.lock().unwrap() += 1;
+                },
+            )
             .unwrap();
     }
     // A little slack past 5 minutes so the 10th cycle's uplink (which
@@ -218,7 +256,12 @@ fn malformed_broker_payloads_are_ignored() {
     // produced phantom events (10 cycles in 5 min at 30 s).
     assert_eq!(*seen.lock().unwrap(), 10);
     assert_eq!(
-        world.device("alice-phone").unwrap().manager.stream_ids().len(),
+        world
+            .device("alice-phone")
+            .unwrap()
+            .manager
+            .stream_ids()
+            .len(),
         1,
         "no phantom streams from malformed configs"
     );

@@ -85,10 +85,13 @@ fn three_hours_of_concurrent_apps() {
     });
     world.run_for(SimDuration::from_mins(150));
 
-    let stats = world.server.stats();
+    let stats = sensocial::server::ServerStats::from_snapshot(&world.server.telemetry().snapshot());
     assert!(stats.osn_actions > 10, "actions {}", stats.osn_actions);
     assert_eq!(stats.osn_actions, stats.triggers_sent);
-    assert!(stats.uplink_events > stats.osn_actions, "coupled + multicast uplinks");
+    assert!(
+        stats.uplink_events > stats.osn_actions,
+        "coupled + multicast uplinks"
+    );
 
     // Sensor map coupled markers exist for all three users.
     let map_users: std::collections::BTreeSet<String> = map_server
@@ -115,7 +118,7 @@ fn identical_seeds_give_identical_runs() {
         let (mut world, map_server, geo_app) = busy_world(seed);
         world.run_for(SimDuration::from_mins(90));
         (
-            world.server.stats(),
+            world.telemetry_snapshot().to_wire(),
             map_server.map.len(),
             geo_app.notifications().len(),
             world.sched.events_executed(),
@@ -125,11 +128,7 @@ fn identical_seeds_give_identical_runs() {
     let b = run(1234);
     assert_eq!(a, b, "same seed must reproduce bit-for-bit");
     let c = run(5678);
-    assert_ne!(
-        (a.0.osn_actions, a.3),
-        (c.0.osn_actions, c.3),
-        "different seeds should diverge"
-    );
+    assert_ne!((&a.0, a.3), (&c.0, c.3), "different seeds should diverge");
 }
 
 #[test]
@@ -193,9 +192,13 @@ fn time_of_day_filters_gate_delivery() {
     let sink = counter.clone();
     world
         .server
-        .register_listener(StreamSelector::AllUplinks, Filter::pass_all(), move |s, _e| {
-            sink.lock().unwrap().push(s.now().hour_of_day());
-        })
+        .register_listener(
+            StreamSelector::AllUplinks,
+            Filter::pass_all(),
+            move |s, _e| {
+                sink.lock().unwrap().push(s.now().hour_of_day());
+            },
+        )
         .unwrap();
 
     // Run one full virtual day.
