@@ -1,18 +1,27 @@
-//! `cargo run -p sensocial-bench` — the PR-5 telemetry benchmark.
+//! `cargo run -p sensocial-bench` — the PR-6 storage + telemetry benchmark.
 //!
 //! Drives one deterministic chaos scenario (two phones, continuous +
-//! social-event streams, a mid-run partition) and emits `BENCH_5.json`:
+//! social-event streams, a mid-run partition) and emits `BENCH_6.json`:
 //! per-stage pipeline latency summaries (sense → privacy → filter →
-//! uplink → broker → server → subscriber), every drop-cause counter, and
-//! the backlog gauges' high-water marks — all read from the merged
+//! uplink → broker → server → subscriber), every drop-cause counter, the
+//! backlog gauges' high-water marks, and the storage engine's ingest /
+//! scan profile (batch-size and flush-wait histograms, partition pruning
+//! counters, backend footprint) — all read from the merged
 //! deployment-wide telemetry snapshot.
 //!
 //! With `--snapshot-out <path>` the canonical wire form of the merged
 //! snapshot is also written there; CI runs the binary twice with the same
 //! (fixed) seed and fails if the two files differ by a single byte.
+//!
+//! With `--baseline <path>` the freshly measured per-stage means are
+//! compared against a previously committed report (e.g. `BENCH_5.json`);
+//! a stage regressing beyond the noise threshold fails the run unless the
+//! baseline is marked `"provisional": true`, in which case mismatches are
+//! reported as warnings only (a provisional baseline records structure,
+//! not trusted numbers — regenerate it on CI hardware to arm the gate).
 
 use sensocial::server::StreamSelector;
-use sensocial::{Filter, Granularity, Modality, StreamSink, StreamSpec};
+use sensocial::{Filter, Granularity, Modality, SampleQuery, StreamSink, StreamSpec};
 use sensocial_runtime::{SimDuration, Timestamp};
 use sensocial_sim::metrics::summarize_histogram;
 use sensocial_sim::{World, WorldConfig};
@@ -20,9 +29,18 @@ use sensocial_telemetry::{Snapshot, Stage};
 use sensocial_types::geo::cities;
 use serde_json::{json, Value};
 
+/// Relative headroom a stage mean may grow over its baseline before the
+/// gate fails: mean must stay below `baseline * (1 + NOISE_REL) +
+/// NOISE_ABS_MS`.
+const NOISE_REL: f64 = 0.30;
+/// Absolute slack (ms) added on top of the relative headroom, so stages
+/// with near-zero baselines are not failed by scheduler jitter.
+const NOISE_ABS_MS: f64 = 25.0;
+
 /// One full run of the benchmark scenario, returning the merged
-/// deployment-wide telemetry snapshot.
-fn run_scenario() -> Snapshot {
+/// deployment-wide telemetry snapshot plus the storage section of the
+/// report (which needs the live engine for its footprint).
+fn run_scenario() -> (Snapshot, Value) {
     let mut world = World::new(WorldConfig::default());
     world.add_device("alice", "alice-phone", cities::paris());
     world.add_device("bob", "bob-phone", cities::bordeaux());
@@ -70,7 +88,58 @@ fn run_scenario() -> Snapshot {
     world.post("bob", "second post");
     world.run_for(SimDuration::from_secs(150));
 
-    world.telemetry_snapshot()
+    // Exercise the scan path (partition pruning shows up in the
+    // telemetry): one per-user scan and one narrow time-window scan.
+    let storage = world.server.storage();
+    let all_alice = storage.scan(&SampleQuery::all().for_user("alice"));
+    let windowed = storage.scan(
+        &SampleQuery::all()
+            .for_user("bob")
+            .between(Timestamp::from_secs(60), Timestamp::from_secs(120)),
+    );
+
+    let snap = world.telemetry_snapshot();
+    let footprint = storage.footprint();
+    let storage_section = json!({
+        "backend": storage.kind().name(),
+        "samples_appended": snap.counter("storage.ingest.appended"),
+        "batches_flushed": snap.counter("storage.ingest.batches"),
+        "samples_flushed": snap.counter("storage.ingest.flushed"),
+        "partitions_created": snap.counter("storage.partition.created"),
+        "batch_size": histogram_summary(&snap, "storage.ingest.batch_size"),
+        "flush_wait_ms": histogram_summary(&snap, "storage.ingest.flush_wait_ms"),
+        "scan": {
+            "requests": snap.counter("storage.scan.requests"),
+            "partitions_scanned": snap.counter("storage.scan.partitions_scanned"),
+            "partitions_pruned": snap.counter("storage.scan.partitions_pruned"),
+            "rows": snap.counter("storage.scan.rows"),
+            "probe_rows_user": all_alice.len(),
+            "probe_rows_windowed": windowed.len(),
+        },
+        "footprint": {
+            "rows": footprint.rows,
+            "chunks": footprint.chunks,
+            "payload_bytes": footprint.payload_bytes,
+        },
+    });
+    (snap, storage_section)
+}
+
+/// Summary of one named histogram, `null` if it never recorded.
+fn histogram_summary(snap: &Snapshot, name: &str) -> Value {
+    match snap.histogram(name) {
+        Some(hist) => {
+            let summary = summarize_histogram(hist);
+            json!({
+                "mean": summary.mean,
+                "std_dev": summary.std_dev,
+                "min": summary.min,
+                "max": summary.max,
+                "count": summary.count,
+            })
+        }
+        None => Value::Null,
+    }
 }
 
 /// Per-stage latency summaries in pipeline order.
@@ -119,30 +188,80 @@ fn backlog_high_water(snap: &Snapshot) -> Value {
     Value::Object(backlogs)
 }
 
+/// Compares this run's per-stage means against a committed baseline
+/// report. Returns the list of regressions (empty means the gate passes).
+fn compare_stages(report: &Value, baseline: &Value) -> Vec<String> {
+    let mut regressions = Vec::new();
+    let (Some(new_stages), Some(old_stages)) =
+        (report["stages"].as_object(), baseline["stages"].as_object())
+    else {
+        return vec!["baseline or report is missing the \"stages\" section".to_owned()];
+    };
+    for (stage, old) in old_stages {
+        let Some(new) = new_stages.get(stage) else {
+            regressions.push(format!("stage {stage} disappeared from the report"));
+            continue;
+        };
+        let old_count = old["count"].as_u64().unwrap_or(0);
+        let new_count = new["count"].as_u64().unwrap_or(0);
+        if old_count == 0 {
+            continue; // nothing measured back then: no reference point
+        }
+        if new_count == 0 {
+            regressions.push(format!(
+                "stage {stage}: baseline had {old_count} observations, this run has none"
+            ));
+            continue;
+        }
+        let old_mean = old["mean_ms"].as_f64().unwrap_or(0.0);
+        let new_mean = new["mean_ms"].as_f64().unwrap_or(0.0);
+        let limit = old_mean * (1.0 + NOISE_REL) + NOISE_ABS_MS;
+        if new_mean > limit {
+            regressions.push(format!(
+                "stage {stage}: mean {new_mean:.2} ms exceeds {limit:.2} ms \
+                 (baseline {old_mean:.2} ms + noise threshold)"
+            ));
+        }
+    }
+    regressions
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut snapshot_out: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut report_out = "BENCH_6.json".to_owned();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--snapshot-out" => {
                 snapshot_out = Some(args.next().expect("--snapshot-out needs a path"));
             }
-            other => panic!("unknown argument {other:?} (expected --snapshot-out <path>)"),
+            "--baseline" => {
+                baseline_path = Some(args.next().expect("--baseline needs a path"));
+            }
+            "--out" => {
+                report_out = args.next().expect("--out needs a path");
+            }
+            other => panic!(
+                "unknown argument {other:?} \
+                 (expected --snapshot-out <path>, --baseline <path> or --out <path>)"
+            ),
         }
     }
 
-    let snap = run_scenario();
+    let (snap, storage_section) = run_scenario();
     if let Some(path) = &snapshot_out {
         std::fs::write(path, snap.to_wire()).expect("write snapshot wire file");
         eprintln!("wrote canonical snapshot to {path}");
     }
 
     let report = json!({
-        "benchmark": "BENCH_5",
-        "description": "per-stage pipeline latency, drop causes and backlog high-water marks",
+        "benchmark": "BENCH_6",
+        "description": "per-stage pipeline latency, drop causes, backlog high-water marks and storage engine profile",
         "stages": stage_summaries(&snap),
         "drops": drop_counters(&snap),
         "backlogs": backlog_high_water(&snap),
+        "storage": storage_section,
         "totals": {
             "uplink_events": snap.counter("server.uplink_events"),
             "triggers_sent": snap.counter("server.triggers_sent"),
@@ -151,6 +270,27 @@ fn main() {
         },
     });
     let rendered = serde_json::to_string_pretty(&report).expect("report serializes");
-    std::fs::write("BENCH_5.json", &rendered).expect("write BENCH_5.json");
+    std::fs::write(&report_out, &rendered).expect("write benchmark report");
     println!("{rendered}");
+
+    if let Some(path) = &baseline_path {
+        let text = std::fs::read_to_string(path).expect("read baseline report");
+        let baseline: Value = serde_json::from_str(&text).expect("baseline parses as JSON");
+        let provisional = baseline["provisional"].as_bool().unwrap_or(false);
+        let regressions = compare_stages(&report, &baseline);
+        if regressions.is_empty() {
+            eprintln!("perf gate: all stage means within noise threshold of {path}");
+        } else if provisional {
+            eprintln!("perf gate: baseline {path} is provisional; reporting only:");
+            for line in &regressions {
+                eprintln!("  warning: {line}");
+            }
+        } else {
+            eprintln!("perf gate: regressions against {path}:");
+            for line in &regressions {
+                eprintln!("  FAIL: {line}");
+            }
+            std::process::exit(1);
+        }
+    }
 }

@@ -279,7 +279,12 @@ impl ClientManager {
     /// convergence.
     #[deprecated(
         since = "0.1.0",
-        note = "read `telemetry().snapshot()` (counters under `client.*`) instead"
+        note = "read the counters from `telemetry().snapshot()` directly, or rebuild \
+                the bundle with `ClientNetStats::from_snapshot` (keys \
+                `client.uplink.sent`, `client.uplink.buffered`, `client.uplink.dropped`, \
+                `client.uplink.flushed`, `client.stale_configs`, `client.filter_eval_errors`, \
+                `client.configs_rejected`); this shim will be removed once out-of-tree \
+                callers have migrated"
     )]
     pub fn net_stats(&self) -> ClientNetStats {
         ClientNetStats::from_snapshot(&self.telemetry.snapshot())

@@ -84,6 +84,14 @@ pub use topic::Topic;
 // expose their registries via `telemetry()` accessors.
 pub use sensocial_telemetry::{Registry as TelemetryRegistry, Snapshot as TelemetrySnapshot};
 
+// The storage engine is part of the server's public API surface:
+// `ServerDeps::new` takes an opened engine and `ServerManager::storage`
+// hands it back for scans and exports.
+pub use sensocial_storage::{
+    export, export_query, BackendKind as StorageBackendKind, ExportFormat, SampleQuery,
+    SampleRecord, StorageConfig, StorageEngine,
+};
+
 // Re-export the vocabulary types users need at the API surface, including
 // the plan diagnostics carried by `Error::PlanRejected`.
 pub use sensocial_types::{
@@ -92,26 +100,42 @@ pub use sensocial_types::{
 };
 
 /// Broker topic carrying stream-configuration pushes for a device.
-#[deprecated(since = "0.1.0", note = "use `Topic::Config(device)` instead")]
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Topic::Config(device).to_string()`; no in-repo callers remain and \
+            this stringly shim will be removed once out-of-tree callers have migrated"
+)]
 pub fn config_topic(device: &DeviceId) -> String {
     Topic::Config(device.clone()).to_string()
 }
 
 /// Broker topic carrying sensing triggers for a device.
-#[deprecated(since = "0.1.0", note = "use `Topic::Trigger(device)` instead")]
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Topic::Trigger(device).to_string()`; no in-repo callers remain and \
+            this stringly shim will be removed once out-of-tree callers have migrated"
+)]
 pub fn trigger_topic(device: &DeviceId) -> String {
     Topic::Trigger(device.clone()).to_string()
 }
 
 /// Broker topic carrying a device's uplinked stream events.
-#[deprecated(since = "0.1.0", note = "use `Topic::Uplink(device)` instead")]
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Topic::Uplink(device).to_string()`; no in-repo callers remain and \
+            this stringly shim will be removed once out-of-tree callers have migrated"
+)]
 pub fn uplink_topic(device: &DeviceId) -> String {
     Topic::Uplink(device.clone()).to_string()
 }
 
 /// Broker topic on which a device acknowledges (or rejects, with plan
 /// diagnostics) a pushed stream configuration.
-#[deprecated(since = "0.1.0", note = "use `Topic::Ack(device)` instead")]
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Topic::Ack(device).to_string()`; no in-repo callers remain and \
+            this stringly shim will be removed once out-of-tree callers have migrated"
+)]
 pub fn ack_topic(device: &DeviceId) -> String {
     Topic::Ack(device.clone()).to_string()
 }

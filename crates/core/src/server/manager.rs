@@ -9,6 +9,7 @@ use sensocial_classify::{extract_topic, SentimentClassifier, TextSentiment};
 use sensocial_net::LatencyModel;
 use sensocial_osn::{PollPlugin, PushPlugin, SocialGraph};
 use sensocial_runtime::{Scheduler, SimDuration, SimRng, Timestamp};
+use sensocial_storage::StorageEngine;
 use sensocial_store::{Database, Query};
 use sensocial_telemetry::{Registry, Snapshot, Stage};
 use sensocial_types::{
@@ -55,6 +56,13 @@ impl StreamSelector {
 }
 
 /// Counters describing server activity.
+#[deprecated(
+    since = "0.1.0",
+    note = "read the counters from `telemetry().snapshot()` directly (keys \
+            `server.osn_actions`, `server.triggers_sent`, `server.uplink_events`, \
+            `server.config_rejections`, `server.filter_eval_errors`); this legacy \
+            bundle will be removed once out-of-tree callers have migrated"
+)]
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerStats {
     /// OSN actions received from plug-ins.
@@ -71,6 +79,7 @@ pub struct ServerStats {
     pub filter_eval_errors: u64,
 }
 
+#[allow(deprecated)]
 impl ServerStats {
     /// Rebuilds the legacy counter view from a telemetry [`Snapshot`]
     /// (counters under the `server.*` scope).
@@ -96,8 +105,9 @@ struct Subscription {
 
 /// Everything a [`ServerManager`] is wired to.
 pub struct ServerDeps {
-    /// The document store (MongoDB substitute).
-    pub db: Database,
+    /// The storage engine (document plane + batched sensor-sample log),
+    /// opened through `sensocial_storage::StorageConfig::open`.
+    pub storage: StorageEngine,
     /// The server's broker client.
     pub broker: BrokerClient,
     /// Server-side processing time between receiving an OSN action and
@@ -111,9 +121,9 @@ pub struct ServerDeps {
 
 impl ServerDeps {
     /// Standard wiring with the Table 3-calibrated processing delay.
-    pub fn new(db: Database, broker: BrokerClient, rng: SimRng) -> Self {
+    pub fn new(storage: StorageEngine, broker: BrokerClient, rng: SimRng) -> Self {
         ServerDeps {
-            db,
+            storage,
             broker,
             processing_delay: LatencyModel::Normal {
                 mean_s: 8.8,
@@ -159,7 +169,7 @@ struct Inner {
 #[derive(Clone)]
 pub struct ServerManager {
     inner: Arc<Mutex<Inner>>,
-    db: Database,
+    storage: StorageEngine,
     broker: BrokerClient,
     telemetry: Registry,
 }
@@ -167,13 +177,13 @@ pub struct ServerManager {
 impl std::fmt::Debug for ServerManager {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let inner = self.inner.lock();
+        let snap = self.telemetry.snapshot();
         f.debug_struct("ServerManager")
             .field("devices", &inner.devices.len())
             .field("remote_streams", &inner.remote_streams.len())
-            .field(
-                "stats",
-                &ServerStats::from_snapshot(&self.telemetry.snapshot()),
-            )
+            .field("osn_actions", &snap.counter("server.osn_actions"))
+            .field("triggers_sent", &snap.counter("server.triggers_sent"))
+            .field("uplink_events", &snap.counter("server.uplink_events"))
             .finish()
     }
 }
@@ -182,12 +192,13 @@ impl ServerManager {
     /// Creates a server manager. Call [`ServerManager::connect`] before
     /// expecting uplink data.
     pub fn new(deps: ServerDeps) -> Self {
-        // Indices backing the geo and registration queries.
-        deps.db.collection("locations").create_geo_index("loc");
-        deps.db.collection("locations").create_index("user");
-        deps.db.collection("users").create_index("user");
-        deps.db.collection("osn_links").create_index("a");
-        deps.db.collection("osn_links").create_index("b");
+        // Indices backing the geo and registration queries (document
+        // plane — the same collections under every storage backend).
+        deps.storage.collection("locations").create_geo_index("loc");
+        deps.storage.collection("locations").create_index("user");
+        deps.storage.collection("users").create_index("user");
+        deps.storage.collection("osn_links").create_index("a");
+        deps.storage.collection("osn_links").create_index("b");
         ServerManager {
             inner: Arc::new(Mutex::new(Inner {
                 devices: HashMap::new(),
@@ -209,7 +220,7 @@ impl ServerManager {
                 rejection_log: Vec::new(),
                 text_mining: false,
             })),
-            db: deps.db,
+            storage: deps.storage,
             broker: deps.broker,
             telemetry: Registry::new("server"),
         }
@@ -285,8 +296,12 @@ impl ServerManager {
     /// Activity counters.
     #[deprecated(
         since = "0.1.0",
-        note = "read `telemetry().snapshot()` (counters under `server.*`) instead"
+        note = "read the counters from `telemetry().snapshot()` directly (keys \
+                `server.osn_actions`, `server.triggers_sent`, `server.uplink_events`, \
+                `server.config_rejections`, `server.filter_eval_errors`); this shim \
+                will be removed once out-of-tree callers have migrated"
     )]
+    #[allow(deprecated)]
     pub fn stats(&self) -> ServerStats {
         ServerStats::from_snapshot(&self.telemetry.snapshot())
     }
@@ -303,9 +318,17 @@ impl ServerManager {
         self.inner.lock().action_log.clone()
     }
 
-    /// The document store.
+    /// The storage engine: the batched sensor-sample log plus the
+    /// document plane. Scans ([`StorageEngine::scan`]) and exports go
+    /// through this handle.
+    pub fn storage(&self) -> &StorageEngine {
+        &self.storage
+    }
+
+    /// The document plane of the storage engine (registries and
+    /// application collections) — the Mongo-substitute view.
     pub fn db(&self) -> &Database {
-        &self.db
+        self.storage.docs()
     }
 
     /// The server's view of the OSN graph.
@@ -340,7 +363,7 @@ impl ServerManager {
             inner.graph.add_user(user.clone());
             inner.contexts.entry(user.clone()).or_default();
         }
-        let _ = self.db.collection("users").insert(json!({
+        let _ = self.storage.collection("users").insert(json!({
             "user": user.as_str(),
             "device": device.as_str(),
         }));
@@ -368,7 +391,7 @@ impl ServerManager {
             let mut inner = self.inner.lock();
             inner.graph.add_friendship(a, b);
         }
-        let _ = self.db.collection("osn_links").insert(json!({
+        let _ = self.storage.collection("osn_links").insert(json!({
             "a": a.as_str(),
             "b": b.as_str(),
         }));
@@ -381,7 +404,7 @@ impl ServerManager {
     }
 
     fn upsert_location(&self, user: &UserId, position: GeoPoint) {
-        let locations = self.db.collection("locations");
+        let locations = self.storage.collection("locations");
         let query = Query::eq("user", user.as_str());
         let loc = json!({"lat": position.lat, "lon": position.lon});
         if locations.update_set(&query, &[("loc", loc.clone())]) == 0 {
@@ -453,7 +476,7 @@ impl ServerManager {
             let mut rng = inner.rng.split("processing");
             inner.processing_delay.sample(&mut rng)
         };
-        let _ = self.db.collection("actions").insert(json!({
+        let _ = self.storage.collection("actions").insert(json!({
             "user": action.user.as_str(),
             "kind": action.kind.name(),
             "content": action.content,
@@ -1072,6 +1095,24 @@ impl ServerManager {
         }
         if let ContextData::Raw(RawSample::Location(fix)) = &event.data {
             self.upsert_location(&event.user, fix.position);
+        }
+
+        // Persist the sample through the storage engine's batch buffer:
+        // one flush per interval instead of one insert per sample. The
+        // engine asks for a flush to be scheduled exactly when none is
+        // pending, so at most one flush event is in flight.
+        if let Some(delay) = self.storage.append_context(
+            event.user.clone(),
+            event.device.clone(),
+            event.stream,
+            event.at,
+            &event.data,
+            sched.now(),
+        ) {
+            let storage = self.storage.clone();
+            sched.schedule_after(delay, move |s| {
+                storage.flush(s.now());
+            });
         }
 
         // Collect every listener whose selector + (fully evaluated) filter

@@ -9,5 +9,7 @@ mod manager;
 mod multicast;
 
 pub use aggregator::AggregatorId;
-pub use manager::{ServerDeps, ServerManager, ServerStats, StreamSelector};
+pub use manager::{ServerDeps, ServerManager, StreamSelector};
+#[allow(deprecated)]
+pub use manager::ServerStats;
 pub use multicast::{MulticastId, MulticastSelector, MulticastStream};

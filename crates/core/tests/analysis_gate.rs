@@ -14,7 +14,7 @@ use sensocial_energy::{BatteryMeter, CpuCosts, CpuMeter, EnergyProfile, MemoryPr
 use sensocial_net::Network;
 use sensocial_runtime::{Scheduler, SimDuration, SimRng};
 use sensocial_sensors::{DeviceEnvironment, SensorManager};
-use sensocial_store::Database;
+use sensocial_storage::StorageConfig;
 use sensocial_types::geo::cities;
 use sensocial_types::{DeviceId, StreamId, UserId};
 
@@ -30,7 +30,7 @@ fn deployment(seed: u64) -> Deployment {
     let _broker = Broker::new(&net, "broker");
     let server_client = BrokerClient::new(&net, "server-ep", "broker", "server");
     let server = ServerManager::new(ServerDeps::new(
-        Database::new("sensocial"),
+        StorageConfig::from_env().open(),
         server_client,
         SimRng::seed_from(seed ^ 0xA5),
     ));

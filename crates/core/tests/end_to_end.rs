@@ -15,7 +15,7 @@ use sensocial_net::{LatencyModel, LinkSpec, Network};
 use sensocial_osn::{OsnPlatform, PushPlugin};
 use sensocial_runtime::{Scheduler, SimDuration, SimRng};
 use sensocial_sensors::{DeviceEnvironment, SensorManager};
-use sensocial_store::Database;
+use sensocial_storage::StorageConfig;
 use sensocial_types::geo::cities;
 use sensocial_types::{DeviceId, GeoFence, PhysicalActivity, UserId};
 
@@ -35,7 +35,7 @@ fn deployment(seed: u64) -> Deployment {
     let _broker = Broker::new(&net, "broker");
     let server_client = BrokerClient::new(&net, "server-ep", "broker", "server");
     let server = ServerManager::new(ServerDeps::new(
-        Database::new("sensocial"),
+        StorageConfig::from_env().open(),
         server_client,
         SimRng::seed_from(seed ^ 0xA5),
     ));

@@ -14,7 +14,8 @@ use sensocial_net::{LatencyModel, LinkSpec, Network};
 use sensocial_osn::{OsnPlatform, PushPlugin};
 use sensocial_runtime::{Scheduler, SimDuration, SimRng};
 use sensocial_sensors::{DeviceEnvironment, SensorManager};
-use sensocial_store::{Database, Query};
+use sensocial_storage::StorageConfig;
+use sensocial_store::Query;
 use sensocial_types::geo::cities;
 use sensocial_types::{DeviceId, PhysicalActivity, UserId};
 
@@ -32,7 +33,7 @@ fn rig() -> Rig {
     net.set_default_link(LinkSpec::with_latency(LatencyModel::constant_ms(40)));
     let _broker = Broker::new(&net, "broker");
     let server = ServerManager::new(ServerDeps::new(
-        Database::new("db"),
+        StorageConfig::from_env().open(),
         BrokerClient::new(&net, "server-ep", "broker", "server"),
         SimRng::seed_from(3),
     ));

@@ -508,7 +508,12 @@ impl Network {
     /// A snapshot of the delivery counters.
     #[deprecated(
         since = "0.1.0",
-        note = "read `telemetry().snapshot()` (counters under `net.*`) instead"
+        note = "read the counters from `telemetry().snapshot()` directly, or rebuild \
+                the bundle with `NetworkStats::from_snapshot` (keys under `net.*`: \
+                `sent`, `delivered`, `dropped`, `bytes_sent`, `dropped.loss`, \
+                `dropped.partition`, `dropped.endpoint_down`, `unreachable`, `parked`, \
+                `parked.dropped`, `parked.flushed`); this shim will be removed once \
+                out-of-tree callers have migrated"
     )]
     pub fn stats(&self) -> NetworkStats {
         NetworkStats::from_snapshot(&self.telemetry.snapshot())

@@ -15,7 +15,7 @@ use sensocial_net::{LatencyModel, LinkSpec, Network};
 use sensocial_osn::{OsnPlatform, PollPlugin, PushPlugin};
 use sensocial_runtime::{Scheduler, SimDuration, SimRng, Timer};
 use sensocial_sensors::{DeviceEnvironment, SensorManager};
-use sensocial_store::Database;
+use sensocial_storage::StorageConfig;
 use sensocial_types::{DeviceId, GeoPoint, Place, UserId};
 
 use crate::device::VirtualDevice;
@@ -36,6 +36,11 @@ pub struct WorldConfig {
     pub poll_interval: SimDuration,
     /// Whether devices charge the idle baseline to their battery meter.
     pub charge_idle: bool,
+    /// Server storage configuration (backend, partition window, flush
+    /// interval). The default reads the backend from the
+    /// `SENSOCIAL_STORAGE_BACKEND` environment variable, which is how CI
+    /// runs the whole suite against both backends.
+    pub storage: StorageConfig,
 }
 
 impl Default for WorldConfig {
@@ -51,6 +56,7 @@ impl Default for WorldConfig {
             ],
             poll_interval: SimDuration::from_secs(30),
             charge_idle: true,
+            storage: StorageConfig::from_env(),
         }
     }
 }
@@ -100,7 +106,7 @@ impl World {
 
         let server_client = BrokerClient::new(&net, "server-ep", "broker", "server");
         let server = ServerManager::new(ServerDeps::new(
-            Database::new("sensocial"),
+            config.storage.open(),
             server_client,
             rng.split("server"),
         ));
@@ -284,14 +290,16 @@ impl World {
     }
 
     /// One merged, deterministic telemetry snapshot for the whole
-    /// deployment: the server, the broker, the network and every device's
-    /// client manager. Counter scopes keep the sources apart (`server.*`,
-    /// `broker.*`, `net.*`, `client.*` — client counters sum across the
-    /// fleet), while the unscoped per-stage latency histograms
+    /// deployment: the server, its storage engine, the broker, the network
+    /// and every device's client manager. Counter scopes keep the sources
+    /// apart (`server.*`, `storage.*`, `broker.*`, `net.*`, `client.*` —
+    /// client counters sum across the fleet), while the unscoped
+    /// per-stage latency histograms
     /// (`stage.sense` … `stage.subscriber`) merge into one histogram per
     /// pipeline stage.
     pub fn telemetry_snapshot(&self) -> sensocial::TelemetrySnapshot {
         let mut snap = self.server.telemetry().snapshot();
+        snap.merge(&self.server.storage().telemetry().snapshot());
         snap.merge(&self.broker.telemetry().snapshot());
         snap.merge(&self.net.telemetry().snapshot());
         for device in self.devices.values() {

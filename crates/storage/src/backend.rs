@@ -1,0 +1,125 @@
+//! The `Storage` backend contract.
+//!
+//! A backend owns two data planes:
+//!
+//! * a **document plane** — the Mongo-style [`Database`] holding the
+//!   server's registries and application collections (users, locations,
+//!   actions, OSN links, app output). Every backend embeds one; the engine
+//!   exposes it unchanged so existing document-store callers keep working;
+//! * a **sample plane** — the append-only sensor-sample log, ingested in
+//!   per-partition batches and scanned with pushed-down predicates.
+//!
+//! Backends differ only in how the sample plane is laid out. The engine
+//! (not the backend) assigns sequence numbers, plans partitions, prunes
+//! candidates and records telemetry, which is what makes same-seed runs
+//! produce byte-identical snapshots regardless of the backend in use.
+
+use std::fmt;
+use std::str::FromStr;
+
+use sensocial_store::Database;
+use sensocial_types::Error;
+
+use crate::sample::{PartitionKey, SampleQuery, SampleRecord};
+
+/// The storage backends shipped with the middleware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BackendKind {
+    /// Samples live as documents in a `samples` collection of the
+    /// document store, with field and geo indexes (the PR-5 layout).
+    #[default]
+    Document,
+    /// Samples live in append-only column chunks partitioned by
+    /// (user, virtual-time window).
+    Columnar,
+}
+
+impl BackendKind {
+    /// Short lowercase name, as accepted by [`BackendKind::from_str`] and
+    /// the `SENSOCIAL_STORAGE_BACKEND` environment variable.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Document => "document",
+            BackendKind::Columnar => "columnar",
+        }
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for BackendKind {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "document" => Ok(BackendKind::Document),
+            "columnar" => Ok(BackendKind::Columnar),
+            other => Err(Error::InvalidConfig(format!(
+                "unknown storage backend {other:?}; expected \"document\" or \"columnar\""
+            ))),
+        }
+    }
+}
+
+/// Physical layout statistics, for bench reports and debugging.
+///
+/// Figures are backend-specific by design (a document backend has one
+/// "chunk" per collection, a columnar backend one per partition) and are
+/// deliberately **not** part of the telemetry snapshot, which must stay
+/// identical across backends.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StorageFootprint {
+    /// Total sample rows persisted.
+    pub rows: u64,
+    /// Physical chunks holding those rows.
+    pub chunks: u64,
+    /// Approximate resident payload size in bytes.
+    pub payload_bytes: u64,
+}
+
+/// A pluggable storage backend: the document plane plus the sample log.
+pub trait StorageBackend: Send + Sync {
+    /// Which backend this is.
+    fn kind(&self) -> BackendKind;
+
+    /// The document plane (registries and application collections).
+    fn docs(&self) -> &Database;
+
+    /// Appends one batch of records belonging to a single partition.
+    ///
+    /// Records arrive in ingest (sequence) order; partitions within one
+    /// flush arrive in key order. Backends append blindly — deduplication
+    /// is not part of the contract, the engine never re-ingests.
+    fn ingest(&self, partition: &PartitionKey, records: &[SampleRecord]);
+
+    /// Scans the sample log for rows matching `query`.
+    ///
+    /// `candidates` is the engine's pruned partition list, in key order:
+    /// every partition that *may* hold a match. A backend may narrow
+    /// further (column pushdown, field indexes) but must apply
+    /// [`SampleQuery::matches`] as the final membership test and must
+    /// return rows in ingest (`seq`) order.
+    fn scan(&self, query: &SampleQuery, candidates: &[PartitionKey]) -> Vec<SampleRecord>;
+
+    /// Physical layout statistics.
+    fn footprint(&self) -> StorageFootprint;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in [BackendKind::Document, BackendKind::Columnar] {
+            assert_eq!(kind.name().parse::<BackendKind>().ok(), Some(kind));
+        }
+        assert!("mongo".parse::<BackendKind>().is_err());
+        assert_eq!(BackendKind::default(), BackendKind::Document);
+        assert_eq!(BackendKind::Columnar.to_string(), "columnar");
+    }
+}

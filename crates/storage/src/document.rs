@@ -1,0 +1,126 @@
+//! The document backend: samples as rows of a `samples` collection.
+//!
+//! This is the PR-5 persistence layout, refactored behind the
+//! [`StorageBackend`] trait: every sample becomes one document in the
+//! embedded document store, with field indexes on the user, modality and
+//! timestamp columns and a geo index on the position column. Predicate
+//! pushdown happens through the store's own query planner — the engine's
+//! partition candidates are folded into an indexed time-range clause.
+
+use sensocial_store::{CmpOp, Database, Query};
+
+use crate::backend::{BackendKind, StorageBackend, StorageFootprint};
+use crate::sample::{PartitionKey, SampleQuery, SampleRecord};
+
+/// Collection holding the sample log.
+const SAMPLES: &str = "samples";
+
+/// Samples stored as indexed documents in the Mongo-style store.
+#[derive(Debug)]
+pub struct DocumentBackend {
+    db: Database,
+}
+
+impl DocumentBackend {
+    /// Creates the backend around a fresh document database.
+    ///
+    /// The backing store is private to the factory; constructing it
+    /// directly would bypass the `Storage` trait.
+    pub(crate) fn create(db_name: &str) -> DocumentBackend {
+        let db = Database::new(db_name); // lint:allow(database-new)
+        let samples = db.collection(SAMPLES);
+        samples.create_index("user");
+        samples.create_index("modality");
+        samples.create_index("at");
+        samples.create_geo_index("position");
+        DocumentBackend { db }
+    }
+
+    /// Translates a sample query into the store's query language so the
+    /// collection's planner can use its field and geo indexes.
+    fn pushdown(query: &SampleQuery) -> Query {
+        let mut clauses = Vec::new();
+        if let Some(user) = &query.user {
+            clauses.push(Query::eq("user", user.as_str()));
+        }
+        if let Some(device) = &query.device {
+            clauses.push(Query::eq("device", device.as_str()));
+        }
+        if let Some(stream) = query.stream {
+            clauses.push(Query::eq("stream", stream.value()));
+        }
+        if let Some(modality) = query.modality {
+            clauses.push(Query::eq("modality", modality.name()));
+        }
+        if let Some(granularity) = query.granularity {
+            clauses.push(Query::eq("granularity", granularity.name()));
+        }
+        if let Some(from) = query.from {
+            clauses.push(Query::cmp("at", CmpOp::Gte, from.as_millis()));
+        }
+        if let Some(until) = query.until {
+            clauses.push(Query::cmp("at", CmpOp::Lte, until.as_millis()));
+        }
+        if let Some(fence) = &query.fence {
+            clauses.push(Query::within("position", *fence));
+        }
+        if clauses.is_empty() {
+            Query::All
+        } else {
+            Query::And(clauses)
+        }
+    }
+}
+
+impl StorageBackend for DocumentBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Document
+    }
+
+    fn docs(&self) -> &Database {
+        &self.db
+    }
+
+    fn ingest(&self, _partition: &PartitionKey, records: &[SampleRecord]) {
+        let samples = self.db.collection(SAMPLES);
+        for record in records {
+            // A SampleRecord is a struct of plain fields; it always
+            // serializes, and always to an object the store accepts.
+            let body = serde_json::to_value(record)
+                .expect("sample record serializes"); // lint:allow(expect)
+            let _ = samples.insert(body);
+        }
+    }
+
+    fn scan(&self, query: &SampleQuery, candidates: &[PartitionKey]) -> Vec<SampleRecord> {
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        let samples = self.db.collection(SAMPLES);
+        let mut rows: Vec<SampleRecord> = samples
+            .find(&DocumentBackend::pushdown(query))
+            .into_iter()
+            .filter_map(|doc| serde_json::from_value::<SampleRecord>(doc.body).ok())
+            .filter(|record| query.matches(record))
+            .collect();
+        rows.sort_by_key(|r| r.seq);
+        rows
+    }
+
+    fn footprint(&self) -> StorageFootprint {
+        let samples = self.db.collection(SAMPLES);
+        let rows = samples.len() as u64;
+        let payload_bytes: u64 = samples
+            .find(&Query::All)
+            .iter()
+            .filter_map(|doc| doc.body.get("payload"))
+            .filter_map(|p| p.as_str())
+            .map(|p| p.len() as u64)
+            .sum();
+        StorageFootprint {
+            rows,
+            chunks: u64::from(rows > 0),
+            payload_bytes,
+        }
+    }
+}

@@ -1,0 +1,398 @@
+//! Exporters: sample scans as csv, jsonl or SenML.
+//!
+//! Experiment output is a first-class product of the middleware: a run's
+//! sample log can be exported in three formats, all deterministic —
+//! records in ingest order, stable field order, shortest-round-trip float
+//! formatting:
+//!
+//! * **csv** — one row per sample, RFC 4180 quoting, header row; empty
+//!   fields mean an absent column. Round-trips through [`parse_csv`].
+//! * **jsonl** — one canonical [`SampleRecord`] JSON object per line.
+//!   Round-trips through [`parse_jsonl`].
+//! * **senml** — an RFC 8428-style JSON array (`n`/`t` plus `v` for the
+//!   numeric column or `vs` for the label), for downstream tooling that
+//!   speaks sensor markup. Lossy by design (no payload), export-only.
+
+use std::fmt::Write as _;
+use std::str::FromStr;
+
+use sensocial_runtime::Timestamp;
+use sensocial_types::{DeviceId, Error, GeoPoint, Granularity, Modality, Result, StreamId, UserId};
+
+use crate::engine::StorageEngine;
+use crate::sample::{SampleQuery, SampleRecord};
+
+/// The export formats shipped with the middleware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExportFormat {
+    /// Comma-separated values with a header row.
+    Csv,
+    /// One JSON object per line.
+    Jsonl,
+    /// SenML-style JSON array.
+    Senml,
+}
+
+impl ExportFormat {
+    /// Short lowercase name, as accepted by [`ExportFormat::from_str`].
+    pub fn name(self) -> &'static str {
+        match self {
+            ExportFormat::Csv => "csv",
+            ExportFormat::Jsonl => "jsonl",
+            ExportFormat::Senml => "senml",
+        }
+    }
+}
+
+impl FromStr for ExportFormat {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Self> {
+        match s {
+            "csv" => Ok(ExportFormat::Csv),
+            "jsonl" => Ok(ExportFormat::Jsonl),
+            "senml" => Ok(ExportFormat::Senml),
+            other => Err(Error::InvalidConfig(format!(
+                "unknown export format {other:?}; expected \"csv\", \"jsonl\" or \"senml\""
+            ))),
+        }
+    }
+}
+
+/// The csv header row.
+const CSV_HEADER: &str = "seq,user,device,stream,modality,granularity,at_ms,lat,lon,numeric,label,payload";
+
+/// Renders `records` in `format`.
+pub fn export(records: &[SampleRecord], format: ExportFormat) -> String {
+    match format {
+        ExportFormat::Csv => export_csv(records),
+        ExportFormat::Jsonl => export_jsonl(records),
+        ExportFormat::Senml => export_senml(records),
+    }
+}
+
+/// Scans `engine` with `query` and renders the result in `format`.
+pub fn export_query(engine: &StorageEngine, query: &SampleQuery, format: ExportFormat) -> String {
+    export(&engine.scan(query), format)
+}
+
+fn csv_quote(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+fn export_csv(records: &[SampleRecord]) -> String {
+    let mut out = String::from(CSV_HEADER);
+    out.push('\n');
+    for r in records {
+        let (lat, lon) = match r.position {
+            Some(p) => (p.lat.to_string(), p.lon.to_string()),
+            None => (String::new(), String::new()),
+        };
+        let numeric = r.numeric.map(|n| n.to_string()).unwrap_or_default();
+        let label = r.label.clone().unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{},{}",
+            r.seq,
+            csv_quote(r.user.as_str()),
+            csv_quote(r.device.as_str()),
+            r.stream.value(),
+            r.modality.name(),
+            r.granularity.name(),
+            r.at.as_millis(),
+            lat,
+            lon,
+            numeric,
+            csv_quote(&label),
+            csv_quote(&r.payload),
+        );
+    }
+    out
+}
+
+fn export_jsonl(records: &[SampleRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        // A SampleRecord is a struct of plain fields; it always serializes.
+        let line = serde_json::to_string(r)
+            .expect("sample record serializes"); // lint:allow(expect)
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+fn export_senml(records: &[SampleRecord]) -> String {
+    let entries: Vec<serde_json::Value> = records
+        .iter()
+        .map(|r| {
+            let mut entry = serde_json::Map::new();
+            entry.insert(
+                "n".to_owned(),
+                serde_json::Value::from(format!(
+                    "{}/{}/{}",
+                    r.user.as_str(),
+                    r.device.as_str(),
+                    r.modality.name()
+                )),
+            );
+            entry.insert(
+                "t".to_owned(),
+                serde_json::Value::from(r.at.as_secs_f64()),
+            );
+            if let Some(n) = r.numeric {
+                entry.insert("v".to_owned(), serde_json::Value::from(n));
+            }
+            if let Some(label) = &r.label {
+                entry.insert("vs".to_owned(), serde_json::Value::from(label.as_str()));
+            }
+            if let Some(p) = r.position {
+                entry.insert("lat".to_owned(), serde_json::Value::from(p.lat));
+                entry.insert("lon".to_owned(), serde_json::Value::from(p.lon));
+            }
+            serde_json::Value::Object(entry)
+        })
+        .collect();
+    // An array of plain objects always serializes.
+    serde_json::to_string(&serde_json::Value::Array(entries))
+        .expect("senml array serializes") // lint:allow(expect)
+}
+
+/// Parses one jsonl export back into records.
+pub fn parse_jsonl(input: &str) -> Result<Vec<SampleRecord>> {
+    let mut records = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record: SampleRecord = serde_json::from_str(line)
+            .map_err(|e| Error::Other(format!("jsonl line {}: {e}", i + 1)))?;
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Splits one csv line into fields, honouring RFC 4180 quoting.
+fn split_csv_line(line: &str) -> Result<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut quoted = false;
+    while let Some(c) = chars.next() {
+        if quoted {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        quoted = false;
+                    }
+                }
+                other => field.push(other),
+            }
+        } else {
+            match c {
+                '"' if field.is_empty() => quoted = true,
+                ',' => fields.push(std::mem::take(&mut field)),
+                other => field.push(other),
+            }
+        }
+    }
+    if quoted {
+        return Err(Error::Other("csv: unterminated quoted field".to_owned()));
+    }
+    fields.push(field);
+    Ok(fields)
+}
+
+fn csv_field_error(line: usize, field: &str) -> Error {
+    Error::Other(format!("csv line {line}: bad field {field:?}"))
+}
+
+/// Parses one csv export back into records.
+pub fn parse_csv(input: &str) -> Result<Vec<SampleRecord>> {
+    let mut lines = input.lines().enumerate();
+    match lines.next() {
+        Some((_, header)) if header == CSV_HEADER => {}
+        _ => return Err(Error::Other("csv: missing or unknown header".to_owned())),
+    }
+    let mut records = Vec::new();
+    for (i, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let n = i + 1;
+        let fields = split_csv_line(line)?;
+        if fields.len() != 12 {
+            return Err(Error::Other(format!(
+                "csv line {n}: expected 12 fields, got {}",
+                fields.len()
+            )));
+        }
+        let seq: u64 = fields[0].parse().map_err(|_| csv_field_error(n, "seq"))?;
+        let stream: u64 = fields[3]
+            .parse()
+            .map_err(|_| csv_field_error(n, "stream"))?;
+        let modality = Modality::from_str(&fields[4]).map_err(|_| csv_field_error(n, "modality"))?;
+        let granularity =
+            Granularity::from_str(&fields[5]).map_err(|_| csv_field_error(n, "granularity"))?;
+        let at_ms: u64 = fields[6].parse().map_err(|_| csv_field_error(n, "at_ms"))?;
+        let position = if fields[7].is_empty() && fields[8].is_empty() {
+            None
+        } else {
+            let lat: f64 = fields[7].parse().map_err(|_| csv_field_error(n, "lat"))?;
+            let lon: f64 = fields[8].parse().map_err(|_| csv_field_error(n, "lon"))?;
+            Some(GeoPoint::new(lat, lon))
+        };
+        let numeric = if fields[9].is_empty() {
+            None
+        } else {
+            Some(
+                fields[9]
+                    .parse::<f64>()
+                    .map_err(|_| csv_field_error(n, "numeric"))?,
+            )
+        };
+        let label = if fields[10].is_empty() {
+            None
+        } else {
+            Some(fields[10].clone())
+        };
+        records.push(SampleRecord {
+            seq,
+            user: UserId::new(fields[1].clone()),
+            device: DeviceId::new(fields[2].clone()),
+            stream: StreamId::new(stream),
+            modality,
+            granularity,
+            at: Timestamp::from_millis(at_ms),
+            position,
+            numeric,
+            label,
+            payload: fields[11].clone(),
+        });
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sensocial_types::{
+        AudioFrame, ClassifiedContext, ContextData, GpsFix, PhysicalActivity, RawSample,
+    };
+
+    fn fixture() -> Vec<SampleRecord> {
+        let gps = ContextData::Raw(RawSample::Location(GpsFix {
+            position: GeoPoint::new(48.8566, 2.3522),
+            accuracy_m: 10.0,
+            speed_mps: 1.25,
+        }));
+        let audio = ContextData::Raw(RawSample::Microphone(AudioFrame {
+            rms: 0.125,
+            peak: 0.5,
+            duration_ms: 1000,
+        }));
+        let activity =
+            ContextData::Classified(ClassifiedContext::Activity(PhysicalActivity::Walking));
+        let place = ContextData::Classified(ClassifiedContext::Place(Some(
+            "Paris, \"la\" ville".to_owned(),
+        )));
+        vec![
+            SampleRecord::from_context(
+                0,
+                UserId::new("alice"),
+                DeviceId::new("phone-1"),
+                StreamId::new(1),
+                Timestamp::from_secs(10),
+                &gps,
+            ),
+            SampleRecord::from_context(
+                1,
+                UserId::new("alice"),
+                DeviceId::new("phone-1"),
+                StreamId::new(2),
+                Timestamp::from_secs(20),
+                &audio,
+            ),
+            SampleRecord::from_context(
+                2,
+                UserId::new("bob, jr"),
+                DeviceId::new("phone-2"),
+                StreamId::new(3),
+                Timestamp::from_secs(30),
+                &activity,
+            ),
+            SampleRecord::from_context(
+                3,
+                UserId::new("bob, jr"),
+                DeviceId::new("phone-2"),
+                StreamId::new(3),
+                Timestamp::from_secs(40),
+                &place,
+            ),
+        ]
+    }
+
+    #[test]
+    fn csv_round_trips() {
+        let records = fixture();
+        let csv = export(&records, ExportFormat::Csv);
+        let back = parse_csv(&csv).expect("csv parses");
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let records = fixture();
+        let jsonl = export(&records, ExportFormat::Jsonl);
+        let back = parse_jsonl(&jsonl).expect("jsonl parses");
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn senml_exports_names_times_and_values() {
+        let records = fixture();
+        let senml = export(&records, ExportFormat::Senml);
+        let parsed: serde_json::Value = serde_json::from_str(&senml).expect("senml is json");
+        let entries = parsed.as_array().expect("senml is an array");
+        assert_eq!(entries.len(), records.len());
+        assert_eq!(
+            entries[0]["n"],
+            serde_json::Value::from("alice/phone-1/location")
+        );
+        assert_eq!(entries[0]["t"], serde_json::Value::from(10.0));
+        assert_eq!(entries[0]["v"], serde_json::Value::from(1.25));
+        assert_eq!(entries[2]["vs"], serde_json::Value::from("walking"));
+    }
+
+    #[test]
+    fn exports_are_deterministic() {
+        let records = fixture();
+        for format in [ExportFormat::Csv, ExportFormat::Jsonl, ExportFormat::Senml] {
+            assert_eq!(export(&records, format), export(&records, format));
+        }
+    }
+
+    #[test]
+    fn csv_rejects_malformed_input() {
+        assert!(parse_csv("nope\n").is_err());
+        let truncated = format!("{CSV_HEADER}\n1,alice\n");
+        assert!(parse_csv(&truncated).is_err());
+        let unterminated = format!("{CSV_HEADER}\n1,\"alice,phone,1,location,raw,0,,,,,x\n");
+        assert!(parse_csv(&unterminated).is_err());
+    }
+
+    #[test]
+    fn format_names_round_trip() {
+        for format in [ExportFormat::Csv, ExportFormat::Jsonl, ExportFormat::Senml] {
+            assert_eq!(format.name().parse::<ExportFormat>().ok(), Some(format));
+        }
+        assert!("parquet".parse::<ExportFormat>().is_err());
+    }
+}

@@ -1,0 +1,152 @@
+//! Query-planner edge cases: empty collections, geo-index boundary radii
+//! and a property check that indexed plans equal full scans even at exact
+//! fence boundaries.
+
+use proptest::prelude::*;
+use sensocial_store::{CmpOp, Collection, Query};
+use sensocial_types::geo::cities;
+use sensocial_types::GeoPoint;
+use serde_json::json;
+
+#[test]
+fn empty_collection_answers_every_query_shape() {
+    let c = Collection::new("empty");
+    c.create_index("home");
+    c.create_index("age");
+    c.create_geo_index("loc");
+
+    assert_eq!(c.len(), 0);
+    assert!(c.find(&Query::All).is_empty());
+    assert!(c.find(&Query::eq("home", "Paris")).is_empty());
+    for op in [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Gt,
+        CmpOp::Gte,
+        CmpOp::Lt,
+        CmpOp::Lte,
+    ] {
+        assert!(c.find(&Query::cmp("age", op, 30)).is_empty());
+    }
+    assert!(c
+        .find(&Query::near("loc", cities::paris(), 1_000_000.0))
+        .is_empty());
+    assert!(c
+        .find(&Query::and(vec![
+            Query::eq("home", "Paris"),
+            Query::cmp("age", CmpOp::Gte, 0),
+        ]))
+        .is_empty());
+    assert_eq!(c.delete(&Query::All), 0);
+    assert_eq!(c.update_set(&Query::All, &[("home", json!("x"))]), 0);
+}
+
+#[test]
+fn empty_collection_matches_unindexed_twin() {
+    let indexed = Collection::new("indexed");
+    indexed.create_index("home");
+    indexed.create_geo_index("loc");
+    let plain = Collection::new("plain");
+    for q in [
+        Query::All,
+        Query::eq("home", "Paris"),
+        Query::near("loc", cities::paris(), 10_000.0),
+    ] {
+        assert_eq!(indexed.count(&q), plain.count(&q));
+    }
+}
+
+/// The geo predicate is inclusive: a point at *exactly* the query radius
+/// is inside, a hair beyond is out — on both the indexed and scan paths.
+#[test]
+fn geo_radius_boundary_is_inclusive() {
+    let center = cities::paris();
+    let on_ring = center.offset(5_000.0, 90.0);
+    let exact = center.distance_m(on_ring);
+
+    for indexed in [false, true] {
+        let c = Collection::new("ring");
+        if indexed {
+            c.create_geo_index("loc");
+        }
+        c.insert(json!({"who": "ring", "loc": {"lat": on_ring.lat, "lon": on_ring.lon}}))
+            .unwrap();
+
+        assert_eq!(
+            c.count(&Query::near("loc", center, exact)),
+            1,
+            "exact-radius point must be included (indexed={indexed})"
+        );
+        assert_eq!(
+            c.count(&Query::near("loc", center, exact - 0.001)),
+            0,
+            "point beyond the fence must be excluded (indexed={indexed})"
+        );
+    }
+}
+
+#[test]
+fn zero_radius_fence_contains_only_its_center() {
+    let center = cities::bordeaux();
+    let c = Collection::new("pin");
+    c.create_geo_index("loc");
+    c.insert(json!({"who": "pin", "loc": {"lat": center.lat, "lon": center.lon}}))
+        .unwrap();
+    c.insert(json!({
+        "who": "near",
+        "loc": {"lat": center.lat, "lon": center.lon + 1e-4},
+    }))
+    .unwrap();
+
+    let hits = c.find(&Query::near("loc", center, 0.0));
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].body["who"], json!("pin"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Points scattered on and around a ring: querying at exactly the ring
+    /// radius returns identical results from the indexed plan and the full
+    /// scan, and every on-ring point is included.
+    #[test]
+    fn indexed_geo_boundary_matches_scan(
+        bearings in proptest::collection::vec(0.0f64..360.0, 1..20),
+        radius in 100.0f64..50_000.0,
+        jitter in -50.0f64..50.0,
+    ) {
+        let center = cities::birmingham();
+        let build = |make_index: bool| {
+            let c = Collection::new("ring");
+            if make_index {
+                c.create_geo_index("loc");
+            }
+            for (i, bearing) in bearings.iter().enumerate() {
+                let dist = if i % 2 == 0 { radius } else { radius + jitter };
+                let p = center.offset(dist, *bearing);
+                c.insert(json!({"i": i, "loc": {"lat": p.lat, "lon": p.lon}}))
+                    .unwrap();
+            }
+            c
+        };
+        let plain = build(false);
+        let indexed = build(true);
+        // Query at the largest exact distance so on-ring points sit on the
+        // boundary regardless of offset() rounding.
+        let max_exact = bearings
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 2 == 0)
+            .map(|(_, b)| center.distance_m(center.offset(radius, *b)))
+            .fold(0.0f64, f64::max);
+        let q = Query::near("loc", center, max_exact);
+        let ids = |c: &Collection| -> Vec<u64> {
+            c.find(&q).into_iter().map(|d| d.id.value()).collect()
+        };
+        prop_assert_eq!(ids(&plain), ids(&indexed));
+        // Every even (on-ring) point is within max_exact by construction.
+        let hit_count = plain.count(&q);
+        let on_ring = bearings.iter().enumerate().filter(|(i, _)| i % 2 == 0).count();
+        prop_assert!(hit_count >= on_ring, "{hit_count} < {on_ring}");
+    }
+}

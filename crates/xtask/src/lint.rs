@@ -12,7 +12,12 @@
 //!   single wall-clock read makes runs irreproducible;
 //! * ad-hoc stdout instrumentation (`println!`, `eprintln!`) — observable
 //!   behaviour belongs in the `sensocial-telemetry` layer, where it is
-//!   deterministic, snapshottable and wire-comparable.
+//!   deterministic, snapshottable and wire-comparable;
+//! * direct document-store construction (`Database::new`) — storage is
+//!   opened through `sensocial-storage`'s `StorageConfig` factory, so the
+//!   backend stays selectable (and CI's backend matrix actually covers
+//!   the code); only the storage crate's backends may construct the
+//!   underlying store.
 //!
 //! The telemetry macros (`count!`, `observe!`, `gauge!`, `trace_event!`)
 //! are the *approved* instrumentation surface: lines invoking them are
@@ -94,6 +99,12 @@ fn patterns() -> Vec<Pattern> {
             "println",
             &["printl", "n!("],
             "ad-hoc stdout/stderr instrumentation; record through sensocial-telemetry",
+        ),
+        pat(
+            "database-new",
+            &["Database::n", "ew("],
+            "construct storage via sensocial-storage's StorageConfig factory, \
+             so the backend stays selectable",
         ),
     ]
 }
@@ -321,6 +332,19 @@ mod tests {
         let violations = scan_source("fixture.rs", &fixture, &patterns());
         assert_eq!(violations.len(), 1);
         assert_eq!(violations[0].pattern, "println");
+    }
+
+    #[test]
+    fn direct_database_construction_is_banned() {
+        let needle = tok(&["Database::n", "ew("]);
+        let fixture = format!("fn f() {{ let db = {needle}\"sensocial\"); }}\n");
+        let violations = scan_source("fixture.rs", &fixture, &patterns());
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].pattern, "database-new");
+        // The storage backends themselves carry the allow marker.
+        let marker = tok(&["lint:", "allow(database-new)"]);
+        let allowed = format!("fn f() {{ let db = {needle}\"sensocial\"); }} // {marker}\n");
+        assert!(scan_source("fixture.rs", &allowed, &patterns()).is_empty());
     }
 
     #[test]

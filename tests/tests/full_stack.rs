@@ -85,13 +85,13 @@ fn three_hours_of_concurrent_apps() {
     });
     world.run_for(SimDuration::from_mins(150));
 
-    let stats = sensocial::server::ServerStats::from_snapshot(&world.server.telemetry().snapshot());
-    assert!(stats.osn_actions > 10, "actions {}", stats.osn_actions);
-    assert_eq!(stats.osn_actions, stats.triggers_sent);
-    assert!(
-        stats.uplink_events > stats.osn_actions,
-        "coupled + multicast uplinks"
-    );
+    let snap = world.server.telemetry().snapshot();
+    let osn_actions = snap.counter("server.osn_actions");
+    let triggers_sent = snap.counter("server.triggers_sent");
+    let uplink_events = snap.counter("server.uplink_events");
+    assert!(osn_actions > 10, "actions {osn_actions}");
+    assert_eq!(osn_actions, triggers_sent);
+    assert!(uplink_events > osn_actions, "coupled + multicast uplinks");
 
     // Sensor map coupled markers exist for all three users.
     let map_users: std::collections::BTreeSet<String> = map_server
