@@ -17,13 +17,23 @@
 //! compared against a previously committed report (e.g. `BENCH_5.json`);
 //! a stage regressing beyond the noise threshold fails the run unless the
 //! baseline is marked `"provisional": true`, in which case mismatches are
-//! reported as warnings only (a provisional baseline records structure,
-//! not trusted numbers — regenerate it on CI hardware to arm the gate).
+//! reported as warnings only. Stages the baseline never measured
+//! (count = 0) are skipped and called out on stderr — commit a baseline
+//! written by `--write-baseline <path>` to arm them.
+//!
+//! With `--scenario <name>` the run replays one of the named city-scale
+//! scenarios from `sensocial_sim::scenarios` (stadium-egress,
+//! commute-cascade, churn-wave, soak) instead of the default two-phone
+//! chaos scenario, checks its committed acceptance thresholds, and adds a
+//! `"scenario"` section to the report; threshold violations fail the run.
+//! Per-stage latencies are virtual-time figures, so every number in the
+//! report is machine-independent.
 
 use sensocial::server::StreamSelector;
 use sensocial::{Filter, Granularity, Modality, SampleQuery, StreamSink, StreamSpec};
 use sensocial_runtime::{SimDuration, Timestamp};
 use sensocial_sim::metrics::summarize_histogram;
+use sensocial_sim::scenarios::{run_schedule, ScenarioName, ScenarioSpec};
 use sensocial_sim::{World, WorldConfig};
 use sensocial_telemetry::{Snapshot, Stage};
 use sensocial_types::geo::cities;
@@ -189,13 +199,20 @@ fn backlog_high_water(snap: &Snapshot) -> Value {
 }
 
 /// Compares this run's per-stage means against a committed baseline
-/// report. Returns the list of regressions (empty means the gate passes).
-fn compare_stages(report: &Value, baseline: &Value) -> Vec<String> {
+/// report. Returns the list of regressions (empty means the gate passes)
+/// plus the list of stages the baseline never measured — those are
+/// skipped, not gated, and the caller prints them so a silently vacuous
+/// gate is visible in CI logs.
+fn compare_stages(report: &Value, baseline: &Value) -> (Vec<String>, Vec<String>) {
     let mut regressions = Vec::new();
+    let mut unarmed = Vec::new();
     let (Some(new_stages), Some(old_stages)) =
         (report["stages"].as_object(), baseline["stages"].as_object())
     else {
-        return vec!["baseline or report is missing the \"stages\" section".to_owned()];
+        return (
+            vec!["baseline or report is missing the \"stages\" section".to_owned()],
+            unarmed,
+        );
     };
     for (stage, old) in old_stages {
         let Some(new) = new_stages.get(stage) else {
@@ -205,7 +222,8 @@ fn compare_stages(report: &Value, baseline: &Value) -> Vec<String> {
         let old_count = old["count"].as_u64().unwrap_or(0);
         let new_count = new["count"].as_u64().unwrap_or(0);
         if old_count == 0 {
-            continue; // nothing measured back then: no reference point
+            unarmed.push(stage.clone()); // nothing measured back then: no reference point
+            continue;
         }
         if new_count == 0 {
             regressions.push(format!(
@@ -223,13 +241,53 @@ fn compare_stages(report: &Value, baseline: &Value) -> Vec<String> {
             ));
         }
     }
-    regressions
+    (regressions, unarmed)
+}
+
+/// Runs one named city-scale scenario and checks its committed acceptance
+/// thresholds. Returns the merged snapshot, a storage section (counters
+/// only — the runner owns the world, so no live footprint probe), the
+/// `"scenario"` report section, and whether acceptance failed.
+fn run_named_scenario(name: &str) -> (Snapshot, Value, Value, bool) {
+    let scenario: ScenarioName = name
+        .parse()
+        .unwrap_or_else(|err| panic!("--scenario: {err}"));
+    let spec = ScenarioSpec::named(scenario);
+    let schedule = spec.generate();
+    let outcome = run_schedule(&spec, &schedule).expect("scenario schedule replays");
+    let report = spec.thresholds().check(&outcome);
+    let snap = outcome.snapshot.clone();
+    let storage_section = json!({
+        "samples_appended": snap.counter("storage.ingest.appended"),
+        "batches_flushed": snap.counter("storage.ingest.batches"),
+        "samples_flushed": snap.counter("storage.ingest.flushed"),
+        "partitions_created": snap.counter("storage.partition.created"),
+        "batch_size": histogram_summary(&snap, "storage.ingest.batch_size"),
+        "flush_wait_ms": histogram_summary(&snap, "storage.ingest.flush_wait_ms"),
+    });
+    let scenario_section = json!({
+        "name": scenario.as_str(),
+        "seed": spec.seed,
+        "devices": outcome.device_count,
+        "duration_s": outcome.duration.as_secs(),
+        "schedule_events": schedule.len(),
+        "posts": schedule.post_count(),
+        "subscriber_deliveries": outcome.subscriber_deliveries,
+        "backlog_probes": outcome.backlog_samples,
+        "acceptance": {
+            "passed": report.passed(),
+            "violations": report.violations,
+        },
+    });
+    (snap, storage_section, scenario_section, !report.passed())
 }
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut snapshot_out: Option<String> = None;
     let mut baseline_path: Option<String> = None;
+    let mut write_baseline: Option<String> = None;
+    let mut scenario_name: Option<String> = None;
     let mut report_out = "BENCH_6.json".to_owned();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -239,23 +297,36 @@ fn main() {
             "--baseline" => {
                 baseline_path = Some(args.next().expect("--baseline needs a path"));
             }
+            "--write-baseline" => {
+                write_baseline = Some(args.next().expect("--write-baseline needs a path"));
+            }
+            "--scenario" => {
+                scenario_name = Some(args.next().expect("--scenario needs a name"));
+            }
             "--out" => {
                 report_out = args.next().expect("--out needs a path");
             }
             other => panic!(
-                "unknown argument {other:?} \
-                 (expected --snapshot-out <path>, --baseline <path> or --out <path>)"
+                "unknown argument {other:?} (expected --snapshot-out <path>, \
+                 --baseline <path>, --write-baseline <path>, --scenario <name> \
+                 or --out <path>)"
             ),
         }
     }
 
-    let (snap, storage_section) = run_scenario();
+    let (snap, storage_section, scenario_section, acceptance_failed) = match &scenario_name {
+        Some(name) => run_named_scenario(name),
+        None => {
+            let (snap, storage_section) = run_scenario();
+            (snap, storage_section, Value::Null, false)
+        }
+    };
     if let Some(path) = &snapshot_out {
         std::fs::write(path, snap.to_wire()).expect("write snapshot wire file");
         eprintln!("wrote canonical snapshot to {path}");
     }
 
-    let report = json!({
+    let mut report = json!({
         "benchmark": "BENCH_6",
         "description": "per-stage pipeline latency, drop causes, backlog high-water marks and storage engine profile",
         "stages": stage_summaries(&snap),
@@ -269,15 +340,37 @@ fn main() {
             "net_delivered": snap.counter("net.delivered"),
         },
     });
+    if !scenario_section.is_null() {
+        report["scenario"] = scenario_section;
+    }
     let rendered = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&report_out, &rendered).expect("write benchmark report");
     println!("{rendered}");
+
+    if let Some(path) = &write_baseline {
+        let baseline = json!({
+            "benchmark": "BENCH_5",
+            "description": "committed perf baseline: per-stage virtual-time latency means \
+                            measured by sensocial-bench (regenerate with --write-baseline)",
+            "stages": report["stages"].clone(),
+        });
+        let text = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
+        std::fs::write(path, text).expect("write baseline report");
+        eprintln!("wrote non-provisional perf baseline to {path}");
+    }
 
     if let Some(path) = &baseline_path {
         let text = std::fs::read_to_string(path).expect("read baseline report");
         let baseline: Value = serde_json::from_str(&text).expect("baseline parses as JSON");
         let provisional = baseline["provisional"].as_bool().unwrap_or(false);
-        let regressions = compare_stages(&report, &baseline);
+        let (regressions, unarmed) = compare_stages(&report, &baseline);
+        if !unarmed.is_empty() {
+            eprintln!(
+                "perf gate: baseline {path} has no observations for {} \
+                 (gate skips them; regenerate with --write-baseline to arm)",
+                unarmed.join(", ")
+            );
+        }
         if regressions.is_empty() {
             eprintln!("perf gate: all stage means within noise threshold of {path}");
         } else if provisional {
@@ -292,5 +385,10 @@ fn main() {
             }
             std::process::exit(1);
         }
+    }
+
+    if acceptance_failed {
+        eprintln!("scenario acceptance: thresholds violated (see report \"scenario\" section)");
+        std::process::exit(1);
     }
 }

@@ -79,6 +79,13 @@ struct Session {
     offline: VecDeque<(String, String, QoS)>,
 }
 
+/// Total messages parked in offline queues across every session — the
+/// value behind the `broker.offline_backlog` gauge (its high-water mark is
+/// the figure scenario acceptance thresholds bound).
+fn offline_backlog(sessions: &HashMap<String, Session>) -> u64 {
+    sessions.values().map(|s| s.offline.len() as u64).sum()
+}
+
 #[derive(Debug, Clone)]
 struct PendingDelivery {
     client_id: String,
@@ -183,7 +190,10 @@ impl Broker {
 
     /// The broker's telemetry registry (scope `broker`): activity counters
     /// mirroring [`BrokerStats`] plus the [`Stage::Broker`] ingress-transit
-    /// histogram.
+    /// histogram, the `broker.offline_backlog` gauge (messages parked in
+    /// offline queues, with high-water mark) and the
+    /// `broker.offline_dropped` counter (oldest-message evictions when an
+    /// offline queue overflows its limit).
     pub fn telemetry(&self) -> &Registry {
         &self.telemetry
     }
@@ -256,7 +266,10 @@ impl Broker {
                 session_present,
             };
             let flush: Vec<(String, String, QoS)> = session.offline.drain(..).collect();
-            (flush, ack, inner.endpoint.clone(), session.endpoint.clone())
+            let endpoint = session.endpoint.clone();
+            let backlog = offline_backlog(&inner.sessions);
+            self.telemetry.gauge_set("offline_backlog", backlog);
+            (flush, ack, inner.endpoint.clone(), endpoint)
         };
         // The ConnAck leaves before the offline flush so a resuming client
         // confirms its session ahead of the queued deliveries.
@@ -404,12 +417,17 @@ impl Broker {
                     if let Some(session) = inner.sessions.get_mut(cid) {
                         if session.offline.len() >= limit {
                             session.offline.pop_front();
+                            self.telemetry.count("offline_dropped");
                         }
                         session
                             .offline
                             .push_back((topic.clone(), payload.clone(), *q));
                     }
                 }
+            }
+            if targets.iter().any(|(_, _, connected)| !connected) {
+                let backlog = offline_backlog(&inner.sessions);
+                self.telemetry.gauge_set("offline_backlog", backlog);
             }
             targets
         };
@@ -511,6 +529,7 @@ impl Broker {
                             session.connected = false;
                             if session.offline.len() >= limit {
                                 session.offline.pop_front();
+                                self.telemetry.count("offline_dropped");
                             }
                             session.offline.push_back((
                                 pending.topic,
@@ -519,6 +538,8 @@ impl Broker {
                             ));
                             inner.stats.requeued += 1;
                             self.telemetry.count("requeued");
+                            let backlog = offline_backlog(&inner.sessions);
+                            self.telemetry.gauge_set("offline_backlog", backlog);
                         }
                         None => {
                             inner.stats.abandoned += 1;

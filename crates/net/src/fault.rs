@@ -50,6 +50,38 @@ impl FaultWindow {
         }
     }
 
+    /// A window covering `[from, from + length)` — the natural shape for
+    /// scenario scripts that think in "outage at T lasting D".
+    pub fn starting_at(from: Timestamp, length: SimDuration) -> Self {
+        FaultWindow {
+            from,
+            until: from + length,
+        }
+    }
+
+    /// The same window shifted `offset` later — used to stagger one fault
+    /// shape across a fleet of endpoints (churn waves).
+    #[must_use]
+    pub fn shifted(self, offset: SimDuration) -> Self {
+        FaultWindow {
+            from: self.from + offset,
+            until: self.until + offset,
+        }
+    }
+
+    /// The window clipped so it never extends past `deadline`. Returns
+    /// `None` when nothing of the window survives the clip.
+    #[must_use]
+    pub fn clipped_to(self, deadline: Timestamp) -> Option<Self> {
+        if self.from >= deadline {
+            return None;
+        }
+        Some(FaultWindow {
+            from: self.from,
+            until: self.until.min(deadline),
+        })
+    }
+
     /// Whether `at` falls inside the window.
     pub fn contains(&self, at: Timestamp) -> bool {
         at >= self.from && at < self.until
@@ -214,6 +246,22 @@ mod tests {
         assert!(w.contains(ts(10)));
         assert!(w.contains(ts(19)));
         assert!(!w.contains(ts(20)));
+    }
+
+    #[test]
+    fn window_composition_helpers() {
+        let w = FaultWindow::starting_at(ts(10), SimDuration::from_secs(5));
+        assert_eq!(w, FaultWindow::new(ts(10), ts(15)));
+
+        let shifted = w.shifted(SimDuration::from_secs(3));
+        assert_eq!(shifted, FaultWindow::new(ts(13), ts(18)));
+
+        assert_eq!(
+            shifted.clipped_to(ts(15)),
+            Some(FaultWindow::new(ts(13), ts(15)))
+        );
+        assert_eq!(shifted.clipped_to(ts(13)), None, "nothing survives");
+        assert_eq!(shifted.clipped_to(ts(30)), Some(shifted), "no-op clip");
     }
 
     #[test]

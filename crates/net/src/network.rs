@@ -290,6 +290,30 @@ impl Network {
         );
     }
 
+    /// Composes one flap shape across a fleet: endpoint `i` receives the
+    /// flapping schedule `window.shifted(i * stagger)`, clipped so no
+    /// schedule outlives `window.until` — a deterministic churn *wave*
+    /// rolling through the population instead of a synchronized blackout.
+    ///
+    /// Endpoints whose staggered window would start at or after
+    /// `window.until` get no fault at all, so over-long fleets degrade
+    /// gracefully rather than flapping forever.
+    pub fn churn_wave(
+        &self,
+        endpoints: &[EndpointId],
+        window: FaultWindow,
+        down_for: SimDuration,
+        up_for: SimDuration,
+        stagger: SimDuration,
+    ) {
+        for (i, id) in endpoints.iter().enumerate() {
+            let shifted = window.shifted(stagger * (i as u64));
+            if let Some(clipped) = shifted.clipped_to(window.until) {
+                self.flap_endpoint(id, clipped, down_for, up_for);
+            }
+        }
+    }
+
     /// Removes every outage and flapping schedule for `id`.
     pub fn clear_endpoint_faults(&self, id: &EndpointId) {
         self.inner.lock().faults.clear_endpoint(id);
@@ -561,6 +585,30 @@ mod tests {
         assert_eq!(log.len(), 1);
         assert_eq!(log[0].0, 120);
         assert_eq!(log[0].1, b"hi");
+    }
+
+    #[test]
+    fn churn_wave_staggers_and_clips() {
+        let net = Network::new(1);
+        let endpoints: Vec<EndpointId> = vec!["a".into(), "b".into(), "c".into()];
+        let window = FaultWindow::new(Timestamp::from_secs(10), Timestamp::from_secs(40));
+        net.churn_wave(
+            &endpoints,
+            window,
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(20),
+        );
+        // a: flaps from t=10; b: staggered to t=30 (clipped at 40); c's
+        // shifted window starts at the wave end, so it never flaps.
+        assert!(net.is_endpoint_down(&"a".into(), Timestamp::from_secs(12)));
+        assert!(!net.is_endpoint_down(&"b".into(), Timestamp::from_secs(12)));
+        assert!(net.is_endpoint_down(&"b".into(), Timestamp::from_secs(32)));
+        assert!(!net.is_endpoint_down(&"c".into(), Timestamp::from_secs(52)));
+        assert!(
+            !net.is_endpoint_down(&"a".into(), Timestamp::from_secs(45)),
+            "wave is over"
+        );
     }
 
     #[test]

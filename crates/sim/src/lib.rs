@@ -11,6 +11,11 @@
 //! SenSocial against in Table 2 and Figure 4 — activity streaming written
 //! directly against the sensor substrate, no middleware.
 //!
+//! The [`scenarios`] module is the city-scale deterministic scenario
+//! suite: seeded workload generators (flash crowds, commute flows, churn
+//! waves, soaks) that emit replayable event schedules plus the committed
+//! acceptance thresholds the chaos harness asserts.
+//!
 //! # Example
 //!
 //! ```
@@ -37,6 +42,7 @@
 pub mod baseline;
 mod device;
 pub mod metrics;
+pub mod scenarios;
 mod world;
 
 pub use device::VirtualDevice;

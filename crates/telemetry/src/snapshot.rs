@@ -183,6 +183,32 @@ impl Snapshot {
         self.gauges.get(name).copied()
     }
 
+    /// All counters whose key starts with `prefix`, in canonical (sorted)
+    /// key order — e.g. `counters_with_prefix("net.dropped")` yields every
+    /// drop-cause counter. The scenario acceptance harness and the bench's
+    /// drop report are built on this.
+    pub fn counters_with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, u64)> + 'a {
+        self.counters
+            .range(prefix.to_owned()..)
+            .take_while(move |(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Sum of the current values of every gauge whose key starts with
+    /// `prefix` — e.g. `gauge_total("client.uplink_backlog")` or a broad
+    /// `gauge_total("")` over all gauges. Backlog probes in the scenario
+    /// runner aggregate queue depths this way.
+    pub fn gauge_total(&self, prefix: &str) -> u64 {
+        self.gauges
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, g)| g.value)
+            .sum()
+    }
+
     /// The histogram under `name`, if any.
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         self.histograms.get(name)

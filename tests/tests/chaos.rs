@@ -8,13 +8,13 @@
 //! to the application twice, buffered uplinks flush in order after the
 //! network heals, and a same-seed re-run reproduces every counter.
 
-use sensocial::client::{ClientManager, ClientNetStats};
+use sensocial::client::ClientManager;
 use sensocial::server::StreamSelector;
 use sensocial::{
     Condition, ConditionLhs, Filter, Granularity, Modality, Operator, StreamSink, StreamSpec,
 };
 use sensocial_broker::{BrokerClient, ReconnectPolicy};
-use sensocial_net::{FaultWindow, Network, NetworkStats};
+use sensocial_net::{FaultWindow, Network};
 use sensocial_runtime::{SimDuration, Timestamp};
 use sensocial_sim::{World, WorldConfig};
 use sensocial_types::geo::cities;
@@ -43,15 +43,16 @@ fn supervise(world: &mut World, device: &str, keepalive: SimDuration) -> BrokerC
     client
 }
 
-/// The legacy client counter view, rebuilt from the unified telemetry
-/// snapshot (the deprecated `net_stats()` accessor reads the same data).
-fn client_net_stats(manager: &ClientManager) -> ClientNetStats {
-    ClientNetStats::from_snapshot(&manager.telemetry().snapshot())
+/// One named counter from the client manager's telemetry snapshot —
+/// the assertions below read the unified keys directly rather than going
+/// through the deprecated `ClientNetStats` bundle.
+fn client_counter(manager: &ClientManager, key: &str) -> u64 {
+    manager.telemetry().snapshot().counter(key)
 }
 
-/// Ditto for the network's counters.
-fn network_stats(net: &Network) -> NetworkStats {
-    NetworkStats::from_snapshot(&net.telemetry().snapshot())
+/// Ditto for the network's registry.
+fn net_counter(net: &Network, key: &str) -> u64 {
+    net.telemetry().snapshot().counter(key)
 }
 
 fn assert_in_order(ats: &[Timestamp]) {
@@ -74,10 +75,10 @@ fn run_partition_scenario() -> (
     usize,          // trigger-driven samples on the device
     Vec<Timestamp>, // continuous-stream uplinks, arrival order
     Vec<Timestamp>, // event-stream uplinks, arrival order
-    sensocial::client::ClientNetStats,
+    (u64, u64),     // client.uplink.flushed, client.uplink.dropped
     sensocial_broker::ClientStats,
     sensocial_broker::BrokerStats,
-    sensocial_net::NetworkStats,
+    u64,    // net.dropped.partition
     u64,    // server uplink_events
     String, // merged telemetry snapshot, wire form
 ) {
@@ -166,10 +167,13 @@ fn run_partition_scenario() -> (
         *trigger_samples.lock().unwrap(),
         cont_ats.lock().unwrap().clone(),
         event_ats.lock().unwrap().clone(),
-        client_net_stats(&manager),
+        (
+            client_counter(&manager, "client.uplink.flushed"),
+            client_counter(&manager, "client.uplink.dropped"),
+        ),
         client.stats(),
         world.broker.stats(),
-        network_stats(&world.net),
+        net_counter(&world.net, "net.dropped.partition"),
         world
             .server
             .telemetry()
@@ -186,8 +190,17 @@ fn run_partition_scenario() -> (
 #[test]
 fn partition_mid_stream_zero_loss_no_dupes_ordered_flush_deterministic() {
     let run_a = run_partition_scenario();
-    let (triggers, cont_ats, event_ats, net, client, broker, netstats, uplinks, _wire) =
-        run_a.clone();
+    let (
+        triggers,
+        cont_ats,
+        event_ats,
+        (uplink_flushed, uplink_dropped),
+        client,
+        broker,
+        dropped_partition,
+        uplinks,
+        _wire,
+    ) = run_a.clone();
 
     // Zero QoS-1 loss: all three posts became exactly one trigger-driven
     // sample each, despite two landing inside the outage.
@@ -218,9 +231,9 @@ fn partition_mid_stream_zero_loss_no_dupes_ordered_flush_deterministic() {
 
     // Store-and-forward accounting: a healthy backlog flushed, nothing
     // overflowed, nothing is still parked.
-    assert!(net.uplink_flushed >= 8, "{net:?}");
-    assert_eq!(net.uplink_dropped, 0, "{net:?}");
-    assert!(netstats.dropped_partition > 0, "{netstats:?}");
+    assert!(uplink_flushed >= 8, "flushed {uplink_flushed}");
+    assert_eq!(uplink_dropped, 0, "dropped {uplink_dropped}");
+    assert!(dropped_partition > 0, "the partition actually bit");
     assert!(uplinks >= cont_ats.len() as u64);
 
     // Determinism: the same seed reproduces every counter and every
@@ -277,19 +290,19 @@ fn broker_blackout_parks_uplink_and_flushes_in_order() {
     world.run_for(SimDuration::from_secs(60));
     let after = ats.lock().unwrap();
     let manager = world.device("alice-phone").unwrap().manager.clone();
-    let net = client_net_stats(&manager);
-    assert!(net.uplink_flushed >= 8, "backlog flushed on heal: {net:?}");
-    assert_eq!(net.uplink_dropped, 0, "{net:?}");
+    let flushed = client_counter(&manager, "client.uplink.flushed");
+    assert!(flushed >= 8, "backlog flushed on heal: {flushed}");
+    assert_eq!(client_counter(&manager, "client.uplink.dropped"), 0);
     assert_eq!(manager.uplink_backlog(), 0, "nothing left parked");
     assert!(
-        after.len() >= during + net.uplink_flushed as usize,
+        after.len() >= during + flushed as usize,
         "flushed backlog and resumed live traffic arrived: {} vs {}",
         after.len(),
         during
     );
     assert_in_order(&after);
     assert_distinct(&after);
-    assert!(network_stats(&world.net).dropped_endpoint_down > 0);
+    assert!(net_counter(&world.net, "net.dropped.endpoint_down") > 0);
 }
 
 /// The uplink buffer is bounded: under an outage longer than the buffer,
@@ -333,12 +346,10 @@ fn bounded_uplink_buffer_drops_oldest_and_keeps_newest() {
     );
     world.run_for(SimDuration::from_secs(120));
 
-    let net = client_net_stats(&manager);
-    assert!(net.uplink_dropped >= 1, "oldest samples evicted: {net:?}");
-    assert!(
-        net.uplink_flushed <= 3,
-        "flush bounded by the buffer: {net:?}"
-    );
+    let dropped = client_counter(&manager, "client.uplink.dropped");
+    let flushed = client_counter(&manager, "client.uplink.flushed");
+    assert!(dropped >= 1, "oldest samples evicted: {dropped}");
+    assert!(flushed <= 3, "flush bounded by the buffer: {flushed}");
     assert_eq!(manager.uplink_backlog(), 0);
     let ats = ats.lock().unwrap();
     assert_in_order(&ats);
@@ -510,9 +521,9 @@ fn filter_epoch_convergence_discards_stale_redeliveries() {
         "the newest filter wins"
     );
     assert_eq!(manager.last_config_epoch(stream), 3);
-    let net = client_net_stats(&manager);
+    let stale = client_counter(&manager, "client.stale_configs");
     assert!(
-        net.stale_configs >= 2,
-        "stale redeliveries were counted and ignored: {net:?}"
+        stale >= 2,
+        "stale redeliveries were counted and ignored: {stale}"
     );
 }

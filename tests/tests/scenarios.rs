@@ -1,0 +1,267 @@
+//! Scenario acceptance harness: the four named city-scale workloads from
+//! `sensocial_sim::scenarios` replayed end to end, each checked against
+//! its committed thresholds ([`ScenarioSpec::thresholds`]) on the merged
+//! telemetry snapshot — drop-cause counters, per-stage latency means,
+//! backlog high-water marks, and (for the churn and soak shapes) full
+//! store-and-forward drain.
+//!
+//! Determinism is enforced twice over: schedule generation is proven a
+//! pure function of the spec under proptest-chosen parameters, and every
+//! fast scenario is run twice with the same seed asserting byte-identical
+//! snapshot wire forms. The virtual-weeks soak rides behind `--ignored`
+//! so the default suite stays fast; CI's cron job runs it in release
+//! mode.
+
+use proptest::prelude::*;
+use sensocial::server::StreamSelector;
+use sensocial::{Filter, Granularity, Modality, StreamSink, StreamSpec};
+use sensocial_runtime::SimDuration;
+use sensocial_sim::scenarios::{ScenarioName, ScenarioOutcome, ScenarioSpec};
+use sensocial_sim::{World, WorldConfig};
+use sensocial_telemetry::Snapshot;
+use sensocial_types::geo::cities;
+
+/// Runs one spec and asserts every committed threshold holds, printing
+/// the violation list on failure.
+fn run_and_check(spec: &ScenarioSpec) -> ScenarioOutcome {
+    let outcome = spec.run().expect("scenario schedule replays");
+    let report = spec.thresholds().check(&outcome);
+    assert!(
+        report.passed(),
+        "{} acceptance violated:\n{report}",
+        spec.name
+    );
+    outcome
+}
+
+/// Stadium-egress flash crowd: fault-free correlated load. Nothing may
+/// drop anywhere in the pipeline, every OSN post must land, and the
+/// server + subscriber stages must carry at least half the nominal
+/// continuous-stream sample budget.
+#[test]
+fn stadium_egress_meets_thresholds() {
+    let outcome = run_and_check(&ScenarioSpec::stadium_egress());
+    assert!(
+        outcome.subscriber_deliveries > 0,
+        "the pass-all subscriber saw traffic"
+    );
+}
+
+/// Commute-morning cascade: staggered departures plus a power-law
+/// re-share cascade. Same zero-loss contract as the stadium.
+#[test]
+fn commute_cascade_meets_thresholds() {
+    run_and_check(&ScenarioSpec::commute_cascade());
+}
+
+/// 10%-churn wave: the staggered flap schedule must actually bite
+/// (endpoint-down drops, buffered uplinks) and the store-and-forward
+/// backlog must fully drain by the end of the run.
+#[test]
+fn churn_wave_meets_thresholds() {
+    let outcome = run_and_check(&ScenarioSpec::churn_wave());
+    assert!(
+        outcome.snapshot.counter("net.dropped.endpoint_down") > 0,
+        "keepalive probes died inside the down windows"
+    );
+    assert!(
+        outcome.snapshot.counter("client.uplink.flushed") > 0,
+        "parked samples flushed after the wave passed"
+    );
+}
+
+/// Same-seed determinism, enforced to the byte: generation produces the
+/// same schedule wire form twice, and two full world replays of each
+/// fast scenario agree on the canonical snapshot wire form exactly.
+#[test]
+fn fast_scenarios_are_deterministic() {
+    for name in [
+        ScenarioName::StadiumEgress,
+        ScenarioName::CommuteCascade,
+        ScenarioName::ChurnWave,
+    ] {
+        let spec = ScenarioSpec::named(name);
+        assert_eq!(
+            spec.generate().to_wire(),
+            spec.generate().to_wire(),
+            "{name}: schedule generation must be pure"
+        );
+        let a = spec.run().expect("first replay");
+        let b = spec.run().expect("second replay");
+        assert_eq!(
+            a.wire, b.wire,
+            "{name}: same-seed replays must produce byte-identical snapshots"
+        );
+        assert_eq!(a.backlog_samples, b.backlog_samples, "{name}");
+        assert_eq!(a.subscriber_deliveries, b.subscriber_deliveries, "{name}");
+    }
+}
+
+/// Virtual-weeks soak: two weeks of steady sampling under a rotating
+/// six-hourly outage. The committed thresholds assert bounded backlog —
+/// no monotone growth across the 56 probe slices and a drained tail —
+/// and a same-seed re-run must agree to the byte. Ignored by default
+/// (about a million scheduler events per replay); CI's cron job runs it
+/// with `--release -- --ignored`.
+#[test]
+#[ignore = "virtual-weeks soak; run via cargo test --release -- --ignored (CI cron)"]
+fn soak_virtual_weeks_bounded_backlog_deterministic() {
+    let spec = ScenarioSpec::soak();
+    let outcome = run_and_check(&spec);
+    let peak = outcome.backlog_samples.iter().copied().max().unwrap_or(0);
+    assert!(peak <= 256, "probe-slice backlog peak stays bounded: {peak}");
+    let again = spec.run().expect("second soak replay");
+    assert_eq!(outcome.wire, again.wire, "soak replays agree to the byte");
+}
+
+/// Edge: an empty fleet is inert but legal — generation, replay and
+/// thresholds all hold with zero devices and zero traffic.
+#[test]
+fn zero_devices_is_inert() {
+    let spec = ScenarioSpec::stadium_egress()
+        .sized(0)
+        .lasting(SimDuration::from_secs(60));
+    let schedule = spec.generate();
+    assert_eq!(schedule.device_count(), 0);
+    let outcome = spec.run().expect("empty scenario replays");
+    assert_eq!(outcome.device_count, 0);
+    assert_eq!(outcome.snapshot.counter("server.uplink_events"), 0);
+}
+
+/// Edge: a population of one still produces a coherent run (the churn
+/// wave clamps to hitting that single device).
+#[test]
+fn single_device_population_runs_clean() {
+    let spec = ScenarioSpec::churn_wave()
+        .sized(1)
+        .lasting(SimDuration::from_secs(300));
+    let outcome = spec.run().expect("single-device scenario replays");
+    assert_eq!(outcome.device_count, 1);
+    assert!(
+        outcome.snapshot.counter("server.uplink_events") > 0,
+        "the lone device streamed"
+    );
+}
+
+/// Edge: 100% churn — every device flaps — and the fleet still recovers:
+/// traffic flows, the backlog drains to (near) nothing by the end.
+#[test]
+fn full_churn_still_recovers() {
+    let mut spec = ScenarioSpec::churn_wave()
+        .sized(5)
+        .lasting(SimDuration::from_secs(480));
+    spec.churn_fraction = 1.0;
+    let outcome = spec.run().expect("full-churn scenario replays");
+    assert!(
+        outcome.snapshot.counter("net.dropped.endpoint_down") > 0,
+        "every endpoint flapped"
+    );
+    assert!(
+        outcome.snapshot.counter("server.uplink_events") > 0,
+        "traffic still flowed between flaps"
+    );
+    let final_backlog = outcome.backlog_samples.last().copied().unwrap_or(0);
+    assert!(
+        final_backlog <= 8,
+        "backlog drained after the wave: {final_backlog}"
+    );
+}
+
+/// Edge: a soak with an empty OSN (zero seed posts) is pure sensing —
+/// no triggers, no cascade, no panic. Shortened to one virtual day.
+#[test]
+fn soak_with_empty_osn_is_pure_sensing() {
+    let mut spec = ScenarioSpec::soak().lasting(SimDuration::from_secs(86_400));
+    spec.osn_seed_posts = 0;
+    spec.probe_slices = 8;
+    let outcome = spec.run().expect("empty-OSN soak replays");
+    assert_eq!(outcome.snapshot.counter("server.osn_actions"), 0);
+    assert!(
+        outcome.snapshot.counter("server.uplink_events") > 0,
+        "sensing continued without the OSN"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Schedule generation is a pure function of the spec: the same seed
+    /// yields byte-identical wire forms across the whole parameter space
+    /// (all four shapes, populations down to zero, churn up to 100%).
+    #[test]
+    fn schedule_generation_same_seed_byte_identity(
+        name_idx in 0usize..4,
+        seed in 0u64..1_000_000,
+        devices in 0usize..40,
+        churn in 0.0f64..=1.0,
+        duration_s in 60u64..7_200,
+    ) {
+        let mut spec = ScenarioSpec::named(ScenarioName::ALL[name_idx])
+            .sized(devices)
+            .reseeded(seed)
+            .lasting(SimDuration::from_secs(duration_s));
+        spec.churn_fraction = churn;
+        prop_assert_eq!(spec.generate().to_wire(), spec.generate().to_wire());
+        prop_assert!(spec
+            .generate()
+            .events()
+            .windows(2)
+            .all(|w| w[0].at <= w[1].at));
+    }
+
+    /// Merging per-component snapshot shards — in any rotation and any
+    /// chunk grouping — equals the single-world merged snapshot, byte
+    /// for byte. This is what licenses sharding telemetry collection.
+    #[test]
+    fn sharded_snapshot_merge_matches_single_world(
+        devices in 1usize..5,
+        rot in 0usize..16,
+        chunk in 1usize..5,
+    ) {
+        let mut world = World::new(WorldConfig::default());
+        for i in 0..devices {
+            let user = format!("user-{i:03}");
+            let device = format!("dev-{i:03}");
+            world.add_device(user.as_str(), device.as_str(), cities::paris());
+            world
+                .create_stream(
+                    device.as_str(),
+                    StreamSpec::continuous(Modality::Location, Granularity::Raw)
+                        .with_interval(SimDuration::from_secs(7))
+                        .with_sink(StreamSink::Server),
+                )
+                .expect("stream installs");
+        }
+        world
+            .server
+            .register_listener(StreamSelector::AllUplinks, Filter::pass_all(), |_s, _e| {})
+            .expect("listener installs");
+        world.post("user-000", "merge probe");
+        world.run_for(SimDuration::from_secs(120));
+
+        let single = world.telemetry_snapshot();
+
+        let mut shards = vec![
+            world.server.telemetry().snapshot(),
+            world.server.storage().telemetry().snapshot(),
+            world.broker.telemetry().snapshot(),
+            world.net.telemetry().snapshot(),
+        ];
+        for i in 0..devices {
+            let device = format!("dev-{i:03}");
+            let manager = world.device(device.as_str()).expect("device exists").manager.clone();
+            shards.push(manager.telemetry().snapshot());
+        }
+        shards.rotate_left(rot % shards.len());
+
+        let mut merged = Snapshot::default();
+        for group in shards.chunks(chunk) {
+            let mut partial = Snapshot::default();
+            for shard in group {
+                partial.merge(shard);
+            }
+            merged.merge(&partial);
+        }
+        prop_assert_eq!(merged.to_wire(), single.to_wire());
+    }
+}
