@@ -23,9 +23,10 @@
 //!
 //! With `--scenario <name>` the run replays one of the named city-scale
 //! scenarios from `sensocial_sim::scenarios` (stadium-egress,
-//! commute-cascade, churn-wave, soak) instead of the default two-phone
-//! chaos scenario, checks its committed acceptance thresholds, and adds a
-//! `"scenario"` section to the report; threshold violations fail the run.
+//! commute-cascade, churn-wave, soak, campaign-storm, campaign-quota,
+//! campaign-crash) instead of the default two-phone chaos scenario,
+//! checks its committed acceptance thresholds, and adds a `"scenario"`
+//! section to the report; threshold violations fail the run.
 //! Per-stage latencies are virtual-time figures, so every number in the
 //! report is machine-independent.
 

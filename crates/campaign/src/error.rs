@@ -1,0 +1,77 @@
+//! Typed campaign errors.
+//!
+//! Admission failures are first-class outcomes, not panics: quota
+//! exhaustion permanently dead-letters an occurrence, while a rate limit
+//! merely defers it. Both are surfaced to callers as values and to
+//! operators as `campaign.*` telemetry counters.
+
+use std::fmt;
+
+/// Errors surfaced by the campaign scheduler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CampaignError {
+    /// The per-application dispatch quota is spent; the occurrence that
+    /// hit it is dead-lettered (permanent).
+    QuotaExhausted {
+        /// The application whose quota ran out.
+        app: String,
+        /// The configured quota that was hit.
+        quota: u64,
+    },
+    /// The application's token bucket is empty; the dispatch is deferred
+    /// until a token refills (transient).
+    RateLimited {
+        /// The application being throttled.
+        app: String,
+        /// Earliest virtual time a token becomes available, in ms.
+        retry_at_ms: u64,
+    },
+    /// A campaign with the same id is already registered.
+    DuplicateCampaign(String),
+    /// No campaign with this id is registered.
+    UnknownCampaign(String),
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::QuotaExhausted { app, quota } => {
+                write!(f, "app `{app}` exhausted its dispatch quota of {quota}")
+            }
+            CampaignError::RateLimited { app, retry_at_ms } => {
+                write!(
+                    f,
+                    "app `{app}` is rate limited; next token at t={retry_at_ms}ms"
+                )
+            }
+            CampaignError::DuplicateCampaign(id) => {
+                write!(f, "campaign `{id}` is already registered")
+            }
+            CampaignError::UnknownCampaign(id) => {
+                write!(f, "no campaign `{id}` is registered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_their_context() {
+        let e = CampaignError::QuotaExhausted {
+            app: "birdwatch".into(),
+            quota: 3,
+        };
+        assert!(e.to_string().contains("birdwatch"));
+        assert!(e.to_string().contains('3'));
+        let e = CampaignError::RateLimited {
+            app: "birdwatch".into(),
+            retry_at_ms: 250,
+        };
+        assert!(e.to_string().contains("250"));
+    }
+}

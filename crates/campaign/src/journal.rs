@@ -1,0 +1,256 @@
+//! The append-only attempt journal.
+//!
+//! Every state transition the scheduler makes — campaign registration,
+//! dispatch, rate-limit deferral, retry scheduling, ack, dead-letter — is
+//! journaled as one JSON document in the `campaign_journal` collection at
+//! the instant it happens. The journal is the scheduler's *only* durable
+//! state: a replacement instance rebuilds in-flight attempts, absolute
+//! backoff deadlines, per-app quota spend and token-bucket state by
+//! replaying the records in sequence order (see
+//! [`CampaignScheduler::recover`](crate::CampaignScheduler::recover)).
+//!
+//! Records go through [`sensocial_storage::StorageEngine`]'s document
+//! plane, so the journal inherits whatever backend the deployment runs
+//! (and CI's backend matrix covers recovery on both).
+
+use serde::{Deserialize, Serialize};
+use sensocial_store::{Collection, Query};
+use sensocial_storage::StorageEngine;
+
+/// The collection holding the journal.
+pub const JOURNAL_COLLECTION: &str = "campaign_journal";
+
+/// One journaled state transition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JournalRecord {
+    /// Monotone sequence number; replay order.
+    pub seq: u64,
+    /// Virtual time of the transition, in ms.
+    pub at_ms: u64,
+    /// The transition itself.
+    pub event: RecordKind,
+}
+
+/// The journaled transition kinds.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum RecordKind {
+    /// A campaign was registered (carries the full spec so recovery needs
+    /// no other source of truth).
+    Registered {
+        /// Campaign id.
+        campaign: String,
+        /// Owning application.
+        app: String,
+        /// Target device id (raw string form).
+        device: String,
+        /// Target stream id.
+        stream: u64,
+        /// First occurrence due time, ms.
+        start_ms: u64,
+        /// Gap between occurrences, ms.
+        period_ms: u64,
+        /// Occurrence count.
+        occurrences: u32,
+        /// The duty-cycle interval each occurrence pushes, ms.
+        interval_ms: u64,
+    },
+    /// A dispatch left the scheduler (quota spent, bucket token taken).
+    Dispatched {
+        /// Campaign id.
+        campaign: String,
+        /// Occurrence index (0-based).
+        occurrence: u32,
+        /// Dispatch attempt number (1-based).
+        attempt: u32,
+        /// The config epoch the server stamped on the command.
+        epoch: u64,
+        /// Absolute ack deadline, ms.
+        deadline_ms: u64,
+    },
+    /// A dispatch was deferred by the rate limiter (bucket state advanced
+    /// but no token was taken; replay repeats the failed take).
+    RateLimited {
+        /// Campaign id.
+        campaign: String,
+        /// Occurrence index.
+        occurrence: u32,
+        /// The attempt number the deferred dispatch will carry.
+        attempt: u32,
+        /// Absolute redispatch time, ms.
+        next_ms: u64,
+    },
+    /// A dispatch failed (ack timeout or rejection) and a retry is
+    /// scheduled.
+    Retrying {
+        /// Campaign id.
+        campaign: String,
+        /// Occurrence index.
+        occurrence: u32,
+        /// The attempt number the retry will carry.
+        next_attempt: u32,
+        /// Absolute redispatch time, ms.
+        next_ms: u64,
+    },
+    /// The device positively acknowledged the occurrence; terminal.
+    Acked {
+        /// Campaign id.
+        campaign: String,
+        /// Occurrence index.
+        occurrence: u32,
+        /// The epoch of the dispatch that won.
+        epoch: u64,
+    },
+    /// The occurrence was abandoned; terminal.
+    DeadLettered {
+        /// Campaign id.
+        campaign: String,
+        /// Occurrence index.
+        occurrence: u32,
+        /// Why (quota, attempts exhausted, rejection).
+        reason: String,
+    },
+}
+
+/// Append/replay handle over the journal collection. Cloneable; clones
+/// share the underlying collection.
+#[derive(Clone)]
+pub struct Journal {
+    collection: Collection,
+}
+
+impl Journal {
+    /// Opens the journal inside `storage`, creating its index on first
+    /// use.
+    pub fn open(storage: &StorageEngine) -> Self {
+        let collection = storage.collection(JOURNAL_COLLECTION);
+        collection.create_index("seq");
+        Journal { collection }
+    }
+
+    /// Appends one record.
+    ///
+    /// `JournalRecord` serializes to a JSON object of plain fields, which
+    /// the document store accepts unconditionally, so there is no failure
+    /// path to surface.
+    pub fn append(&self, record: &JournalRecord) {
+        if let Ok(body) = serde_json::to_value(record) {
+            let _ = self.collection.insert(body);
+        }
+    }
+
+    /// All records, in sequence order.
+    pub fn replay(&self) -> Vec<JournalRecord> {
+        let mut records: Vec<JournalRecord> = self
+            .collection
+            .find(&Query::exists("seq"))
+            .into_iter()
+            .filter_map(|doc| serde_json::from_value(doc.body).ok())
+            .collect();
+        records.sort_by_key(|r| r.seq);
+        records
+    }
+
+    /// Number of records written so far.
+    pub fn len(&self) -> usize {
+        self.collection.count(&Query::exists("seq"))
+    }
+
+    /// Whether the journal holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use sensocial_storage::StorageConfig;
+
+    use super::*;
+
+    fn record(seq: u64) -> JournalRecord {
+        JournalRecord {
+            seq,
+            at_ms: seq * 10,
+            event: RecordKind::Dispatched {
+                campaign: "c".into(),
+                occurrence: 2,
+                attempt: 1,
+                epoch: seq,
+                deadline_ms: seq * 10 + 500,
+            },
+        }
+    }
+
+    #[test]
+    fn records_round_trip_through_storage() {
+        let storage = StorageConfig::from_env().open();
+        let journal = Journal::open(&storage);
+        assert!(journal.is_empty());
+        let r = JournalRecord {
+            seq: 0,
+            at_ms: 5,
+            event: RecordKind::Registered {
+                campaign: "camp-a".into(),
+                app: "birdwatch".into(),
+                device: "p1".into(),
+                stream: 7,
+                start_ms: 1_000,
+                period_ms: 60_000,
+                occurrences: 4,
+                interval_ms: 30_000,
+            },
+        };
+        journal.append(&r);
+        journal.append(&record(1));
+        assert_eq!(journal.replay(), vec![r, record(1)]);
+    }
+
+    #[test]
+    fn replay_sorts_by_sequence() {
+        let storage = StorageConfig::from_env().open();
+        let journal = Journal::open(&storage);
+        for seq in [3u64, 0, 2, 1] {
+            journal.append(&record(seq));
+        }
+        let seqs: Vec<u64> = journal.replay().iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn every_record_kind_survives_serde() {
+        let kinds = vec![
+            RecordKind::RateLimited {
+                campaign: "c".into(),
+                occurrence: 0,
+                attempt: 1,
+                next_ms: 99,
+            },
+            RecordKind::Retrying {
+                campaign: "c".into(),
+                occurrence: 0,
+                next_attempt: 2,
+                next_ms: 120,
+            },
+            RecordKind::Acked {
+                campaign: "c".into(),
+                occurrence: 0,
+                epoch: 11,
+            },
+            RecordKind::DeadLettered {
+                campaign: "c".into(),
+                occurrence: 0,
+                reason: "quota".into(),
+            },
+        ];
+        for kind in kinds {
+            let r = JournalRecord {
+                seq: 9,
+                at_ms: 1,
+                event: kind,
+            };
+            let v = serde_json::to_value(&r).unwrap();
+            assert_eq!(serde_json::from_value::<JournalRecord>(v).unwrap(), r);
+        }
+    }
+}

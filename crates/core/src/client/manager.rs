@@ -1,6 +1,6 @@
 //! The client-side SenSocial Manager.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -18,7 +18,7 @@ use sensocial_types::{
 
 use sensocial_analysis::{analyze, AnalysisEnv, FilterPlan};
 
-use sensocial_telemetry::{Registry, Snapshot, Stage};
+use sensocial_telemetry::{Registry, Stage};
 
 use crate::config::{ConfigCommand, StreamMode, StreamSink, StreamSpec};
 use crate::event::{ConfigAck, RegistrationPayload, StreamEvent, TriggerPayload};
@@ -45,49 +45,6 @@ pub(crate) const REMOTE_STREAM_ID_BASE: u64 = 1 << 32;
 /// Default bound on the store-and-forward uplink buffer (events parked
 /// while the broker session is unconfirmed; oldest dropped on overflow).
 pub(crate) const DEFAULT_UPLINK_BUFFER: usize = 512;
-
-/// Counters for the client's store-and-forward uplink path and its
-/// configuration-convergence guard.
-///
-/// This struct is now a read-only view reconstructed from the manager's
-/// unified [`telemetry`](ClientManager::telemetry) registry; new code
-/// should read the [`Snapshot`] directly.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ClientNetStats {
-    /// Uplink events handed to the broker client (live or flushed).
-    pub uplink_sent: u64,
-    /// Uplink events parked because the broker session was unconfirmed.
-    pub uplink_buffered: u64,
-    /// Parked events evicted (oldest-first) by the buffer bound.
-    pub uplink_dropped: u64,
-    /// Parked events sent on a confirmed (re)connect.
-    pub uplink_flushed: u64,
-    /// Configuration commands ignored because their epoch was not newer
-    /// than the last applied one for the stream.
-    pub stale_configs: u64,
-    /// Filter evaluations that hit a typed eval error at stream time
-    /// (fail-closed; should be zero for analyzer-vetted plans).
-    pub filter_eval_errors: u64,
-    /// Pushed configurations rejected by the on-device plan verifier and
-    /// negatively acked back to the server.
-    pub configs_rejected: u64,
-}
-
-impl ClientNetStats {
-    /// Reconstructs the legacy counter struct from a telemetry snapshot
-    /// (the `client.*` counters a [`ClientManager`] registry records).
-    pub fn from_snapshot(snap: &Snapshot) -> Self {
-        ClientNetStats {
-            uplink_sent: snap.counter("client.uplink.sent"),
-            uplink_buffered: snap.counter("client.uplink.buffered"),
-            uplink_dropped: snap.counter("client.uplink.dropped"),
-            uplink_flushed: snap.counter("client.uplink.flushed"),
-            stale_configs: snap.counter("client.stale_configs"),
-            filter_eval_errors: snap.counter("client.filter_eval_errors"),
-            configs_rejected: snap.counter("client.configs_rejected"),
-        }
-    }
-}
 
 type Listener = Arc<dyn Fn(&mut Scheduler, &StreamEvent) + Send + Sync>;
 
@@ -161,6 +118,10 @@ struct Inner {
     /// stream destruction so a stale `Create` redelivered after a `Destroy`
     /// cannot resurrect the stream.
     config_epochs: HashMap<StreamId, u64>,
+    /// Campaign occurrence tokens already applied. A redispatch of the
+    /// same occurrence (new epoch, same token — e.g. after a scheduler
+    /// crash) is positively acked without being applied twice.
+    applied_tokens: HashSet<String>,
 }
 
 /// The point of entry for mobile applications — the paper's client-side
@@ -216,6 +177,7 @@ impl ClientManager {
                 uplink_buffer: VecDeque::new(),
                 uplink_limit: DEFAULT_UPLINK_BUFFER,
                 config_epochs: HashMap::new(),
+                applied_tokens: HashSet::new(),
             })),
             sensors: deps.sensors,
             classifiers: deps.classifiers,
@@ -275,21 +237,6 @@ impl ClientManager {
         &self.telemetry
     }
 
-    /// Counters for the store-and-forward uplink path and config
-    /// convergence.
-    #[deprecated(
-        since = "0.1.0",
-        note = "read the counters from `telemetry().snapshot()` directly, or rebuild \
-                the bundle with `ClientNetStats::from_snapshot` (keys \
-                `client.uplink.sent`, `client.uplink.buffered`, `client.uplink.dropped`, \
-                `client.uplink.flushed`, `client.stale_configs`, `client.filter_eval_errors`, \
-                `client.configs_rejected`); this shim will be removed once out-of-tree \
-                callers have migrated"
-    )]
-    pub fn net_stats(&self) -> ClientNetStats {
-        ClientNetStats::from_snapshot(&self.telemetry.snapshot())
-    }
-
     /// Records a fail-closed filter evaluation error (the
     /// `client.filter_eval_errors` counter). Analyzer-vetted plans never
     /// hit this; the single bookkeeping point keeps the three evaluation
@@ -306,7 +253,7 @@ impl ClientManager {
 
     /// Bounds the store-and-forward uplink buffer (default 512; minimum 1).
     /// When full, the oldest parked event is dropped and counted under
-    /// [`ClientNetStats::uplink_dropped`].
+    /// the `client.uplink.dropped` counter.
     pub fn set_uplink_buffer_limit(&self, limit: usize) {
         self.inner.lock().uplink_limit = limit.max(1);
     }
@@ -377,7 +324,7 @@ impl ClientManager {
         let mgr = self.clone();
         broker.subscribe(
             sched,
-            Topic::Config(device.clone()),
+            Topic::Config(device.clone()), // lint:allow(config-publish) — subscribe side: devices listen on their own config topic
             QoS::AtLeastOnce,
             move |s, _topic, payload| {
                 mgr.on_config(s, payload);
@@ -1064,6 +1011,18 @@ impl ClientManager {
         if *command.device() != self.device_id() {
             return;
         }
+        // Occurrence-level idempotency: a campaign command whose token was
+        // already applied is positively re-acked (the scheduler's attempt
+        // must settle) but never applied twice — even when a post-crash
+        // redispatch arrives under a fresh epoch.
+        let token = command.token().map(str::to_owned);
+        if let Some(token) = &token {
+            if self.inner.lock().applied_tokens.contains(token) {
+                self.telemetry.count("campaign_duplicates");
+                self.ack_config(sched, command.stream(), command.epoch(), Some(token.clone()));
+                return;
+            }
+        }
         // Convergence guard: QoS-1 redelivery and outage-queued pushes can
         // reorder commands; only an epoch strictly newer than the last one
         // applied for this stream may take effect. Epoch 0 (legacy wire
@@ -1079,18 +1038,32 @@ impl ClientManager {
             }
             *last = epoch;
         }
-        match command {
+        let stream = command.stream();
+        let applied = match command {
             ConfigCommand::Create { stream, spec, .. } => match self.analyze_spec(&spec) {
-                Ok(spec) => self.install_stream(sched, stream, spec, StreamOrigin::Remote),
-                Err(err) => self.nack_config(sched, stream, epoch, &err),
+                Ok(spec) => {
+                    self.install_stream(sched, stream, spec, StreamOrigin::Remote);
+                    true
+                }
+                Err(err) => {
+                    self.nack_config(sched, stream, epoch, token.clone(), &err);
+                    false
+                }
             },
             ConfigCommand::Destroy { stream, .. } => {
+                // Destroying an already-absent stream is idempotent: the
+                // commanded end state holds either way.
                 self.destroy_stream(stream);
+                true
             }
             ConfigCommand::SetFilter { stream, filter, .. } => {
-                if let Err(err) = self.set_filter(sched, stream, filter) {
-                    if matches!(err, Error::PlanRejected(_)) {
-                        self.nack_config(sched, stream, epoch, &err);
+                match self.set_filter(sched, stream, filter) {
+                    Ok(()) => true,
+                    Err(err) => {
+                        if matches!(err, Error::PlanRejected(_)) || token.is_some() {
+                            self.nack_config(sched, stream, epoch, token.clone(), &err);
+                        }
+                        false
                     }
                 }
             }
@@ -1098,16 +1071,60 @@ impl ClientManager {
                 stream,
                 interval_ms,
                 ..
-            } => {
-                let _ = self.set_interval(sched, stream, SimDuration::from_millis(interval_ms));
+            } => match self.set_interval(sched, stream, SimDuration::from_millis(interval_ms)) {
+                Ok(()) => true,
+                Err(err) => {
+                    if token.is_some() {
+                        self.nack_config(sched, stream, epoch, token.clone(), &err);
+                    }
+                    false
+                }
+            },
+        };
+        if applied {
+            if let Some(token) = token {
+                self.telemetry.count("campaign_applied");
+                self.inner.lock().applied_tokens.insert(token.clone());
+                self.ack_config(sched, stream, epoch, Some(token));
             }
         }
+    }
+
+    /// Publishes a positive configuration ack (campaign commands only —
+    /// plain pushes stay fire-and-forget, so pre-campaign broker traffic
+    /// is unchanged).
+    fn ack_config(&self, sched: &mut Scheduler, stream: StreamId, epoch: u64, token: Option<String>) {
+        let Some(broker) = &self.broker else {
+            return;
+        };
+        let ack = ConfigAck {
+            device: self.device_id(),
+            stream,
+            epoch,
+            accepted: true,
+            diagnostics: Vec::new(),
+            token,
+        };
+        broker.publish(
+            sched,
+            Topic::Ack(ack.device.clone()),
+            &ack.to_wire(),
+            QoS::AtLeastOnce,
+            false,
+        );
     }
 
     /// Publishes a negative configuration ack carrying the plan verifier's
     /// diagnostics back to the server, so a rejected push fails loudly
     /// instead of installing a stream that can never produce data.
-    fn nack_config(&self, sched: &mut Scheduler, stream: StreamId, epoch: u64, err: &Error) {
+    fn nack_config(
+        &self,
+        sched: &mut Scheduler,
+        stream: StreamId,
+        epoch: u64,
+        token: Option<String>,
+        err: &Error,
+    ) {
         self.telemetry.count("configs_rejected");
         let Some(broker) = &self.broker else {
             return;
@@ -1118,6 +1135,7 @@ impl ClientManager {
             epoch,
             accepted: false,
             diagnostics: err.plan_diagnostics().to_vec(),
+            token,
         };
         broker.publish(
             sched,

@@ -8,7 +8,7 @@
 mod manager;
 mod stream;
 
-pub use manager::{ClientDeps, ClientManager, ClientNetStats};
+pub use manager::{ClientDeps, ClientManager};
 pub use stream::{StreamOrigin, StreamStatus};
 
 pub(crate) mod manager_internals {

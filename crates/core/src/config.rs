@@ -144,6 +144,16 @@ impl StreamSpec {
 /// stream even when QoS-1 redelivery or an outage reorders pushes. Epoch
 /// `0` (the serde default) marks a legacy command that is always applied —
 /// old wire forms without the field keep parsing.
+///
+/// Commands dispatched by the campaign scheduler additionally carry a
+/// `token` — a scheduler-assigned occurrence identity. Token-carrying
+/// commands are acknowledged *positively* by devices on success, and a
+/// device remembers which tokens it has applied so a redispatch of the
+/// same occurrence (a fresh epoch after a scheduler crash) is acked
+/// without being applied twice: exactly-once effect per occurrence. A
+/// `None` token (the default; skipped on the wire) is the pre-campaign
+/// behaviour — no positive ack, no dedup — so existing traffic is
+/// byte-identical.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[serde(tag = "command", rename_all = "snake_case")]
 pub enum ConfigCommand {
@@ -158,6 +168,9 @@ pub enum ConfigCommand {
         /// Convergence stamp (see the enum docs).
         #[serde(default)]
         epoch: u64,
+        /// Campaign occurrence identity (see the enum docs).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        token: Option<String>,
     },
     /// Destroy a stream.
     Destroy {
@@ -168,6 +181,9 @@ pub enum ConfigCommand {
         /// Convergence stamp (see the enum docs).
         #[serde(default)]
         epoch: u64,
+        /// Campaign occurrence identity (see the enum docs).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        token: Option<String>,
     },
     /// Replace a stream's filter (the distributed-filter update path).
     SetFilter {
@@ -180,6 +196,9 @@ pub enum ConfigCommand {
         /// Convergence stamp (see the enum docs).
         #[serde(default)]
         epoch: u64,
+        /// Campaign occurrence identity (see the enum docs).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        token: Option<String>,
     },
     /// Change a stream's duty cycle.
     SetInterval {
@@ -192,6 +211,9 @@ pub enum ConfigCommand {
         /// Convergence stamp (see the enum docs).
         #[serde(default)]
         epoch: u64,
+        /// Campaign occurrence identity (see the enum docs).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        token: Option<String>,
     },
 }
 
@@ -252,6 +274,30 @@ impl ConfigCommand {
         }
         self
     }
+
+    /// The campaign occurrence token, when the command carries one.
+    pub fn token(&self) -> Option<&str> {
+        match self {
+            ConfigCommand::Create { token, .. }
+            | ConfigCommand::Destroy { token, .. }
+            | ConfigCommand::SetFilter { token, .. }
+            | ConfigCommand::SetInterval { token, .. } => token.as_deref(),
+        }
+    }
+
+    /// Returns the command stamped with a campaign occurrence token
+    /// (builder-style; used by the campaign dispatcher just before
+    /// pushing).
+    #[must_use]
+    pub fn with_token(mut self, new_token: impl Into<String>) -> Self {
+        match &mut self {
+            ConfigCommand::Create { token, .. }
+            | ConfigCommand::Destroy { token, .. }
+            | ConfigCommand::SetFilter { token, .. }
+            | ConfigCommand::SetInterval { token, .. } => *token = Some(new_token.into()),
+        }
+        self
+    }
 }
 
 #[cfg(test)]
@@ -300,11 +346,13 @@ mod tests {
                     Granularity::Classified,
                 ),
                 epoch: 1,
+                token: None,
             },
             ConfigCommand::Destroy {
                 device: DeviceId::new("p1"),
                 stream: StreamId::new(4),
                 epoch: 2,
+                token: None,
             },
             ConfigCommand::SetFilter {
                 device: DeviceId::new("p1"),
@@ -315,12 +363,14 @@ mod tests {
                     "Paris",
                 )]),
                 epoch: 3,
+                token: None,
             },
             ConfigCommand::SetInterval {
                 device: DeviceId::new("p1"),
                 stream: StreamId::new(4),
                 interval_ms: 30_000,
                 epoch: 4,
+                token: None,
             },
         ];
         for (i, cmd) in cmds.into_iter().enumerate() {
@@ -339,6 +389,7 @@ mod tests {
             device: DeviceId::new("p1"),
             stream: StreamId::new(9),
             epoch: 0,
+            token: None,
         };
         assert_eq!(cmd.clone().with_epoch(17).epoch(), 17);
         // A pre-epoch wire form (no `epoch` key) still parses — as the
@@ -347,5 +398,29 @@ mod tests {
         let parsed = ConfigCommand::from_wire(legacy).unwrap();
         assert_eq!(parsed.epoch(), 0);
         assert_eq!(parsed.stream(), StreamId::new(9));
+        assert_eq!(parsed.token(), None);
+    }
+
+    #[test]
+    fn tokenless_wire_is_unchanged_and_tokens_round_trip() {
+        let cmd = ConfigCommand::SetInterval {
+            device: DeviceId::new("p1"),
+            stream: StreamId::new(2),
+            interval_ms: 5_000,
+            epoch: 3,
+            token: None,
+        };
+        // A `None` token never appears on the wire, so pre-campaign
+        // traffic stays byte-identical.
+        assert!(!cmd.to_wire().contains("token"));
+
+        let stamped = cmd.with_token("camp-a/occ-4");
+        assert_eq!(stamped.token(), Some("camp-a/occ-4"));
+        let wire = stamped.to_wire();
+        assert!(wire.contains(r#""token":"camp-a/occ-4""#));
+        assert_eq!(ConfigCommand::from_wire(&wire).unwrap(), stamped);
+        // Restamping the epoch (a redispatch) keeps the token: the
+        // occurrence identity survives scheduler crash + redispatch.
+        assert_eq!(stamped.with_epoch(99).token(), Some("camp-a/occ-4"));
     }
 }

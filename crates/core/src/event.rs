@@ -103,11 +103,13 @@ impl RegistrationPayload {
     }
 }
 
-/// A device's answer to a pushed stream configuration. Devices only
-/// publish *negative* acks today: when the on-device plan verifier rejects
-/// a pushed `Create`/`SetFilter`, the structured diagnostics travel back so
-/// the server (and the requesting application) learn *why* instead of the
-/// stream silently never producing data.
+/// A device's answer to a pushed stream configuration. Devices publish
+/// *negative* acks when the on-device plan verifier rejects a pushed
+/// `Create`/`SetFilter` — the structured diagnostics travel back so the
+/// server (and the requesting application) learn *why* instead of the
+/// stream silently never producing data — and *positive* acks for
+/// token-carrying campaign commands, so the campaign scheduler can settle
+/// the dispatch attempt the token identifies.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ConfigAck {
     /// The answering device.
@@ -120,6 +122,11 @@ pub struct ConfigAck {
     pub accepted: bool,
     /// The verifier's error diagnostics when `accepted` is false.
     pub diagnostics: Vec<PlanDiagnostic>,
+    /// The campaign occurrence token the answered command carried, echoed
+    /// back verbatim (absent for plain config pushes — the wire form is
+    /// unchanged for them).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub token: Option<String>,
 }
 
 impl ConfigAck {
@@ -194,9 +201,22 @@ mod tests {
                 "hour_of_day expects a number",
             )
             .at(0)],
+            token: None,
         };
-        let back = ConfigAck::from_wire(&ack.to_wire()).unwrap();
+        let wire = ack.to_wire();
+        assert!(
+            !wire.contains("token"),
+            "tokenless acks keep the legacy wire shape"
+        );
+        let back = ConfigAck::from_wire(&wire).unwrap();
         assert_eq!(back, ack);
         assert_eq!(back.diagnostics[0].code, DiagnosticCode::TypeMismatch);
+
+        let tokened = ConfigAck {
+            token: Some("camp-a/4".into()),
+            ..ack
+        };
+        let back = ConfigAck::from_wire(&tokened.to_wire()).unwrap();
+        assert_eq!(back.token.as_deref(), Some("camp-a/4"));
     }
 }

@@ -102,11 +102,12 @@ pub use sensocial_types::{
 /// Broker topic carrying stream-configuration pushes for a device.
 #[deprecated(
     since = "0.1.0",
-    note = "use `Topic::Config(device).to_string()`; no in-repo callers remain and \
-            this stringly shim will be removed once out-of-tree callers have migrated"
+    note = "construct `Topic::Config` for the device and call `to_string()`; no \
+            in-repo callers remain and this stringly shim will be removed once \
+            out-of-tree callers have migrated"
 )]
 pub fn config_topic(device: &DeviceId) -> String {
-    Topic::Config(device.clone()).to_string()
+    Topic::Config(device.clone()).to_string() // lint:allow(config-publish) — deprecated shim; builds the topic string, publishes nothing
 }
 
 /// Broker topic carrying sensing triggers for a device.

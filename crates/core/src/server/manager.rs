@@ -11,7 +11,7 @@ use sensocial_osn::{PollPlugin, PushPlugin, SocialGraph};
 use sensocial_runtime::{Scheduler, SimDuration, SimRng, Timestamp};
 use sensocial_storage::StorageEngine;
 use sensocial_store::{Database, Query};
-use sensocial_telemetry::{Registry, Snapshot, Stage};
+use sensocial_telemetry::{Registry, Stage};
 use sensocial_types::{
     ContextData, ContextSnapshot, DeviceId, Error, GeoPoint, OsnAction, OsnActionKind, RawSample,
     Result, StreamId, TriggerId, UserId,
@@ -55,47 +55,11 @@ impl StreamSelector {
     }
 }
 
-/// Counters describing server activity.
-#[deprecated(
-    since = "0.1.0",
-    note = "read the counters from `telemetry().snapshot()` directly (keys \
-            `server.osn_actions`, `server.triggers_sent`, `server.uplink_events`, \
-            `server.config_rejections`, `server.filter_eval_errors`); this legacy \
-            bundle will be removed once out-of-tree callers have migrated"
-)]
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ServerStats {
-    /// OSN actions received from plug-ins.
-    pub osn_actions: u64,
-    /// Sensing triggers published towards devices.
-    pub triggers_sent: u64,
-    /// Uplinked stream events received.
-    pub uplink_events: u64,
-    /// Negative configuration acks received from devices (pushed plans the
-    /// on-device verifier rejected).
-    pub config_rejections: u64,
-    /// Server-side filter evaluations that hit a typed eval error
-    /// (fail-closed; should be zero for analyzer-vetted plans).
-    pub filter_eval_errors: u64,
-}
-
-#[allow(deprecated)]
-impl ServerStats {
-    /// Rebuilds the legacy counter view from a telemetry [`Snapshot`]
-    /// (counters under the `server.*` scope).
-    #[must_use]
-    pub fn from_snapshot(snap: &Snapshot) -> Self {
-        ServerStats {
-            osn_actions: snap.counter("server.osn_actions"),
-            triggers_sent: snap.counter("server.triggers_sent"),
-            uplink_events: snap.counter("server.uplink_events"),
-            config_rejections: snap.counter("server.config_rejections"),
-            filter_eval_errors: snap.counter("server.filter_eval_errors"),
-        }
-    }
-}
-
 type Listener = Arc<dyn Fn(&mut Scheduler, &StreamEvent) + Send + Sync>;
+
+/// A registered observer of device configuration acks (both positive and
+/// negative). The campaign scheduler's settle path.
+type AckListener = Arc<dyn Fn(&mut Scheduler, &ConfigAck) + Send + Sync>;
 
 struct Subscription {
     selector: StreamSelector,
@@ -157,6 +121,9 @@ struct Inner {
     action_log: Vec<(Timestamp, Timestamp)>,
     /// Negative configuration acks, oldest first, with their diagnostics.
     rejection_log: Vec<ConfigAck>,
+    /// Observers notified of every configuration ack (positive and
+    /// negative) after the server's own bookkeeping.
+    ack_listeners: Vec<AckListener>,
     /// Whether OSN text mining (topic extraction + sentiment) runs on
     /// incoming actions — the paper's §9 future work, implemented.
     text_mining: bool,
@@ -218,6 +185,7 @@ impl ServerManager {
                 rng: deps.rng,
                 action_log: Vec::new(),
                 rejection_log: Vec::new(),
+                ack_listeners: Vec::new(),
                 text_mining: false,
             })),
             storage: deps.storage,
@@ -255,28 +223,44 @@ impl ServerManager {
             sched,
             ACK_WILDCARD,
             QoS::AtLeastOnce,
-            move |_s, topic, payload| {
-                server.on_ack(topic, payload);
+            move |s, topic, payload| {
+                server.on_ack(s, topic, payload);
             },
         );
     }
 
-    fn on_ack(&self, topic: &str, payload: &str) {
+    fn on_ack(&self, sched: &mut Scheduler, topic: &str, payload: &str) {
         if Topic::expect_ack(topic).is_err() {
             self.telemetry.count("malformed_topics");
             return;
         }
         if let Ok(ack) = ConfigAck::from_wire(payload) {
-            self.on_config_ack(ack);
+            self.on_config_ack(sched, ack);
         }
     }
 
-    fn on_config_ack(&self, ack: ConfigAck) {
-        if ack.accepted {
-            return;
+    fn on_config_ack(&self, sched: &mut Scheduler, ack: ConfigAck) {
+        let listeners = {
+            let mut inner = self.inner.lock();
+            if !ack.accepted {
+                self.telemetry.count("config_rejections");
+                inner.rejection_log.push(ack.clone());
+            }
+            inner.ack_listeners.clone()
+        };
+        for listener in listeners {
+            listener(sched, &ack);
         }
-        self.telemetry.count("config_rejections");
-        self.inner.lock().rejection_log.push(ack);
+    }
+
+    /// Registers an observer of device configuration acks — positive and
+    /// negative alike, after the server's own rejection bookkeeping. The
+    /// campaign scheduler uses this to settle dispatch attempts.
+    pub fn register_ack_listener<F>(&self, listener: F)
+    where
+        F: Fn(&mut Scheduler, &ConfigAck) + Send + Sync + 'static,
+    {
+        self.inner.lock().ack_listeners.push(Arc::new(listener));
     }
 
     /// Negative configuration acks received from devices — pushed plans
@@ -291,19 +275,6 @@ impl ServerManager {
     /// histograms for [`Stage::Server`] and [`Stage::Subscriber`]).
     pub fn telemetry(&self) -> &Registry {
         &self.telemetry
-    }
-
-    /// Activity counters.
-    #[deprecated(
-        since = "0.1.0",
-        note = "read the counters from `telemetry().snapshot()` directly (keys \
-                `server.osn_actions`, `server.triggers_sent`, `server.uplink_events`, \
-                `server.config_rejections`, `server.filter_eval_errors`); this shim \
-                will be removed once out-of-tree callers have migrated"
-    )]
-    #[allow(deprecated)]
-    pub fn stats(&self) -> ServerStats {
-        ServerStats::from_snapshot(&self.telemetry.snapshot())
     }
 
     /// Counts a server-side filter evaluation that hit a typed eval error.
@@ -568,6 +539,7 @@ impl ServerManager {
             stream: id,
             spec,
             epoch: 0,
+            token: None,
         };
         self.push_config(sched, device, command);
         Ok(id)
@@ -592,6 +564,7 @@ impl ServerManager {
             device: device.clone(),
             stream,
             epoch: 0,
+            token: None,
         };
         self.push_config(sched, &device, command);
         Ok(())
@@ -638,6 +611,7 @@ impl ServerManager {
             stream,
             filter,
             epoch: 0,
+            token: None,
         };
         self.push_config(sched, &device, command);
         Ok(())
@@ -669,25 +643,47 @@ impl ServerManager {
             stream,
             interval_ms: interval.as_millis(),
             epoch: 0,
+            token: None,
         };
         self.push_config(sched, &device, command);
         Ok(())
     }
 
-    fn push_config(&self, sched: &mut Scheduler, device: &DeviceId, command: ConfigCommand) {
-        let command = {
+    /// Dispatches a campaign-stamped configuration command: stamps the
+    /// next config epoch, publishes it on the device's config topic and
+    /// returns the assigned epoch so the campaign scheduler can journal
+    /// it. The command must carry an occurrence token (that is what makes
+    /// the device positively ack it — see [`ConfigCommand`]); the single
+    /// sanctioned path to the config topic outside the server's own
+    /// remote-stream management.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `command` carries no occurrence token — tokenless
+    /// campaign dispatches would never settle.
+    pub fn dispatch_campaign_config(&self, sched: &mut Scheduler, command: ConfigCommand) -> u64 {
+        assert!(
+            command.token().is_some(),
+            "campaign dispatches must carry an occurrence token"
+        );
+        self.push_config(sched, &command.device().clone(), command)
+    }
+
+    fn push_config(&self, sched: &mut Scheduler, device: &DeviceId, command: ConfigCommand) -> u64 {
+        let (command, epoch) = {
             let mut inner = self.inner.lock();
             let epoch = inner.next_config_epoch;
             inner.next_config_epoch += 1;
-            command.with_epoch(epoch)
+            (command.with_epoch(epoch), epoch)
         };
         self.broker.publish(
             sched,
-            Topic::Config(device.clone()),
+            Topic::Config(device.clone()), // lint:allow(config-publish) — the sanctioned config-topic publish site (epoch stamping lives here)
             &command.to_wire(),
             QoS::AtLeastOnce,
             false,
         );
+        epoch
     }
 
     // ------------------------------------------------------------------

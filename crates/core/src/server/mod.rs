@@ -10,6 +10,4 @@ mod multicast;
 
 pub use aggregator::AggregatorId;
 pub use manager::{ServerDeps, ServerManager, StreamSelector};
-#[allow(deprecated)]
-pub use manager::ServerStats;
 pub use multicast::{MulticastId, MulticastSelector, MulticastStream};

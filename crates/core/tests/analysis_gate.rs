@@ -258,6 +258,7 @@ fn rogue_config_push_is_nacked_back_to_the_server() {
             Condition::new(ConditionLhs::HourOfDay, Operator::LessThan, 5),
         ]),
         epoch: 1,
+        token: None,
     };
     rogue.publish(
         &mut d.sched,

@@ -14,7 +14,7 @@ use sensocial_runtime::{SimDuration, Timestamp};
 use crate::message::EndpointId;
 
 /// Why the network dropped (or refused) a message. Each cause has its own
-/// counter in [`NetworkStats`](crate::NetworkStats).
+/// `net.dropped.*` telemetry counter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DropCause {
     /// Random link loss (`LinkSpec::loss_probability`).
@@ -262,6 +262,77 @@ mod tests {
         );
         assert_eq!(shifted.clipped_to(ts(13)), None, "nothing survives");
         assert_eq!(shifted.clipped_to(ts(30)), Some(shifted), "no-op clip");
+    }
+
+    #[test]
+    fn zero_length_window_contains_nothing() {
+        // `starting_at` with a zero duration yields `[from, from)` — a
+        // degenerate window that must never fire, not even at `from`.
+        let w = FaultWindow::starting_at(ts(10), SimDuration::ZERO);
+        assert_eq!(w.from, w.until);
+        assert!(!w.contains(ts(9)));
+        assert!(!w.contains(ts(10)));
+        assert!(!w.contains(ts(11)));
+
+        // Shifting preserves the degenerate shape.
+        let shifted = w.shifted(SimDuration::from_secs(5));
+        assert_eq!(shifted, FaultWindow::new(ts(15), ts(15)));
+        assert!(!shifted.contains(ts(15)));
+
+        // Clipping a zero-length window ahead of the deadline keeps it
+        // (still inert); a deadline at or before `from` removes it.
+        assert_eq!(w.clipped_to(ts(20)), Some(w));
+        assert_eq!(w.clipped_to(ts(10)), None);
+    }
+
+    #[test]
+    fn clip_to_empty_and_boundary_cases() {
+        let w = FaultWindow::new(ts(10), ts(20));
+        // Deadline before the window: gone entirely.
+        assert_eq!(w.clipped_to(ts(5)), None);
+        // Deadline exactly at `from`: the half-open clip leaves nothing.
+        assert_eq!(w.clipped_to(ts(10)), None);
+        // One instant past `from` survives as a sliver that still fires
+        // at `from` only.
+        let sliver = w
+            .clipped_to(Timestamp::from_millis(10_001))
+            .expect("sliver survives");
+        assert!(sliver.contains(ts(10)));
+        assert!(!sliver.contains(Timestamp::from_millis(10_001)));
+        // Deadline exactly at `until` is a no-op (window is already
+        // half-open there).
+        assert_eq!(w.clipped_to(ts(20)), Some(w));
+    }
+
+    #[test]
+    fn overlapping_shifted_windows_union_in_plan() {
+        // A churn wave staggers one outage shape across endpoints; when
+        // the stagger is shorter than the outage the shifted copies
+        // overlap. Registering both on the *same* endpoint must behave as
+        // the union of the windows, with no double-counting artifacts at
+        // the overlap or at the seam boundaries.
+        let base = FaultWindow::starting_at(ts(10), SimDuration::from_secs(10)); // [10, 20)
+        let shifted = base.shifted(SimDuration::from_secs(5)); // [15, 25)
+        assert!(base.contains(ts(16)) && shifted.contains(ts(16)), "overlap");
+
+        let mut plan = FaultPlan::default();
+        let a: EndpointId = "a".into();
+        plan.add_down(a.clone(), base);
+        plan.add_down(a.clone(), shifted);
+
+        assert!(!plan.endpoint_down(&a, ts(9)));
+        assert!(plan.endpoint_down(&a, ts(10)), "base start");
+        assert!(plan.endpoint_down(&a, ts(16)), "overlap region");
+        assert!(plan.endpoint_down(&a, ts(20)), "shifted covers base end");
+        assert!(plan.endpoint_down(&a, ts(24)));
+        assert!(!plan.endpoint_down(&a, ts(25)), "half-open at shifted end");
+
+        // Pruning at a point inside the overlap keeps both windows (both
+        // still have future coverage); pruning past the union clears all.
+        plan.prune(ts(16));
+        assert!(plan.endpoint_down(&a, ts(24)));
+        plan.prune(ts(25));
+        assert!(!plan.endpoint_down(&a, ts(24)), "expired windows pruned");
     }
 
     #[test]

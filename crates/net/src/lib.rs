@@ -16,7 +16,8 @@
 //! * [`FaultWindow`] / the `Network` fault API — scripted partitions,
 //!   endpoint outages, flapping schedules and latency spikes, all windows of
 //!   virtual time so chaos scenarios replay deterministically, with
-//!   per-cause drop counters ([`DropCause`]) in [`NetworkStats`].
+//!   per-cause drop counters ([`DropCause`]) recorded as `net.dropped.*`
+//!   telemetry counters in the network's `telemetry()` registry.
 //!
 //! # Example
 //!
@@ -61,4 +62,4 @@ pub use fault::{DropCause, FaultWindow};
 pub use latency::LatencyModel;
 pub use link::LinkSpec;
 pub use message::{EndpointId, Message};
-pub use network::{Network, NetworkStats, SendOptions, TrafficDirection};
+pub use network::{Network, SendOptions, TrafficDirection};

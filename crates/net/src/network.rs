@@ -6,7 +6,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 use parking_lot::Mutex;
 use sensocial_runtime::{Scheduler, SimDuration, SimRng, Timestamp};
-use sensocial_telemetry::{Registry, Snapshot};
+use sensocial_telemetry::Registry;
 use sensocial_types::{Error, Result};
 
 use crate::fault::{DropCause, FaultPlan, FaultWindow, FlapSchedule, LatencySpike};
@@ -40,75 +40,6 @@ pub struct SendOptions {
     /// [`Network::flush_parked`] re-injects them; the network cannot flush
     /// them itself because `register` has no scheduler in scope.
     pub queue_if_down: bool,
-}
-
-/// Counters describing everything a [`Network`] has done.
-///
-/// Conservation invariant: once the scheduler drains,
-/// `sent == delivered + dropped`, and
-/// `dropped == dropped_loss + dropped_partition + dropped_endpoint_down`.
-/// Parked messages are accounted separately (`parked`, `parked_dropped`,
-/// `parked_flushed`) and only enter `sent` when flushed.
-///
-/// This struct is now a read-only view reconstructed from the network's
-/// unified [`telemetry`](Network::telemetry) registry; new code should read
-/// the [`Snapshot`] directly.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct NetworkStats {
-    /// Messages handed to [`Network::send`].
-    pub sent: u64,
-    /// Messages actually delivered to a handler.
-    pub delivered: u64,
-    /// Messages dropped in flight, for any cause.
-    pub dropped: u64,
-    /// Total payload bytes handed to `send`.
-    pub bytes_sent: u64,
-    /// Messages dropped by random link loss.
-    pub dropped_loss: u64,
-    /// Messages dropped by an active partition.
-    pub dropped_partition: u64,
-    /// Messages dropped because an endpoint was down (outage or flap), at
-    /// send or at arrival.
-    pub dropped_endpoint_down: u64,
-    /// Sends refused because the destination was never registered (the
-    /// [`Error::NotConnected`] path).
-    pub unreachable: u64,
-    /// Messages parked for an unregistered endpoint via
-    /// [`SendOptions::queue_if_down`].
-    pub parked: u64,
-    /// Parked messages evicted (oldest first) when a park queue overflowed.
-    pub parked_dropped: u64,
-    /// Parked messages re-injected by [`Network::flush_parked`].
-    pub parked_flushed: u64,
-}
-
-impl NetworkStats {
-    /// The drop counter for a specific cause.
-    pub fn dropped_by(&self, cause: DropCause) -> u64 {
-        match cause {
-            DropCause::Loss => self.dropped_loss,
-            DropCause::Partition => self.dropped_partition,
-            DropCause::EndpointDown => self.dropped_endpoint_down,
-        }
-    }
-
-    /// Reconstructs the legacy counter struct from a telemetry snapshot
-    /// (the `net.*` counters a [`Network`] registry records).
-    pub fn from_snapshot(snap: &Snapshot) -> Self {
-        NetworkStats {
-            sent: snap.counter("net.sent"),
-            delivered: snap.counter("net.delivered"),
-            dropped: snap.counter("net.dropped"),
-            bytes_sent: snap.counter("net.bytes_sent"),
-            dropped_loss: snap.counter("net.dropped.loss"),
-            dropped_partition: snap.counter("net.dropped.partition"),
-            dropped_endpoint_down: snap.counter("net.dropped.endpoint_down"),
-            unreachable: snap.counter("net.unreachable"),
-            parked: snap.counter("net.parked"),
-            parked_dropped: snap.counter("net.parked.dropped"),
-            parked_flushed: snap.counter("net.parked.flushed"),
-        }
-    }
 }
 
 /// Default bound on each per-endpoint store-and-forward queue.
@@ -529,19 +460,6 @@ impl Network {
         Ok(())
     }
 
-    /// A snapshot of the delivery counters.
-    #[deprecated(
-        since = "0.1.0",
-        note = "read the counters from `telemetry().snapshot()` directly, or rebuild \
-                the bundle with `NetworkStats::from_snapshot` (keys under `net.*`: \
-                `sent`, `delivered`, `dropped`, `bytes_sent`, `dropped.loss`, \
-                `dropped.partition`, `dropped.endpoint_down`, `unreachable`, `parked`, \
-                `parked.dropped`, `parked.flushed`); this shim will be removed once \
-                out-of-tree callers have migrated"
-    )]
-    pub fn stats(&self) -> NetworkStats {
-        NetworkStats::from_snapshot(&self.telemetry.snapshot())
-    }
 }
 
 #[cfg(test)]
@@ -552,9 +470,47 @@ mod tests {
 
     type Log = Arc<Mutex<Vec<(u64, Vec<u8>)>>>;
 
-    /// Reads the delivery counters the non-deprecated way.
+    /// Test-local counter view bundled from the telemetry snapshot (the
+    /// deprecated public `NetworkStats` bundle is gone; tests read the
+    /// `net.*` counters directly).
+    #[derive(Debug, PartialEq, Eq)]
+    struct NetworkStats {
+        sent: u64,
+        delivered: u64,
+        dropped: u64,
+        bytes_sent: u64,
+        dropped_loss: u64,
+        dropped_partition: u64,
+        dropped_endpoint_down: u64,
+        unreachable: u64,
+        parked: u64,
+        parked_flushed: u64,
+    }
+
+    impl NetworkStats {
+        fn dropped_by(&self, cause: DropCause) -> u64 {
+            match cause {
+                DropCause::Loss => self.dropped_loss,
+                DropCause::Partition => self.dropped_partition,
+                DropCause::EndpointDown => self.dropped_endpoint_down,
+            }
+        }
+    }
+
     fn stats(net: &Network) -> NetworkStats {
-        NetworkStats::from_snapshot(&net.telemetry().snapshot())
+        let snap = net.telemetry().snapshot();
+        NetworkStats {
+            sent: snap.counter("net.sent"),
+            delivered: snap.counter("net.delivered"),
+            dropped: snap.counter("net.dropped"),
+            bytes_sent: snap.counter("net.bytes_sent"),
+            dropped_loss: snap.counter("net.dropped.loss"),
+            dropped_partition: snap.counter("net.dropped.partition"),
+            dropped_endpoint_down: snap.counter("net.dropped.endpoint_down"),
+            unreachable: snap.counter("net.unreachable"),
+            parked: snap.counter("net.parked"),
+            parked_flushed: snap.counter("net.parked.flushed"),
+        }
     }
 
     fn collector() -> (Log, MessageHandler) {
@@ -789,8 +745,7 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_stats_shim_matches_snapshot() {
+    fn counters_match_snapshot_reads() {
         let mut sched = Scheduler::new();
         let net = Network::new(1);
         let (_, handler) = collector();
@@ -799,8 +754,8 @@ mod tests {
         net.send(&mut sched, &"a".into(), &"b".into(), vec![0u8; 5])
             .unwrap();
         sched.run();
-        assert_eq!(net.stats(), stats(&net));
-        assert_eq!(net.stats().delivered, 1);
+        assert_eq!(stats(&net).delivered, 1);
+        assert_eq!(net.telemetry().snapshot().counter("net.delivered"), 1);
     }
 
     #[test]

@@ -2,16 +2,50 @@
 
 use std::sync::{Arc, Mutex};
 
-use sensocial_net::{
-    DropCause, FaultWindow, LatencyModel, LinkSpec, Network, NetworkStats, SendOptions,
-};
+use sensocial_net::{DropCause, FaultWindow, LatencyModel, LinkSpec, Network, SendOptions};
 use sensocial_runtime::{Scheduler, SimDuration, Timestamp};
 
 type Log = Arc<Mutex<Vec<(u64, Vec<u8>)>>>;
 
+/// Test-local counter view bundled from the unified telemetry snapshot
+/// (the deprecated public `NetworkStats` bundle is gone).
+#[derive(Debug, PartialEq, Eq)]
+struct NetworkStats {
+    sent: u64,
+    delivered: u64,
+    dropped: u64,
+    dropped_loss: u64,
+    dropped_partition: u64,
+    dropped_endpoint_down: u64,
+    parked: u64,
+    parked_dropped: u64,
+    parked_flushed: u64,
+}
+
+impl NetworkStats {
+    fn dropped_by(&self, cause: DropCause) -> u64 {
+        match cause {
+            DropCause::Loss => self.dropped_loss,
+            DropCause::Partition => self.dropped_partition,
+            DropCause::EndpointDown => self.dropped_endpoint_down,
+        }
+    }
+}
+
 /// Reads the delivery counters from the unified telemetry snapshot.
 fn stats(net: &Network) -> NetworkStats {
-    NetworkStats::from_snapshot(&net.telemetry().snapshot())
+    let snap = net.telemetry().snapshot();
+    NetworkStats {
+        sent: snap.counter("net.sent"),
+        delivered: snap.counter("net.delivered"),
+        dropped: snap.counter("net.dropped"),
+        dropped_loss: snap.counter("net.dropped.loss"),
+        dropped_partition: snap.counter("net.dropped.partition"),
+        dropped_endpoint_down: snap.counter("net.dropped.endpoint_down"),
+        parked: snap.counter("net.parked"),
+        parked_dropped: snap.counter("net.parked.dropped"),
+        parked_flushed: snap.counter("net.parked.flushed"),
+    }
 }
 
 fn sink(net: &Network, id: &str) -> Log {

@@ -3,11 +3,24 @@
 use std::sync::{Arc, Mutex};
 
 use proptest::prelude::*;
-use sensocial_net::{LatencyModel, LinkSpec, Network, NetworkStats};
+use sensocial_net::{LatencyModel, LinkSpec, Network};
+
+/// Test-local counter view (the deprecated public `NetworkStats` bundle
+/// is gone; the `net.*` counters are read from the telemetry snapshot).
+struct NetworkStats {
+    sent: u64,
+    delivered: u64,
+    dropped: u64,
+}
 
 /// Reads the delivery counters from the unified telemetry snapshot.
 fn stats(net: &Network) -> NetworkStats {
-    NetworkStats::from_snapshot(&net.telemetry().snapshot())
+    let snap = net.telemetry().snapshot();
+    NetworkStats {
+        sent: snap.counter("net.sent"),
+        delivered: snap.counter("net.delivered"),
+        dropped: snap.counter("net.dropped"),
+    }
 }
 use sensocial_runtime::{Scheduler, SimRng};
 

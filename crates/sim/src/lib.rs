@@ -13,7 +13,8 @@
 //!
 //! The [`scenarios`] module is the city-scale deterministic scenario
 //! suite: seeded workload generators (flash crowds, commute flows, churn
-//! waves, soaks) that emit replayable event schedules plus the committed
+//! waves, soaks, campaign storms / quota exhaustion / scheduler-crash
+//! recovery) that emit replayable event schedules plus the committed
 //! acceptance thresholds the chaos harness asserts.
 //!
 //! # Example

@@ -57,6 +57,27 @@ pub struct StageBound {
     pub max_mean_ms: f64,
 }
 
+/// Delivery-guarantee bounds for campaign scenarios, checked against the
+/// merged snapshot (which sums every scheduler instance that ran, so the
+/// accounting spans crashes).
+#[derive(Debug, Clone)]
+pub struct CampaignBounds {
+    /// Total occurrences the scenario's campaigns owe (fleet-wide).
+    pub occurrences: u64,
+    /// When set, `campaign.acked` and `client.campaign_applied` must both
+    /// equal this exactly — the zero-lost / zero-duplicated criterion.
+    pub exact_acked: Option<u64>,
+    /// Whether dead letters are forbidden outright.
+    pub zero_dead_letters: bool,
+    /// Whether the quota must actually run out
+    /// (`campaign.quota_exhausted > 0`).
+    pub expect_quota_exhaustion: bool,
+    /// Whether journal recovery must have run and device-side dedup must
+    /// have engaged (`campaign.recovered_records` and
+    /// `client.campaign_duplicates` both positive).
+    pub expect_recovery: bool,
+}
+
 /// Everything a scenario outcome is judged against.
 #[derive(Debug, Clone)]
 pub struct AcceptanceThresholds {
@@ -84,6 +105,8 @@ pub struct AcceptanceThresholds {
     /// monotone increasing, and at least a quarter of the probes must be
     /// at or below `max_final_backlog` (the system keeps draining).
     pub require_backlog_drain: bool,
+    /// Campaign delivery-guarantee bounds (campaign scenarios only).
+    pub campaign: Option<CampaignBounds>,
 }
 
 impl AcceptanceThresholds {
@@ -189,6 +212,62 @@ impl AcceptanceThresholds {
             }
         }
 
+        if let Some(bounds) = &self.campaign {
+            let acked = snap.counter("campaign.acked");
+            let dead = snap.counter("campaign.dead_lettered");
+            let applied = snap.counter("client.campaign_applied");
+            if acked + dead != bounds.occurrences {
+                violations.push(format!(
+                    "campaign settlement: acked {acked} + dead-lettered {dead} != {} occurrences due",
+                    bounds.occurrences
+                ));
+            }
+            match bounds.exact_acked {
+                Some(exact) => {
+                    if acked != exact {
+                        violations.push(format!(
+                            "campaign.acked = {acked}, must be exactly {exact} (zero lost)"
+                        ));
+                    }
+                    if applied != exact {
+                        violations.push(format!(
+                            "client.campaign_applied = {applied}, must be exactly {exact} (zero duplicated)"
+                        ));
+                    }
+                }
+                None => {
+                    // Quota pressure can dead-letter an occurrence whose
+                    // command a device already applied (the ack raced the
+                    // retry budget), so the exact-once bound widens to:
+                    // every applied occurrence is acked or dead-lettered.
+                    if applied < acked || applied > acked + dead {
+                        violations.push(format!(
+                            "client.campaign_applied = {applied} outside [{acked}, {}]",
+                            acked + dead
+                        ));
+                    }
+                }
+            }
+            if bounds.zero_dead_letters && dead != 0 {
+                violations.push(format!("campaign.dead_lettered = {dead}, must be 0"));
+            }
+            if bounds.expect_quota_exhaustion && snap.counter("campaign.quota_exhausted") == 0 {
+                violations.push("campaign.quota_exhausted = 0, quota never bit".to_owned());
+            }
+            if bounds.expect_recovery {
+                if snap.counter("campaign.recovered_records") == 0 {
+                    violations
+                        .push("campaign.recovered_records = 0, recovery never replayed".to_owned());
+                }
+                if snap.counter("client.campaign_duplicates") == 0 {
+                    violations.push(
+                        "client.campaign_duplicates = 0, device-side dedup never engaged"
+                            .to_owned(),
+                    );
+                }
+            }
+        }
+
         AcceptanceReport { violations }
     }
 }
@@ -257,6 +336,7 @@ pub(crate) fn thresholds(spec: &ScenarioSpec, schedule: &Schedule) -> Acceptance
             min_backlog_high_water: 0,
             max_backlog_high_water: None,
             require_backlog_drain: false,
+            campaign: None,
         },
         ScenarioName::ChurnWave => AcceptanceThresholds {
             min_server_uplinks: continuous_floor / 4,
@@ -283,6 +363,7 @@ pub(crate) fn thresholds(spec: &ScenarioSpec, schedule: &Schedule) -> Acceptance
             min_backlog_high_water: 1,
             max_backlog_high_water: Some(128),
             require_backlog_drain: true,
+            campaign: None,
         },
         ScenarioName::Soak => AcceptanceThresholds {
             min_server_uplinks: continuous_floor / 4,
@@ -305,6 +386,116 @@ pub(crate) fn thresholds(spec: &ScenarioSpec, schedule: &Schedule) -> Acceptance
             min_backlog_high_water: 1,
             max_backlog_high_water: Some(256),
             require_backlog_drain: true,
+            campaign: None,
         },
+        ScenarioName::CampaignStorm
+        | ScenarioName::CampaignQuota
+        | ScenarioName::CampaignCrash => campaign_thresholds(spec, schedule),
+    }
+}
+
+/// Thresholds for the three campaign scenarios. The uplink floor uses
+/// the campaign's *pushed* interval (streams start at `stream_interval`
+/// but every campaign reconfigures them within the first occurrence
+/// period), and the delivery bounds come from the campaign workload:
+/// fleet-wide occurrence settlement, the zero-lost / zero-duplicated
+/// exactness for storm and crash, quota-exhaustion evidence for quota,
+/// and recovery/dedup evidence for crash.
+fn campaign_thresholds(spec: &ScenarioSpec, schedule: &Schedule) -> AcceptanceThresholds {
+    let slow_interval_ms = spec
+        .campaign
+        .map(|c| c.interval_ms)
+        .unwrap_or(0)
+        .max(spec.stream_interval.as_millis())
+        .max(1);
+    let continuous_floor =
+        schedule.device_count() as u64 * (spec.duration.as_millis() / slow_interval_ms);
+    let total_occurrences = spec
+        .campaign
+        .map(|c| schedule.device_count() as u64 * u64::from(c.occurrences))
+        .unwrap_or(0);
+    let faulted = spec.name == ScenarioName::CampaignQuota;
+    let divisor = if faulted { 4 } else { 2 };
+    let mean_cap = if faulted { 10_000.0 } else { 2_500.0 };
+
+    let (zero_counters, nonzero_counters): (Vec<&'static str>, Vec<&'static str>) =
+        match spec.name {
+            ScenarioName::CampaignStorm => (
+                vec![
+                    "net.dropped.loss",
+                    "net.dropped.partition",
+                    "net.dropped.endpoint_down",
+                    "client.uplink.dropped",
+                    "broker.offline_dropped",
+                    "campaign.dead_lettered",
+                    "campaign.retried",
+                    "campaign.quota_exhausted",
+                    "client.campaign_duplicates",
+                ],
+                vec!["campaign.dispatched", "campaign.acked"],
+            ),
+            ScenarioName::CampaignQuota => (
+                vec!["net.dropped.loss", "net.dropped.partition"],
+                vec![
+                    "net.dropped.endpoint_down",
+                    "client.uplink.buffered",
+                    "client.uplink.flushed",
+                    "campaign.quota_exhausted",
+                    "campaign.dead_lettered",
+                ],
+            ),
+            _ => (
+                vec![
+                    "net.dropped.loss",
+                    "net.dropped.partition",
+                    "net.dropped.endpoint_down",
+                    "client.uplink.dropped",
+                    "broker.offline_dropped",
+                    "campaign.dead_lettered",
+                    "campaign.quota_exhausted",
+                ],
+                vec![
+                    "campaign.crashed",
+                    "campaign.retried",
+                    "campaign.recovered_records",
+                    "client.campaign_duplicates",
+                ],
+            ),
+        };
+
+    AcceptanceThresholds {
+        min_server_uplinks: continuous_floor / divisor,
+        min_osn_actions: schedule.post_count(),
+        zero_counters,
+        nonzero_counters,
+        stage_bounds: vec![
+            StageBound {
+                stage: Stage::Server,
+                min_count: continuous_floor / divisor,
+                max_mean_ms: mean_cap,
+            },
+            StageBound {
+                stage: Stage::Subscriber,
+                min_count: continuous_floor / divisor,
+                max_mean_ms: mean_cap,
+            },
+        ],
+        max_final_backlog: if faulted { 4 } else { 0 },
+        min_backlog_high_water: u64::from(faulted),
+        max_backlog_high_water: if faulted { Some(128) } else { None },
+        require_backlog_drain: faulted,
+        campaign: spec.campaign.map(|c| {
+            let exact = match spec.name {
+                ScenarioName::CampaignQuota => None,
+                _ => Some(total_occurrences),
+            };
+            CampaignBounds {
+                occurrences: total_occurrences,
+                exact_acked: exact,
+                zero_dead_letters: exact.is_some(),
+                expect_quota_exhaustion: c.quota < total_occurrences,
+                expect_recovery: c.crash_ms.is_some() && c.recover_ms.is_some(),
+            }
+        }),
     }
 }

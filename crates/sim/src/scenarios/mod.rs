@@ -15,9 +15,13 @@
 //!   [`Network::churn_wave`](sensocial_net::Network::churn_wave) —
 //!
 //! into a plain-data [`Schedule`] that a [`World`](crate::World) replays.
-//! Four named scenarios ship with committed acceptance thresholds
+//! Seven named scenarios ship with committed acceptance thresholds
 //! ([`ScenarioSpec::thresholds`]): `stadium-egress`, `commute-cascade`,
-//! `churn-wave` and the virtual-weeks `soak`. The acceptance harness in
+//! `churn-wave`, the virtual-weeks `soak`, and three campaign-scheduler
+//! shapes — `campaign-storm` (fleet-wide reconfiguration fan-out),
+//! `campaign-quota` (admission control under churn) and `campaign-crash`
+//! (scheduler failover mid-storm, asserting zero lost and zero
+//! duplicated reconfigurations). The acceptance harness in
 //! `tests/tests/scenarios.rs` and the `sensocial-bench --scenario` runs
 //! are both built on [`run`](ScenarioSpec::run).
 //!
@@ -37,17 +41,18 @@ mod runner;
 mod schedule;
 
 pub use acceptance::{
-    backlog_high_water, total_backlog, AcceptanceReport, AcceptanceThresholds, StageBound,
-    BACKLOG_GAUGES,
+    backlog_high_water, total_backlog, AcceptanceReport, AcceptanceThresholds, CampaignBounds,
+    StageBound, BACKLOG_GAUGES,
 };
 pub use runner::{run_schedule, ScenarioOutcome};
 pub use schedule::{Schedule, ScheduledAction, ScheduledEvent};
 
+use sensocial_campaign::{CampaignPolicies, RateLimitPolicy};
 use sensocial_runtime::SimDuration;
 use sensocial_types::geo::cities;
 use sensocial_types::GeoPoint;
 
-/// The four named scenarios the acceptance suite runs.
+/// The seven named scenarios the acceptance suite runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ScenarioName {
     /// Flash crowd: a stadium full of devices converges on one gate.
@@ -58,15 +63,27 @@ pub enum ScenarioName {
     ChurnWave,
     /// Virtual-weeks steady state with rotating outages.
     Soak,
+    /// Fleet-wide campaign fan-out: every device's stream is reconfigured
+    /// on a recurring schedule; every push must ack exactly once.
+    CampaignStorm,
+    /// Campaign admission control under churn: a dispatch quota runs out
+    /// while a churn wave forces retries; settlement must stay exact.
+    CampaignQuota,
+    /// Scheduler crash mid-storm with in-flight acks lost, then journal
+    /// recovery: zero lost and zero duplicated reconfigurations.
+    CampaignCrash,
 }
 
 impl ScenarioName {
     /// All named scenarios, fast ones first.
-    pub const ALL: [ScenarioName; 4] = [
+    pub const ALL: [ScenarioName; 7] = [
         ScenarioName::StadiumEgress,
         ScenarioName::CommuteCascade,
         ScenarioName::ChurnWave,
         ScenarioName::Soak,
+        ScenarioName::CampaignStorm,
+        ScenarioName::CampaignQuota,
+        ScenarioName::CampaignCrash,
     ];
 
     /// Stable kebab-case name (CLI flag value, report key).
@@ -76,6 +93,9 @@ impl ScenarioName {
             ScenarioName::CommuteCascade => "commute-cascade",
             ScenarioName::ChurnWave => "churn-wave",
             ScenarioName::Soak => "soak",
+            ScenarioName::CampaignStorm => "campaign-storm",
+            ScenarioName::CampaignQuota => "campaign-quota",
+            ScenarioName::CampaignCrash => "campaign-crash",
         }
     }
 
@@ -86,6 +106,9 @@ impl ScenarioName {
             ScenarioName::CommuteCascade => "traffic",
             ScenarioName::ChurnWave => "tunnel",
             ScenarioName::Soak => "daily",
+            ScenarioName::CampaignStorm
+            | ScenarioName::CampaignQuota
+            | ScenarioName::CampaignCrash => "rollout",
         }
     }
 }
@@ -148,6 +171,55 @@ pub struct ScenarioSpec {
     pub keepalive: SimDuration,
     /// Backlog probe slices the runner samples over the run.
     pub probe_slices: usize,
+    /// Campaign-scheduler workload riding on the scenario (one campaign
+    /// per device, all under one application quota), or `None` for the
+    /// pure data-plane scenarios.
+    pub campaign: Option<CampaignScenario>,
+}
+
+/// The campaign workload a scenario script launches: every provisioned
+/// device gets one campaign with this shape, all sharing the `"scenario"`
+/// application's quota and rate limit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignScenario {
+    /// First occurrence due time, virtual ms.
+    pub start_ms: u64,
+    /// Gap between occurrences, ms.
+    pub period_ms: u64,
+    /// Occurrences per campaign (per device).
+    pub occurrences: u32,
+    /// The sampling interval each occurrence pushes, ms.
+    pub interval_ms: u64,
+    /// Fleet-wide dispatch quota for the scenario app
+    /// (`u64::MAX` = unlimited).
+    pub quota: u64,
+    /// Token-bucket burst size for the scenario app.
+    pub rate_capacity: u64,
+    /// Milliseconds of virtual time that earn one bucket token
+    /// (0 = unlimited).
+    pub rate_per_token_ms: u64,
+    /// Ack deadline per dispatch attempt, ms.
+    pub ack_timeout_ms: u64,
+    /// Dispatch attempts per occurrence before dead-lettering.
+    pub max_attempts: u32,
+    /// When to crash the scheduler instance (virtual ms), if at all.
+    pub crash_ms: Option<u64>,
+    /// When a replacement recovers from the journal (virtual ms).
+    pub recover_ms: Option<u64>,
+}
+
+impl CampaignScenario {
+    /// The delivery policies this workload runs under (default backoff
+    /// shape; the quota, rate and timeout knobs come from the scenario).
+    pub fn policies(&self) -> CampaignPolicies {
+        CampaignPolicies {
+            ack_timeout: SimDuration::from_millis(self.ack_timeout_ms.max(1)),
+            max_attempts: self.max_attempts.max(1),
+            quota_per_app: self.quota,
+            rate: RateLimitPolicy::new(self.rate_capacity, self.rate_per_token_ms),
+            ..CampaignPolicies::default()
+        }
+    }
 }
 
 impl ScenarioSpec {
@@ -174,6 +246,7 @@ impl ScenarioSpec {
             supervised: false,
             keepalive: SimDuration::from_secs(5),
             probe_slices: 8,
+            campaign: None,
         }
     }
 
@@ -199,6 +272,7 @@ impl ScenarioSpec {
             supervised: false,
             keepalive: SimDuration::from_secs(5),
             probe_slices: 8,
+            campaign: None,
         }
     }
 
@@ -224,6 +298,7 @@ impl ScenarioSpec {
             supervised: true,
             keepalive: SimDuration::from_secs(5),
             probe_slices: 8,
+            campaign: None,
         }
     }
 
@@ -250,6 +325,127 @@ impl ScenarioSpec {
             supervised: true,
             keepalive: SimDuration::from_secs(60),
             probe_slices: 56,
+            campaign: None,
+        }
+    }
+
+    /// Campaign storm: a recurring fleet-wide reconfiguration campaign
+    /// (six occurrences, two minutes apart) fans out to every device of a
+    /// fault-free 12-device fleet. Every push must be acked and applied
+    /// exactly once — no retries, no dead letters, no duplicates.
+    pub fn campaign_storm() -> Self {
+        ScenarioSpec {
+            name: ScenarioName::CampaignStorm,
+            seed: 7_005,
+            devices: 12,
+            duration: SimDuration::from_secs(900),
+            stream_interval: SimDuration::from_secs(10),
+            event_stream_every: 4,
+            center: cities::paris(),
+            spread_m: 1_500.0,
+            speed_mps: 0.0,
+            churn_fraction: 0.0,
+            churn_down: SimDuration::ZERO,
+            churn_up: SimDuration::ZERO,
+            osn_seed_posts: 2,
+            reshare_fanout: 4,
+            supervised: false,
+            keepalive: SimDuration::from_secs(5),
+            probe_slices: 8,
+            campaign: Some(CampaignScenario {
+                start_ms: 60_000,
+                period_ms: 120_000,
+                occurrences: 6,
+                interval_ms: 30_000,
+                quota: u64::MAX,
+                rate_capacity: 1,
+                rate_per_token_ms: 0,
+                ack_timeout_ms: 10_000,
+                max_attempts: 5,
+                crash_ms: None,
+                recover_ms: None,
+            }),
+        }
+    }
+
+    /// Campaign quota exhaustion under churn: a 10-device supervised
+    /// fleet needs 60 dispatches but the scenario app's quota admits only
+    /// 40, while a 30% churn wave forces ack timeouts and retries that
+    /// burn quota faster. Settlement must stay exact — every occurrence
+    /// ends acked or dead-lettered, and the quota error fires.
+    pub fn campaign_quota() -> Self {
+        ScenarioSpec {
+            name: ScenarioName::CampaignQuota,
+            seed: 7_006,
+            devices: 10,
+            duration: SimDuration::from_secs(900),
+            stream_interval: SimDuration::from_secs(10),
+            event_stream_every: 5,
+            center: cities::paris(),
+            spread_m: 2_000.0,
+            speed_mps: 0.0,
+            churn_fraction: 0.30,
+            churn_down: SimDuration::from_secs(45),
+            churn_up: SimDuration::from_secs(75),
+            osn_seed_posts: 2,
+            reshare_fanout: 4,
+            supervised: true,
+            keepalive: SimDuration::from_secs(5),
+            probe_slices: 8,
+            campaign: Some(CampaignScenario {
+                start_ms: 60_000,
+                period_ms: 60_000,
+                occurrences: 6,
+                interval_ms: 30_000,
+                quota: 40,
+                rate_capacity: 1,
+                rate_per_token_ms: 0,
+                ack_timeout_ms: 10_000,
+                max_attempts: 3,
+                crash_ms: None,
+                recover_ms: None,
+            }),
+        }
+    }
+
+    /// Mid-storm scheduler crash and journal failover: the scheduler
+    /// dies 10 ms after the first fleet-wide dispatch (the acks land in a
+    /// dead listener and are lost), a replacement recovers from the
+    /// journal 30 s in and redrives the timed-out attempts. Devices dedup
+    /// the redispatch by occurrence token, so the committed thresholds
+    /// assert zero lost and zero duplicated reconfigurations.
+    pub fn campaign_crash() -> Self {
+        ScenarioSpec {
+            name: ScenarioName::CampaignCrash,
+            seed: 7_007,
+            devices: 8,
+            duration: SimDuration::from_secs(900),
+            stream_interval: SimDuration::from_secs(10),
+            event_stream_every: 4,
+            center: cities::paris(),
+            spread_m: 1_500.0,
+            speed_mps: 0.0,
+            churn_fraction: 0.0,
+            churn_down: SimDuration::ZERO,
+            churn_up: SimDuration::ZERO,
+            osn_seed_posts: 2,
+            reshare_fanout: 4,
+            supervised: false,
+            keepalive: SimDuration::from_secs(5),
+            probe_slices: 8,
+            campaign: Some(CampaignScenario {
+                start_ms: 60_000,
+                period_ms: 60_000,
+                occurrences: 5,
+                interval_ms: 30_000,
+                quota: u64::MAX,
+                rate_capacity: 1,
+                rate_per_token_ms: 0,
+                ack_timeout_ms: 10_000,
+                max_attempts: 5,
+                crash_ms: Some(60_010),
+                recover_ms: Some(90_000),
+            }),
         }
     }
 
@@ -260,6 +456,9 @@ impl ScenarioSpec {
             ScenarioName::CommuteCascade => ScenarioSpec::commute_cascade(),
             ScenarioName::ChurnWave => ScenarioSpec::churn_wave(),
             ScenarioName::Soak => ScenarioSpec::soak(),
+            ScenarioName::CampaignStorm => ScenarioSpec::campaign_storm(),
+            ScenarioName::CampaignQuota => ScenarioSpec::campaign_quota(),
+            ScenarioName::CampaignCrash => ScenarioSpec::campaign_crash(),
         }
     }
 
@@ -321,6 +520,8 @@ pub enum ScenarioError {
     NoBrokerClient(String),
     /// The middleware rejected part of the schedule.
     Middleware(sensocial::Error),
+    /// The campaign scheduler rejected part of the schedule.
+    Campaign(sensocial_campaign::CampaignError),
 }
 
 impl std::fmt::Display for ScenarioError {
@@ -343,6 +544,9 @@ impl std::fmt::Display for ScenarioError {
                 write!(f, "device {device:?} has no broker client to supervise")
             }
             ScenarioError::Middleware(err) => write!(f, "middleware rejected schedule: {err}"),
+            ScenarioError::Campaign(err) => {
+                write!(f, "campaign scheduler rejected schedule: {err}")
+            }
         }
     }
 }
@@ -351,6 +555,7 @@ impl std::error::Error for ScenarioError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ScenarioError::Middleware(err) => Some(err),
+            ScenarioError::Campaign(err) => Some(err),
             _ => None,
         }
     }
@@ -359,5 +564,11 @@ impl std::error::Error for ScenarioError {
 impl From<sensocial::Error> for ScenarioError {
     fn from(err: sensocial::Error) -> Self {
         ScenarioError::Middleware(err)
+    }
+}
+
+impl From<sensocial_campaign::CampaignError> for ScenarioError {
+    fn from(err: sensocial_campaign::CampaignError) -> Self {
+        ScenarioError::Campaign(err)
     }
 }

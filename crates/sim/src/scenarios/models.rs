@@ -38,13 +38,53 @@ pub(crate) fn generate(spec: &ScenarioSpec) -> Schedule {
         ScenarioName::CommuteCascade => {
             commute(spec, &devices, &positions, &mut mobility_rng, &mut events);
         }
-        ScenarioName::ChurnWave | ScenarioName::Soak => {}
+        ScenarioName::ChurnWave
+        | ScenarioName::Soak
+        | ScenarioName::CampaignStorm
+        | ScenarioName::CampaignQuota
+        | ScenarioName::CampaignCrash => {}
     }
 
     osn_activity(spec, &users, &mut rng.split("osn"), &mut events);
     faults(spec, &devices, &mut events);
+    campaigns(spec, &mut events);
 
     Schedule::new(spec.duration, spec.probe_slices, events)
+}
+
+/// Campaign workload events: one registration burst at t=0 (the due
+/// times live in the campaign scenario itself), plus the scripted
+/// scheduler crash and journal recovery when the scenario has them.
+/// Zero-device populations register zero campaigns, so the events are
+/// only emitted for populated fleets.
+fn campaigns(spec: &ScenarioSpec, events: &mut Vec<ScheduledEvent>) {
+    let Some(c) = spec.campaign else {
+        return;
+    };
+    if spec.devices == 0 {
+        return;
+    }
+    events.push(ScheduledEvent {
+        at: Timestamp::ZERO,
+        action: ScheduledAction::LaunchCampaigns {
+            start_ms: c.start_ms,
+            period_ms: c.period_ms,
+            occurrences: c.occurrences,
+            interval_ms: c.interval_ms,
+        },
+    });
+    if let Some(at) = c.crash_ms {
+        events.push(ScheduledEvent {
+            at: Timestamp::from_millis(at),
+            action: ScheduledAction::CrashScheduler,
+        });
+    }
+    if let Some(at) = c.recover_ms {
+        events.push(ScheduledEvent {
+            at: Timestamp::from_millis(at),
+            action: ScheduledAction::RecoverScheduler,
+        });
+    }
 }
 
 /// Initial device positions: a uniform disc around the scenario center,
@@ -215,7 +255,11 @@ fn osn_activity(
     let topic = spec.name.topic();
     let burst_at = Timestamp::ZERO
         + match spec.name {
-            ScenarioName::StadiumEgress | ScenarioName::ChurnWave => spec.duration / 3,
+            ScenarioName::StadiumEgress
+            | ScenarioName::ChurnWave
+            | ScenarioName::CampaignStorm
+            | ScenarioName::CampaignQuota
+            | ScenarioName::CampaignCrash => spec.duration / 3,
             ScenarioName::CommuteCascade => spec.duration / 4,
             ScenarioName::Soak => SimDuration::from_secs(60),
         };
@@ -290,7 +334,9 @@ fn clamp_to_run(at: Timestamp, duration: SimDuration) -> Timestamp {
 /// hours with a fault-free tail so backlogs drain before the final probe.
 fn faults(spec: &ScenarioSpec, devices: &[String], events: &mut Vec<ScheduledEvent>) {
     match spec.name {
-        ScenarioName::ChurnWave => {
+        // The quota scenario rides the same churn-wave fault shape: the
+        // wave is what forces ack timeouts and quota-burning retries.
+        ScenarioName::ChurnWave | ScenarioName::CampaignQuota => {
             if devices.is_empty() || spec.churn_fraction <= 0.0 || spec.churn_fraction.is_nan() {
                 return;
             }
@@ -343,7 +389,10 @@ fn faults(spec: &ScenarioSpec, devices: &[String], events: &mut Vec<ScheduledEve
                 });
             }
         }
-        ScenarioName::StadiumEgress | ScenarioName::CommuteCascade => {}
+        ScenarioName::StadiumEgress
+        | ScenarioName::CommuteCascade
+        | ScenarioName::CampaignStorm
+        | ScenarioName::CampaignCrash => {}
     }
 }
 

@@ -4,20 +4,35 @@
 //! counts, and per-slice backlog probes for the soak's bounded-backlog
 //! criterion.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use sensocial::server::StreamSelector;
-use sensocial::{Filter, TelemetrySnapshot};
+use sensocial::{Filter, StreamId, StreamMode, TelemetrySnapshot};
 use sensocial_broker::ReconnectPolicy;
+use sensocial_campaign::{CampaignPolicies, CampaignScheduler, CampaignSpec};
 use sensocial_net::{EndpointId, FaultWindow};
 use sensocial_runtime::{SimDuration, Timestamp};
-use sensocial_types::GeoPoint;
+use sensocial_types::{DeviceId, GeoPoint};
 
 use super::acceptance::total_backlog;
 use super::schedule::{build_stream_spec, Schedule, ScheduledAction};
 use super::{ScenarioError, ScenarioSpec};
 use crate::{World, WorldConfig};
+
+/// The campaign-scheduler side of a scenario run: every instance ever
+/// stood up (crashed ones keep their telemetry, which merges into the
+/// outcome), the policies/seed a recovery must be handed again, and the
+/// continuous stream each device's campaign reconfigures.
+struct CampaignRig {
+    policies: CampaignPolicies,
+    seed: u64,
+    /// All instances in stand-up order; the live one is last.
+    instances: Vec<CampaignScheduler>,
+    /// Each device's continuous stream (the campaign target).
+    streams: BTreeMap<String, StreamId>,
+}
 
 /// Everything a scenario run produces, ready for threshold checks.
 #[derive(Debug, Clone)]
@@ -58,6 +73,18 @@ pub fn run_schedule(
         ..WorldConfig::default()
     });
 
+    let mut rig = spec.campaign.map(|c| CampaignRig {
+        policies: c.policies(),
+        seed: spec.seed,
+        instances: vec![CampaignScheduler::new(
+            &world.server,
+            world.server.storage(),
+            c.policies(),
+            spec.seed,
+        )],
+        streams: BTreeMap::new(),
+    });
+
     let deliveries = Arc::new(AtomicU64::new(0));
     {
         let deliveries = deliveries.clone();
@@ -82,7 +109,7 @@ pub fn run_schedule(
         if event.at > world.sched.now() {
             world.sched.run_until(event.at);
         }
-        apply(&mut world, &event.action)?;
+        apply(&mut world, &mut rig, &event.action)?;
     }
     while samples.len() < probes {
         world.sched.run_until(next_probe);
@@ -93,7 +120,15 @@ pub fn run_schedule(
     // the clock short of the full duration; finish the run either way.
     world.sched.run_until(Timestamp::ZERO + schedule.duration);
 
-    let snapshot = world.telemetry_snapshot();
+    let mut snapshot = world.telemetry_snapshot();
+    if let Some(rig) = &rig {
+        // Every instance that ever ran contributes: a crashed scheduler's
+        // dispatches happened, and zero-lost/zero-dup accounting needs
+        // them alongside the replacement's.
+        for instance in &rig.instances {
+            snapshot.merge(&instance.snapshot());
+        }
+    }
     let wire = snapshot.to_wire();
     Ok(ScenarioOutcome {
         snapshot,
@@ -106,7 +141,11 @@ pub fn run_schedule(
 }
 
 /// Applies one scripted action to the live world.
-fn apply(world: &mut World, action: &ScheduledAction) -> Result<(), ScenarioError> {
+fn apply(
+    world: &mut World,
+    rig: &mut Option<CampaignRig>,
+    action: &ScheduledAction,
+) -> Result<(), ScenarioError> {
     match action {
         ScheduledAction::AddDevice {
             user,
@@ -141,10 +180,17 @@ fn apply(world: &mut World, action: &ScheduledAction) -> Result<(), ScenarioErro
             mode,
             interval_ms,
         } => {
-            world.create_stream(
+            let stream = world.create_stream(
                 device,
                 build_stream_spec(*modality, *granularity, *mode, *interval_ms),
             )?;
+            // The first continuous stream on each device is what its
+            // campaign reconfigures.
+            if let Some(rig) = rig {
+                if matches!(mode, StreamMode::Continuous) {
+                    rig.streams.entry(device.clone()).or_insert(stream);
+                }
+            }
         }
         ScheduledAction::StartMobility { device, model } => {
             let model = model.clone();
@@ -194,6 +240,53 @@ fn apply(world: &mut World, action: &ScheduledAction) -> Result<(), ScenarioErro
                     Timestamp::from_millis(*until_ms),
                 ),
             );
+        }
+        ScheduledAction::LaunchCampaigns {
+            start_ms,
+            period_ms,
+            occurrences,
+            interval_ms,
+        } => {
+            let Some(rig) = rig else {
+                return Ok(());
+            };
+            let Some(scheduler) = rig.instances.last().cloned() else {
+                return Ok(());
+            };
+            for (device, stream) in &rig.streams {
+                scheduler.register(
+                    &mut world.sched,
+                    CampaignSpec {
+                        id: format!("camp-{device}"),
+                        app: "scenario".to_owned(),
+                        device: DeviceId::new(device.as_str()),
+                        stream: *stream,
+                        start: Timestamp::from_millis(*start_ms),
+                        period: SimDuration::from_millis((*period_ms).max(1)),
+                        occurrences: *occurrences,
+                        interval_ms: *interval_ms,
+                    },
+                )?;
+            }
+        }
+        ScheduledAction::CrashScheduler => {
+            if let Some(rig) = rig {
+                if let Some(instance) = rig.instances.last() {
+                    instance.crash();
+                }
+            }
+        }
+        ScheduledAction::RecoverScheduler => {
+            if let Some(rig) = rig {
+                let recovered = CampaignScheduler::recover(
+                    &world.server,
+                    world.server.storage(),
+                    rig.policies,
+                    rig.seed,
+                );
+                recovered.start(&mut world.sched);
+                rig.instances.push(recovered);
+            }
         }
     }
     Ok(())

@@ -90,6 +90,26 @@ pub enum ScheduledAction {
         /// Outage end (exclusive), virtual milliseconds.
         until_ms: u64,
     },
+    /// Register one reconfiguration campaign per provisioned device on
+    /// the campaign scheduler (all under the `"scenario"` app), targeting
+    /// each device's continuous stream.
+    LaunchCampaigns {
+        /// First occurrence due time, virtual milliseconds.
+        start_ms: u64,
+        /// Gap between occurrences, milliseconds.
+        period_ms: u64,
+        /// Occurrences per campaign.
+        occurrences: u32,
+        /// Sampling interval each occurrence pushes, milliseconds.
+        interval_ms: u64,
+    },
+    /// Kill the live campaign-scheduler instance: it stops dispatching
+    /// and ignores every ack from this instant (simulating process
+    /// death; its journal survives in server storage).
+    CrashScheduler,
+    /// Stand up a replacement campaign scheduler recovered from the
+    /// journal and start it (redriving whatever timed out while dead).
+    RecoverScheduler,
 }
 
 /// An action and the virtual instant it fires.
@@ -230,6 +250,16 @@ fn encode_action(action: &ScheduledAction) -> String {
             from_ms,
             until_ms,
         } => format!("outage device={device} from_ms={from_ms} until_ms={until_ms}"),
+        ScheduledAction::LaunchCampaigns {
+            start_ms,
+            period_ms,
+            occurrences,
+            interval_ms,
+        } => format!(
+            "launch-campaigns start_ms={start_ms} period_ms={period_ms} occurrences={occurrences} interval_ms={interval_ms}"
+        ),
+        ScheduledAction::CrashScheduler => "crash-scheduler".to_owned(),
+        ScheduledAction::RecoverScheduler => "recover-scheduler".to_owned(),
     }
 }
 

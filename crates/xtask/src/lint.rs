@@ -17,7 +17,14 @@
 //!   opened through `sensocial-storage`'s `StorageConfig` factory, so the
 //!   backend stays selectable (and CI's backend matrix actually covers
 //!   the code); only the storage crate's backends may construct the
-//!   underlying store.
+//!   underlying store;
+//! * direct config-topic use (`Topic::Config(...)`) — device
+//!   reconfigurations must flow through the campaign dispatch path
+//!   (`ServerManager::dispatch_campaign_config` → `push_config`) so epoch
+//!   stamping, ack tracking and the campaign journal stay consistent; a
+//!   raw publish on the config topic would bypass all three. The `Topic`
+//!   module itself (which defines the enum) is exempt by file, and the
+//!   sanctioned publish/subscribe sites carry allow markers.
 //!
 //! The telemetry macros (`count!`, `observe!`, `gauge!`, `trace_event!`)
 //! are the *approved* instrumentation surface: lines invoking them are
@@ -47,6 +54,10 @@ struct Pattern {
     name: &'static str,
     needle: String,
     why: &'static str,
+    /// File-path suffixes (repo-relative, `/`-separated) the pattern does
+    /// not apply to — for rules where one module legitimately owns the
+    /// banned construct (e.g. the `Topic` enum's own definition site).
+    exempt: &'static [&'static str],
 }
 
 fn patterns() -> Vec<Pattern> {
@@ -54,6 +65,7 @@ fn patterns() -> Vec<Pattern> {
         name,
         needle: parts.concat(),
         why,
+        exempt: &[],
     };
     vec![
         pat(
@@ -106,6 +118,18 @@ fn patterns() -> Vec<Pattern> {
             "construct storage via sensocial-storage's StorageConfig factory, \
              so the backend stays selectable",
         ),
+        Pattern {
+            name: "config-publish",
+            needle: ["Topic::Conf", "ig("].concat(),
+            why: "direct config-topic use outside the campaign dispatch path; \
+                  route reconfigurations through \
+                  ServerManager::dispatch_campaign_config so epoch stamping, \
+                  ack tracking and the campaign journal stay consistent",
+            // The Topic enum's own module pattern-matches and constructs
+            // every variant; exempting it by file keeps the rule focused
+            // on *use* sites.
+            exempt: &["crates/core/src/topic.rs"],
+        },
     ]
 }
 
@@ -152,6 +176,9 @@ fn scan_source(file: &str, content: &str, patterns: &[Pattern]) -> Vec<Violation
             continue;
         }
         for p in patterns {
+            if p.exempt.iter().any(|suffix| file.ends_with(suffix)) {
+                continue;
+            }
             if !line.contains(p.needle.as_str()) {
                 continue;
             }
@@ -345,6 +372,22 @@ mod tests {
         let marker = tok(&["lint:", "allow(database-new)"]);
         let allowed = format!("fn f() {{ let db = {needle}\"sensocial\"); }} // {marker}\n");
         assert!(scan_source("fixture.rs", &allowed, &patterns()).is_empty());
+    }
+
+    #[test]
+    fn direct_config_topic_use_is_banned_outside_exempt_files() {
+        let needle = tok(&["Topic::Conf", "ig("]);
+        let fixture = format!("fn f(b: &BrokerClient) {{ b.publish({needle}d.clone()), p); }}\n");
+        let violations = scan_source("crates/foo/src/lib.rs", &fixture, &patterns());
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].pattern, "config-publish");
+        // The Topic enum's defining module is exempt by file suffix.
+        assert!(scan_source("crates/core/src/topic.rs", &fixture, &patterns()).is_empty());
+        // Sanctioned sites (the campaign dispatcher's publish, the client's
+        // subscribe) carry the allow marker.
+        let marker = tok(&["lint:", "allow(config-publish)"]);
+        let allowed = format!("fn f() {{ let t = {needle}d.clone()); }} // {marker}\n");
+        assert!(scan_source("crates/foo/src/lib.rs", &allowed, &patterns()).is_empty());
     }
 
     #[test]

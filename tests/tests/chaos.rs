@@ -44,8 +44,7 @@ fn supervise(world: &mut World, device: &str, keepalive: SimDuration) -> BrokerC
 }
 
 /// One named counter from the client manager's telemetry snapshot —
-/// the assertions below read the unified keys directly rather than going
-/// through the deprecated `ClientNetStats` bundle.
+/// the assertions below read the unified keys directly.
 fn client_counter(manager: &ClientManager, key: &str) -> u64 {
     manager.telemetry().snapshot().counter(key)
 }

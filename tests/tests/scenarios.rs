@@ -1,9 +1,11 @@
-//! Scenario acceptance harness: the four named city-scale workloads from
-//! `sensocial_sim::scenarios` replayed end to end, each checked against
-//! its committed thresholds ([`ScenarioSpec::thresholds`]) on the merged
-//! telemetry snapshot — drop-cause counters, per-stage latency means,
-//! backlog high-water marks, and (for the churn and soak shapes) full
-//! store-and-forward drain.
+//! Scenario acceptance harness: the seven named city-scale workloads
+//! from `sensocial_sim::scenarios` replayed end to end, each checked
+//! against its committed thresholds ([`ScenarioSpec::thresholds`]) on
+//! the merged telemetry snapshot — drop-cause counters, per-stage
+//! latency means, backlog high-water marks, store-and-forward drain for
+//! the churn and soak shapes, and the campaign scheduler's delivery
+//! guarantees (exact occurrence settlement, zero lost / zero duplicated
+//! reconfigurations across a scheduler crash) for the campaign shapes.
 //!
 //! Determinism is enforced twice over: schedule generation is proven a
 //! pure function of the spec under proptest-chosen parameters, and every
@@ -70,15 +72,74 @@ fn churn_wave_meets_thresholds() {
     );
 }
 
+/// Campaign storm: six fleet-wide reconfiguration rounds over a
+/// fault-free 12-device fleet. The committed thresholds assert exact
+/// delivery — 72 occurrences due, 72 acked, 72 applied, zero retries,
+/// zero dead letters, zero duplicates.
+#[test]
+fn campaign_storm_meets_thresholds() {
+    let outcome = run_and_check(&ScenarioSpec::campaign_storm());
+    assert_eq!(outcome.snapshot.counter("campaign.acked"), 72);
+    assert_eq!(outcome.snapshot.counter("client.campaign_applied"), 72);
+}
+
+/// Campaign quota exhaustion under churn: the scenario app's quota (40)
+/// cannot cover the fleet's demand (60 occurrences plus churn-forced
+/// retries), so the quota error must fire, dead letters must appear, and
+/// settlement must stay exact: every occurrence ends acked or
+/// dead-lettered, nothing in between.
+#[test]
+fn campaign_quota_meets_thresholds() {
+    let outcome = run_and_check(&ScenarioSpec::campaign_quota());
+    let acked = outcome.snapshot.counter("campaign.acked");
+    let dead = outcome.snapshot.counter("campaign.dead_lettered");
+    assert_eq!(acked + dead, 60, "every occurrence settled");
+    assert!(
+        outcome.snapshot.counter("campaign.quota_exhausted") > 0,
+        "the quota actually ran out"
+    );
+}
+
+/// Mid-storm scheduler crash and journal failover: the first fleet-wide
+/// dispatch's acks land in a dead scheduler, the replacement recovers
+/// from the journal and redrives, and devices dedup the redispatch by
+/// occurrence token. Zero lost, zero duplicated: 40 occurrences due, 40
+/// acked, 40 applied, with the dedup and recovery counters as evidence
+/// the crash actually bit.
+#[test]
+fn campaign_crash_recovery_loses_and_duplicates_nothing() {
+    let outcome = run_and_check(&ScenarioSpec::campaign_crash());
+    assert_eq!(outcome.snapshot.counter("campaign.acked"), 40, "zero lost");
+    assert_eq!(
+        outcome.snapshot.counter("client.campaign_applied"),
+        40,
+        "zero duplicated"
+    );
+    assert!(
+        outcome.snapshot.counter("client.campaign_duplicates") > 0,
+        "the redispatched occurrences were deduped, not re-applied"
+    );
+    assert!(
+        outcome.snapshot.counter("campaign.recovered_records") > 0,
+        "the replacement replayed the journal"
+    );
+}
+
 /// Same-seed determinism, enforced to the byte: generation produces the
 /// same schedule wire form twice, and two full world replays of each
 /// fast scenario agree on the canonical snapshot wire form exactly.
+/// The campaign-crash replay makes this a crash-recovery determinism
+/// gate: both runs crash and recover the scheduler at the same virtual
+/// instants, so the merged snapshots must match to the byte.
 #[test]
 fn fast_scenarios_are_deterministic() {
     for name in [
         ScenarioName::StadiumEgress,
         ScenarioName::CommuteCascade,
         ScenarioName::ChurnWave,
+        ScenarioName::CampaignStorm,
+        ScenarioName::CampaignQuota,
+        ScenarioName::CampaignCrash,
     ] {
         let spec = ScenarioSpec::named(name);
         assert_eq!(
@@ -187,10 +248,10 @@ proptest! {
 
     /// Schedule generation is a pure function of the spec: the same seed
     /// yields byte-identical wire forms across the whole parameter space
-    /// (all four shapes, populations down to zero, churn up to 100%).
+    /// (all seven shapes, populations down to zero, churn up to 100%).
     #[test]
     fn schedule_generation_same_seed_byte_identity(
-        name_idx in 0usize..4,
+        name_idx in 0usize..7,
         seed in 0u64..1_000_000,
         devices in 0usize..40,
         churn in 0.0f64..=1.0,
