@@ -1,0 +1,103 @@
+//! Static plan cost model.
+//!
+//! A coarse, deterministic per-plan cost estimate computed from the
+//! *normalized* filter — no runtime profiling involved. ROADMAP #1's
+//! optimization pass uses it to rank hot plans (which plans to compile to
+//! predicate bytecode first), and the [`crate::report::AnalysisReport`]
+//! carries it so the ranking is reproducible byte-for-byte in CI.
+
+use std::collections::BTreeSet;
+
+use sensocial_types::filter::Filter;
+
+use serde::Serialize;
+
+/// Static cost estimate for one normalized filter plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct PlanCost {
+    /// Number of predicates after normalization — the per-sample work.
+    pub predicates: usize,
+    /// Number of distinct `(subject, lhs)` groups: how many context
+    /// lookups one evaluation performs (conditions in the same group share
+    /// a lookup; see [`crate::sat`]'s grouping).
+    pub eval_depth: usize,
+    /// Number of distinct *other* users whose context the plan joins in —
+    /// each one is a cross-user context fetch (and, under sharding, a
+    /// potential cross-shard hop).
+    pub cross_user_joins: usize,
+    /// Whether delivery is gated on OSN context: such plans sit on the
+    /// OSN-trigger hot path, not just the sensing hot path.
+    pub osn_gated: bool,
+}
+
+/// Estimates the static cost of a normalized filter.
+#[must_use]
+pub fn estimate(filter: &Filter) -> PlanCost {
+    let mut groups: BTreeSet<(Option<&str>, &'static str)> = BTreeSet::new();
+    let mut subjects: BTreeSet<&str> = BTreeSet::new();
+    for c in &filter.conditions {
+        let subject = c.subject.as_ref().map(sensocial_types::UserId::as_str);
+        groups.insert((subject, c.lhs.name()));
+        if let Some(s) = subject {
+            subjects.insert(s);
+        }
+    }
+    PlanCost {
+        predicates: filter.conditions.len(),
+        eval_depth: groups.len(),
+        cross_user_joins: subjects.len(),
+        osn_gated: filter.has_osn_condition(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sensocial_types::filter::{Condition, ConditionLhs, Operator};
+    use sensocial_types::UserId;
+
+    #[test]
+    fn empty_filter_costs_nothing() {
+        let cost = estimate(&Filter::pass_all());
+        assert_eq!(
+            cost,
+            PlanCost {
+                predicates: 0,
+                eval_depth: 0,
+                cross_user_joins: 0,
+                osn_gated: false,
+            }
+        );
+    }
+
+    #[test]
+    fn groups_collapse_same_subject_and_lhs() {
+        let filter = Filter::new(vec![
+            Condition::new(ConditionLhs::HourOfDay, Operator::GreaterThan, 8),
+            Condition::new(ConditionLhs::HourOfDay, Operator::LessThan, 20),
+            Condition::new(ConditionLhs::PhysicalActivity, Operator::Equals, "walking"),
+        ]);
+        let cost = estimate(&filter);
+        assert_eq!(cost.predicates, 3);
+        assert_eq!(cost.eval_depth, 2);
+        assert_eq!(cost.cross_user_joins, 0);
+        assert!(!cost.osn_gated);
+    }
+
+    #[test]
+    fn cross_user_joins_count_distinct_subjects() {
+        let filter = Filter::new(vec![
+            Condition::new(ConditionLhs::PhysicalActivity, Operator::Equals, "walking")
+                .about(UserId::new("bob")),
+            Condition::new(ConditionLhs::HourOfDay, Operator::GreaterThan, 8)
+                .about(UserId::new("bob")),
+            Condition::new(ConditionLhs::OsnActivity, Operator::Equals, "active")
+                .about(UserId::new("carol")),
+        ]);
+        let cost = estimate(&filter);
+        assert_eq!(cost.predicates, 3);
+        assert_eq!(cost.eval_depth, 3);
+        assert_eq!(cost.cross_user_joins, 2);
+        assert!(cost.osn_gated);
+    }
+}

@@ -42,6 +42,31 @@ impl DependencyGraph {
         self.edges.is_empty()
     }
 
+    /// Every user appearing as an owner or subject, sorted.
+    pub fn nodes(&self) -> Vec<UserId> {
+        let mut nodes: BTreeSet<&UserId> = BTreeSet::new();
+        for (owner, subjects) in &self.edges {
+            nodes.insert(owner);
+            nodes.extend(subjects.iter());
+        }
+        nodes.into_iter().cloned().collect()
+    }
+
+    /// Every `owner → subject` edge, sorted by `(owner, subject)`.
+    pub fn edge_list(&self) -> Vec<(UserId, UserId)> {
+        self.edges
+            .iter()
+            .flat_map(|(owner, subjects)| {
+                subjects.iter().map(move |s| (owner.clone(), s.clone()))
+            })
+            .collect()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().map(BTreeSet::len).sum()
+    }
+
     /// Finds a dependency cycle, returned as the users along it (first
     /// user repeated at the end), or `None` if the graph is acyclic.
     pub fn find_cycle(&self) -> Option<Vec<UserId>> {
@@ -142,6 +167,20 @@ mod tests {
         g.depend(&u("c"), &u("d"));
         let cycle = g.find_cycle().expect("cycle exists");
         assert_eq!(cycle.len(), 4);
+    }
+
+    #[test]
+    fn accessors_expose_sorted_views() {
+        let mut g = DependencyGraph::new();
+        g.depend(&u("b"), &u("a"));
+        g.depend(&u("a"), &u("c"));
+        g.depend(&u("a"), &u("b"));
+        assert_eq!(g.nodes(), vec![u("a"), u("b"), u("c")]);
+        assert_eq!(
+            g.edge_list(),
+            vec![(u("a"), u("b")), (u("a"), u("c")), (u("b"), u("a"))]
+        );
+        assert_eq!(g.edge_count(), 3);
     }
 
     #[test]

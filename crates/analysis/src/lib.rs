@@ -5,7 +5,7 @@
 //! arrived — an ill-typed comparison, an unsatisfiable condition set or a
 //! privacy-violating conditional modality failed silently at stream time.
 //! This crate moves those failures to registration time. [`analyze`] runs
-//! four passes over a [`FilterPlan`]:
+//! five passes over a [`FilterPlan`]:
 //!
 //! 1. **Type checking** ([`typeck`]): every condition's operator/value pair
 //!    must fit the left-hand side's [`domain::ValueDomain`].
@@ -15,9 +15,20 @@
 //! 3. **Placement** ([`placement`]): cross-user conditions must live
 //!    server-side, and every conditional modality must be samplable and
 //!    privacy-permitted at the granularity it needs.
-//! 4. **Dependency cycles** ([`graph`]): the server feeds multicast and
+//! 4. **Information flow** ([`flow`]): sensitivity labels
+//!    (`{aggregated, privacy_filtered, raw}`) propagate from every sensor
+//!    source through the plan to its sink; a raw sensitive modality
+//!    reaching an external sink through an OSN-coupled plan without an
+//!    authorized privacy stage rejects with
+//!    [`DiagnosticCode::PrivacyFlow`].
+//! 5. **Dependency cycles** ([`graph`]): the server feeds multicast and
 //!    subscription plans into a cross-user [`DependencyGraph`] and rejects
 //!    plans that would close a cycle.
+//!
+//! Beyond verification, the crate now also *plans*: [`shard`] turns the
+//! dependency graph into a deterministic shard-affinity hint, [`cost`]
+//! estimates per-plan evaluation cost, and [`report`] renders both plus
+//! every flow verdict as a byte-stable JSON [`report::AnalysisReport`].
 //!
 //! Findings are [`PlanDiagnostic`]s (defined in `sensocial-types` so they
 //! travel over the wire inside configuration acks); rejection surfaces as
@@ -26,17 +37,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cost;
 pub mod domain;
+pub mod flow;
 pub mod graph;
 pub mod placement;
+pub mod report;
 pub mod sat;
+pub mod shard;
 pub mod typeck;
 
 use sensocial_types::filter::Filter;
 use sensocial_types::{Error, Granularity, Modality, PlanDiagnostic};
 
+pub use cost::PlanCost;
+pub use flow::{FlowLabel, FlowSink, FlowSource, FlowVerdict};
 pub use graph::DependencyGraph;
+pub use report::AnalysisReport;
 pub use sensocial_types::{DiagnosticCode, DiagnosticSeverity};
+pub use shard::ShardPlan;
 
 /// Where a filter plan will be evaluated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,7 +87,11 @@ impl Placement {
 }
 
 /// A filter plan submitted for verification: the filter, where it will
-/// run, and — for device placements — what the stream samples.
+/// run, and — for device placements — what the stream samples. The flow
+/// fields ([`FilterPlan::sink`], [`FilterPlan::osn_coupled`],
+/// [`FilterPlan::sources`], [`FilterPlan::aggregated`]) refine the
+/// information-flow pass; admission paths set them through the builders,
+/// and conservative defaults are derived from the placement otherwise.
 #[derive(Debug, Clone)]
 pub struct FilterPlan {
     /// The conjunction of conditions to verify.
@@ -78,6 +101,21 @@ pub struct FilterPlan {
     /// The stream's own `(modality, granularity)` when the plan drives
     /// device sampling; `None` for pure server-side subscriptions.
     pub sampling: Option<(Modality, Granularity)>,
+    /// Where the plan's output goes; `None` derives the placement's
+    /// natural sink (device-local, uplink, subscriber).
+    pub sink: Option<FlowSink>,
+    /// Whether the plan is OSN-coupled; `None` derives it from the
+    /// filter's OSN conditions. Clients pass the stream's effective mode
+    /// here, which also covers social-event-based sampling without an OSN
+    /// condition in the filter.
+    pub osn_coupled: Option<bool>,
+    /// Upstream sources feeding the plan beyond its own sampling — the
+    /// server passes the specs of the uplinked streams a subscription or
+    /// aggregator reads from.
+    pub sources: Vec<FlowSource>,
+    /// Whether the plan's output is aggregated across streams/users before
+    /// the sink (lowers screened labels to `aggregated` in the flow pass).
+    pub aggregated: bool,
 }
 
 impl FilterPlan {
@@ -89,6 +127,10 @@ impl FilterPlan {
             filter,
             placement: Placement::DeviceUplinked,
             sampling: Some((modality, granularity)),
+            sink: None,
+            osn_coupled: None,
+            sources: Vec::new(),
+            aggregated: false,
         }
     }
 
@@ -99,6 +141,10 @@ impl FilterPlan {
             filter,
             placement: Placement::Server,
             sampling: None,
+            sink: None,
+            osn_coupled: None,
+            sources: Vec::new(),
+            aggregated: false,
         }
     }
 
@@ -111,7 +157,40 @@ impl FilterPlan {
             filter,
             placement: Placement::MulticastTemplate,
             sampling: Some((modality, granularity)),
+            sink: None,
+            osn_coupled: None,
+            sources: Vec::new(),
+            aggregated: false,
         }
+    }
+
+    /// Overrides the sink the flow pass checks against.
+    #[must_use]
+    pub fn sinking(mut self, sink: FlowSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Overrides the OSN-coupling the flow pass assumes (clients pass the
+    /// stream's effective mode; the default derives it from the filter).
+    #[must_use]
+    pub fn coupled_to_osn(mut self, coupled: bool) -> Self {
+        self.osn_coupled = Some(coupled);
+        self
+    }
+
+    /// Adds an upstream source feeding the plan.
+    #[must_use]
+    pub fn with_source(mut self, source: FlowSource) -> Self {
+        self.sources.push(source);
+        self
+    }
+
+    /// Marks the plan's output as aggregated before the sink.
+    #[must_use]
+    pub fn aggregating(mut self) -> Self {
+        self.aggregated = true;
+        self
     }
 }
 
@@ -179,6 +258,12 @@ pub struct Analysis {
     /// may later be relaxed), so these are reported separately. Strict
     /// callers use [`Analysis::require_privacy`].
     pub privacy_violations: Vec<PlanDiagnostic>,
+    /// The information-flow verdict: per-source sensitivity labels at the
+    /// plan's sink. Flow *violations* reject the plan outright (unlike
+    /// `privacy_violations`, there is no pause-and-resume path that would
+    /// re-run this analysis), so an `Analysis` always carries a clean
+    /// verdict.
+    pub flow: FlowVerdict,
 }
 
 impl Analysis {
@@ -251,11 +336,22 @@ pub fn analyze(plan: &FilterPlan, env: &AnalysisEnv<'_>) -> Result<Analysis, Ana
         }
     };
 
+    // The flow pass describes the plan as it will be installed, so it runs
+    // over the normalized filter (normalization preserves OSN presence
+    // gates, so the coupling derivation sees the same truth either way).
+    let flow_plan = FilterPlan {
+        filter: filter.clone(),
+        ..plan.clone()
+    };
+    let (flow, flow_errors) = flow::check(&flow_plan, env);
+    errors.extend(flow_errors);
+
     if errors.is_empty() {
         Ok(Analysis {
             filter,
             warnings,
             privacy_violations: placed.privacy,
+            flow,
         })
     } else {
         errors.extend(placed.privacy);
@@ -370,6 +466,46 @@ mod tests {
         assert_eq!(err.diagnostics[0].code, DiagnosticCode::PrivacyViolation);
         let wire: Error = err.into();
         assert!(matches!(wire, Error::PlanRejected(_)));
+    }
+
+    #[test]
+    fn privacy_flow_rejects_coupled_sensitive_plan_under_denying_policy() {
+        struct AllowAll;
+        impl PrivacyView for AllowAll {
+            fn is_allowed(&self, _m: Modality, _g: Granularity) -> bool {
+                true
+            }
+        }
+        let osn_plan = || {
+            FilterPlan::device(
+                Modality::Location,
+                Granularity::Raw,
+                Filter::new(vec![Condition::new(
+                    ConditionLhs::OsnActivity,
+                    Operator::Equals,
+                    "active",
+                )]),
+            )
+            .sinking(FlowSink::Uplink)
+            .coupled_to_osn(true)
+        };
+
+        let deny = DenyAll;
+        let err = analyze(&osn_plan(), &AnalysisEnv::new().with_privacy(&deny))
+            .expect_err("denying policy must fail the flow check, not pause");
+        assert!(err
+            .diagnostics
+            .iter()
+            .any(|d| d.code == DiagnosticCode::PrivacyFlow));
+
+        let allow = AllowAll;
+        let analysis = analyze(&osn_plan(), &AnalysisEnv::new().with_privacy(&allow))
+            .expect("allowing policy authorizes the coupling");
+        assert!(analysis.flow.osn_coupled);
+        assert_eq!(
+            analysis.flow.peak_label(),
+            Some(FlowLabel::PrivacyFiltered)
+        );
     }
 
     #[test]

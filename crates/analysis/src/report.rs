@@ -1,0 +1,210 @@
+//! Machine-readable, byte-stable analysis report.
+//!
+//! One JSON document per deployment summarizing what the static analysis
+//! knows: every admitted plan's [`PlanCost`] and [`FlowVerdict`], the
+//! cross-user dependency edges, and the [`ShardPlan`] placement hint.
+//! `sensocial-bench --analysis-report` emits it and CI `cmp`s a double run
+//! for byte identity, so every field must serialize in a deterministic
+//! order — `Vec`s sorted by the builder, no hash-ordered containers.
+
+use serde::Serialize;
+
+use crate::cost::PlanCost;
+use crate::flow::FlowVerdict;
+use crate::shard::{GraphEdge, ShardPlan};
+use crate::DependencyGraph;
+use sensocial_types::UserId;
+
+/// The static analysis of one admitted plan.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PlanReport {
+    /// What kind of plan this is (`device_stream`, `remote_stream`,
+    /// `subscription`, `aggregator`, `multicast`), a stable sort key.
+    pub kind: String,
+    /// Identifier within the kind (stream/aggregator/multicast id or a
+    /// subscription index), the secondary sort key.
+    pub id: String,
+    /// Static cost estimate of the normalized filter.
+    pub cost: PlanCost,
+    /// Information-flow verdict: per-source labels at the sink.
+    pub flow: FlowVerdict,
+    /// Number of flow diagnostics the re-check produced. Zero for every
+    /// admitted plan unless authority was deferred to a device that has
+    /// not re-verified yet.
+    pub flow_violations: usize,
+}
+
+impl PlanReport {
+    /// Analyzes one plan for the report: static cost of its (already
+    /// normalized) filter plus a fresh information-flow check.
+    #[must_use]
+    pub fn for_plan(
+        kind: impl Into<String>,
+        id: impl Into<String>,
+        plan: &crate::FilterPlan,
+        env: &crate::AnalysisEnv<'_>,
+    ) -> Self {
+        let (verdict, errors) = crate::flow::check(plan, env);
+        PlanReport {
+            kind: kind.into(),
+            id: id.into(),
+            cost: crate::cost::estimate(&plan.filter),
+            flow: verdict,
+            flow_violations: errors.len(),
+        }
+    }
+}
+
+/// Aggregate totals over the report's plans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Default)]
+pub struct ReportTotals {
+    /// Number of plans analyzed.
+    pub plans: usize,
+    /// Sum of per-plan predicate counts.
+    pub predicates: usize,
+    /// Number of plans gated on OSN context.
+    pub osn_gated: usize,
+    /// Number of plans with at least one cross-user join.
+    pub cross_user: usize,
+}
+
+/// The whole-deployment static analysis report.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct AnalysisReport {
+    /// Report format name, for consumers dispatching on content.
+    pub report: &'static str,
+    /// Format version; bump when the structure changes.
+    pub version: u32,
+    /// Every analyzed plan, sorted by `(kind, id)`.
+    pub plans: Vec<PlanReport>,
+    /// Aggregate totals over `plans`.
+    pub totals: ReportTotals,
+    /// The cross-user dependency edges the shard plan was computed from,
+    /// sorted.
+    pub dependency_edges: Vec<GraphEdge>,
+    /// The shard-affinity placement hint for ROADMAP #2.
+    pub shard_plan: ShardPlan,
+}
+
+impl AnalysisReport {
+    /// Builds a report from collected plan analyses, the deployment's
+    /// dependency graph, its known users and the target shard count.
+    /// Plans are sorted here so callers may collect in any order.
+    #[must_use]
+    pub fn new(
+        mut plans: Vec<PlanReport>,
+        graph: &DependencyGraph,
+        users: &[UserId],
+        shard_count: usize,
+    ) -> Self {
+        plans.sort_by(|a, b| (&a.kind, &a.id).cmp(&(&b.kind, &b.id)));
+        let totals = ReportTotals {
+            plans: plans.len(),
+            predicates: plans.iter().map(|p| p.cost.predicates).sum(),
+            osn_gated: plans.iter().filter(|p| p.cost.osn_gated).count(),
+            cross_user: plans.iter().filter(|p| p.cost.cross_user_joins > 0).count(),
+        };
+        let dependency_edges = graph
+            .edge_list()
+            .into_iter()
+            .map(|(owner, subject)| GraphEdge { owner, subject })
+            .collect();
+        AnalysisReport {
+            report: "sensocial_analysis",
+            version: 1,
+            plans,
+            totals,
+            dependency_edges,
+            shard_plan: crate::shard::plan(graph, users, shard_count),
+        }
+    }
+
+    /// Canonical JSON rendering: pretty-printed, trailing newline,
+    /// byte-identical for equal reports.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        // Serialize derives on plain structs cannot fail; fall back to an
+        // empty object rather than panicking in shipping code.
+        let mut json = serde_json::to_string_pretty(self).unwrap_or_else(|_| String::from("{}"));
+        json.push('\n');
+        json
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::{FlowLabel, FlowSink, FlowSource, FlowTrace};
+    use sensocial_types::{Granularity, Modality};
+
+    fn sample_plan(kind: &str, id: &str) -> PlanReport {
+        PlanReport {
+            kind: kind.to_owned(),
+            id: id.to_owned(),
+            cost: PlanCost {
+                predicates: 2,
+                eval_depth: 1,
+                cross_user_joins: 1,
+                osn_gated: true,
+            },
+            flow: FlowVerdict {
+                sink: Some(FlowSink::Subscriber),
+                osn_coupled: true,
+                traces: vec![FlowTrace {
+                    source: FlowSource::new(Modality::Location, Granularity::Classified),
+                    entry: FlowLabel::PrivacyFiltered,
+                    label: FlowLabel::PrivacyFiltered,
+                }],
+            },
+            flow_violations: 0,
+        }
+    }
+
+    #[test]
+    fn plans_are_sorted_and_totals_add_up() {
+        let graph = DependencyGraph::new();
+        let report = AnalysisReport::new(
+            vec![
+                sample_plan("subscription", "subscription#1"),
+                sample_plan("aggregator", "aggregator#0"),
+                sample_plan("subscription", "subscription#0"),
+            ],
+            &graph,
+            &[],
+            2,
+        );
+        let keys: Vec<&str> = report.plans.iter().map(|p| p.id.as_str()).collect();
+        assert_eq!(
+            keys,
+            ["aggregator#0", "subscription#0", "subscription#1"]
+        );
+        assert_eq!(report.totals.plans, 3);
+        assert_eq!(report.totals.predicates, 6);
+        assert_eq!(report.totals.osn_gated, 3);
+        assert_eq!(report.totals.cross_user, 3);
+    }
+
+    #[test]
+    fn json_is_byte_stable_and_newline_terminated() {
+        let mut graph = DependencyGraph::new();
+        graph.depend(
+            &sensocial_types::UserId::new("alice"),
+            &sensocial_types::UserId::new("bob"),
+        );
+        let build = || {
+            AnalysisReport::new(
+                vec![sample_plan("multicast", "multicast#0")],
+                &graph,
+                &[sensocial_types::UserId::new("alice")],
+                4,
+            )
+            .to_json()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a, b);
+        assert!(a.ends_with('\n'));
+        assert!(a.contains("\"report\": \"sensocial_analysis\""));
+        assert!(a.contains("\"dependency_edges\""));
+    }
+}

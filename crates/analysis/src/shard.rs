@@ -1,0 +1,268 @@
+//! Static shard-affinity planner.
+//!
+//! ROADMAP #2 shards the server by user; a cross-user filter whose owner
+//! and subject land on different shards needs a cross-shard context fetch
+//! on every evaluation. The [`DependencyGraph`](crate::DependencyGraph)
+//! already records exactly which user pairs must be co-resolved, so this
+//! module turns it into a deterministic placement hint: connected
+//! components of the (undirected) dependency relation are kept together
+//! where capacity allows, components too large for one shard are split,
+//! and every dependency edge the partition severs is accounted for as an
+//! explicit cut edge — nothing is silently dropped.
+//!
+//! The planner is pure and ordered (BTree iteration, stable tie-breaks),
+//! so the same graph + user set + shard count always yields a
+//! byte-identical [`ShardPlan`] — the property the CI double-run gate and
+//! the proptests pin down.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use sensocial_types::UserId;
+
+use serde::Serialize;
+
+use crate::DependencyGraph;
+
+/// One directed dependency edge (`owner`'s delivery reads `subject`'s
+/// context).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub struct GraphEdge {
+    /// The user whose stream delivery is gated.
+    pub owner: UserId,
+    /// The user whose context the gate reads.
+    pub subject: UserId,
+}
+
+/// One shard's user assignment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Shard {
+    /// Shard index, `0..shard_count`.
+    pub index: usize,
+    /// Users placed on this shard, sorted.
+    pub users: Vec<UserId>,
+}
+
+/// A deterministic user→shard partition with cut-edge accounting.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ShardPlan {
+    /// Number of shards planned for.
+    pub shard_count: usize,
+    /// Per-shard capacity used by the planner: `ceil(users / shards)`.
+    pub capacity: usize,
+    /// The shards, indexed `0..shard_count`. Every known user appears in
+    /// exactly one.
+    pub shards: Vec<Shard>,
+    /// Dependency edges whose endpoints landed on different shards,
+    /// sorted. Each one is a cross-shard context fetch at runtime.
+    pub cut_edges: Vec<GraphEdge>,
+    /// Dependency edges kept within one shard.
+    pub intra_edges: usize,
+}
+
+impl ShardPlan {
+    /// The shard index a user was assigned to, if the user is known.
+    #[must_use]
+    pub fn shard_of(&self, user: &UserId) -> Option<usize> {
+        self.shards
+            .iter()
+            .find(|s| s.users.binary_search(user).is_ok())
+            .map(|s| s.index)
+    }
+
+    /// Total users placed.
+    #[must_use]
+    pub fn user_count(&self) -> usize {
+        self.shards.iter().map(|s| s.users.len()).sum()
+    }
+}
+
+/// Plans a balanced partition of `users` (plus every user appearing in
+/// `graph`) across `shard_count` shards, keeping dependency-connected
+/// users together where capacity allows.
+///
+/// Algorithm: undirected connected components of the dependency relation
+/// (BFS in sorted order), components larger than the per-shard capacity
+/// split into BFS-order chunks, chunks placed greedily largest-first onto
+/// the least-loaded shard (ties to the lowest index). Fully deterministic.
+#[must_use]
+pub fn plan(graph: &DependencyGraph, users: &[UserId], shard_count: usize) -> ShardPlan {
+    let shard_count = shard_count.max(1);
+
+    // Node set: every explicitly known user plus every graph endpoint.
+    let mut nodes: BTreeSet<UserId> = users.iter().cloned().collect();
+    let edges = graph.edge_list();
+    for e in &edges {
+        nodes.insert(e.0.clone());
+        nodes.insert(e.1.clone());
+    }
+
+    // Undirected adjacency, sorted both ways.
+    let mut adjacency: BTreeMap<&UserId, BTreeSet<&UserId>> = BTreeMap::new();
+    for (owner, subject) in &edges {
+        adjacency.entry(owner).or_default().insert(subject);
+        adjacency.entry(subject).or_default().insert(owner);
+    }
+
+    let capacity = nodes.len().div_ceil(shard_count).max(1);
+
+    // Connected components via BFS from each unvisited node in sorted
+    // order; each component's member list is in BFS order so splitting an
+    // oversized component keeps neighbors adjacent.
+    let mut visited: BTreeSet<&UserId> = BTreeSet::new();
+    let mut chunks: Vec<Vec<UserId>> = Vec::new();
+    for start in &nodes {
+        if visited.contains(start) {
+            continue;
+        }
+        let mut component: Vec<UserId> = Vec::new();
+        let mut queue: VecDeque<&UserId> = VecDeque::new();
+        visited.insert(start);
+        queue.push_back(start);
+        while let Some(node) = queue.pop_front() {
+            component.push(node.clone());
+            if let Some(neighbors) = adjacency.get(node) {
+                for next in neighbors {
+                    if visited.insert(next) {
+                        queue.push_back(next);
+                    }
+                }
+            }
+        }
+        for chunk in component.chunks(capacity) {
+            chunks.push(chunk.to_vec());
+        }
+    }
+
+    // Largest chunk first; ties broken by smallest member for determinism.
+    chunks.sort_by(|a, b| {
+        b.len()
+            .cmp(&a.len())
+            .then_with(|| a.iter().min().cmp(&b.iter().min()))
+    });
+
+    let mut shards: Vec<Shard> = (0..shard_count)
+        .map(|index| Shard {
+            index,
+            users: Vec::new(),
+        })
+        .collect();
+    for chunk in chunks {
+        let target = shards
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, s)| (s.users.len(), *i))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        shards[target].users.extend(chunk);
+    }
+    for shard in &mut shards {
+        shard.users.sort_unstable();
+    }
+
+    let shard_of = |user: &UserId| -> Option<usize> {
+        shards
+            .iter()
+            .find(|s| s.users.binary_search(user).is_ok())
+            .map(|s| s.index)
+    };
+    let mut cut_edges: Vec<GraphEdge> = Vec::new();
+    let mut intra_edges = 0usize;
+    for (owner, subject) in &edges {
+        if shard_of(owner) == shard_of(subject) {
+            intra_edges += 1;
+        } else {
+            cut_edges.push(GraphEdge {
+                owner: owner.clone(),
+                subject: subject.clone(),
+            });
+        }
+    }
+    cut_edges.sort_unstable();
+
+    ShardPlan {
+        shard_count,
+        capacity,
+        shards,
+        cut_edges,
+        intra_edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(name: &str) -> UserId {
+        UserId::new(name)
+    }
+
+    fn users(names: &[&str]) -> Vec<UserId> {
+        names.iter().map(|n| u(n)).collect()
+    }
+
+    #[test]
+    fn dependency_pairs_stay_on_one_shard() {
+        let mut g = DependencyGraph::new();
+        g.depend(&u("a"), &u("b"));
+        g.depend(&u("c"), &u("d"));
+        let plan = plan(&g, &users(&["a", "b", "c", "d"]), 2);
+        assert_eq!(plan.user_count(), 4);
+        assert_eq!(plan.cut_edges.len(), 0);
+        assert_eq!(plan.intra_edges, 2);
+        assert_eq!(plan.shard_of(&u("a")), plan.shard_of(&u("b")));
+        assert_eq!(plan.shard_of(&u("c")), plan.shard_of(&u("d")));
+        // Balanced: two users per shard.
+        assert!(plan.shards.iter().all(|s| s.users.len() == 2));
+    }
+
+    #[test]
+    fn oversized_component_is_split_with_cut_edges_accounted() {
+        // A chain a→b→c→d→e→f is one component of 6; capacity for 2
+        // shards is 3, so it must split and sever at least one edge.
+        let mut g = DependencyGraph::new();
+        for pair in [("a", "b"), ("b", "c"), ("c", "d"), ("d", "e"), ("e", "f")] {
+            g.depend(&u(pair.0), &u(pair.1));
+        }
+        let plan = plan(&g, &[], 2);
+        assert_eq!(plan.user_count(), 6);
+        assert_eq!(plan.capacity, 3);
+        assert_eq!(plan.intra_edges + plan.cut_edges.len(), 5);
+        assert!(!plan.cut_edges.is_empty());
+        // Every edge is either intra-shard or explicitly a cut edge.
+        for (owner, subject) in g.edge_list() {
+            let same = plan.shard_of(&owner) == plan.shard_of(&subject);
+            let listed = plan
+                .cut_edges
+                .iter()
+                .any(|e| e.owner == owner && e.subject == subject);
+            assert!(same != listed, "edge {owner} -> {subject} unaccounted");
+        }
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_serializable() {
+        let mut g = DependencyGraph::new();
+        g.depend(&u("x"), &u("y"));
+        let once = plan(&g, &users(&["x", "y", "z"]), 3);
+        let twice = plan(&g, &users(&["x", "y", "z"]), 3);
+        assert_eq!(once, twice);
+        let a = serde_json::to_string(&once).expect("plan serializes");
+        let b = serde_json::to_string(&twice).expect("plan serializes");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let plan = plan(&DependencyGraph::new(), &users(&["a"]), 0);
+        assert_eq!(plan.shard_count, 1);
+        assert_eq!(plan.user_count(), 1);
+    }
+
+    #[test]
+    fn empty_world_yields_empty_shards() {
+        let plan = plan(&DependencyGraph::new(), &[], 4);
+        assert_eq!(plan.user_count(), 0);
+        assert_eq!(plan.shards.len(), 4);
+        assert!(plan.cut_edges.is_empty());
+    }
+}

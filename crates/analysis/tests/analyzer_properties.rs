@@ -8,10 +8,26 @@
 //! 2. **Normalization is a fixpoint and preserves semantics**: re-analyzing
 //!    a normalized plan returns it unchanged, and the normalized filter
 //!    agrees with the original on every context.
+//!
+//! PR 9 adds the information-flow layer's guarantees:
+//!
+//! 3. **The taint lattice is a lattice**: `join` is commutative,
+//!    associative and idempotent, and every stage transfer function is
+//!    monotone — so the verifier's verdict cannot depend on the order
+//!    sources or stages are visited in.
+//! 4. **Normalization never changes the flow verdict**: the flow check
+//!    over a normalized filter agrees with the original, so the analyzer
+//!    may normalize first without weakening the privacy guarantee.
+//! 5. **The shard planner is deterministic and accounts for every edge**:
+//!    same graph + users + shard count → identical plan, and each
+//!    dependency edge is intra-shard XOR listed as a cut edge.
 
 use proptest::prelude::*;
-use sensocial_analysis::{analyze, AnalysisEnv, FilterPlan};
+use sensocial_analysis::{
+    analyze, flow, shard, AnalysisEnv, DependencyGraph, FilterPlan, FlowLabel, FlowSource,
+};
 use sensocial_runtime::Timestamp;
+use sensocial_types::{Granularity, Modality};
 use sensocial_types::filter::{Condition, ConditionLhs, EvalContext, Filter, Operator};
 use sensocial_types::{
     AudioEnvironment, ClassifiedContext, ContextData, ContextSnapshot, OsnAction,
@@ -142,6 +158,45 @@ fn action_strategy() -> impl Strategy<Value = Option<OsnAction>> {
     }))
 }
 
+fn label_strategy() -> impl Strategy<Value = FlowLabel> {
+    prop_oneof![
+        Just(FlowLabel::Aggregated),
+        Just(FlowLabel::PrivacyFiltered),
+        Just(FlowLabel::Raw),
+    ]
+}
+
+fn stage_strategy() -> impl Strategy<Value = flow::FlowStage> {
+    prop_oneof![
+        Just(flow::FlowStage::Privacy),
+        Just(flow::FlowStage::Filter),
+        Just(flow::FlowStage::Aggregate),
+    ]
+}
+
+fn source_strategy() -> impl Strategy<Value = FlowSource> {
+    (
+        prop_oneof![
+            Just(Modality::Location),
+            Just(Modality::Accelerometer),
+            Just(Modality::Microphone),
+            Just(Modality::Wifi),
+            Just(Modality::Bluetooth),
+        ],
+        prop_oneof![Just(Granularity::Raw), Just(Granularity::Classified)],
+    )
+        .prop_map(|(m, g)| FlowSource::new(m, g))
+}
+
+/// A policy that allows no raw disclosure at all — the adversarial
+/// setting for the flow-verdict invariance property.
+struct DenyAll;
+impl sensocial_analysis::PrivacyView for DenyAll {
+    fn is_allowed(&self, _m: Modality, _g: Granularity) -> bool {
+        false
+    }
+}
+
 proptest! {
     /// Guarantee 1: accepted plans never hit a runtime eval error, on any
     /// context — neither the normalized filter nor the original.
@@ -205,5 +260,131 @@ proptest! {
             let normalized = analysis.filter.evaluate_full(&ctx, &lookup);
             prop_assert_eq!(original, normalized);
         }
+    }
+
+    /// Guarantee 3a: `join` is a semilattice operation — commutative,
+    /// associative, idempotent — so folding source labels in any order
+    /// yields the same peak label.
+    #[test]
+    fn flow_join_is_a_semilattice(
+        a in label_strategy(),
+        b in label_strategy(),
+        c in label_strategy(),
+    ) {
+        prop_assert_eq!(a.join(b), b.join(a));
+        prop_assert_eq!(a.join(b).join(c), a.join(b.join(c)));
+        prop_assert_eq!(a.join(a), a);
+        // join is an upper bound of both operands.
+        prop_assert!(a.join(b) >= a && a.join(b) >= b);
+    }
+
+    /// Guarantee 3b: every stage transfer function is monotone in the
+    /// label for any fixed authorization, and never *raises* sensitivity —
+    /// a stage can only screen data down, never taint it up.
+    #[test]
+    fn flow_stages_are_monotone_and_never_raise(
+        stage in stage_strategy(),
+        a in label_strategy(),
+        b in label_strategy(),
+        authorized in proptest::bool::ANY,
+    ) {
+        if a <= b {
+            prop_assert!(stage.apply(a, authorized) <= stage.apply(b, authorized));
+        }
+        prop_assert!(stage.apply(a, authorized) <= a);
+    }
+
+    /// Guarantee 4: the flow verdict is invariant under filter
+    /// normalization — at the upstream-authority server placement and at
+    /// the adversarial device placement (raw sensitive sampling under a
+    /// deny-everything screen) alike. Normalization preserves OSN presence
+    /// gates, so the derived coupling (and with it every authorization
+    /// decision) must not move.
+    #[test]
+    fn normalization_never_changes_flow_verdict(
+        filter in filter_strategy(),
+        sources in proptest::collection::vec(source_strategy(), 0..4),
+    ) {
+        let normalized = match analyze(&FilterPlan::server(filter.clone()), &AnalysisEnv::new()) {
+            Ok(analysis) => analysis.filter,
+            Err(_) => return Ok(()), // ill-typed plan: nothing to compare
+        };
+
+        // Server placement over random uplink sources.
+        let server_plan = |f: Filter| {
+            let mut plan = FilterPlan::server(f);
+            for source in &sources {
+                plan = plan.with_source(*source);
+            }
+            plan
+        };
+        let env = AnalysisEnv::new();
+        let (verdict_a, errors_a) = flow::check(&server_plan(filter.clone()), &env);
+        let (verdict_b, errors_b) = flow::check(&server_plan(normalized.clone()), &env);
+        prop_assert_eq!(&verdict_a, &verdict_b);
+        prop_assert_eq!(errors_a.len(), errors_b.len());
+
+        // Device placement: raw sensitive sampling under a denying screen,
+        // uplinked — the strictest admission path.
+        let deny = DenyAll;
+        let env = AnalysisEnv::new().with_privacy(&deny);
+        let device_plan = |f: Filter| {
+            FilterPlan::device(Modality::Location, Granularity::Raw, f)
+                .sinking(sensocial_analysis::FlowSink::Uplink)
+        };
+        let (verdict_a, errors_a) = flow::check(&device_plan(filter.clone()), &env);
+        let (verdict_b, errors_b) = flow::check(&device_plan(normalized), &env);
+        prop_assert_eq!(&verdict_a, &verdict_b);
+        prop_assert_eq!(errors_a.len(), errors_b.len());
+    }
+
+    /// Guarantee 5: the shard planner is a pure function of its inputs,
+    /// places every user exactly once, and accounts for every dependency
+    /// edge as intra-shard XOR cut — nothing silently dropped.
+    #[test]
+    fn shard_plan_is_deterministic_and_accounts_for_every_edge(
+        edges in proptest::collection::vec((0u8..12, 0u8..12), 0..20),
+        extra_users in proptest::collection::vec(0u8..12, 0..6),
+        shard_count in 0usize..6,
+    ) {
+        let name = |i: u8| UserId::new(format!("user-{i:02}"));
+        let mut graph = DependencyGraph::new();
+        for (a, b) in &edges {
+            graph.depend(&name(*a), &name(*b));
+        }
+        let users: Vec<UserId> = extra_users.iter().map(|i| name(*i)).collect();
+
+        let once = shard::plan(&graph, &users, shard_count);
+        let twice = shard::plan(&graph, &users, shard_count);
+        prop_assert_eq!(&once, &twice);
+        prop_assert_eq!(
+            serde_json::to_string(&once).ok(),
+            serde_json::to_string(&twice).ok()
+        );
+
+        let mut seen = std::collections::BTreeSet::new();
+        for shard in &once.shards {
+            for user in &shard.users {
+                prop_assert!(seen.insert(user.clone()), "user {} placed twice", user);
+            }
+        }
+        for user in &users {
+            prop_assert!(seen.contains(user), "user {} never placed", user);
+        }
+
+        let mut intra = 0usize;
+        for (owner, subject) in graph.edge_list() {
+            let same = once.shard_of(&owner) == once.shard_of(&subject);
+            let listed = once
+                .cut_edges
+                .iter()
+                .any(|e| e.owner == owner && e.subject == subject);
+            prop_assert!(same != listed, "edge {} -> {} unaccounted", owner, subject);
+            if same {
+                intra += 1;
+            }
+        }
+        prop_assert_eq!(once.intra_edges, intra);
+        prop_assert_eq!(once.cut_edges.len() + intra, graph.edge_list().len());
     }
 }

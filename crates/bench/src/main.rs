@@ -29,6 +29,16 @@
 //! section to the report; threshold violations fail the run.
 //! Per-stage latencies are virtual-time figures, so every number in the
 //! report is machine-independent.
+//!
+//! With `--analysis-report <path>` the whole-deployment static analysis
+//! report (per-plan cost and information-flow verdicts, dependency edges
+//! and the shard-affinity plan) is written there as canonical JSON; CI
+//! runs the binary twice and `cmp`s the two files for byte identity.
+//!
+//! With `--require-armed` a baseline stage with zero observations is a
+//! gate FAILURE instead of a skip — used by CI against a baseline it just
+//! regenerated, so a stage silently falling out of measurement cannot
+//! turn the gate vacuous.
 
 use sensocial::server::StreamSelector;
 use sensocial::{Filter, Granularity, Modality, SampleQuery, StreamSink, StreamSpec};
@@ -48,10 +58,15 @@ const NOISE_REL: f64 = 0.30;
 /// with near-zero baselines are not failed by scheduler jitter.
 const NOISE_ABS_MS: f64 = 25.0;
 
+/// Shard count the `--analysis-report` shard plan targets. Fixed so the
+/// report bytes are a pure function of the deployment.
+const ANALYSIS_SHARD_COUNT: usize = 4;
+
 /// One full run of the benchmark scenario, returning the merged
-/// deployment-wide telemetry snapshot plus the storage section of the
-/// report (which needs the live engine for its footprint).
-fn run_scenario() -> (Snapshot, Value) {
+/// deployment-wide telemetry snapshot, the storage section of the
+/// report (which needs the live engine for its footprint), and the
+/// canonical JSON of the static analysis report.
+fn run_scenario() -> (Snapshot, Value, String) {
     let mut world = World::new(WorldConfig::default());
     world.add_device("alice", "alice-phone", cities::paris());
     world.add_device("bob", "bob-phone", cities::bordeaux());
@@ -133,7 +148,8 @@ fn run_scenario() -> (Snapshot, Value) {
             "payload_bytes": footprint.payload_bytes,
         },
     });
-    (snap, storage_section)
+    let analysis = world.analysis_report(ANALYSIS_SHARD_COUNT).to_json();
+    (snap, storage_section, analysis)
 }
 
 /// Summary of one named histogram, `null` if it never recorded.
@@ -248,8 +264,9 @@ fn compare_stages(report: &Value, baseline: &Value) -> (Vec<String>, Vec<String>
 /// Runs one named city-scale scenario and checks its committed acceptance
 /// thresholds. Returns the merged snapshot, a storage section (counters
 /// only — the runner owns the world, so no live footprint probe), the
-/// `"scenario"` report section, and whether acceptance failed.
-fn run_named_scenario(name: &str) -> (Snapshot, Value, Value, bool) {
+/// `"scenario"` report section, the canonical static-analysis JSON, and
+/// whether acceptance failed.
+fn run_named_scenario(name: &str) -> (Snapshot, Value, Value, String, bool) {
     let scenario: ScenarioName = name
         .parse()
         .unwrap_or_else(|err| panic!("--scenario: {err}"));
@@ -280,7 +297,14 @@ fn run_named_scenario(name: &str) -> (Snapshot, Value, Value, bool) {
             "violations": report.violations,
         },
     });
-    (snap, storage_section, scenario_section, !report.passed())
+    let analysis = outcome.analysis.to_json();
+    (
+        snap,
+        storage_section,
+        scenario_section,
+        analysis,
+        !report.passed(),
+    )
 }
 
 fn main() {
@@ -289,11 +313,19 @@ fn main() {
     let mut baseline_path: Option<String> = None;
     let mut write_baseline: Option<String> = None;
     let mut scenario_name: Option<String> = None;
+    let mut analysis_out: Option<String> = None;
+    let mut require_armed = false;
     let mut report_out = "BENCH_6.json".to_owned();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--snapshot-out" => {
                 snapshot_out = Some(args.next().expect("--snapshot-out needs a path"));
+            }
+            "--analysis-report" => {
+                analysis_out = Some(args.next().expect("--analysis-report needs a path"));
+            }
+            "--require-armed" => {
+                require_armed = true;
             }
             "--baseline" => {
                 baseline_path = Some(args.next().expect("--baseline needs a path"));
@@ -309,22 +341,27 @@ fn main() {
             }
             other => panic!(
                 "unknown argument {other:?} (expected --snapshot-out <path>, \
-                 --baseline <path>, --write-baseline <path>, --scenario <name> \
-                 or --out <path>)"
+                 --analysis-report <path>, --require-armed, --baseline <path>, \
+                 --write-baseline <path>, --scenario <name> or --out <path>)"
             ),
         }
     }
 
-    let (snap, storage_section, scenario_section, acceptance_failed) = match &scenario_name {
-        Some(name) => run_named_scenario(name),
-        None => {
-            let (snap, storage_section) = run_scenario();
-            (snap, storage_section, Value::Null, false)
-        }
-    };
+    let (snap, storage_section, scenario_section, analysis_json, acceptance_failed) =
+        match &scenario_name {
+            Some(name) => run_named_scenario(name),
+            None => {
+                let (snap, storage_section, analysis_json) = run_scenario();
+                (snap, storage_section, Value::Null, analysis_json, false)
+            }
+        };
     if let Some(path) = &snapshot_out {
         std::fs::write(path, snap.to_wire()).expect("write snapshot wire file");
         eprintln!("wrote canonical snapshot to {path}");
+    }
+    if let Some(path) = &analysis_out {
+        std::fs::write(path, &analysis_json).expect("write analysis report");
+        eprintln!("wrote static analysis report to {path}");
     }
 
     let mut report = json!({
@@ -364,13 +401,24 @@ fn main() {
         let text = std::fs::read_to_string(path).expect("read baseline report");
         let baseline: Value = serde_json::from_str(&text).expect("baseline parses as JSON");
         let provisional = baseline["provisional"].as_bool().unwrap_or(false);
-        let (regressions, unarmed) = compare_stages(&report, &baseline);
+        let (mut regressions, unarmed) = compare_stages(&report, &baseline);
         if !unarmed.is_empty() {
-            eprintln!(
-                "perf gate: baseline {path} has no observations for {} \
-                 (gate skips them; regenerate with --write-baseline to arm)",
-                unarmed.join(", ")
-            );
+            if require_armed {
+                // CI regenerated this baseline moments ago: a stage with
+                // zero observations means measurement itself broke, and
+                // skipping it would make the gate silently vacuous.
+                regressions.push(format!(
+                    "baseline {path} has no observations for {} \
+                     (--require-armed forbids skipping unarmed stages)",
+                    unarmed.join(", ")
+                ));
+            } else {
+                eprintln!(
+                    "perf gate: baseline {path} has no observations for {} \
+                     (gate skips them; regenerate with --write-baseline to arm)",
+                    unarmed.join(", ")
+                );
+            }
         }
         if regressions.is_empty() {
             eprintln!("perf gate: all stage means within noise threshold of {path}");

@@ -16,7 +16,7 @@ use sensocial_types::{
     Result, StreamId, UserId,
 };
 
-use sensocial_analysis::{analyze, AnalysisEnv, FilterPlan};
+use sensocial_analysis::{analyze, AnalysisEnv, FilterPlan, FlowSink};
 
 use sensocial_telemetry::{Registry, Stage};
 
@@ -377,14 +377,47 @@ impl ClientManager {
     ///
     /// Privacy violations do not reject here: [`ClientManager::install_stream`]
     /// screens the spec and pauses the stream until policies allow it, the
-    /// paper's pause-don't-reject semantics.
+    /// paper's pause-don't-reject semantics. Information-*flow* violations
+    /// do reject: an OSN-coupled plan routing a raw sensitive modality off
+    /// the device under a denying policy fails closed, because the
+    /// pause→resume path re-screens without re-running this analysis.
     fn analyze_spec(&self, spec: &StreamSpec) -> Result<StreamSpec> {
-        let plan = FilterPlan::device(spec.modality, spec.granularity, spec.filter.clone());
         let env = AnalysisEnv::new().with_privacy(&self.privacy);
-        let analysis = analyze(&plan, &env)?;
+        let analysis = analyze(&Self::device_plan(spec), &env)?;
         let mut spec = spec.clone();
         spec.filter = analysis.filter;
         Ok(spec)
+    }
+
+    /// The flow-enriched analysis plan for `spec` on a device: the spec's
+    /// sink and effective mode refine the information-flow pass.
+    fn device_plan(spec: &StreamSpec) -> FilterPlan {
+        let sink = match spec.sink {
+            StreamSink::Local => FlowSink::DeviceLocal,
+            StreamSink::Server => FlowSink::Uplink,
+        };
+        FilterPlan::device(spec.modality, spec.granularity, spec.filter.clone())
+            .sinking(sink)
+            .coupled_to_osn(spec.effective_mode() == StreamMode::SocialEventBased)
+    }
+
+    /// Static analyses of every installed stream's plan, in stream-id
+    /// order — this device's contribution to the deployment-wide analysis
+    /// report (`sensocial-sim`'s `World::analysis_report`).
+    pub fn plan_reports(&self) -> Vec<sensocial_analysis::report::PlanReport> {
+        let device = self.device_id();
+        let env = AnalysisEnv::new().with_privacy(&self.privacy);
+        self.stream_specs()
+            .into_iter()
+            .map(|(id, spec)| {
+                sensocial_analysis::report::PlanReport::for_plan(
+                    "device_stream",
+                    format!("{}/{id}", device.as_str()),
+                    &Self::device_plan(&spec),
+                    &env,
+                )
+            })
+            .collect()
     }
 
     fn install_stream(
@@ -530,6 +563,20 @@ impl ClientManager {
     /// A stream's specification, if it exists.
     pub fn stream_spec(&self, id: StreamId) -> Option<StreamSpec> {
         self.inner.lock().streams.get(&id).map(|s| s.spec.clone())
+    }
+
+    /// Every installed stream's `(id, spec)`, sorted by id — the input the
+    /// deployment-wide analysis report reads per device.
+    pub fn stream_specs(&self) -> Vec<(StreamId, StreamSpec)> {
+        let mut specs: Vec<(StreamId, StreamSpec)> = self
+            .inner
+            .lock()
+            .streams
+            .iter()
+            .map(|(id, s)| (*id, s.spec.clone()))
+            .collect();
+        specs.sort_unstable_by_key(|(id, _)| *id);
+        specs
     }
 
     // ------------------------------------------------------------------

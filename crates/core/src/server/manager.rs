@@ -18,10 +18,13 @@ use sensocial_types::{
 };
 use serde_json::json;
 
-use sensocial_analysis::{analyze, AnalysisEnv, DependencyGraph, FilterPlan};
+use sensocial_analysis::report;
+use sensocial_analysis::{
+    analyze, AnalysisEnv, DependencyGraph, FilterPlan, FlowSink, FlowSource,
+};
 
 use crate::client::manager_internals::REMOTE_STREAM_ID_BASE;
-use crate::config::{ConfigCommand, StreamSink, StreamSpec};
+use crate::config::{ConfigCommand, StreamMode, StreamSink, StreamSpec};
 use crate::event::{ConfigAck, RegistrationPayload, StreamEvent, TriggerPayload};
 use crate::filter::{EvalContext, Filter};
 use crate::{Topic, ACK_WILDCARD, REGISTER_TOPIC, UPLINK_WILDCARD};
@@ -517,10 +520,7 @@ impl ServerManager {
         mut spec: StreamSpec,
     ) -> Result<StreamId> {
         spec.sink = StreamSink::Server;
-        let analysis = analyze(
-            &FilterPlan::device(spec.modality, spec.granularity, spec.filter.clone()),
-            &AnalysisEnv::new(),
-        )?;
+        let analysis = analyze(&Self::remote_stream_plan(&spec), &AnalysisEnv::new())?;
         spec.filter = analysis.filter;
         let id = {
             let mut inner = self.inner.lock();
@@ -584,18 +584,15 @@ impl ServerManager {
         stream: StreamId,
         filter: Filter,
     ) -> Result<()> {
-        let (modality, granularity) = {
+        let candidate = {
             let inner = self.inner.lock();
             let (_, spec) = inner
                 .remote_streams
                 .get(&stream)
                 .ok_or(Error::UnknownStream(stream.value()))?;
-            (spec.modality, spec.granularity)
+            spec.clone().with_filter(filter)
         };
-        let analysis = analyze(
-            &FilterPlan::device(modality, granularity, filter),
-            &AnalysisEnv::new(),
-        )?;
+        let analysis = analyze(&Self::remote_stream_plan(&candidate), &AnalysisEnv::new())?;
         let filter = analysis.filter;
         let device = {
             let mut inner = self.inner.lock();
@@ -696,13 +693,19 @@ impl ServerManager {
     /// subjects are resolved against the server's per-user context table.
     ///
     /// The plan is verified for server placement first; the normalized
-    /// filter is what gets installed.
+    /// filter is what gets installed. The information-flow pass sees the
+    /// uplinked streams the selector currently reads from as sources, so
+    /// an OSN-conditioned subscription over a raw sensitive uplink is
+    /// rejected with a `privacy_flow` diagnostic (the devices' privacy
+    /// screens ran before this coupling existed and cannot have authorized
+    /// it).
     ///
     /// # Errors
     ///
     /// Returns [`Error::PlanRejected`] if the filter is ill-typed or
-    /// unsatisfiable, or if its cross-user conditions would close a
-    /// dependency cycle with already-installed plans.
+    /// unsatisfiable, routes a raw sensitive modality through an OSN
+    /// coupling, or if its cross-user conditions would close a dependency
+    /// cycle with already-installed plans.
     pub fn register_listener<F>(
         &self,
         selector: StreamSelector,
@@ -712,7 +715,11 @@ impl ServerManager {
     where
         F: Fn(&mut Scheduler, &StreamEvent) + Send + Sync + 'static,
     {
-        let analysis = analyze(&FilterPlan::server(filter), &AnalysisEnv::new())?;
+        let mut plan = FilterPlan::server(filter);
+        for source in self.selector_sources(&selector) {
+            plan = plan.with_source(source);
+        }
+        let analysis = analyze(&plan, &AnalysisEnv::new())?;
         let filter = analysis.filter;
         if let StreamSelector::User(owner) = &selector {
             self.check_dependency_cycles(None, std::slice::from_ref(owner), &filter)?;
@@ -746,13 +753,19 @@ impl ServerManager {
     /// Cross-user subjects resolve against the server's context table.
     ///
     /// The plan is verified for server placement first; the normalized
-    /// filter is what gets installed.
+    /// filter is what gets installed. The member streams' specs feed the
+    /// information-flow pass as sources, so gating a raw sensitive member
+    /// on OSN context rejects with a `privacy_flow` diagnostic.
     ///
     /// # Errors
     ///
     /// Returns [`Error::PlanRejected`] if the filter fails verification.
     pub fn set_aggregator_filter(&self, id: AggregatorId, filter: Filter) -> Result<()> {
-        let analysis = analyze(&FilterPlan::server(filter), &AnalysisEnv::new())?;
+        let mut plan = FilterPlan::server(filter);
+        for source in self.aggregator_sources(id) {
+            plan = plan.with_source(source);
+        }
+        let analysis = analyze(&plan, &AnalysisEnv::new())?;
         if let Some((_, f, _)) = self.inner.lock().aggregators.get_mut(&id) {
             *f = analysis.filter;
         }
@@ -971,31 +984,7 @@ impl ServerManager {
         if subjects.is_empty() {
             return Ok(());
         }
-        let mut graph = DependencyGraph::new();
-        {
-            let inner = self.inner.lock();
-            for sub in &inner.subscriptions {
-                if let StreamSelector::User(owner) = &sub.selector {
-                    for c in &sub.filter.conditions {
-                        if let Some(subject) = &c.subject {
-                            graph.depend(owner, subject);
-                        }
-                    }
-                }
-            }
-            for (mid, (multicast, _)) in &inner.multicasts {
-                if Some(*mid) == exclude {
-                    continue;
-                }
-                for owner in multicast.member_users() {
-                    for c in &multicast.template.filter.conditions {
-                        if let Some(subject) = &c.subject {
-                            graph.depend(&owner, subject);
-                        }
-                    }
-                }
-            }
-        }
+        let mut graph = self.build_dependency_graph(exclude);
         for owner in owners {
             for subject in &subjects {
                 graph.depend(owner, subject);
@@ -1005,6 +994,230 @@ impl ServerManager {
             return Err(Error::PlanRejected(vec![diag]));
         }
         Ok(())
+    }
+
+    /// The cross-user dependency graph over every installed plan —
+    /// user-selected subscriptions and multicast templates (one edge per
+    /// member per cross-user condition). `exclude` names a multicast whose
+    /// current edges are being replaced.
+    fn build_dependency_graph(&self, exclude: Option<MulticastId>) -> DependencyGraph {
+        let mut graph = DependencyGraph::new();
+        let inner = self.inner.lock();
+        for sub in &inner.subscriptions {
+            if let StreamSelector::User(owner) = &sub.selector {
+                for c in &sub.filter.conditions {
+                    if let Some(subject) = &c.subject {
+                        graph.depend(owner, subject);
+                    }
+                }
+            }
+        }
+        for (mid, (multicast, _)) in &inner.multicasts {
+            if Some(*mid) == exclude {
+                continue;
+            }
+            for owner in multicast.member_users() {
+                for c in &multicast.template.filter.conditions {
+                    if let Some(subject) = &c.subject {
+                        graph.depend(&owner, subject);
+                    }
+                }
+            }
+        }
+        graph
+    }
+
+    // ------------------------------------------------------------------
+    // Whole-deployment static analysis
+    // ------------------------------------------------------------------
+
+    /// The flow-enriched plan for a server-managed device stream: the
+    /// spec's sink and effective mode refine the information-flow pass.
+    fn remote_stream_plan(spec: &StreamSpec) -> FilterPlan {
+        let sink = match spec.sink {
+            StreamSink::Local => FlowSink::DeviceLocal,
+            StreamSink::Server => FlowSink::Uplink,
+        };
+        FilterPlan::device(spec.modality, spec.granularity, spec.filter.clone())
+            .sinking(sink)
+            .coupled_to_osn(spec.effective_mode() == StreamMode::SocialEventBased)
+    }
+
+    /// The uplink sources a selector currently reads from, sorted and
+    /// deduplicated. A modality selector is conservative: it matches any
+    /// future stream of that modality, so it is treated as a raw source
+    /// even before one exists. (Streams created *after* a subscription are
+    /// not re-checked against it — a known admission-order limit.)
+    fn sources_for_selector(
+        selector: &StreamSelector,
+        remote_streams: &HashMap<StreamId, (DeviceId, StreamSpec)>,
+        devices: &HashMap<DeviceId, UserId>,
+    ) -> Vec<FlowSource> {
+        let mut sources: Vec<FlowSource> = match selector {
+            StreamSelector::AllUplinks => remote_streams
+                .values()
+                .map(|(_, spec)| FlowSource::new(spec.modality, spec.granularity))
+                .collect(),
+            StreamSelector::Stream(id) => remote_streams
+                .get(id)
+                .map(|(_, spec)| FlowSource::new(spec.modality, spec.granularity))
+                .into_iter()
+                .collect(),
+            StreamSelector::User(user) => remote_streams
+                .values()
+                .filter(|(device, _)| devices.get(device) == Some(user))
+                .map(|(_, spec)| FlowSource::new(spec.modality, spec.granularity))
+                .collect(),
+            StreamSelector::Modality(m) => {
+                vec![FlowSource::new(*m, sensocial_types::Granularity::Raw)]
+            }
+        };
+        sources.sort_unstable();
+        sources.dedup();
+        sources
+    }
+
+    /// [`ServerManager::sources_for_selector`] over the live tables.
+    fn selector_sources(&self, selector: &StreamSelector) -> Vec<FlowSource> {
+        let inner = self.inner.lock();
+        Self::sources_for_selector(selector, &inner.remote_streams, &inner.devices)
+    }
+
+    /// The member-stream sources feeding an aggregator, sorted and
+    /// deduplicated. Members that are not server-created streams cannot be
+    /// resolved to a spec and are skipped.
+    fn aggregator_sources(&self, id: AggregatorId) -> Vec<FlowSource> {
+        let inner = self.inner.lock();
+        let Some((state, _, _)) = inner.aggregators.get(&id) else {
+            return Vec::new();
+        };
+        let mut sources: Vec<FlowSource> = state
+            .members
+            .iter()
+            .filter_map(|sid| inner.remote_streams.get(sid))
+            .map(|(_, spec)| FlowSource::new(spec.modality, spec.granularity))
+            .collect();
+        sources.sort_unstable();
+        sources.dedup();
+        sources
+    }
+
+    /// Every registered user, sorted.
+    pub fn registered_users(&self) -> Vec<UserId> {
+        let mut users: Vec<UserId> = self.inner.lock().user_devices.keys().cloned().collect();
+        users.sort_unstable();
+        users
+    }
+
+    /// The current cross-user dependency graph over every installed plan.
+    pub fn dependency_graph(&self) -> DependencyGraph {
+        self.build_dependency_graph(None)
+    }
+
+    /// Static analyses of every installed server-side plan (remote
+    /// streams, subscriptions, aggregators, multicast templates), in a
+    /// deterministic order. The building block of
+    /// [`ServerManager::analysis_report`]; `sensocial-sim`'s `World` merges
+    /// these with per-device client plans.
+    pub fn plan_reports(&self) -> Vec<report::PlanReport> {
+        use std::collections::BTreeMap;
+
+        // Snapshot under the lock, analyze lock-free (the passes are pure).
+        let (remote, devices, subs, aggs, multis) = {
+            let inner = self.inner.lock();
+            let remote = inner.remote_streams.clone();
+            let devices = inner.devices.clone();
+            let subs: Vec<(StreamSelector, Filter)> = inner
+                .subscriptions
+                .iter()
+                .map(|s| (s.selector.clone(), s.filter.clone()))
+                .collect();
+            let aggs: BTreeMap<AggregatorId, (Vec<StreamId>, Filter)> = inner
+                .aggregators
+                .iter()
+                .map(|(id, (state, filter, _))| {
+                    (*id, (state.members.iter().copied().collect(), filter.clone()))
+                })
+                .collect();
+            let multis: BTreeMap<MulticastId, StreamSpec> = inner
+                .multicasts
+                .iter()
+                .map(|(id, (m, _))| (*id, m.template.clone()))
+                .collect();
+            (remote, devices, subs, aggs, multis)
+        };
+        let env = AnalysisEnv::new();
+
+        let mut plans = Vec::new();
+        let sorted_remote: BTreeMap<&StreamId, &(DeviceId, StreamSpec)> = remote.iter().collect();
+        for (id, (_, spec)) in sorted_remote {
+            let plan = Self::remote_stream_plan(spec);
+            plans.push(report::PlanReport::for_plan(
+                "remote_stream",
+                id.to_string(),
+                &plan,
+                &env,
+            ));
+        }
+        for (index, (selector, filter)) in subs.iter().enumerate() {
+            let mut plan = FilterPlan::server(filter.clone());
+            for source in Self::sources_for_selector(selector, &remote, &devices) {
+                plan = plan.with_source(source);
+            }
+            plans.push(report::PlanReport::for_plan(
+                "subscription",
+                format!("subscription#{index:04}"),
+                &plan,
+                &env,
+            ));
+        }
+        for (id, (members, filter)) in &aggs {
+            let mut plan = FilterPlan::server(filter.clone());
+            let mut sources: Vec<FlowSource> = members
+                .iter()
+                .filter_map(|sid| remote.get(sid))
+                .map(|(_, spec)| FlowSource::new(spec.modality, spec.granularity))
+                .collect();
+            sources.sort_unstable();
+            sources.dedup();
+            for source in sources {
+                plan = plan.with_source(source);
+            }
+            plans.push(report::PlanReport::for_plan(
+                "aggregator",
+                id.to_string(),
+                &plan,
+                &env,
+            ));
+        }
+        for (id, template) in &multis {
+            let plan = FilterPlan::multicast(
+                template.modality,
+                template.granularity,
+                template.filter.clone(),
+            );
+            plans.push(report::PlanReport::for_plan(
+                "multicast",
+                id.to_string(),
+                &plan,
+                &env,
+            ));
+        }
+        plans
+    }
+
+    /// The server's whole-deployment [`report::AnalysisReport`]: every
+    /// installed plan's cost and flow verdict, the cross-user dependency
+    /// edges and the [`sensocial_analysis::ShardPlan`] placement hint for
+    /// `shard_count` shards. Byte-stable for a deterministic deployment:
+    /// every collection is snapshotted into sorted form first.
+    pub fn analysis_report(&self, shard_count: usize) -> report::AnalysisReport {
+        report::AnalysisReport::new(
+            self.plan_reports(),
+            &self.build_dependency_graph(None),
+            &self.registered_users(),
+            shard_count,
+        )
     }
 
     /// Reads a user's last stored position from the locations collection.

@@ -51,7 +51,15 @@ pub struct ScenarioOutcome {
     pub device_count: usize,
     /// Virtual time the scenario covered.
     pub duration: SimDuration,
+    /// Whole-deployment static analysis: per-plan cost and flow verdicts
+    /// plus the shard-affinity placement hint. Two same-seed runs must
+    /// agree on its canonical JSON byte-for-byte.
+    pub analysis: sensocial_analysis::AnalysisReport,
 }
+
+/// Shard count the scenario report plans for; fixed so the report bytes
+/// are a pure function of the schedule.
+const REPORT_SHARD_COUNT: usize = 4;
 
 /// Replays `schedule` against a fresh world seeded from `spec`.
 ///
@@ -130,6 +138,7 @@ pub fn run_schedule(
         }
     }
     let wire = snapshot.to_wire();
+    let analysis = world.analysis_report(REPORT_SHARD_COUNT);
     Ok(ScenarioOutcome {
         snapshot,
         wire,
@@ -137,6 +146,7 @@ pub fn run_schedule(
         subscriber_deliveries: deliveries.load(Ordering::Relaxed),
         device_count: schedule.device_count(),
         duration: schedule.duration,
+        analysis,
     })
 }
 

@@ -308,6 +308,24 @@ impl World {
         snap
     }
 
+    /// The deployment-wide static analysis report: every server-side plan
+    /// (remote streams, subscriptions, aggregators, multicast templates)
+    /// plus every device's installed streams, the cross-user dependency
+    /// edges, and the shard-affinity placement hint for `shard_count`
+    /// shards. Byte-stable: same deployment, same report.
+    pub fn analysis_report(&self, shard_count: usize) -> sensocial_analysis::AnalysisReport {
+        let mut plans = self.server.plan_reports();
+        for device in self.devices.values() {
+            plans.extend(device.manager.plan_reports());
+        }
+        sensocial_analysis::AnalysisReport::new(
+            plans,
+            &self.server.dependency_graph(),
+            &self.server.registered_users(),
+            shard_count,
+        )
+    }
+
     /// Advances the world by `span` of virtual time.
     pub fn run_for(&mut self, span: SimDuration) {
         self.sched.run_for(span);

@@ -11,7 +11,6 @@
 //! and many samples.
 
 use std::collections::BTreeMap;
-use std::collections::HashMap;
 
 use parking_lot::Mutex;
 use sensocial_runtime::Timestamp;
@@ -87,7 +86,7 @@ impl ColumnChunk {
 #[derive(Debug, Default)]
 struct Columns {
     devices: Vec<DeviceId>,
-    device_codes: HashMap<DeviceId, u32>,
+    device_codes: BTreeMap<DeviceId, u32>,
     chunks: BTreeMap<PartitionKey, ColumnChunk>,
 }
 

@@ -36,6 +36,9 @@ pub enum DiagnosticCode {
     UnsamplableModality,
     /// Multicast/subscription filters form a cross-user dependency cycle.
     DependencyCycle,
+    /// The information-flow verifier traced a raw sensitive modality to an
+    /// external sink without an authorized pass through the privacy stage.
+    PrivacyFlow,
 }
 
 impl DiagnosticCode {
@@ -51,6 +54,7 @@ impl DiagnosticCode {
             DiagnosticCode::MisplacedCondition => "misplaced_condition",
             DiagnosticCode::UnsamplableModality => "unsamplable_modality",
             DiagnosticCode::DependencyCycle => "dependency_cycle",
+            DiagnosticCode::PrivacyFlow => "privacy_flow",
         }
     }
 }
@@ -232,6 +236,17 @@ mod tests {
         assert!(rendered.contains("unsatisfiable"));
         assert!(e.plan_diagnostics().len() == 2);
         assert!(Error::Other("x".into()).plan_diagnostics().is_empty());
+    }
+
+    #[test]
+    fn privacy_flow_code_has_stable_name() {
+        let d = PlanDiagnostic::error(
+            DiagnosticCode::PrivacyFlow,
+            "raw location reaches subscriber sink without the privacy stage",
+        );
+        assert!(d.to_string().starts_with("privacy_flow: "));
+        let json = serde_json::to_string(&d.code).expect("code serializes");
+        assert_eq!(json, "\"privacy_flow\"");
     }
 
     #[test]

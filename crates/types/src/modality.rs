@@ -55,6 +55,15 @@ impl Modality {
             Modality::Accelerometer | Modality::Microphone | Modality::Location
         )
     }
+
+    /// Whether raw samples of this modality are privacy-sensitive enough
+    /// that the information-flow verifier refuses to let them reach an
+    /// external sink through an OSN-coupled plan without an authorized
+    /// pass through the privacy stage (paper §3.3 singles out location
+    /// traces and audio as the data users most want screened).
+    pub fn is_sensitive(self) -> bool {
+        matches!(self, Modality::Location | Modality::Microphone)
+    }
 }
 
 impl fmt::Display for Modality {
@@ -171,5 +180,14 @@ mod tests {
         assert!(Modality::Location.has_stock_classifier());
         assert!(!Modality::Wifi.has_stock_classifier());
         assert!(!Modality::Bluetooth.has_stock_classifier());
+    }
+
+    #[test]
+    fn sensitive_modalities_are_location_and_microphone() {
+        assert!(Modality::Location.is_sensitive());
+        assert!(Modality::Microphone.is_sensitive());
+        assert!(!Modality::Accelerometer.is_sensitive());
+        assert!(!Modality::Wifi.is_sensitive());
+        assert!(!Modality::Bluetooth.is_sensitive());
     }
 }

@@ -24,7 +24,15 @@
 //!   stamping, ack tracking and the campaign journal stay consistent; a
 //!   raw publish on the config topic would bypass all three. The `Topic`
 //!   module itself (which defines the enum) is exempt by file, and the
-//!   sanctioned publish/subscribe sites carry allow markers.
+//!   sanctioned publish/subscribe sites carry allow markers;
+//! * hash-ordered containers (`HashMap`, `HashSet`) in crates whose output
+//!   must be byte-stable — telemetry wire/snapshot, the storage engine's
+//!   exporters, the scenario suite and the static-analysis report all
+//!   promise canonical, diffable bytes, and one hash-ordered iteration in
+//!   a serialization path silently breaks the double-run `cmp` gates. Use
+//!   `BTreeMap`/`BTreeSet` (or sort at the boundary) instead. Scoped to
+//!   `crates/telemetry`, `crates/storage`, `crates/sim` and
+//!   `crates/analysis` — elsewhere hash containers are fine.
 //!
 //! The telemetry macros (`count!`, `observe!`, `gauge!`, `trace_event!`)
 //! are the *approved* instrumentation surface: lines invoking them are
@@ -58,6 +66,12 @@ struct Pattern {
     /// not apply to — for rules where one module legitimately owns the
     /// banned construct (e.g. the `Topic` enum's own definition site).
     exempt: &'static [&'static str],
+    /// File-path prefixes (repo-relative, `/`-separated) the pattern is
+    /// scoped to. Empty means the pattern applies everywhere; non-empty
+    /// restricts it to files under one of the prefixes — for rules that
+    /// only make sense in specific crates (e.g. determinism-critical
+    /// serialization paths).
+    applies: &'static [&'static str],
 }
 
 fn patterns() -> Vec<Pattern> {
@@ -66,7 +80,17 @@ fn patterns() -> Vec<Pattern> {
         needle: parts.concat(),
         why,
         exempt: &[],
+        applies: &[],
     };
+    // The crates whose outputs (telemetry wire, snapshots, scenario
+    // schedules, analysis reports, storage exports) must be byte-stable
+    // across same-seed runs; hash-ordered iteration is banned there.
+    const DETERMINISTIC_CRATES: &[&str] = &[
+        "crates/telemetry/src",
+        "crates/storage/src",
+        "crates/sim/src",
+        "crates/analysis/src",
+    ];
     vec![
         pat(
             "unwrap",
@@ -129,6 +153,25 @@ fn patterns() -> Vec<Pattern> {
             // every variant; exempting it by file keeps the rule focused
             // on *use* sites.
             exempt: &["crates/core/src/topic.rs"],
+            applies: &[],
+        },
+        Pattern {
+            name: "hash-map",
+            needle: ["Hash", "Map"].concat(),
+            why: "hash-ordered container in a byte-stable serialization path; \
+                  use BTreeMap (or sort at the boundary) so double-run cmp \
+                  gates stay meaningful",
+            exempt: &[],
+            applies: DETERMINISTIC_CRATES,
+        },
+        Pattern {
+            name: "hash-set",
+            needle: ["Hash", "Set"].concat(),
+            why: "hash-ordered container in a byte-stable serialization path; \
+                  use BTreeSet (or sort at the boundary) so double-run cmp \
+                  gates stay meaningful",
+            exempt: &[],
+            applies: DETERMINISTIC_CRATES,
         },
     ]
 }
@@ -177,6 +220,9 @@ fn scan_source(file: &str, content: &str, patterns: &[Pattern]) -> Vec<Violation
         }
         for p in patterns {
             if p.exempt.iter().any(|suffix| file.ends_with(suffix)) {
+                continue;
+            }
+            if !p.applies.is_empty() && !p.applies.iter().any(|prefix| file.starts_with(prefix)) {
                 continue;
             }
             if !line.contains(p.needle.as_str()) {
@@ -263,15 +309,70 @@ fn scan_repo(root: &Path) -> Result<Vec<Violation>, String> {
     Ok(violations)
 }
 
-/// Entry point for `cargo run -p xtask -- lint`.
-pub fn run() -> ExitCode {
+/// Escapes a string for embedding in a JSON string literal. Hand-rolled
+/// because xtask is std-only by design.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders findings as a JSON document for machine consumers (CI
+/// annotations, editors). Findings are already in deterministic
+/// (file, line) order because sources are scanned sorted.
+fn render_json(violations: &[Violation]) -> String {
+    let mut out = String::from("{\n  \"findings\": [\n");
+    for (i, v) in violations.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"file\": \"{}\", \"line\": {}, \"pattern\": \"{}\", \"why\": \"{}\", \"text\": \"{}\"}}",
+            json_escape(&v.file),
+            v.line,
+            json_escape(v.pattern),
+            json_escape(v.why),
+            json_escape(&v.text)
+        );
+        out.push_str(if i + 1 < violations.len() { ",\n" } else { "\n" });
+    }
+    let _ = write!(out, "  ],\n  \"count\": {}\n}}\n", violations.len());
+    out
+}
+
+/// Entry point for `cargo run -p xtask -- lint [--json]`.
+///
+/// Exit codes are split so CI can tell findings from infrastructure
+/// breakage: 0 = clean, 1 = findings, 2 = internal error (unreadable
+/// tree, I/O failure). With `--json` the findings go to stdout as a JSON
+/// document (an empty `findings` array when clean); human-readable
+/// reporting stays on the default path.
+pub fn run(json: bool) -> ExitCode {
     let violations = match scan_repo(&repo_root()) {
         Ok(v) => v,
         Err(e) => {
-            eprintln!("xtask lint: {e}");
-            return ExitCode::FAILURE;
+            eprintln!("xtask lint: internal error: {e}");
+            return ExitCode::from(2);
         }
     };
+    if json {
+        print!("{}", render_json(&violations));
+        return if violations.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(1)
+        };
+    }
     if violations.is_empty() {
         println!("xtask lint: clean");
         return ExitCode::SUCCESS;
@@ -285,7 +386,7 @@ pub fn run() -> ExitCode {
         );
     }
     eprintln!("{report}xtask lint: {} violation(s)", violations.len());
-    ExitCode::FAILURE
+    ExitCode::from(1)
 }
 
 #[cfg(test)]
@@ -388,6 +489,40 @@ mod tests {
         let marker = tok(&["lint:", "allow(config-publish)"]);
         let allowed = format!("fn f() {{ let t = {needle}d.clone()); }} // {marker}\n");
         assert!(scan_source("crates/foo/src/lib.rs", &allowed, &patterns()).is_empty());
+    }
+
+    #[test]
+    fn hash_containers_are_banned_only_in_deterministic_crates() {
+        let needle = tok(&["Hash", "Map"]);
+        let fixture = format!("use std::collections::{needle};\n");
+        // Inside a serialization-path crate: flagged.
+        let violations = scan_source("crates/telemetry/src/wire.rs", &fixture, &patterns());
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].pattern, "hash-map");
+        // Same line in an unscoped crate: fine — hash ordering only
+        // matters where bytes are compared.
+        assert!(scan_source("crates/net/src/network.rs", &fixture, &patterns()).is_empty());
+        // HashSet has its own rule name so allow markers stay precise.
+        let set = format!("use std::collections::{};\n", tok(&["Hash", "Set"]));
+        let violations = scan_source("crates/analysis/src/shard.rs", &set, &patterns());
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].pattern, "hash-set");
+    }
+
+    #[test]
+    fn json_output_escapes_and_counts() {
+        let needle = tok(&[".unwr", "ap()"]);
+        let fixture = format!("fn main() {{ let s = \"quote\\\"d\"; maybe(){needle}; }}\n");
+        let violations = scan_source("fixture.rs", &fixture, &patterns());
+        assert_eq!(violations.len(), 1);
+        let json = render_json(&violations);
+        assert!(json.contains("\"count\": 1"));
+        assert!(json.contains("\"pattern\": \"unwrap\""));
+        assert!(json.contains("quote\\\\\\\"d"), "quotes must be escaped: {json}");
+        assert!(json.ends_with("}\n"));
+        // Clean runs still produce a parseable document.
+        let empty = render_json(&[]);
+        assert!(empty.contains("\"count\": 0"));
     }
 
     #[test]

@@ -12,20 +12,35 @@ use std::process::ExitCode;
 const USAGE: &str = "usage: cargo run -p xtask -- <task>
 
 tasks:
-  lint    scan non-test sources for banned patterns (panics, debug
-          macros, nondeterminism); exits non-zero on any finding";
+  lint [--json]    scan non-test sources for banned patterns (panics,
+                   debug macros, nondeterminism, hash-ordered containers
+                   in serialization paths); exit 0 = clean, 1 = findings,
+                   2 = internal error; --json emits findings as JSON on
+                   stdout";
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
-        Some("lint") => lint::run(),
+        Some("lint") => {
+            let mut json = false;
+            for flag in args {
+                match flag.as_str() {
+                    "--json" => json = true,
+                    other => {
+                        eprintln!("xtask lint: unknown flag `{other}`\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            lint::run(json)
+        }
         Some(other) => {
             eprintln!("xtask: unknown task `{other}`\n{USAGE}");
-            ExitCode::FAILURE
+            ExitCode::from(2)
         }
         None => {
             eprintln!("{USAGE}");
-            ExitCode::FAILURE
+            ExitCode::from(2)
         }
     }
 }

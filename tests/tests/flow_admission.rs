@@ -1,0 +1,249 @@
+//! End-to-end information-flow admission: a deliberately privacy-leaky
+//! plan — raw sensitive modality, OSN-coupled, externally sinked — must be
+//! rejected with a typed `privacy_flow` diagnostic at *every* admission
+//! path, and the matching compliant plan must still admit cleanly.
+//!
+//! The paths: client `create_stream` / `set_filter`, server-pushed remote
+//! streams (optimistic push, device nack, server rejection log),
+//! server-side subscriptions, aggregator filters, and multicast templates.
+
+use sensocial::server::{MulticastSelector, StreamSelector};
+use sensocial::{
+    Condition, ConditionLhs, DiagnosticCode, Error, Filter, Granularity, Modality, Operator,
+    PrivacyPolicy, StreamSink, StreamSpec, UserId,
+};
+use sensocial_runtime::SimDuration;
+use sensocial_sim::{World, WorldConfig};
+use sensocial_types::geo::cities;
+
+/// An OSN-activity gate — the coupling that makes sensor data socially
+/// conditioned and triggers the flow verifier.
+fn osn_filter() -> Filter {
+    Filter::new(vec![Condition::new(
+        ConditionLhs::OsnActivity,
+        Operator::Equals,
+        "active",
+    )])
+}
+
+/// Whether an admission error carries the typed `privacy_flow` diagnostic.
+fn is_privacy_flow(err: &Error) -> bool {
+    err.plan_diagnostics()
+        .iter()
+        .any(|d| d.code == DiagnosticCode::PrivacyFlow)
+}
+
+#[test]
+fn client_create_stream_rejects_coupled_raw_sensitive_plan_under_denying_policy() {
+    let mut world = World::new(WorldConfig::default());
+    world.add_device("alice", "alice-phone", cities::paris());
+    world.with_device("alice-phone", |sched, d| {
+        d.manager.set_privacy_policy(sched, PrivacyPolicy::deny_all());
+    });
+
+    // Social-event-based raw location uplinked off-device: the policy
+    // forbids raw location disclosure, so the OSN coupling cannot be
+    // authorized — fail-closed rejection, not a pause.
+    let leaky = StreamSpec::social_event_based(Modality::Location, Granularity::Raw)
+        .with_sink(StreamSink::Server);
+    let err = world
+        .create_stream("alice-phone", leaky.clone())
+        .expect_err("denying policy must reject the coupled raw plan");
+    assert!(is_privacy_flow(&err), "wrong diagnostics: {err}");
+
+    // Same plan under an allowing policy: the screen vouches for it.
+    world.with_device("alice-phone", |sched, d| {
+        d.manager
+            .set_privacy_policy(sched, PrivacyPolicy::allow_all());
+    });
+    world
+        .create_stream("alice-phone", leaky)
+        .expect("allowing policy admits the same plan");
+}
+
+#[test]
+fn client_set_filter_cannot_retroactively_couple_a_raw_uplink_to_osn() {
+    let mut world = World::new(WorldConfig::default());
+    world.add_device("alice", "alice-phone", cities::paris());
+    world.with_device("alice-phone", |sched, d| {
+        d.manager.set_privacy_policy(sched, PrivacyPolicy::deny_all());
+    });
+
+    // Uncoupled raw location uplink admits: the plain privacy screen
+    // governs it with pause semantics, not the flow verifier.
+    let stream = world
+        .create_stream(
+            "alice-phone",
+            StreamSpec::continuous(Modality::Location, Granularity::Raw)
+                .with_interval(SimDuration::from_secs(10))
+                .with_sink(StreamSink::Server),
+        )
+        .expect("uncoupled raw stream admits (paused by privacy, not rejected)");
+
+    // Swapping in an OSN-conditioned filter would create the very flow
+    // the verifier exists to stop — reject, previous filter stays.
+    let err = world
+        .with_device("alice-phone", |sched, d| {
+            d.manager.set_filter(sched, stream, osn_filter())
+        })
+        .expect("device exists")
+        .expect_err("OSN coupling on a raw sensitive uplink must reject");
+    assert!(is_privacy_flow(&err), "wrong diagnostics: {err}");
+
+    // The stream survived with its original plan.
+    let ids = world
+        .with_device("alice-phone", |_, d| d.manager.stream_ids())
+        .expect("device exists");
+    assert!(ids.contains(&stream));
+}
+
+#[test]
+fn server_pushed_leaky_plan_is_nacked_by_the_device_and_logged() {
+    let mut world = World::new(WorldConfig::default());
+    world.add_device("alice", "alice-phone", cities::paris());
+    world.with_device("alice-phone", |sched, d| {
+        d.manager.set_privacy_policy(sched, PrivacyPolicy::deny_all());
+    });
+    world.run_for(SimDuration::from_secs(1));
+
+    // The server cannot see device policies, so admission defers to the
+    // device: the push itself succeeds...
+    let spec = StreamSpec::social_event_based(Modality::Location, Granularity::Raw);
+    world
+        .server
+        .create_remote_stream(&mut world.sched, &"alice-phone".into(), spec)
+        .expect("server-side admission defers to the device");
+    world.run_for(SimDuration::from_secs(5));
+
+    // ...and the device's own verifier nacks it with the typed diagnostic,
+    // which lands in the server's rejection log.
+    let rejections = world.server.config_rejections();
+    assert!(
+        !rejections.is_empty(),
+        "the device must nack the pushed leaky plan"
+    );
+    assert!(
+        rejections.iter().any(|ack| ack
+            .diagnostics
+            .iter()
+            .any(|d| d.code == DiagnosticCode::PrivacyFlow)),
+        "nack must carry the privacy_flow diagnostic: {rejections:?}"
+    );
+}
+
+#[test]
+fn subscription_over_raw_sensitive_uplinks_cannot_gate_on_osn() {
+    let mut world = World::new(WorldConfig::default());
+    world.add_device("alice", "alice-phone", cities::paris());
+    world
+        .create_stream(
+            "alice-phone",
+            StreamSpec::continuous(Modality::Location, Granularity::Raw)
+                .with_interval(SimDuration::from_secs(10))
+                .with_sink(StreamSink::Server),
+        )
+        .expect("uncoupled raw uplink admits");
+
+    // A modality-selected subscription is conservatively treated as
+    // reading raw samples of that modality; coupling it to OSN context
+    // has only upstream authority — the device screens ran before this
+    // plan existed — so it must reject.
+    let err = world
+        .server
+        .register_listener(
+            StreamSelector::Modality(Modality::Location),
+            osn_filter(),
+            |_s, _e| {},
+        )
+        .expect_err("OSN-gated subscription over raw location must reject");
+    assert!(is_privacy_flow(&err), "wrong diagnostics: {err}");
+
+    // The same selector without the coupling is fine.
+    world
+        .server
+        .register_listener(
+            StreamSelector::Modality(Modality::Location),
+            Filter::pass_all(),
+            |_s, _e| {},
+        )
+        .expect("uncoupled subscription admits");
+}
+
+#[test]
+fn aggregator_filter_cannot_gate_raw_sensitive_members_on_osn() {
+    let mut world = World::new(WorldConfig::default());
+    world.add_device("alice", "alice-phone", cities::paris());
+    world.run_for(SimDuration::from_secs(1));
+
+    // A server-created raw location stream (uncoupled: admits, and the
+    // allow-all default device policy installs it).
+    let stream = world
+        .server
+        .create_remote_stream(
+            &mut world.sched,
+            &"alice-phone".into(),
+            StreamSpec::continuous(Modality::Location, Granularity::Raw)
+                .with_interval(SimDuration::from_secs(10)),
+        )
+        .expect("uncoupled remote stream admits");
+    world.run_for(SimDuration::from_secs(2));
+
+    let aggregator = world.server.create_aggregator([stream]);
+    // Gating the aggregate on OSN context would socially condition the
+    // raw member — the member's uplink screen cannot have authorized that.
+    let err = world
+        .server
+        .set_aggregator_filter(aggregator, osn_filter())
+        .expect_err("OSN-gated aggregator over a raw sensitive member must reject");
+    assert!(is_privacy_flow(&err), "wrong diagnostics: {err}");
+
+    // An uncoupled aggregate filter over the same member is fine.
+    world
+        .server
+        .set_aggregator_filter(aggregator, Filter::pass_all())
+        .expect("uncoupled aggregator filter admits");
+}
+
+#[test]
+fn multicast_template_with_cross_user_osn_condition_is_rejected() {
+    let mut world = World::new(WorldConfig::default());
+    world.add_device("vip", "vip-phone", cities::paris());
+    world.add_device("bob", "bob-phone", cities::paris());
+    world.run_for(SimDuration::from_secs(1));
+
+    // Cross-user OSN gate on a raw sensitive template: the cross-user
+    // part is evaluated at the server, where only upstream authority
+    // exists — reject at template admission, before any push.
+    let cross_osn = Filter::new(vec![Condition::new(
+        ConditionLhs::OsnActivity,
+        Operator::Equals,
+        "active",
+    )
+    .about(UserId::new("vip"))]);
+    let template = StreamSpec::continuous(Modality::Location, Granularity::Raw)
+        .with_interval(SimDuration::from_secs(30))
+        .with_filter(cross_osn);
+    let err = world
+        .server
+        .create_multicast(
+            &mut world.sched,
+            MulticastSelector::FriendsOf(UserId::new("vip")),
+            template,
+        )
+        .expect_err("cross-user OSN coupling on a raw template must reject");
+    assert!(is_privacy_flow(&err), "wrong diagnostics: {err}");
+
+    // The same template with a *local* OSN gate defers to each member
+    // device's own verifier at install time — admitted here.
+    let local_template = StreamSpec::continuous(Modality::Location, Granularity::Raw)
+        .with_interval(SimDuration::from_secs(30))
+        .with_filter(osn_filter());
+    world
+        .server
+        .create_multicast(
+            &mut world.sched,
+            MulticastSelector::FriendsOf(UserId::new("vip")),
+            local_template,
+        )
+        .expect("locally-gated template defers to member devices");
+}

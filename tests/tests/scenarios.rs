@@ -58,7 +58,10 @@ fn commute_cascade_meets_thresholds() {
 
 /// 10%-churn wave: the staggered flap schedule must actually bite
 /// (endpoint-down drops, buffered uplinks) and the store-and-forward
-/// backlog must fully drain by the end of the run.
+/// backlog must fully drain by the end of the run. The outcome's static
+/// analysis must place every fleet user on exactly one shard and account
+/// for every cross-user dependency edge as intra-shard or cut — nothing
+/// silently dropped by the planner at fleet scale.
 #[test]
 fn churn_wave_meets_thresholds() {
     let outcome = run_and_check(&ScenarioSpec::churn_wave());
@@ -69,6 +72,40 @@ fn churn_wave_meets_thresholds() {
     assert!(
         outcome.snapshot.counter("client.uplink.flushed") > 0,
         "parked samples flushed after the wave passed"
+    );
+
+    let shard_plan = &outcome.analysis.shard_plan;
+    assert!(
+        shard_plan.user_count() >= outcome.device_count,
+        "every fleet user is placed: {} users for {} devices",
+        shard_plan.user_count(),
+        outcome.device_count
+    );
+    let mut placed = std::collections::BTreeSet::new();
+    for shard in &shard_plan.shards {
+        for user in &shard.users {
+            assert!(placed.insert(user.clone()), "user {user} placed twice");
+        }
+    }
+    for edge in &outcome.analysis.dependency_edges {
+        let same = shard_plan.shard_of(&edge.owner) == shard_plan.shard_of(&edge.subject);
+        let listed = shard_plan.cut_edges.contains(edge);
+        assert!(
+            same != listed,
+            "edge {} -> {} neither intra-shard nor counted as cut",
+            edge.owner,
+            edge.subject
+        );
+    }
+    assert_eq!(
+        shard_plan.intra_edges + shard_plan.cut_edges.len(),
+        outcome.analysis.dependency_edges.len(),
+        "edge accounting must cover the whole dependency graph"
+    );
+    assert_eq!(
+        outcome.analysis.totals.plans,
+        outcome.analysis.plans.len(),
+        "report totals agree with the plan list"
     );
 }
 
@@ -155,6 +192,11 @@ fn fast_scenarios_are_deterministic() {
         );
         assert_eq!(a.backlog_samples, b.backlog_samples, "{name}");
         assert_eq!(a.subscriber_deliveries, b.subscriber_deliveries, "{name}");
+        assert_eq!(
+            a.analysis.to_json(),
+            b.analysis.to_json(),
+            "{name}: same-seed replays must produce byte-identical analysis reports"
+        );
     }
 }
 
