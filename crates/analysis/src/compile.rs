@@ -1,0 +1,267 @@
+//! Compilation of normalized filters into flat predicate bytecode.
+//!
+//! [`crate::sat::normalize`] already canonicalizes every admitted filter;
+//! until now the runtime still tree-walked the [`Filter`] per sample,
+//! re-inspecting each condition's `serde_json::Value` (string/number
+//! decoding, operator/domain checks) on every evaluation. [`compile`]
+//! performs that inspection **once at admission time**, producing a flat
+//! [`PredicateProgram`] — a `Vec` of pre-decoded comparison instructions
+//! evaluated in `sensocial-core` with no JSON value in sight.
+//!
+//! The compiled program is semantically identical to the interpreter,
+//! including its typed-error behaviour: a condition the interpreter would
+//! fail with an [`EvalError`] compiles to [`PredicateOp::Fail`] carrying
+//! the identical pre-rendered error, and error *precedence* (domain check
+//! before missing-context short-circuit) is preserved because ill-typed
+//! conditions error unconditionally in both worlds. Both evaluators fetch
+//! actual values through the shared [`ConditionLhs::fetch_string`] /
+//! [`ConditionLhs::fetch_number`] helpers, so the context-reading half of
+//! the semantics agrees by construction; a proptest in `sensocial-core`
+//! pins `compiled == interpreted` over the full plan space.
+
+use sensocial_types::filter::{Condition, ConditionLhs, EvalErrorKind, Filter, Operator};
+use sensocial_types::UserId;
+use serde_json::Value;
+
+/// One pre-decoded comparison instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PredicateOp {
+    /// Compare a categorical lhs against a pre-extracted string.
+    /// `negate` encodes [`Operator::NotEquals`]. A missing actual value
+    /// evaluates to `false` regardless of `negate`, mirroring the
+    /// interpreter's "guard cannot be known to hold" rule.
+    Str {
+        /// What is inspected.
+        lhs: ConditionLhs,
+        /// The comparison string, extracted from the condition's JSON
+        /// value at compile time.
+        expect: String,
+        /// `true` for `!=`, `false` for `==`.
+        negate: bool,
+    },
+    /// Compare a numeric lhs against a pre-decoded `f64`.
+    Num {
+        /// What is inspected.
+        lhs: ConditionLhs,
+        /// The comparison operator (any of the four).
+        op: Operator,
+        /// The comparison value, decoded from JSON at compile time.
+        rhs: f64,
+    },
+    /// The condition is statically ill-typed: evaluation always returns
+    /// the same typed error the interpreter would produce. Analyzer-vetted
+    /// plans never contain one; the variant exists so unvetted filters
+    /// keep their fail-closed semantics under compilation.
+    Fail {
+        /// What the condition inspected.
+        lhs: ConditionLhs,
+        /// The operator applied.
+        op: Operator,
+        /// The offending value pre-rendered as JSON (the interpreter
+        /// renders it per evaluation).
+        rendered: String,
+        /// Why evaluation fails.
+        kind: EvalErrorKind,
+    },
+}
+
+/// One compiled condition: the instruction plus its cross-user subject.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredicateInst {
+    /// The comparison to run.
+    pub op: PredicateOp,
+    /// `Some(user)` for cross-user conditions — evaluated against that
+    /// user's snapshot (server-side), skipped by local evaluation.
+    pub subject: Option<UserId>,
+}
+
+impl PredicateInst {
+    /// Whether this instruction references another user's context.
+    pub fn is_cross_user(&self) -> bool {
+        self.subject.is_some()
+    }
+}
+
+/// A compiled filter: a flat conjunction of [`PredicateInst`]s in the
+/// source filter's condition order. An empty program passes everything.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PredicateProgram {
+    /// The instructions; all must hold (short-circuiting in order).
+    pub insts: Vec<PredicateInst>,
+}
+
+impl PredicateProgram {
+    /// The always-pass program.
+    #[must_use]
+    pub fn pass_all() -> Self {
+        PredicateProgram::default()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Whether any instruction references another user's context.
+    pub fn has_cross_user(&self) -> bool {
+        self.insts.iter().any(PredicateInst::is_cross_user)
+    }
+}
+
+fn compile_condition(c: &Condition) -> PredicateOp {
+    let fail = |kind| PredicateOp::Fail {
+        lhs: c.lhs,
+        op: c.op,
+        rendered: c.value.to_string(),
+        kind,
+    };
+    if c.lhs.is_numeric() {
+        match c.value.as_f64() {
+            Some(rhs) => PredicateOp::Num {
+                lhs: c.lhs,
+                op: c.op,
+                rhs,
+            },
+            None => fail(EvalErrorKind::NonNumericValue),
+        }
+    } else {
+        // Mirror the interpreter's precedence exactly: a non-string value
+        // errors before the ordering check does.
+        let expect = match &c.value {
+            Value::String(s) => s.clone(),
+            _ => return fail(EvalErrorKind::NonStringValue),
+        };
+        if c.op.is_ordering() {
+            return fail(EvalErrorKind::OrderingOnCategorical);
+        }
+        PredicateOp::Str {
+            lhs: c.lhs,
+            expect,
+            negate: c.op == Operator::NotEquals,
+        }
+    }
+}
+
+/// Compiles `filter` into a flat [`PredicateProgram`].
+///
+/// Compilation is total: ill-typed conditions become [`PredicateOp::Fail`]
+/// rather than rejecting, so compiled evaluation reproduces interpreted
+/// evaluation on *every* filter, vetted or not.
+#[must_use]
+pub fn compile(filter: &Filter) -> PredicateProgram {
+    PredicateProgram {
+        insts: filter
+            .conditions
+            .iter()
+            .map(|c| PredicateInst {
+                op: compile_condition(c),
+                subject: c.subject.clone(),
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_condition_compiles_to_str_op() {
+        let program = compile(&Filter::new(vec![Condition::new(
+            ConditionLhs::PhysicalActivity,
+            Operator::Equals,
+            "walking",
+        )]));
+        assert_eq!(program.insts.len(), 1);
+        assert_eq!(
+            program.insts[0].op,
+            PredicateOp::Str {
+                lhs: ConditionLhs::PhysicalActivity,
+                expect: "walking".to_owned(),
+                negate: false,
+            }
+        );
+        assert!(!program.has_cross_user());
+    }
+
+    #[test]
+    fn numeric_condition_predecodes_rhs() {
+        let program = compile(&Filter::new(vec![Condition::new(
+            ConditionLhs::HourOfDay,
+            Operator::GreaterThan,
+            8,
+        )]));
+        assert_eq!(
+            program.insts[0].op,
+            PredicateOp::Num {
+                lhs: ConditionLhs::HourOfDay,
+                op: Operator::GreaterThan,
+                rhs: 8.0,
+            }
+        );
+    }
+
+    #[test]
+    fn ill_typed_conditions_compile_to_fail_with_interpreter_precedence() {
+        // Non-string value on a categorical lhs under an ordering operator:
+        // the interpreter reports NonStringValue first; so must we.
+        let program = compile(&Filter::new(vec![Condition::new(
+            ConditionLhs::Place,
+            Operator::LessThan,
+            3,
+        )]));
+        assert_eq!(
+            program.insts[0].op,
+            PredicateOp::Fail {
+                lhs: ConditionLhs::Place,
+                op: Operator::LessThan,
+                rendered: "3".to_owned(),
+                kind: EvalErrorKind::NonStringValue,
+            }
+        );
+
+        let ordering = compile(&Filter::new(vec![Condition::new(
+            ConditionLhs::Place,
+            Operator::LessThan,
+            "Paris",
+        )]));
+        assert!(matches!(
+            &ordering.insts[0].op,
+            PredicateOp::Fail {
+                kind: EvalErrorKind::OrderingOnCategorical,
+                ..
+            }
+        ));
+
+        let non_numeric = compile(&Filter::new(vec![Condition::new(
+            ConditionLhs::HourOfDay,
+            Operator::Equals,
+            "noon",
+        )]));
+        assert!(matches!(
+            &non_numeric.insts[0].op,
+            PredicateOp::Fail {
+                kind: EvalErrorKind::NonNumericValue,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn cross_user_subject_is_preserved() {
+        let program = compile(&Filter::new(vec![Condition::new(
+            ConditionLhs::PhysicalActivity,
+            Operator::Equals,
+            "walking",
+        )
+        .about(UserId::new("bob"))]));
+        assert_eq!(program.insts[0].subject, Some(UserId::new("bob")));
+        assert!(program.has_cross_user());
+    }
+
+    #[test]
+    fn empty_filter_compiles_to_empty_program() {
+        assert!(compile(&Filter::pass_all()).is_empty());
+        assert_eq!(compile(&Filter::pass_all()), PredicateProgram::pass_all());
+    }
+}

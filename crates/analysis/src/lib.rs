@@ -27,7 +27,10 @@
 //!
 //! Beyond verification, the crate now also *plans*: [`shard`] turns the
 //! dependency graph into a deterministic shard-affinity hint, [`cost`]
-//! estimates per-plan evaluation cost, and [`report`] renders both plus
+//! estimates per-plan evaluation cost, [`compile`] lowers admitted
+//! (normalized) filters into the flat [`compile::PredicateProgram`]
+//! bytecode the runtime evaluates per sample instead of tree-walking,
+//! and [`report`] renders plans plus
 //! every flow verdict as a byte-stable JSON [`report::AnalysisReport`].
 //!
 //! Findings are [`PlanDiagnostic`]s (defined in `sensocial-types` so they
@@ -37,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compile;
 pub mod cost;
 pub mod domain;
 pub mod flow;
@@ -50,6 +54,7 @@ pub mod typeck;
 use sensocial_types::filter::Filter;
 use sensocial_types::{Error, Granularity, Modality, PlanDiagnostic};
 
+pub use compile::{compile, PredicateProgram};
 pub use cost::PlanCost;
 pub use flow::{FlowLabel, FlowSink, FlowSource, FlowVerdict};
 pub use graph::DependencyGraph;

@@ -118,7 +118,7 @@ impl RawSensorMapMobile {
         let handler = app.clone();
         broker.subscribe(
             sched,
-            &trigger_topic(&device),
+            trigger_topic(&device).as_str(),
             QoS::AtLeastOnce,
             move |s, _topic, payload| {
                 handler.on_trigger(s, payload);

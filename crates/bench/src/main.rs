@@ -1,13 +1,14 @@
-//! `cargo run -p sensocial-bench` — the PR-6 storage + telemetry benchmark.
+//! `cargo run -p sensocial-bench` — the storage + telemetry benchmark.
 //!
 //! Drives one deterministic chaos scenario (two phones, continuous +
-//! social-event streams, a mid-run partition) and emits `BENCH_6.json`:
+//! social-event streams, a mid-run partition) and emits `BENCH_10.json`:
 //! per-stage pipeline latency summaries (sense → privacy → filter →
 //! uplink → broker → server → subscriber), every drop-cause counter, the
-//! backlog gauges' high-water marks, and the storage engine's ingest /
-//! scan profile (batch-size and flush-wait histograms, partition pruning
-//! counters, backend footprint) — all read from the merged
-//! deployment-wide telemetry snapshot.
+//! backlog gauges' high-water marks, the hot-path batching profile
+//! (broker fan-out and client uplink batch-size histograms), and the
+//! storage engine's ingest / scan profile (batch-size and flush-wait
+//! histograms, partition pruning counters, backend footprint) — all read
+//! from the merged deployment-wide telemetry snapshot.
 //!
 //! With `--snapshot-out <path>` the canonical wire form of the merged
 //! snapshot is also written there; CI runs the binary twice with the same
@@ -315,7 +316,7 @@ fn main() {
     let mut scenario_name: Option<String> = None;
     let mut analysis_out: Option<String> = None;
     let mut require_armed = false;
-    let mut report_out = "BENCH_6.json".to_owned();
+    let mut report_out = "BENCH_10.json".to_owned();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--snapshot-out" => {
@@ -365,11 +366,15 @@ fn main() {
     }
 
     let mut report = json!({
-        "benchmark": "BENCH_6",
-        "description": "per-stage pipeline latency, drop causes, backlog high-water marks and storage engine profile",
+        "benchmark": "BENCH_10",
+        "description": "per-stage pipeline latency, drop causes, backlog high-water marks, hot-path batching profile and storage engine profile",
         "stages": stage_summaries(&snap),
         "drops": drop_counters(&snap),
         "backlogs": backlog_high_water(&snap),
+        "batching": {
+            "broker_batch_size": histogram_summary(&snap, "broker.batch_size"),
+            "uplink_batch_size": histogram_summary(&snap, "client.uplink.batch_size"),
+        },
         "storage": storage_section,
         "totals": {
             "uplink_events": snap.counter("server.uplink_events"),

@@ -1,14 +1,23 @@
 //! The broker itself: sessions, routing, retained messages, QoS-1 retries.
+//!
+//! Hot-path memory discipline (see DESIGN.md §7): topics are interned
+//! `Arc<str>` newtypes and payloads are shared [`Payload`] allocations, so
+//! fan-out to N subscribers bumps reference counts instead of cloning
+//! strings N times. Deliveries are batched per virtual instant through a
+//! [`Scheduler::schedule_now`] flush (the `broker.batch_size` histogram
+//! records amortization), which preserves virtual-time latencies and
+//! delivery order exactly.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 use sensocial_net::{EndpointId, Network};
 use sensocial_runtime::{Scheduler, SimDuration};
 use sensocial_telemetry::{Registry, Stage};
+use sensocial_types::intern::intern;
 
-use crate::packet::{Packet, QoS};
+use crate::packet::{Envelope, Packet, Payload, QoS};
 use crate::topic::TopicFilter;
 
 /// Tunables for broker behaviour.
@@ -28,6 +37,14 @@ pub struct BrokerConfig {
     /// message is then delivered on the client's next connect, so triggers
     /// survive outages longer than the whole retry budget.
     pub requeue_on_exhaust: bool,
+    /// Batch deliveries accumulated within one virtual instant and flush
+    /// them through a single scheduler event (recorded in the
+    /// `broker.batch_size` histogram). Batching is virtual-time-neutral:
+    /// the flush fires at the same instant the messages were published,
+    /// in publish order, so latencies, delivery order and drop-cause
+    /// counters are unchanged — only the per-message scheduler overhead is
+    /// amortized. Disable to deliver inline per message.
+    pub batch_delivery: bool,
 }
 
 impl Default for BrokerConfig {
@@ -37,6 +54,7 @@ impl Default for BrokerConfig {
             max_retries: 5,
             offline_queue_limit: 1_000,
             requeue_on_exhaust: true,
+            batch_delivery: true,
         }
     }
 }
@@ -76,21 +94,23 @@ struct Session {
     endpoint: EndpointId,
     connected: bool,
     subscriptions: Vec<(TopicFilter, QoS)>,
-    offline: VecDeque<(String, String, QoS)>,
+    /// Messages parked for a disconnected session. Envelope clones are
+    /// refcount bumps: a message queued for N offline subscribers shares
+    /// one topic and one payload allocation.
+    offline: VecDeque<Envelope>,
 }
 
 /// Total messages parked in offline queues across every session — the
 /// value behind the `broker.offline_backlog` gauge (its high-water mark is
 /// the figure scenario acceptance thresholds bound).
-fn offline_backlog(sessions: &HashMap<String, Session>) -> u64 {
+fn offline_backlog(sessions: &BTreeMap<Arc<str>, Session>) -> u64 {
     sessions.values().map(|s| s.offline.len() as u64).sum()
 }
 
 #[derive(Debug, Clone)]
 struct PendingDelivery {
-    client_id: String,
-    topic: String,
-    payload: String,
+    client_id: Arc<str>,
+    envelope: Envelope,
     retries_left: u32,
 }
 
@@ -120,11 +140,19 @@ impl InboundWindow {
 
 struct Inner {
     endpoint: EndpointId,
-    sessions: HashMap<String, Session>,
-    retained: HashMap<String, String>,
+    /// Sessions keyed by interned client id. A `BTreeMap` (not hash) so
+    /// fan-out iterates in a deterministic, seed-independent order.
+    sessions: BTreeMap<Arc<str>, Session>,
+    /// Retained message per topic, shared allocations on both sides.
+    retained: BTreeMap<sensocial_types::InternedTopic, Payload>,
     pending: HashMap<u64, PendingDelivery>,
     inbound_seen: HashMap<String, InboundWindow>,
     next_message_id: u64,
+    /// Deliveries accumulated within the current virtual instant, drained
+    /// FIFO by one scheduled flush ([`BrokerConfig::batch_delivery`]).
+    batch: VecDeque<(Arc<str>, Envelope)>,
+    /// Whether a batch flush is already scheduled for this instant.
+    flush_scheduled: bool,
     config: BrokerConfig,
     stats: BrokerStats,
 }
@@ -159,11 +187,13 @@ impl Broker {
         let broker = Broker {
             inner: Arc::new(Mutex::new(Inner {
                 endpoint: endpoint.clone(),
-                sessions: HashMap::new(),
-                retained: HashMap::new(),
+                sessions: BTreeMap::new(),
+                retained: BTreeMap::new(),
                 pending: HashMap::new(),
                 inbound_seen: HashMap::new(),
                 next_message_id: 1,
+                batch: VecDeque::new(),
+                flush_scheduled: false,
                 config: BrokerConfig::default(),
                 stats: BrokerStats::default(),
             })),
@@ -190,8 +220,10 @@ impl Broker {
 
     /// The broker's telemetry registry (scope `broker`): activity counters
     /// mirroring [`BrokerStats`] plus the [`Stage::Broker`] ingress-transit
-    /// histogram, the `broker.offline_backlog` gauge (messages parked in
-    /// offline queues, with high-water mark) and the
+    /// histogram, the `broker.batch_size` histogram (messages drained per
+    /// per-instant delivery flush, recording how much scheduler overhead
+    /// batching amortizes), the `broker.offline_backlog` gauge (messages
+    /// parked in offline queues, with high-water mark) and the
     /// `broker.offline_dropped` counter (oldest-message evictions when an
     /// offline queue overflows its limit).
     pub fn telemetry(&self) -> &Registry {
@@ -217,7 +249,7 @@ impl Broker {
         match packet {
             Packet::Connect { client_id } => self.on_connect(sched, from, client_id),
             Packet::Disconnect { client_id } => {
-                if let Some(session) = self.inner.lock().sessions.get_mut(&client_id) {
+                if let Some(session) = self.inner.lock().sessions.get_mut(client_id.as_str()) {
                     session.connected = false;
                 }
             }
@@ -227,7 +259,7 @@ impl Broker {
                 qos,
             } => self.on_subscribe(sched, client_id, filter, qos),
             Packet::Unsubscribe { client_id, filter } => {
-                if let Some(session) = self.inner.lock().sessions.get_mut(&client_id) {
+                if let Some(session) = self.inner.lock().sessions.get_mut(client_id.as_str()) {
                     session.subscriptions.retain(|(f, _)| *f != filter);
                 }
             }
@@ -249,11 +281,12 @@ impl Broker {
     }
 
     fn on_connect(&self, sched: &mut Scheduler, from: EndpointId, client_id: String) {
+        let cid = intern(&client_id);
         let (flush, ack, broker_endpoint, endpoint) = {
             let mut inner = self.inner.lock();
             let inner = &mut *inner;
-            let session_present = inner.sessions.contains_key(&client_id);
-            let session = inner.sessions.entry(client_id.clone()).or_insert(Session {
+            let session_present = inner.sessions.contains_key(&*cid);
+            let session = inner.sessions.entry(Arc::clone(&cid)).or_insert(Session {
                 endpoint: from.clone(),
                 connected: true,
                 subscriptions: Vec::new(),
@@ -262,22 +295,23 @@ impl Broker {
             session.endpoint = from;
             session.connected = true;
             let ack = Packet::ConnAck {
-                client_id: client_id.clone(),
+                client_id,
                 session_present,
             };
-            let flush: Vec<(String, String, QoS)> = session.offline.drain(..).collect();
+            let flush: Vec<Envelope> = session.offline.drain(..).collect();
             let endpoint = session.endpoint.clone();
             let backlog = offline_backlog(&inner.sessions);
             self.telemetry.gauge_set("offline_backlog", backlog);
             (flush, ack, inner.endpoint.clone(), endpoint)
         };
         // The ConnAck leaves before the offline flush so a resuming client
-        // confirms its session ahead of the queued deliveries.
+        // confirms its session ahead of the queued deliveries (the batch
+        // flush fires later within the same instant, keeping that order).
         let _ = self
             .network
             .send(sched, &broker_endpoint, &endpoint, ack.to_wire());
-        for (topic, payload, qos) in flush {
-            self.deliver(sched, &client_id, &topic, &payload, qos);
+        for envelope in flush {
+            self.enqueue_delivery(sched, Arc::clone(&cid), envelope);
         }
     }
 
@@ -285,7 +319,7 @@ impl Broker {
         let reply = {
             let mut inner = self.inner.lock();
             let inner = &mut *inner;
-            match inner.sessions.get(&client_id) {
+            match inner.sessions.get(client_id.as_str()) {
                 Some(session) if session.connected => {
                     inner.stats.pings += 1;
                     self.telemetry.count("pings");
@@ -312,9 +346,10 @@ impl Broker {
         filter: TopicFilter,
         qos: QoS,
     ) {
-        let retained: Vec<(String, String)> = {
+        let cid = intern(&client_id);
+        let retained: Vec<Envelope> = {
             let mut inner = self.inner.lock();
-            let Some(session) = inner.sessions.get_mut(&client_id) else {
+            let Some(session) = inner.sessions.get_mut(&*cid) else {
                 return; // Subscribe before connect: ignored, like Mosquitto.
             };
             session.subscriptions.retain(|(f, _)| *f != filter);
@@ -322,12 +357,14 @@ impl Broker {
             inner
                 .retained
                 .iter()
-                .filter(|(topic, _)| filter.matches(topic))
-                .map(|(t, p)| (t.clone(), p.clone()))
+                .filter(|(topic, _)| filter.matches(topic.as_str()))
+                // Refcount bumps, not string clones: the retained entry
+                // keeps its allocations.
+                .map(|(t, p)| Envelope::new(t.clone(), p.clone(), qos))
                 .collect()
         };
-        for (topic, payload) in retained {
-            self.deliver(sched, &client_id, &topic, &payload, qos);
+        for envelope in retained {
+            self.enqueue_delivery(sched, Arc::clone(&cid), envelope);
         }
     }
 
@@ -336,8 +373,8 @@ impl Broker {
         &self,
         sched: &mut Scheduler,
         from: EndpointId,
-        topic: String,
-        payload: String,
+        topic: sensocial_types::InternedTopic,
+        payload: Payload,
         qos: QoS,
         message_id: Option<u64>,
         retain: bool,
@@ -378,7 +415,7 @@ impl Broker {
             }
         }
 
-        let targets: Vec<(String, QoS, bool)> = {
+        let targets: Vec<(Arc<str>, QoS, bool)> = {
             let mut inner = self.inner.lock();
             inner.stats.published += 1;
             self.telemetry.count("published");
@@ -386,23 +423,25 @@ impl Broker {
                 if payload.is_empty() {
                     inner.retained.remove(&topic);
                 } else {
+                    // Refcount bumps: the retained entry shares the
+                    // publish's allocations.
                     inner.retained.insert(topic.clone(), payload.clone());
                 }
             }
             // Like Mosquitto, the publisher receives its own message when
             // subscribed to a matching filter, so no sender exclusion here.
             let _ = &sender;
-            let targets: Vec<(String, QoS, bool)> = inner
+            let targets: Vec<(Arc<str>, QoS, bool)> = inner
                 .sessions
                 .iter()
                 .filter_map(|(cid, session)| {
                     session
                         .subscriptions
                         .iter()
-                        .filter(|(f, _)| f.matches(&topic))
+                        .filter(|(f, _)| f.matches(topic.as_str()))
                         .map(|(_, sub_qos)| (*sub_qos).min(qos))
                         .max()
-                        .map(|q| (cid.clone(), q, session.connected))
+                        .map(|q| (Arc::clone(cid), q, session.connected))
                 })
                 .collect();
             if targets.is_empty() {
@@ -414,14 +453,16 @@ impl Broker {
                     inner.stats.queued_offline += 1;
                     self.telemetry.count("queued_offline");
                     let limit = inner.config.offline_queue_limit;
-                    if let Some(session) = inner.sessions.get_mut(cid) {
+                    if let Some(session) = inner.sessions.get_mut(&**cid) {
                         if session.offline.len() >= limit {
                             session.offline.pop_front();
                             self.telemetry.count("offline_dropped");
                         }
+                        // One interned topic and one shared payload per
+                        // message, however many sessions queue it.
                         session
                             .offline
-                            .push_back((topic.clone(), payload.clone(), *q));
+                            .push_back(Envelope::new(topic.clone(), payload.clone(), *q));
                     }
                 }
             }
@@ -434,21 +475,57 @@ impl Broker {
 
         for (cid, q, connected) in targets {
             if connected {
-                self.deliver(sched, &cid, &topic, &payload, q);
+                self.enqueue_delivery(sched, cid, Envelope::new(topic.clone(), payload.clone(), q));
             }
+        }
+    }
+
+    /// Queues one delivery on the per-instant batch, scheduling the flush
+    /// if this is the instant's first message. With batching disabled the
+    /// delivery goes out inline, exactly as before the batch existed.
+    fn enqueue_delivery(&self, sched: &mut Scheduler, client_id: Arc<str>, envelope: Envelope) {
+        let flush_now = {
+            let mut inner = self.inner.lock();
+            if !inner.config.batch_delivery {
+                drop(inner);
+                self.deliver(sched, &client_id, envelope);
+                return;
+            }
+            inner.batch.push_back((client_id, envelope));
+            if inner.flush_scheduled {
+                false
+            } else {
+                inner.flush_scheduled = true;
+                true
+            }
+        };
+        if flush_now {
+            let broker = self.clone();
+            // Fires at the *current* instant, after the events already
+            // queued for it: every publish routed in this instant lands in
+            // the same batch, and virtual-time latency is unchanged.
+            sched.schedule_now(move |s| broker.flush_batch(s));
+        }
+    }
+
+    /// Drains the per-instant delivery batch FIFO — one scheduler event
+    /// however many messages this instant routed.
+    fn flush_batch(&self, sched: &mut Scheduler) {
+        let batch: Vec<(Arc<str>, Envelope)> = {
+            let mut inner = self.inner.lock();
+            inner.flush_scheduled = false;
+            inner.batch.drain(..).collect()
+        };
+        self.telemetry.observe_named("batch_size", batch.len() as u64);
+        for (client_id, envelope) in batch {
+            self.deliver(sched, &client_id, envelope);
         }
     }
 
     /// Sends one delivery towards a connected client, installing retry
     /// state when the effective QoS demands acknowledgement.
-    fn deliver(
-        &self,
-        sched: &mut Scheduler,
-        client_id: &str,
-        topic: &str,
-        payload: &str,
-        qos: QoS,
-    ) {
+    fn deliver(&self, sched: &mut Scheduler, client_id: &str, envelope: Envelope) {
+        let qos = envelope.qos;
         let (endpoint, broker_endpoint, message_id, retry_timeout) = {
             let mut inner = self.inner.lock();
             inner.stats.delivered += 1;
@@ -465,9 +542,10 @@ impl Broker {
                 inner.pending.insert(
                     mid,
                     PendingDelivery {
-                        client_id: client_id.to_owned(),
-                        topic: topic.to_owned(),
-                        payload: payload.to_owned(),
+                        client_id: intern(client_id),
+                        // Refcount bumps; retry state shares the message's
+                        // allocations.
+                        envelope: envelope.clone(),
                         retries_left,
                     },
                 );
@@ -484,8 +562,8 @@ impl Broker {
         };
 
         let packet = Packet::Publish {
-            topic: topic.to_owned(),
-            payload: payload.to_owned(),
+            topic: envelope.topic,
+            payload: envelope.payload,
             qos,
             message_id,
             retain: false,
@@ -525,17 +603,17 @@ impl Broker {
                         Some(session) => {
                             // The client never acked across the whole retry
                             // budget: treat its connection as dead and park
-                            // the delivery for its next connect.
+                            // the delivery for its next connect. The
+                            // envelope moves as-is — the one interned topic
+                            // and shared payload are reused, no per-requeue
+                            // clone (its QoS is already at-least-once,
+                            // retry state only exists for QoS 1).
                             session.connected = false;
                             if session.offline.len() >= limit {
                                 session.offline.pop_front();
                                 self.telemetry.count("offline_dropped");
                             }
-                            session.offline.push_back((
-                                pending.topic,
-                                pending.payload,
-                                QoS::AtLeastOnce,
-                            ));
+                            session.offline.push_back(pending.envelope);
                             inner.stats.requeued += 1;
                             self.telemetry.count("requeued");
                             let backlog = offline_backlog(&inner.sessions);
@@ -571,8 +649,8 @@ impl Broker {
         if let Some((pending, (endpoint, connected), broker_endpoint)) = action {
             if connected {
                 let packet = Packet::Publish {
-                    topic: pending.topic,
-                    payload: pending.payload,
+                    topic: pending.envelope.topic,
+                    payload: pending.envelope.payload,
                     qos: QoS::AtLeastOnce,
                     message_id: Some(message_id),
                     retain: false,

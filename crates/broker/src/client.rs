@@ -27,7 +27,9 @@ use parking_lot::Mutex;
 use sensocial_net::{EndpointId, Network};
 use sensocial_runtime::{Scheduler, SimDuration, SimRng};
 
-use crate::packet::{Packet, QoS};
+use sensocial_types::InternedTopic;
+
+use crate::packet::{Packet, Payload, QoS};
 use crate::topic::TopicFilter;
 
 /// Callback invoked with `(scheduler, topic, payload)` for each message
@@ -370,24 +372,25 @@ impl BrokerClient {
 
     /// Subscribes to `filter`, routing matching messages to `callback`.
     ///
-    /// Accepts anything stringly (`&str`, `String`, or a typed topic that
-    /// converts into its wire form).
+    /// Accepts a parsed [`TopicFilter`], anything with a typed conversion
+    /// into one (e.g. `sensocial-core`'s `Topic`), or a `&str` literal via
+    /// the panicking [`From<&str>`] conversion.
     ///
     /// # Panics
     ///
-    /// Panics if `filter` is not a valid topic filter — subscriptions are
-    /// developer-written constants, so malformed ones are programming
-    /// errors.
+    /// Panics if a `&str` `filter` is not a valid topic filter —
+    /// subscriptions are developer-written constants, so malformed ones
+    /// are programming errors. Pre-parsed [`TopicFilter`]s cannot panic.
     pub fn subscribe<F>(
         &self,
         sched: &mut Scheduler,
-        filter: impl Into<String>,
+        filter: impl Into<TopicFilter>,
         qos: QoS,
         callback: F,
     ) where
         F: Fn(&mut Scheduler, &str, &str) + Send + Sync + 'static,
     {
-        let filter: TopicFilter = filter.into().parse().expect("invalid topic filter"); // lint:allow(expect) — filters are compile-time literals, validated by tests
+        let filter: TopicFilter = filter.into();
         let client_id = {
             let mut inner = self.inner.lock();
             inner
@@ -405,12 +408,10 @@ impl BrokerClient {
         );
     }
 
-    /// Removes the subscription for `filter` (exact string match), both
+    /// Removes the subscription for `filter` (exact filter match), both
     /// locally and on the broker.
-    pub fn unsubscribe(&self, sched: &mut Scheduler, filter: impl Into<String>) {
-        let Ok(filter) = filter.into().parse::<TopicFilter>() else {
-            return;
-        };
+    pub fn unsubscribe(&self, sched: &mut Scheduler, filter: impl Into<TopicFilter>) {
+        let filter = filter.into();
         let client_id = {
             let mut inner = self.inner.lock();
             inner.subscriptions.retain(|(f, _, _)| *f != filter);
@@ -419,7 +420,33 @@ impl BrokerClient {
         self.send(sched, &Packet::Unsubscribe { client_id, filter });
     }
 
+    /// Deprecated stringly [`BrokerClient::subscribe`]: parses `filter` at
+    /// the call site and panics on malformed input, exactly as `subscribe`
+    /// itself did before the typed API.
+    #[deprecated(note = "pass a `TopicFilter` (or `&str` literal) to `subscribe`")]
+    pub fn subscribe_str<F>(&self, sched: &mut Scheduler, filter: &str, qos: QoS, callback: F)
+    where
+        F: Fn(&mut Scheduler, &str, &str) + Send + Sync + 'static,
+    {
+        self.subscribe(sched, filter, qos, callback);
+    }
+
+    /// Deprecated stringly [`BrokerClient::unsubscribe`]: silently ignores
+    /// a malformed `filter`, preserving the old lenient behaviour.
+    #[deprecated(note = "pass a `TopicFilter` (or `&str` literal) to `unsubscribe`")]
+    pub fn unsubscribe_str(&self, sched: &mut Scheduler, filter: &str) {
+        if let Ok(filter) = filter.parse::<TopicFilter>() {
+            self.unsubscribe(sched, filter);
+        }
+    }
+
     /// Publishes `payload` to `topic`.
+    ///
+    /// Accepts an [`InternedTopic`] (or anything converting into one — a
+    /// `&str`, a `String`, a typed `Topic`) and a [`Payload`] or anything
+    /// converting into one; repeated publishes to the same topic share one
+    /// interned allocation, and the payload is never copied again after
+    /// this call (retries and the broker's fan-out all share it).
     ///
     /// With [`QoS::AtLeastOnce`] the publish is retransmitted until the
     /// broker acknowledges it (bounded retries), so triggers survive a
@@ -429,12 +456,13 @@ impl BrokerClient {
     pub fn publish(
         &self,
         sched: &mut Scheduler,
-        topic: impl Into<String>,
-        payload: &str,
+        topic: impl Into<InternedTopic>,
+        payload: impl Into<Payload>,
         qos: QoS,
         retain: bool,
     ) {
         let topic = topic.into();
+        let payload = payload.into();
         let (packet, retry) = {
             let mut inner = self.inner.lock();
             let message_id = if qos == QoS::AtLeastOnce {
@@ -446,7 +474,7 @@ impl BrokerClient {
             };
             let packet = Packet::Publish {
                 topic,
-                payload: payload.to_owned(),
+                payload,
                 qos,
                 message_id,
                 retain,
@@ -470,6 +498,20 @@ impl BrokerClient {
         if let Some((mid, timeout)) = retry {
             self.schedule_retry(sched, mid, timeout);
         }
+    }
+
+    /// Deprecated stringly [`BrokerClient::publish`]: copies both strings
+    /// into fresh shared allocations on every call.
+    #[deprecated(note = "pass an `InternedTopic`/`Payload` (or `&str`) to `publish`")]
+    pub fn publish_str(
+        &self,
+        sched: &mut Scheduler,
+        topic: &str,
+        payload: &str,
+        qos: QoS,
+        retain: bool,
+    ) {
+        self.publish(sched, topic, payload, qos, retain);
     }
 
     /// Number of QoS-1 publishes awaiting acknowledgement.
@@ -522,7 +564,7 @@ impl BrokerClient {
                     if let (Some(handler), Packet::Publish { topic, payload, .. }) =
                         (handler, &packet)
                     {
-                        handler(s, message_id, topic, payload);
+                        handler(s, message_id, topic.as_str(), payload.as_str());
                     }
                 }
             }
@@ -573,12 +615,12 @@ impl BrokerClient {
                     inner
                         .subscriptions
                         .iter()
-                        .filter(|(f, _, _)| f.matches(&topic))
+                        .filter(|(f, _, _)| f.matches(topic.as_str()))
                         .map(|(_, _, cb)| cb.clone())
                         .collect()
                 };
                 for cb in callbacks {
-                    cb(sched, &topic, &payload);
+                    cb(sched, topic.as_str(), payload.as_str());
                 }
             }
             Packet::PubAck { message_id, .. } => {

@@ -16,6 +16,13 @@
 //!   disconnected (but known) client's subscriptions are delivered when it
 //!   reconnects.
 //!
+//! Hot-path memory discipline: topics are interned
+//! ([`sensocial_types::InternedTopic`]), payloads are shared immutable
+//! [`Payload`]s (fan-out bumps a refcount instead of cloning the string),
+//! queued messages travel as [`Envelope`]s, and deliveries within one
+//! virtual instant are flushed as a single batch (observable via the
+//! `broker.batch_size` histogram; see [`Broker::telemetry`]).
+//!
 //! The broker and its clients exchange JSON packets over the simulated
 //! [`Network`](sensocial_net::Network), so every trigger and configuration
 //! push pays realistic latency and shows up in the traffic hooks that feed
@@ -61,5 +68,5 @@ mod topic;
 
 pub use broker::{Broker, BrokerConfig, BrokerStats};
 pub use client::{BrokerClient, ClientStats, ReconnectPolicy};
-pub use packet::{Packet, QoS, MAX_WIRE_LEN};
+pub use packet::{Envelope, Packet, Payload, QoS, MAX_WIRE_LEN};
 pub use topic::TopicFilter;

@@ -1,10 +1,128 @@
 //! Wire packets exchanged between broker and clients.
 
 use std::fmt;
+use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use sensocial_types::InternedTopic;
 
 use crate::topic::TopicFilter;
+
+/// An immutable, reference-counted message payload.
+///
+/// Fan-out used to clone the payload `String` once per subscriber; a
+/// `Payload` clone is a refcount bump, so the broker's delivery targets,
+/// offline queues, retained map and pending-retry table all share one
+/// allocation per message. Payloads are UTF-8 (the middleware publishes
+/// JSON documents), so the wire form stays a plain JSON string —
+/// byte-identical to the `String` it replaced. Unlike topics, payloads
+/// are unique per message and are *not* pooled in the interner.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Payload(Arc<str>);
+
+impl Payload {
+    /// Wraps a payload string in a shared allocation.
+    pub fn new(payload: impl Into<Payload>) -> Self {
+        payload.into()
+    }
+
+    /// The payload as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the payload is empty (an empty retained publish clears the
+    /// retained entry).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Display for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Payload {
+    fn from(s: &str) -> Self {
+        Payload(Arc::from(s))
+    }
+}
+
+impl From<String> for Payload {
+    fn from(s: String) -> Self {
+        Payload(Arc::from(s))
+    }
+}
+
+impl From<&String> for Payload {
+    fn from(s: &String) -> Self {
+        Payload(Arc::from(s.as_str()))
+    }
+}
+
+impl From<Arc<str>> for Payload {
+    fn from(s: Arc<str>) -> Self {
+        Payload(s)
+    }
+}
+
+impl AsRef<str> for Payload {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Serialize for Payload {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.0)
+    }
+}
+
+impl<'de> Deserialize<'de> for Payload {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        Ok(Payload(Arc::from(s)))
+    }
+}
+
+/// One routable message: an interned topic, a shared payload and its QoS.
+///
+/// The single shape the broker's session offline queues, delivery batches
+/// and retained-message handling all speak — replacing the ad-hoc
+/// `(String, String, QoS)` tuples so Arc'd payloads and batching share
+/// one type. Cloning an `Envelope` is two refcount bumps and a `Copy`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Envelope {
+    /// Concrete topic the message was published to.
+    pub topic: InternedTopic,
+    /// The shared message payload.
+    pub payload: Payload,
+    /// Delivery QoS (already capped at the subscription's maximum where
+    /// applicable).
+    pub qos: QoS,
+}
+
+impl Envelope {
+    /// Creates an envelope.
+    pub fn new(
+        topic: impl Into<InternedTopic>,
+        payload: impl Into<Payload>,
+        qos: QoS,
+    ) -> Self {
+        Envelope {
+            topic: topic.into(),
+            payload: payload.into(),
+            qos,
+        }
+    }
+}
 
 /// MQTT-style quality-of-service level.
 ///
@@ -84,10 +202,12 @@ pub enum Packet {
     },
     /// Either direction: publish a message.
     Publish {
-        /// Concrete topic the message is published to.
-        topic: String,
-        /// UTF-8 payload (the middleware publishes JSON documents).
-        payload: String,
+        /// Concrete topic the message is published to (interned: the
+        /// broker re-uses one allocation per distinct topic).
+        topic: InternedTopic,
+        /// UTF-8 payload (the middleware publishes JSON documents),
+        /// shared across every fan-out leg.
+        payload: Payload,
         /// Delivery QoS.
         qos: QoS,
         /// Message id, present iff `qos` requires acknowledgement.
@@ -213,7 +333,7 @@ mod tests {
     fn oversized_wire_is_rejected() {
         let huge = Packet::Publish {
             topic: "a".into(),
-            payload: "x".repeat(MAX_WIRE_LEN),
+            payload: "x".repeat(MAX_WIRE_LEN).into(),
             qos: QoS::AtMostOnce,
             message_id: None,
             retain: false,
@@ -232,5 +352,33 @@ mod tests {
     fn qos_display() {
         assert_eq!(QoS::AtMostOnce.to_string(), "qos0");
         assert_eq!(QoS::AtLeastOnce.to_string(), "qos1");
+    }
+
+    #[test]
+    fn typed_publish_wire_matches_the_plain_string_form() {
+        // The Arc-backed newtypes must be wire-invisible: topics and
+        // payloads stay plain JSON strings.
+        let wire = Packet::Publish {
+            topic: "a/b".into(),
+            payload: "{\"k\":1}".into(),
+            qos: QoS::AtMostOnce,
+            message_id: None,
+            retain: false,
+            sender: None,
+        }
+        .to_wire();
+        let json: serde_json::Value = serde_json::from_slice(&wire).unwrap();
+        assert_eq!(json["topic"], "a/b");
+        assert_eq!(json["payload"], "{\"k\":1}");
+    }
+
+    #[test]
+    fn envelope_clone_shares_allocations() {
+        let e = Envelope::new("sensocial/uplink/phone", "{\"v\":1}", QoS::AtMostOnce);
+        let f = e.clone();
+        assert!(e.topic.ptr_eq(&f.topic));
+        assert_eq!(e, f);
+        assert_eq!(e.payload.len(), 7);
+        assert!(!e.payload.is_empty());
     }
 }

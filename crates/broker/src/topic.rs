@@ -143,6 +143,16 @@ impl From<TopicFilter> for String {
     }
 }
 
+/// Panicking conversion for compile-time-literal filters, so the typed
+/// [`crate::BrokerClient::subscribe`] API keeps accepting `"a/+/b"`
+/// directly. This is exactly the panic the pre-typed string API had;
+/// fallible callers use [`TopicFilter::parse`].
+impl From<&str> for TopicFilter {
+    fn from(s: &str) -> Self {
+        TopicFilter::parse(s).expect("invalid topic filter") // lint:allow(expect) — filters passed as literals are compile-time constants, validated by tests
+    }
+}
+
 impl fmt::Display for TopicFilter {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.raw)

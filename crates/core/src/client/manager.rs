@@ -4,7 +4,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use sensocial_broker::{BrokerClient, QoS};
+use sensocial_broker::{BrokerClient, Payload, QoS};
 use sensocial_classify::ClassifierRegistry;
 use sensocial_energy::{
     BatteryMeter, CpuCosts, CpuMeter, EnergyComponent, EnergyProfile, MemoryProfiler,
@@ -12,11 +12,13 @@ use sensocial_energy::{
 use sensocial_runtime::{Scheduler, SimDuration, Timer, Timestamp};
 use sensocial_sensors::{SensorConfig, SensorManager};
 use sensocial_types::{
-    ContextData, ContextSnapshot, DeviceId, Error, Granularity, OsnAction, Place, RawSample,
-    Result, StreamId, UserId,
+    ContextData, ContextSnapshot, DeviceId, Error, Granularity, InternedTopic, OsnAction, Place,
+    RawSample, Result, StreamId, UserId,
 };
 
-use sensocial_analysis::{analyze, AnalysisEnv, FilterPlan, FlowSink};
+use sensocial_analysis::{analyze, compile, AnalysisEnv, FilterPlan, FlowSink};
+
+use crate::predicate::eval_local;
 
 use sensocial_telemetry::{Registry, Stage};
 
@@ -108,12 +110,18 @@ struct Inner {
     context: ContextSnapshot,
     next_local_stream: u64,
     connected: bool,
-    /// Store-and-forward queue of `(topic, wire, birth)` uplink events
+    /// Store-and-forward queue of `(topic, payload, birth)` uplink events
     /// awaiting a confirmed broker session; `birth` is the event's sample
     /// time, so the uplink-stage latency absorbs the buffering delay.
-    /// Bounded; oldest dropped on overflow.
-    uplink_buffer: VecDeque<(String, String, Timestamp)>,
+    /// Bounded; oldest dropped on overflow. Entries hold the interned
+    /// topic and the shared payload, so parking and flushing never copy
+    /// the wire form again.
+    uplink_buffer: VecDeque<(InternedTopic, Payload, Timestamp)>,
     uplink_limit: usize,
+    /// This device's uplink topic, interned once at construction — the
+    /// per-sample uplink path clones it for free instead of formatting
+    /// `sensocial/uplink/<device>` every event.
+    uplink_topic: InternedTopic,
     /// Highest configuration epoch applied per stream. Entries survive
     /// stream destruction so a stale `Create` redelivered after a `Destroy`
     /// cannot resurrect the stream.
@@ -165,6 +173,7 @@ impl ClientManager {
         // not the deployment wired the sensors up itself.
         deps.sensors
             .attach_battery(deps.battery.clone(), deps.energy_profile.clone());
+        let uplink_topic = Topic::Uplink(deps.device.clone()).interned();
         ClientManager {
             inner: Arc::new(Mutex::new(Inner {
                 user: deps.user,
@@ -176,6 +185,7 @@ impl ClientManager {
                 connected: false,
                 uplink_buffer: VecDeque::new(),
                 uplink_limit: DEFAULT_UPLINK_BUFFER,
+                uplink_topic,
                 config_epochs: HashMap::new(),
                 applied_tokens: HashSet::new(),
             })),
@@ -340,7 +350,7 @@ impl ClientManager {
         broker.publish(
             sched,
             REGISTER_TOPIC,
-            &registration.to_wire(),
+            registration.to_wire(),
             QoS::AtLeastOnce,
             false,
         );
@@ -487,6 +497,7 @@ impl ClientManager {
                 .streams
                 .get_mut(&id)
                 .ok_or(Error::UnknownStream(id.value()))?;
+            state.program = compile(&verified.filter);
             state.spec = verified;
         }
         self.restart_stream(sched, id);
@@ -639,6 +650,9 @@ impl ClientManager {
             StreamMode::Continuous => {
                 let mgr = self.clone();
                 let modality = spec.modality;
+                // Lower the gate once; every tick runs the flat program
+                // instead of re-inspecting the conditions' JSON values.
+                let gate = compile(&crate::filter::Filter::new(gating));
                 let timer = Timer::start(sched, spec.interval, move |s| {
                     let gate_passes = {
                         let mut inner = mgr.inner.lock();
@@ -648,24 +662,15 @@ impl ClientManager {
                             now: s.now(),
                             osn_action: None,
                         };
-                        let mut passes = true;
-                        for c in &gating {
-                            match c.evaluate(&ctx) {
-                                Ok(true) => {}
-                                Ok(false) => {
-                                    passes = false;
-                                    break;
-                                }
-                                // Analyzer-vetted plans never hit this; an
-                                // unvetted ill-typed gate fails closed.
-                                Err(_) => {
-                                    mgr.record_filter_eval_error();
-                                    passes = false;
-                                    break;
-                                }
+                        match eval_local(&gate, &ctx) {
+                            Ok(passes) => passes,
+                            // Analyzer-vetted plans never hit this; an
+                            // unvetted ill-typed gate fails closed.
+                            Err(_) => {
+                                mgr.record_filter_eval_error();
+                                false
                             }
                         }
-                        passes
                     };
                     if gate_passes {
                         let raw = mgr.sensors.sample_once(s, modality);
@@ -711,6 +716,7 @@ impl ClientManager {
                 own_timer: state.own_timer.take(),
                 conditional_subscriptions: std::mem::take(&mut state.conditional_subscriptions),
                 last_sample: None,
+                program: state.program.clone(),
             };
             state.status = match self.privacy.screen(&state.spec) {
                 Ok(()) => StreamStatus::Active,
@@ -846,7 +852,14 @@ impl ClientManager {
                 now: at,
                 osn_action,
             };
-            match spec.filter.evaluate_local(&ctx) {
+            // Run the stream's compiled program (lowered at admission);
+            // a stream destroyed mid-flight falls back to interpreting
+            // the spec's filter — same verdict, same errors.
+            let verdict = match inner.streams.get(&id) {
+                Some(state) => eval_local(&state.program, &ctx),
+                None => spec.filter.evaluate_local(&ctx),
+            };
+            match verdict {
                 Ok(passes) => passes,
                 // Analyzer-vetted plans never hit this; an unvetted
                 // ill-typed filter fails closed rather than silently false.
@@ -882,12 +895,13 @@ impl ClientManager {
         data: ContextData,
         osn_action: Option<OsnAction>,
     ) {
-        let (user, device, listeners) = {
+        let (user, device, listeners, uplink_topic) = {
             let inner = self.inner.lock();
             (
                 inner.user.clone(),
                 inner.device.clone(),
                 inner.listeners.get(&id).cloned().unwrap_or_default(),
+                inner.uplink_topic.clone(),
             )
         };
         let event = StreamEvent {
@@ -923,7 +937,7 @@ impl ClientManager {
                     EnergyComponent::RadioTail,
                     self.energy_profile.radio_tail_uah,
                 );
-                self.uplink_or_buffer(sched, Topic::Uplink(device.clone()).to_string(), wire, at);
+                self.uplink_or_buffer(sched, uplink_topic, wire.into(), at);
             }
         }
     }
@@ -936,8 +950,8 @@ impl ClientManager {
     fn uplink_or_buffer(
         &self,
         sched: &mut Scheduler,
-        topic: String,
-        wire: String,
+        topic: InternedTopic,
+        payload: Payload,
         birth: Timestamp,
     ) {
         let Some(broker) = &self.broker else {
@@ -945,7 +959,7 @@ impl ClientManager {
         };
         if broker.is_session_confirmed() {
             self.flush_uplink(sched);
-            broker.publish(sched, topic, &wire, QoS::AtMostOnce, false);
+            broker.publish(sched, topic, payload, QoS::AtMostOnce, false);
             self.telemetry.count("uplink.sent");
             self.telemetry
                 .observe(Stage::Uplink, sched.now().as_millis() - birth.as_millis());
@@ -956,7 +970,7 @@ impl ClientManager {
                 inner.uplink_buffer.pop_front();
                 self.telemetry.count("uplink.dropped");
             }
-            inner.uplink_buffer.push_back((topic, wire, birth));
+            inner.uplink_buffer.push_back((topic, payload, birth));
             let backlog = inner.uplink_buffer.len() as u64;
             drop(inner);
             self.telemetry.gauge_set("uplink_backlog", backlog);
@@ -964,17 +978,20 @@ impl ClientManager {
     }
 
     /// Drains the store-and-forward buffer towards the broker, oldest
-    /// first. Called on every confirmed (re)connect.
+    /// first, as one batch under a single lock acquisition. Called on
+    /// every confirmed (re)connect. Non-empty batch sizes land in the
+    /// `client.uplink.batch_size` histogram.
     fn flush_uplink(&self, sched: &mut Scheduler) {
         let Some(broker) = &self.broker else {
             return;
         };
-        loop {
-            let item = self.inner.lock().uplink_buffer.pop_front();
-            let Some((topic, wire, birth)) = item else {
-                break;
-            };
-            broker.publish(sched, topic, &wire, QoS::AtMostOnce, false);
+        let batch = std::mem::take(&mut self.inner.lock().uplink_buffer);
+        if !batch.is_empty() {
+            self.telemetry
+                .observe_named("uplink.batch_size", batch.len() as u64);
+        }
+        for (topic, payload, birth) in batch {
+            broker.publish(sched, topic, payload, QoS::AtMostOnce, false);
             self.telemetry.count("uplink.flushed");
             self.telemetry.count("uplink.sent");
             self.telemetry
@@ -1031,7 +1048,11 @@ impl ClientManager {
                             now,
                             osn_action: Some(&action),
                         };
-                        match spec.filter.evaluate_local(&ctx) {
+                        let verdict = match inner.streams.get(&id) {
+                            Some(state) => eval_local(&state.program, &ctx),
+                            None => spec.filter.evaluate_local(&ctx),
+                        };
+                        match verdict {
                             Ok(passes) => passes,
                             Err(_) => {
                                 self.record_filter_eval_error();
@@ -1155,7 +1176,7 @@ impl ClientManager {
         broker.publish(
             sched,
             Topic::Ack(ack.device.clone()),
-            &ack.to_wire(),
+            ack.to_wire(),
             QoS::AtLeastOnce,
             false,
         );
@@ -1187,7 +1208,7 @@ impl ClientManager {
         broker.publish(
             sched,
             Topic::Ack(ack.device.clone()),
-            &ack.to_wire(),
+            ack.to_wire(),
             QoS::AtLeastOnce,
             false,
         );

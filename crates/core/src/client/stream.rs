@@ -1,5 +1,6 @@
 //! Client-side stream state.
 
+use sensocial_analysis::PredicateProgram;
 use sensocial_runtime::{TimerHandle, Timestamp};
 use sensocial_sensors::SensorSubscriptionId;
 use sensocial_types::ContextData;
@@ -46,10 +47,15 @@ pub(crate) struct StreamState {
     /// The last produced datum and its time — reused when OSN actions
     /// arrive faster than the sampling cycle (paper §7).
     pub(crate) last_sample: Option<(Timestamp, ContextData)>,
+    /// The stream's filter lowered to predicate bytecode at admission
+    /// time; the per-sample hot path runs this instead of tree-walking
+    /// `spec.filter`.
+    pub(crate) program: PredicateProgram,
 }
 
 impl StreamState {
     pub(crate) fn new(spec: StreamSpec, origin: StreamOrigin) -> Self {
+        let program = sensocial_analysis::compile(&spec.filter);
         StreamState {
             spec,
             status: StreamStatus::Active,
@@ -58,6 +64,7 @@ impl StreamState {
             own_timer: None,
             conditional_subscriptions: Vec::new(),
             last_sample: None,
+            program,
         }
     }
 }

@@ -68,6 +68,7 @@ pub mod client;
 mod config;
 mod event;
 mod filter;
+mod predicate;
 mod privacy;
 pub mod server;
 mod topic;
@@ -77,8 +78,13 @@ pub use event::{ConfigAck, RegistrationPayload, StreamEvent, TriggerPayload};
 pub use filter::{
     Condition, ConditionLhs, EvalContext, EvalError, EvalErrorKind, Filter, Operator,
 };
+pub use predicate::{eval_full, eval_local};
 pub use privacy::{PrivacyPolicy, PrivacyPolicyManager};
 pub use topic::Topic;
+
+// The compiled form the managers evaluate: filters are lowered once at
+// admission time and the hot paths run the flat program.
+pub use sensocial_analysis::{compile, PredicateProgram};
 
 // The unified telemetry layer is part of the public API surface: managers
 // expose their registries via `telemetry()` accessors.

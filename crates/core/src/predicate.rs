@@ -1,0 +1,348 @@
+//! Evaluation of compiled predicate programs.
+//!
+//! `sensocial-analysis` lowers an admitted [`Filter`] into a flat
+//! [`PredicateProgram`] once, at admission time
+//! ([`sensocial_analysis::compile`]); the hot paths here — every sample of
+//! a filtered stream, every gating tick, every server-side uplink — then
+//! run the pre-decoded instructions instead of re-inspecting the filter's
+//! `serde_json::Value`s. [`eval_local`] and [`eval_full`] are drop-in
+//! replacements for [`Filter::evaluate_local`] and
+//! [`Filter::evaluate_full`]: identical verdicts, identical typed errors,
+//! identical short-circuiting. A proptest below pins the equivalence over
+//! arbitrary (including ill-typed) filters and contexts.
+//!
+//! [`Filter`]: sensocial_types::Filter
+//! [`Filter::evaluate_local`]: sensocial_types::Filter::evaluate_local
+//! [`Filter::evaluate_full`]: sensocial_types::Filter::evaluate_full
+
+use sensocial_analysis::compile::{PredicateOp, PredicateProgram};
+use sensocial_types::filter::{EvalContext, EvalError, Operator};
+use sensocial_types::{ContextSnapshot, UserId};
+
+/// Runs one pre-decoded instruction against `ctx`.
+///
+/// Mirrors the interpreter exactly: a missing actual value is `Ok(false)`
+/// (the guard cannot be known to hold), and a statically ill-typed
+/// condition ([`PredicateOp::Fail`]) reproduces the interpreter's
+/// [`EvalError`] — including its precedence, because the interpreter also
+/// errors on such conditions before looking at the actual value.
+fn eval_op(op: &PredicateOp, ctx: &EvalContext<'_>) -> Result<bool, EvalError> {
+    match op {
+        PredicateOp::Str { lhs, expect, negate } => Ok(match lhs.fetch_string(ctx) {
+            Some(actual) => (actual == *expect) != *negate,
+            None => false,
+        }),
+        PredicateOp::Num { lhs, op, rhs } => Ok(match lhs.fetch_number(ctx) {
+            Some(actual) => match op {
+                Operator::Equals => (actual - rhs).abs() < f64::EPSILON,
+                Operator::NotEquals => (actual - rhs).abs() >= f64::EPSILON,
+                Operator::GreaterThan => actual > *rhs,
+                Operator::LessThan => actual < *rhs,
+            },
+            None => false,
+        }),
+        PredicateOp::Fail {
+            lhs,
+            op,
+            rendered,
+            kind,
+        } => Err(EvalError {
+            lhs: *lhs,
+            op: *op,
+            value: rendered.clone(),
+            kind: *kind,
+        }),
+    }
+}
+
+/// Evaluates the *local* (own-user) instructions of `program`;
+/// cross-user instructions are skipped here and enforced by the server's
+/// filter manager.
+///
+/// A definitive `false` short-circuits before any later ill-typed
+/// instruction can error, mirroring `&&` (and the interpreter).
+///
+/// # Errors
+///
+/// Returns the [`EvalError`] the source condition would produce — only
+/// possible for filters the analyzer did not vet.
+pub fn eval_local(program: &PredicateProgram, ctx: &EvalContext<'_>) -> Result<bool, EvalError> {
+    for inst in program.insts.iter().filter(|i| !i.is_cross_user()) {
+        if !eval_op(&inst.op, ctx)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Evaluates every instruction of `program`, resolving cross-user
+/// subjects through `lookup` (the server's per-user context table). A
+/// cross-user instruction whose subject has no context yet is `false` —
+/// before its comparison (or its [`PredicateOp::Fail`]) runs, exactly as
+/// the interpreter never evaluates a condition for an unknown subject.
+///
+/// # Errors
+///
+/// Returns the [`EvalError`] the source condition would produce — only
+/// possible for filters the analyzer did not vet.
+pub fn eval_full(
+    program: &PredicateProgram,
+    ctx: &EvalContext<'_>,
+    lookup: &dyn Fn(&UserId) -> Option<ContextSnapshot>,
+) -> Result<bool, EvalError> {
+    for inst in &program.insts {
+        let holds = match &inst.subject {
+            None => eval_op(&inst.op, ctx)?,
+            Some(user) => match lookup(user) {
+                Some(snapshot) => {
+                    let sub_ctx = EvalContext {
+                        snapshot: &snapshot,
+                        now: ctx.now,
+                        osn_action: ctx.osn_action,
+                    };
+                    eval_op(&inst.op, &sub_ctx)?
+                }
+                None => false,
+            },
+        };
+        if !holds {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use sensocial_analysis::compile;
+    use sensocial_runtime::Timestamp;
+    use sensocial_types::filter::{Condition, ConditionLhs, Filter};
+    use sensocial_types::{
+        ClassifiedContext, ContextData, OsnAction, OsnActionKind, OsnPlatformKind,
+        PhysicalActivity,
+    };
+    use serde_json::Value;
+    use std::collections::BTreeMap;
+
+    fn ctx_with<'a>(snapshot: &'a ContextSnapshot, osn: Option<&'a OsnAction>) -> EvalContext<'a> {
+        EvalContext {
+            snapshot,
+            now: Timestamp::from_secs(10 * 3600),
+            osn_action: osn,
+        }
+    }
+
+    #[test]
+    fn compiled_matches_interpreter_on_the_paper_example() {
+        let filter = Filter::new(vec![Condition::new(
+            ConditionLhs::PhysicalActivity,
+            Operator::Equals,
+            "walking",
+        )]);
+        let program = compile(&filter);
+
+        let mut walking = ContextSnapshot::new();
+        walking.record(
+            Timestamp::ZERO,
+            ContextData::Classified(ClassifiedContext::Activity(PhysicalActivity::Walking)),
+        );
+        let empty = ContextSnapshot::new();
+
+        for snapshot in [&walking, &empty] {
+            let ctx = ctx_with(snapshot, None);
+            assert_eq!(eval_local(&program, &ctx), filter.evaluate_local(&ctx));
+        }
+    }
+
+    #[test]
+    fn ill_typed_program_reproduces_the_interpreter_error() {
+        let filter = Filter::new(vec![Condition::new(
+            ConditionLhs::HourOfDay,
+            Operator::Equals,
+            "noon",
+        )]);
+        let program = compile(&filter);
+        let snapshot = ContextSnapshot::new();
+        let ctx = ctx_with(&snapshot, None);
+        assert_eq!(eval_local(&program, &ctx), filter.evaluate_local(&ctx));
+        assert!(eval_local(&program, &ctx).is_err());
+    }
+
+    #[test]
+    fn unknown_cross_user_subject_is_false_not_an_error() {
+        // The interpreter never evaluates a condition for an unknown
+        // subject, even an ill-typed one; neither may we.
+        let filter = Filter::new(vec![Condition::new(
+            ConditionLhs::Place,
+            Operator::LessThan,
+            3,
+        )
+        .about(UserId::new("ghost"))]);
+        let program = compile(&filter);
+        let snapshot = ContextSnapshot::new();
+        let ctx = ctx_with(&snapshot, None);
+        let lookup = |_: &UserId| None;
+        assert_eq!(eval_full(&program, &ctx, &lookup), Ok(false));
+        assert_eq!(
+            eval_full(&program, &ctx, &lookup),
+            filter.evaluate_full(&ctx, &lookup)
+        );
+    }
+
+    // ---- compiled == interpreted, over the whole plan space ----
+
+    fn arb_lhs() -> impl Strategy<Value = ConditionLhs> {
+        prop_oneof![
+            Just(ConditionLhs::PhysicalActivity),
+            Just(ConditionLhs::AudioEnvironment),
+            Just(ConditionLhs::Place),
+            Just(ConditionLhs::WifiDensity),
+            Just(ConditionLhs::BluetoothDensity),
+            Just(ConditionLhs::HourOfDay),
+            Just(ConditionLhs::OsnActivity),
+            Just(ConditionLhs::OsnActionKind),
+            Just(ConditionLhs::OsnTopic),
+        ]
+    }
+
+    fn arb_op() -> impl Strategy<Value = Operator> {
+        prop_oneof![
+            Just(Operator::Equals),
+            Just(Operator::NotEquals),
+            Just(Operator::GreaterThan),
+            Just(Operator::LessThan),
+        ]
+    }
+
+    /// Well-typed, ill-typed and nonsensical comparison values alike: the
+    /// equivalence must hold on every filter, not just vetted ones.
+    fn arb_value() -> impl Strategy<Value = Value> {
+        prop_oneof![
+            prop_oneof![
+                Just("walking"),
+                Just("still"),
+                Just("silent"),
+                Just("active"),
+                Just("inactive"),
+                Just("post"),
+                Just("Paris"),
+                Just("unknown"),
+                Just("football"),
+            ]
+            .prop_map(Value::from),
+            (0i64..30).prop_map(Value::from),
+            (0.0f64..24.0).prop_map(Value::from),
+            Just(Value::Bool(true)),
+            Just(Value::Null),
+        ]
+    }
+
+    fn arb_condition() -> impl Strategy<Value = Condition> {
+        (
+            arb_lhs(),
+            arb_op(),
+            arb_value(),
+            prop_oneof![
+                Just(None),
+                Just(Some(UserId::new("bob"))),
+                Just(Some(UserId::new("ghost"))),
+            ],
+        )
+            .prop_map(|(lhs, op, value, subject)| {
+                let c = Condition::new(lhs, op, value);
+                match subject {
+                    Some(user) => c.about(user),
+                    None => c,
+                }
+            })
+    }
+
+    fn arb_snapshot() -> impl Strategy<Value = ContextSnapshot> {
+        (
+            proptest::option::of(prop_oneof![
+                Just(PhysicalActivity::Still),
+                Just(PhysicalActivity::Walking),
+                Just(PhysicalActivity::Running),
+            ]),
+            proptest::option::of(proptest::option::of(prop_oneof![
+                Just("Paris".to_owned()),
+                Just("London".to_owned()),
+            ])),
+            proptest::option::of(0usize..20),
+        )
+            .prop_map(|(activity, place, wifi)| {
+                let mut snapshot = ContextSnapshot::new();
+                if let Some(a) = activity {
+                    snapshot.record(
+                        Timestamp::ZERO,
+                        ContextData::Classified(ClassifiedContext::Activity(a)),
+                    );
+                }
+                if let Some(p) = place {
+                    snapshot.record(
+                        Timestamp::ZERO,
+                        ContextData::Classified(ClassifiedContext::Place(p)),
+                    );
+                }
+                if let Some(n) = wifi {
+                    snapshot.record(
+                        Timestamp::ZERO,
+                        ContextData::Classified(ClassifiedContext::WifiDensity(n)),
+                    );
+                }
+                snapshot
+            })
+    }
+
+    fn arb_osn_action() -> impl Strategy<Value = Option<OsnAction>> {
+        proptest::option::of(
+            (
+                prop_oneof![Just(OsnActionKind::Post), Just(OsnActionKind::Like)],
+                proptest::option::of(prop_oneof![
+                    Just("football".to_owned()),
+                    Just("weather".to_owned()),
+                ]),
+            )
+                .prop_map(|(kind, topic)| OsnAction {
+                    user: UserId::new("alice"),
+                    kind,
+                    content: "hello".to_owned(),
+                    topic,
+                    at: Timestamp::ZERO,
+                    platform: OsnPlatformKind::Push,
+                }),
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn compiled_equals_interpreted(
+            conditions in proptest::collection::vec(arb_condition(), 0..4),
+            snapshot in arb_snapshot(),
+            bob in proptest::option::of(arb_snapshot()),
+            osn in arb_osn_action(),
+            hour in 0u64..24,
+        ) {
+            let filter = Filter::new(conditions);
+            let program = compile(&filter);
+            let ctx = EvalContext {
+                snapshot: &snapshot,
+                now: Timestamp::from_secs(hour * 3600),
+                osn_action: osn.as_ref(),
+            };
+            let mut contexts: BTreeMap<UserId, ContextSnapshot> = BTreeMap::new();
+            if let Some(b) = bob {
+                contexts.insert(UserId::new("bob"), b);
+            }
+            let lookup = |user: &UserId| contexts.get(user).cloned();
+
+            prop_assert_eq!(eval_local(&program, &ctx), filter.evaluate_local(&ctx));
+            prop_assert_eq!(
+                eval_full(&program, &ctx, &lookup),
+                filter.evaluate_full(&ctx, &lookup)
+            );
+        }
+    }
+}

@@ -20,13 +20,15 @@ use serde_json::json;
 
 use sensocial_analysis::report;
 use sensocial_analysis::{
-    analyze, AnalysisEnv, DependencyGraph, FilterPlan, FlowSink, FlowSource,
+    analyze, compile, AnalysisEnv, DependencyGraph, FilterPlan, FlowSink, FlowSource,
+    PredicateProgram,
 };
 
 use crate::client::manager_internals::REMOTE_STREAM_ID_BASE;
 use crate::config::{ConfigCommand, StreamMode, StreamSink, StreamSpec};
 use crate::event::{ConfigAck, RegistrationPayload, StreamEvent, TriggerPayload};
 use crate::filter::{EvalContext, Filter};
+use crate::predicate::eval_full;
 use crate::{Topic, ACK_WILDCARD, REGISTER_TOPIC, UPLINK_WILDCARD};
 
 use super::aggregator::{AggregatorId, AggregatorState};
@@ -67,7 +69,20 @@ type AckListener = Arc<dyn Fn(&mut Scheduler, &ConfigAck) + Send + Sync>;
 struct Subscription {
     selector: StreamSelector,
     filter: Filter,
+    /// `filter` lowered to predicate bytecode at registration time; the
+    /// per-uplink hot path runs this instead of tree-walking the filter.
+    program: PredicateProgram,
     listener: Listener,
+}
+
+/// An aggregated stream's runtime entry: membership, the installed
+/// (normalized) filter, its compiled form, and the subscribed listeners.
+struct AggregatorEntry {
+    state: AggregatorState,
+    filter: Filter,
+    /// `filter` lowered to predicate bytecode at install time.
+    program: PredicateProgram,
+    listeners: Vec<Listener>,
 }
 
 /// Everything a [`ServerManager`] is wired to.
@@ -109,7 +124,7 @@ struct Inner {
     graph: SocialGraph,
     remote_streams: HashMap<StreamId, (DeviceId, StreamSpec)>,
     subscriptions: Vec<Subscription>,
-    aggregators: HashMap<AggregatorId, (AggregatorState, Filter, Vec<Listener>)>,
+    aggregators: HashMap<AggregatorId, AggregatorEntry>,
     multicasts: HashMap<MulticastId, (MulticastStream, Vec<Listener>)>,
     next_remote_stream: u64,
     /// Monotonic stamp applied to every pushed [`ConfigCommand`], so devices
@@ -488,7 +503,7 @@ impl ServerManager {
             self.broker.publish(
                 sched,
                 Topic::Trigger(device.clone()),
-                &payload.to_wire(),
+                payload.to_wire(),
                 QoS::AtLeastOnce,
                 false,
             );
@@ -676,7 +691,7 @@ impl ServerManager {
         self.broker.publish(
             sched,
             Topic::Config(device.clone()), // lint:allow(config-publish) — the sanctioned config-topic publish site (epoch stamping lives here)
-            &command.to_wire(),
+            command.to_wire(),
             QoS::AtLeastOnce,
             false,
         );
@@ -724,9 +739,11 @@ impl ServerManager {
         if let StreamSelector::User(owner) = &selector {
             self.check_dependency_cycles(None, std::slice::from_ref(owner), &filter)?;
         }
+        let program = compile(&filter);
         self.inner.lock().subscriptions.push(Subscription {
             selector,
             filter,
+            program,
             listener: Arc::new(listener),
         });
         Ok(())
@@ -737,13 +754,16 @@ impl ServerManager {
         let mut inner = self.inner.lock();
         let id = AggregatorId(inner.next_aggregator);
         inner.next_aggregator += 1;
+        let filter = Filter::pass_all();
+        let program = compile(&filter);
         inner.aggregators.insert(
             id,
-            (
-                AggregatorState::new(streams),
-                Filter::pass_all(),
-                Vec::new(),
-            ),
+            AggregatorEntry {
+                state: AggregatorState::new(streams),
+                filter,
+                program,
+                listeners: Vec::new(),
+            },
         );
         id
     }
@@ -766,8 +786,9 @@ impl ServerManager {
             plan = plan.with_source(source);
         }
         let analysis = analyze(&plan, &AnalysisEnv::new())?;
-        if let Some((_, f, _)) = self.inner.lock().aggregators.get_mut(&id) {
-            *f = analysis.filter;
+        if let Some(entry) = self.inner.lock().aggregators.get_mut(&id) {
+            entry.program = compile(&analysis.filter);
+            entry.filter = analysis.filter;
         }
         Ok(())
     }
@@ -777,8 +798,8 @@ impl ServerManager {
     where
         F: Fn(&mut Scheduler, &StreamEvent) + Send + Sync + 'static,
     {
-        if let Some((_, _, listeners)) = self.inner.lock().aggregators.get_mut(&id) {
-            listeners.push(Arc::new(listener));
+        if let Some(entry) = self.inner.lock().aggregators.get_mut(&id) {
+            entry.listeners.push(Arc::new(listener));
         }
     }
 
@@ -883,14 +904,13 @@ impl ServerManager {
         )?;
         let filter = analysis.filter;
         self.check_dependency_cycles(Some(id), &members, &filter)?;
-        let (local, _cross) = filter.partition_cross_user();
-        let streams = {
+        let (local, streams) = {
             let mut inner = self.inner.lock();
             let Some((multicast, _)) = inner.multicasts.get_mut(&id) else {
                 return Err(Error::UnknownStream(id.0));
             };
-            multicast.template.filter = filter.clone();
-            multicast.member_streams()
+            multicast.set_template_filter(filter);
+            (multicast.local_filter.clone(), multicast.member_streams())
         };
         for stream in streams {
             let _ = self.set_remote_filter(sched, stream, local.clone());
@@ -919,7 +939,7 @@ impl ServerManager {
     /// joining users' devices and destroys streams on leavers (the paper's
     /// geo-fenced stream churn as users move).
     pub fn refresh_multicast(&self, sched: &mut Scheduler, id: MulticastId) {
-        let (selector, template, current) = {
+        let (selector, template, local_filter, current) = {
             let inner = self.inner.lock();
             let Some((multicast, _)) = inner.multicasts.get(&id) else {
                 return;
@@ -927,6 +947,7 @@ impl ServerManager {
             (
                 multicast.selector.clone(),
                 multicast.template.clone(),
+                multicast.local_filter.clone(),
                 multicast.members.clone(),
             )
         };
@@ -942,12 +963,12 @@ impl ServerManager {
             }
         }
         // Joiners. Devices get only the locally-evaluable part of the
-        // template filter; cross-user conditions stay on the server and
-        // are enforced in `on_uplink` (a device cannot see other users'
-        // context, and the verifier rejects cross-user plans at device
-        // placement).
+        // template filter (cached at filter-install time); cross-user
+        // conditions stay on the server and are enforced in `on_uplink`
+        // (a device cannot see other users' context, and the verifier
+        // rejects cross-user plans at device placement).
         let mut device_template = template.clone();
-        device_template.filter = template.filter.partition_cross_user().0;
+        device_template.filter = local_filter;
         for user in desired {
             if current.contains_key(&user) {
                 continue;
@@ -1088,10 +1109,11 @@ impl ServerManager {
     /// resolved to a spec and are skipped.
     fn aggregator_sources(&self, id: AggregatorId) -> Vec<FlowSource> {
         let inner = self.inner.lock();
-        let Some((state, _, _)) = inner.aggregators.get(&id) else {
+        let Some(entry) = inner.aggregators.get(&id) else {
             return Vec::new();
         };
-        let mut sources: Vec<FlowSource> = state
+        let mut sources: Vec<FlowSource> = entry
+            .state
             .members
             .iter()
             .filter_map(|sid| inner.remote_streams.get(sid))
@@ -1135,8 +1157,14 @@ impl ServerManager {
             let aggs: BTreeMap<AggregatorId, (Vec<StreamId>, Filter)> = inner
                 .aggregators
                 .iter()
-                .map(|(id, (state, filter, _))| {
-                    (*id, (state.members.iter().copied().collect(), filter.clone()))
+                .map(|(id, entry)| {
+                    (
+                        *id,
+                        (
+                            entry.state.members.iter().copied().collect(),
+                            entry.filter.clone(),
+                        ),
+                    )
                 })
                 .collect();
             let multis: BTreeMap<MulticastId, StreamSpec> = inner
@@ -1154,7 +1182,7 @@ impl ServerManager {
             let plan = Self::remote_stream_plan(spec);
             plans.push(report::PlanReport::for_plan(
                 "remote_stream",
-                id.to_string(),
+                id.to_string(), // lint:allow(to-string) — cold path: one report label per installed plan
                 &plan,
                 &env,
             ));
@@ -1185,7 +1213,7 @@ impl ServerManager {
             }
             plans.push(report::PlanReport::for_plan(
                 "aggregator",
-                id.to_string(),
+                id.to_string(), // lint:allow(to-string) — cold path: one report label per installed plan
                 &plan,
                 &env,
             ));
@@ -1198,7 +1226,7 @@ impl ServerManager {
             );
             plans.push(report::PlanReport::for_plan(
                 "multicast",
-                id.to_string(),
+                id.to_string(), // lint:allow(to-string) — cold path: one report label per installed plan
                 &plan,
                 &env,
             ));
@@ -1342,31 +1370,31 @@ impl ServerManager {
                 if !sub.selector.matches(&event) {
                     continue;
                 }
-                match sub.filter.evaluate_full(&ctx, &lookup) {
+                match eval_full(&sub.program, &ctx, &lookup) {
                     Ok(true) => to_call.push(sub.listener.clone()),
                     Ok(false) => {}
                     Err(_) => self.record_filter_eval_error(),
                 }
             }
-            for (agg, filter, listeners) in inner.aggregators.values() {
-                if !agg.contains(event.stream) {
+            for entry in inner.aggregators.values() {
+                if !entry.state.contains(event.stream) {
                     continue;
                 }
-                match filter.evaluate_full(&ctx, &lookup) {
-                    Ok(true) => to_call.extend(listeners.iter().cloned()),
+                match eval_full(&entry.program, &ctx, &lookup) {
+                    Ok(true) => to_call.extend(entry.listeners.iter().cloned()),
                     Ok(false) => {}
                     Err(_) => self.record_filter_eval_error(),
                 }
             }
             // Multicast members' devices already enforced the local part
             // of the template filter; the server enforces the cross-user
-            // part here, completing the distributed plan.
+            // part here — pre-compiled at install time — completing the
+            // distributed plan.
             for (multicast, listeners) in inner.multicasts.values() {
                 if !multicast.owns_stream(event.stream) {
                     continue;
                 }
-                let (_local, cross) = multicast.template.filter.partition_cross_user();
-                match cross.evaluate_full(&ctx, &lookup) {
+                match eval_full(&multicast.cross_program, &ctx, &lookup) {
                     Ok(true) => to_call.extend(listeners.iter().cloned()),
                     Ok(false) => {}
                     Err(_) => self.record_filter_eval_error(),

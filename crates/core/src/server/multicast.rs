@@ -11,9 +11,11 @@
 
 use std::collections::BTreeMap;
 
+use sensocial_analysis::{compile, PredicateProgram};
 use sensocial_types::{GeoFence, StreamId, UserId};
 
 use crate::config::StreamSpec;
+use crate::filter::Filter;
 
 /// Identifies a multicast stream created with
 /// [`ServerManager::create_multicast`](super::ServerManager::create_multicast).
@@ -61,15 +63,38 @@ pub struct MulticastStream {
     pub(crate) template: StreamSpec,
     /// member user → the remote stream created on their device.
     pub(crate) members: BTreeMap<UserId, StreamId>,
+    /// The locally-evaluable part of the template filter — what gets
+    /// pushed to member devices. Cached at filter-install time so
+    /// membership refreshes don't re-partition.
+    pub(crate) local_filter: Filter,
+    /// The cross-user part of the template filter, lowered to predicate
+    /// bytecode once at install time; the server's filter manager runs it
+    /// on every member uplink event instead of re-partitioning and
+    /// tree-walking per event.
+    pub(crate) cross_program: PredicateProgram,
 }
 
 impl MulticastStream {
     pub(crate) fn new(selector: MulticastSelector, template: StreamSpec) -> Self {
+        let (local_filter, cross) = template.filter.partition_cross_user();
         MulticastStream {
             selector,
             template,
             members: BTreeMap::new(),
+            local_filter,
+            cross_program: compile(&cross),
         }
+    }
+
+    /// Installs a new template filter, re-deriving the cached device-local
+    /// part and the compiled cross-user program. The single sanctioned way
+    /// to change the filter after construction — assigning
+    /// `template.filter` directly would leave the caches stale.
+    pub(crate) fn set_template_filter(&mut self, filter: Filter) {
+        self.template.filter = filter;
+        let (local, cross) = self.template.filter.partition_cross_user();
+        self.local_filter = local;
+        self.cross_program = compile(&cross);
     }
 
     /// Current member users, sorted.

@@ -14,7 +14,8 @@
 use std::fmt;
 use std::str::FromStr;
 
-use sensocial_types::{DeviceId, Error};
+use sensocial_broker::TopicFilter;
+use sensocial_types::{DeviceId, Error, InternedTopic};
 
 /// The `sensocial/…` namespace prefix shared by every topic.
 const NAMESPACE: &str = "sensocial";
@@ -121,6 +122,18 @@ impl Topic {
             _ => Err(Error::MalformedTopic(s.to_owned())),
         }
     }
+
+    /// The topic's interned wire form. Repeated calls for the same topic
+    /// (e.g. a device's uplink topic, once per sample) resolve to one
+    /// shared allocation, so hot paths can hold and clone it for free.
+    pub fn interned(&self) -> InternedTopic {
+        InternedTopic::new(self.to_string())
+    }
+
+    /// The topic as an exact-match subscription filter.
+    pub fn filter(&self) -> TopicFilter {
+        TopicFilter::from(self.to_string().as_str())
+    }
 }
 
 impl fmt::Display for Topic {
@@ -149,6 +162,30 @@ impl From<Topic> for String {
 impl From<&Topic> for String {
     fn from(topic: &Topic) -> String {
         topic.to_string()
+    }
+}
+
+impl From<Topic> for InternedTopic {
+    fn from(topic: Topic) -> InternedTopic {
+        topic.interned()
+    }
+}
+
+impl From<&Topic> for InternedTopic {
+    fn from(topic: &Topic) -> InternedTopic {
+        topic.interned()
+    }
+}
+
+impl From<Topic> for TopicFilter {
+    fn from(topic: Topic) -> TopicFilter {
+        topic.filter()
+    }
+}
+
+impl From<&Topic> for TopicFilter {
+    fn from(topic: &Topic) -> TopicFilter {
+        topic.filter()
     }
 }
 
@@ -213,5 +250,22 @@ mod tests {
         let topic = Topic::Trigger(DeviceId::new("p9"));
         let s: String = (&topic).into();
         assert_eq!(s, topic.to_string());
+    }
+
+    #[test]
+    fn interned_form_is_shared_and_matches_display() {
+        let topic = Topic::Uplink(DeviceId::new("p1"));
+        let a = topic.interned();
+        let b = topic.interned();
+        assert_eq!(a.as_str(), "sensocial/uplink/p1");
+        assert!(a.ptr_eq(&b), "same topic must resolve to one allocation");
+    }
+
+    #[test]
+    fn filter_form_matches_only_the_exact_topic() {
+        let topic = Topic::Config(DeviceId::new("p1"));
+        let f = topic.filter();
+        assert!(f.matches("sensocial/config/p1"));
+        assert!(!f.matches("sensocial/config/p2"));
     }
 }

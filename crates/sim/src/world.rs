@@ -6,7 +6,7 @@ use sensocial::client::{ClientDeps, ClientManager};
 use sensocial::server::{ServerDeps, ServerManager};
 use sensocial::PrivacyPolicyManager;
 use sensocial::{StreamId, StreamSpec};
-use sensocial_broker::{Broker, BrokerClient};
+use sensocial_broker::{Broker, BrokerClient, BrokerConfig};
 use sensocial_classify::ClassifierRegistry;
 use sensocial_energy::{
     BatteryMeter, CpuCosts, CpuMeter, EnergyComponent, EnergyProfile, MemoryProfiler,
@@ -41,6 +41,11 @@ pub struct WorldConfig {
     /// `SENSOCIAL_STORAGE_BACKEND` environment variable, which is how CI
     /// runs the whole suite against both backends.
     pub storage: StorageConfig,
+    /// Broker behaviour (QoS-1 retry policy, offline-queue limits, and
+    /// the `batch_delivery` switch that coalesces same-instant fan-out
+    /// into one scheduler event per subscriber). Tests flip
+    /// `batch_delivery` off to pin that batching never changes results.
+    pub broker: BrokerConfig,
 }
 
 impl Default for WorldConfig {
@@ -57,6 +62,7 @@ impl Default for WorldConfig {
             poll_interval: SimDuration::from_secs(30),
             charge_idle: true,
             storage: StorageConfig::from_env(),
+            broker: BrokerConfig::default(),
         }
     }
 }
@@ -103,6 +109,7 @@ impl World {
         let net = Network::new(rng.split("net").next_u64());
         net.set_default_link(config.link.clone());
         let broker = Broker::new(&net, "broker");
+        broker.set_config(config.broker.clone());
 
         let server_client = BrokerClient::new(&net, "server-ep", "broker", "server");
         let server = ServerManager::new(ServerDeps::new(

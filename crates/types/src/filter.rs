@@ -126,6 +126,73 @@ impl ConditionLhs {
             ConditionLhs::OsnTopic => "osn_topic",
         }
     }
+
+    /// Whether this left-hand side lives in the numeric value domain
+    /// (densities, hour of day) rather than the categorical one.
+    #[must_use]
+    pub fn is_numeric(self) -> bool {
+        matches!(
+            self,
+            ConditionLhs::WifiDensity | ConditionLhs::BluetoothDensity | ConditionLhs::HourOfDay
+        )
+    }
+
+    /// Fetches the categorical actual value this lhs inspects from `ctx`
+    /// (`None` = no data recorded yet). The single fetch point shared by
+    /// the tree-walking interpreter ([`Condition::evaluate`]) and the
+    /// compiled `PredicateProgram` evaluator in `sensocial-core`, so the
+    /// two agree by construction. Numeric left-hand sides return `None`;
+    /// use [`ConditionLhs::fetch_number`] for those.
+    #[must_use]
+    pub fn fetch_string(self, ctx: &EvalContext<'_>) -> Option<String> {
+        match self {
+            ConditionLhs::PhysicalActivity => {
+                ctx.snapshot.activity().map(|a| a.name().to_owned())
+            }
+            ConditionLhs::AudioEnvironment => ctx
+                .snapshot
+                .classified(Modality::Microphone)
+                .map(|(_, c)| c.value_string()),
+            ConditionLhs::Place => {
+                Some(ctx.snapshot.place().unwrap_or("unknown").to_owned())
+            }
+            ConditionLhs::OsnActivity => Some(
+                if ctx.osn_action.is_some() {
+                    "active"
+                } else {
+                    "inactive"
+                }
+                .to_owned(),
+            ),
+            ConditionLhs::OsnActionKind => {
+                ctx.osn_action.map(|a| a.kind.name().to_owned())
+            }
+            ConditionLhs::OsnTopic => ctx.osn_action.and_then(|a| a.topic.clone()),
+            ConditionLhs::WifiDensity
+            | ConditionLhs::BluetoothDensity
+            | ConditionLhs::HourOfDay => None,
+        }
+    }
+
+    /// Fetches the numeric actual value this lhs inspects from `ctx`
+    /// (`None` = no data recorded yet, or a categorical lhs). Shared by
+    /// the interpreter and the compiled evaluator; see
+    /// [`ConditionLhs::fetch_string`].
+    #[must_use]
+    pub fn fetch_number(self, ctx: &EvalContext<'_>) -> Option<f64> {
+        match self {
+            ConditionLhs::WifiDensity => ctx
+                .snapshot
+                .classified(Modality::Wifi)
+                .and_then(|(_, c)| c.value_string().parse::<f64>().ok()),
+            ConditionLhs::BluetoothDensity => ctx
+                .snapshot
+                .classified(Modality::Bluetooth)
+                .and_then(|(_, c)| c.value_string().parse::<f64>().ok()),
+            ConditionLhs::HourOfDay => Some(f64::from(ctx.now.hour_of_day())),
+            _ => None,
+        }
+    }
 }
 
 /// Why a condition could not be evaluated.
@@ -260,43 +327,10 @@ impl Condition {
     /// on a categorical lhs — returns an [`EvalError`] rather than a silent
     /// `false`; plans vetted by `sensocial-analysis` never produce one.
     pub fn evaluate(&self, ctx: &EvalContext<'_>) -> Result<bool, EvalError> {
-        match self.lhs {
-            ConditionLhs::PhysicalActivity => {
-                self.compare_string(ctx.snapshot.activity().map(|a| a.name().to_owned()))
-            }
-            ConditionLhs::AudioEnvironment => self.compare_string(
-                ctx.snapshot
-                    .classified(Modality::Microphone)
-                    .map(|(_, c)| c.value_string()),
-            ),
-            ConditionLhs::Place => {
-                self.compare_string(Some(ctx.snapshot.place().unwrap_or("unknown").to_owned()))
-            }
-            ConditionLhs::WifiDensity => self.compare_number(
-                ctx.snapshot
-                    .classified(Modality::Wifi)
-                    .and_then(|(_, c)| c.value_string().parse::<f64>().ok()),
-            ),
-            ConditionLhs::BluetoothDensity => self.compare_number(
-                ctx.snapshot
-                    .classified(Modality::Bluetooth)
-                    .and_then(|(_, c)| c.value_string().parse::<f64>().ok()),
-            ),
-            ConditionLhs::HourOfDay => self.compare_number(Some(f64::from(ctx.now.hour_of_day()))),
-            ConditionLhs::OsnActivity => {
-                let state = if ctx.osn_action.is_some() {
-                    "active"
-                } else {
-                    "inactive"
-                };
-                self.compare_string(Some(state.to_owned()))
-            }
-            ConditionLhs::OsnActionKind => {
-                self.compare_string(ctx.osn_action.map(|a| a.kind.name().to_owned()))
-            }
-            ConditionLhs::OsnTopic => {
-                self.compare_string(ctx.osn_action.and_then(|a| a.topic.clone()))
-            }
+        if self.lhs.is_numeric() {
+            self.compare_number(self.lhs.fetch_number(ctx))
+        } else {
+            self.compare_string(self.lhs.fetch_string(ctx))
         }
     }
 

@@ -12,19 +12,28 @@ use serde::{Deserialize, Serialize};
 macro_rules! string_id {
     ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
         $(#[$meta])*
-        #[derive(
-            Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-        )]
-        pub struct $name(String);
+        ///
+        /// Backed by the global interner in [`crate::intern`]: equal ids
+        /// share one `Arc<str>` allocation, so cloning is a refcount bump
+        /// and the hot paths (broker session maps, uplink topics) never
+        /// re-allocate per message. On the wire it stays a plain JSON
+        /// string.
+        #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(std::sync::Arc<str>);
 
         impl $name {
-            /// Creates an id from an arbitrary string.
-            pub fn new(id: impl Into<String>) -> Self {
-                $name(id.into())
+            /// Creates an id from an arbitrary string, interning it.
+            pub fn new(id: impl AsRef<str>) -> Self {
+                $name(crate::intern::intern(id.as_ref()))
             }
 
             /// The id as a string slice.
             pub fn as_str(&self) -> &str {
+                &self.0
+            }
+
+            /// The underlying shared allocation.
+            pub fn as_arc(&self) -> &std::sync::Arc<str> {
                 &self.0
             }
         }
@@ -37,19 +46,37 @@ macro_rules! string_id {
 
         impl From<&str> for $name {
             fn from(s: &str) -> Self {
-                $name(s.to_owned())
+                $name::new(s)
             }
         }
 
         impl From<String> for $name {
             fn from(s: String) -> Self {
-                $name(s)
+                $name::new(&s)
             }
         }
 
         impl AsRef<str> for $name {
             fn as_ref(&self) -> &str {
                 &self.0
+            }
+        }
+
+        impl Serialize for $name {
+            fn serialize<S: serde::Serializer>(
+                &self,
+                serializer: S,
+            ) -> std::result::Result<S::Ok, S::Error> {
+                serializer.serialize_str(&self.0)
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $name {
+            fn deserialize<D: serde::Deserializer<'de>>(
+                deserializer: D,
+            ) -> std::result::Result<Self, D::Error> {
+                let s = String::deserialize(deserializer)?;
+                Ok($name::new(&s))
             }
         }
     };
@@ -173,6 +200,13 @@ mod tests {
         assert_eq!(u.to_string(), "user:alice");
         let d: DeviceId = String::from("phone-1").into();
         assert_eq!(d.as_ref(), "phone-1");
+    }
+
+    #[test]
+    fn equal_string_ids_share_one_allocation() {
+        let a = DeviceId::new("phone-7");
+        let b = DeviceId::from("phone-7");
+        assert!(std::sync::Arc::ptr_eq(a.as_arc(), b.as_arc()));
     }
 
     #[test]

@@ -1,0 +1,209 @@
+//! Global string interning for hot-path identifiers.
+//!
+//! The broker fan-out path used to clone `String` topics once per
+//! subscriber per message. Interning maps every distinct string to a
+//! single shared `Arc<str>` allocation, so a "clone" is a reference-count
+//! bump and equality checks between interned values of the same content
+//! are pointer-equal. The pool is content-addressed and append-only:
+//! topics and device ids form a small, bounded vocabulary per deployment,
+//! so entries are never evicted.
+//!
+//! [`InternedTopic`] is the typed wrapper the broker packet API and the
+//! uplink path speak; the [`crate::ids`] string newtypes (`UserId`,
+//! `DeviceId`) intern through the same pool.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+fn pool() -> &'static Mutex<BTreeSet<Arc<str>>> {
+    static POOL: OnceLock<Mutex<BTreeSet<Arc<str>>>> = OnceLock::new();
+    POOL.get_or_init(|| Mutex::new(BTreeSet::new()))
+}
+
+/// Interns `s`, returning the canonical shared allocation for its
+/// content. Two calls with equal strings return pointer-equal `Arc`s.
+pub fn intern(s: &str) -> Arc<str> {
+    let mut pool = pool().lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(existing) = pool.get(s) {
+        return Arc::clone(existing);
+    }
+    let arc: Arc<str> = Arc::from(s);
+    pool.insert(Arc::clone(&arc));
+    arc
+}
+
+/// Number of distinct strings currently interned (diagnostics only).
+pub fn interned_count() -> usize {
+    pool()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .len()
+}
+
+/// An interned broker topic: a cheap-to-clone, content-addressed
+/// `Arc<str>` newtype.
+///
+/// Cloning bumps a reference count instead of allocating; the broker's
+/// retained map, session queues and pending-delivery table all share one
+/// allocation per distinct topic. On the wire it serializes as a plain
+/// JSON string, byte-identical to the `String` representation it
+/// replaced.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InternedTopic(Arc<str>);
+
+impl InternedTopic {
+    /// Interns `topic` and wraps the canonical allocation.
+    pub fn new(topic: impl AsRef<str>) -> Self {
+        InternedTopic(intern(topic.as_ref()))
+    }
+
+    /// The topic as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The underlying shared allocation.
+    pub fn as_arc(&self) -> &Arc<str> {
+        &self.0
+    }
+
+    /// Whether two topics share one allocation. Always true for equal
+    /// contents produced through the interner.
+    pub fn ptr_eq(&self, other: &InternedTopic) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl fmt::Display for InternedTopic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for InternedTopic {
+    fn from(s: &str) -> Self {
+        InternedTopic::new(s)
+    }
+}
+
+impl From<String> for InternedTopic {
+    fn from(s: String) -> Self {
+        InternedTopic::new(&s)
+    }
+}
+
+impl From<&String> for InternedTopic {
+    fn from(s: &String) -> Self {
+        InternedTopic::new(s)
+    }
+}
+
+impl From<Arc<str>> for InternedTopic {
+    fn from(s: Arc<str>) -> Self {
+        // Re-intern: an arbitrary Arc<str> may not be the canonical
+        // allocation, and pooling is what makes ptr_eq hold.
+        InternedTopic(intern(&s))
+    }
+}
+
+impl AsRef<str> for InternedTopic {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::borrow::Borrow<str> for InternedTopic {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Serialize for InternedTopic {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.0)
+    }
+}
+
+impl<'de> Deserialize<'de> for InternedTopic {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        Ok(InternedTopic::new(&s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn intern_is_identity_on_content() {
+        let a = intern("sensocial/uplink/phone-1");
+        assert_eq!(&*a, "sensocial/uplink/phone-1");
+    }
+
+    #[test]
+    fn equal_strings_are_pointer_equal() {
+        let a = intern("sensocial/register");
+        let b = intern("sensocial/register");
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn topic_newtype_round_trips_and_pools() {
+        let a = InternedTopic::new("sensocial/trigger/phone");
+        let b: InternedTopic = String::from("sensocial/trigger/phone").into();
+        assert_eq!(a, b);
+        assert!(a.ptr_eq(&b));
+        assert_eq!(a.as_str(), "sensocial/trigger/phone");
+        assert_eq!(a.to_string(), "sensocial/trigger/phone");
+    }
+
+    #[test]
+    fn topic_serializes_as_plain_string() {
+        let t = InternedTopic::new("sensocial/config/phone");
+        let wire = serde_json::to_string(&t).unwrap();
+        assert_eq!(wire, "\"sensocial/config/phone\"");
+        let back: InternedTopic = serde_json::from_str(&wire).unwrap();
+        assert_eq!(back, t);
+        assert!(back.ptr_eq(&t));
+    }
+
+    #[test]
+    fn foreign_arc_is_reinterned() {
+        let canonical = InternedTopic::new("sensocial/ack/tablet");
+        let foreign: Arc<str> = Arc::from("sensocial/ack/tablet");
+        assert!(!Arc::ptr_eq(canonical.as_arc(), &foreign));
+        let adopted = InternedTopic::from(foreign);
+        assert!(adopted.ptr_eq(&canonical));
+    }
+
+    proptest! {
+        #[test]
+        fn intern_resolve_is_identity(s in ".{0,64}") {
+            let interned = intern(&s);
+            prop_assert_eq!(&*interned, s.as_str());
+        }
+
+        #[test]
+        fn equal_contents_share_one_allocation(s in "[a-z/+#0-9]{0,32}") {
+            let a = intern(&s);
+            let b = intern(&s);
+            prop_assert!(Arc::ptr_eq(&a, &b));
+            let ta = InternedTopic::new(&s);
+            let tb = InternedTopic::new(&s);
+            prop_assert!(ta.ptr_eq(&tb));
+        }
+
+        #[test]
+        fn wire_form_matches_plain_string(s in "[ -~]{0,48}") {
+            let topic = InternedTopic::new(&s);
+            let wire = serde_json::to_string(&topic).unwrap();
+            let plain = serde_json::to_string(&s).unwrap();
+            prop_assert_eq!(wire, plain);
+        }
+    }
+}

@@ -18,7 +18,11 @@
 //!   operators, typed evaluation) shared by the middleware runtime and the
 //!   static plan verifier in `sensocial-analysis`;
 //! * [`error`] — the common error type, including the structured
-//!   plan-rejection diagnostics emitted by the verifier.
+//!   plan-rejection diagnostics emitted by the verifier;
+//! * [`intern`] — the global string interner behind the hot-path
+//!   identifiers ([`InternedTopic`], the string id newtypes): equal
+//!   strings share one `Arc<str>` allocation, so clones are refcount
+//!   bumps.
 //!
 //! Everything here is plain data: `Clone`, `Debug`, `PartialEq` and Serde
 //! serializable, so values can flow through the simulated network, the
@@ -32,6 +36,7 @@ pub mod error;
 pub mod filter;
 pub mod geo;
 pub mod ids;
+pub mod intern;
 pub mod modality;
 pub mod osn;
 
@@ -47,5 +52,6 @@ pub use filter::{
 };
 pub use geo::{GeoFence, GeoPoint, Place};
 pub use ids::{DeviceId, FilterId, StreamId, SubscriptionId, TriggerId, UserId};
+pub use intern::{intern, InternedTopic};
 pub use modality::{Granularity, Modality};
 pub use osn::{OsnAction, OsnActionKind, OsnPlatformKind};

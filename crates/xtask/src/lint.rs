@@ -91,6 +91,16 @@ fn patterns() -> Vec<Pattern> {
         "crates/sim/src",
         "crates/analysis/src",
     ];
+    // The per-message hot paths: broker routing/fan-out and the client and
+    // server managers' sample/uplink handlers. Topics and device ids there
+    // are interned (`InternedTopic`) and payloads are shared (`Payload`);
+    // an ad-hoc `to_string()`/`String::from` re-allocates what the
+    // interner already shares, once per message.
+    const HOT_PATH_MODULES: &[&str] = &[
+        "crates/broker/src",
+        "crates/core/src/client",
+        "crates/core/src/server",
+    ];
     vec![
         pat(
             "unwrap",
@@ -154,6 +164,24 @@ fn patterns() -> Vec<Pattern> {
             // on *use* sites.
             exempt: &["crates/core/src/topic.rs"],
             applies: &[],
+        },
+        Pattern {
+            name: "to-string",
+            needle: [".to_str", "ing()"].concat(),
+            why: "per-message string allocation on a hot path; topics and ids \
+                  are interned — clone the InternedTopic/Arc'd form (or carry \
+                  an allow marker for cold/error paths)",
+            exempt: &[],
+            applies: HOT_PATH_MODULES,
+        },
+        Pattern {
+            name: "string-from",
+            needle: ["String::fr", "om("].concat(),
+            why: "per-message string allocation on a hot path; topics and ids \
+                  are interned — clone the InternedTopic/Arc'd form (or carry \
+                  an allow marker for cold/error paths)",
+            exempt: &[],
+            applies: HOT_PATH_MODULES,
         },
         Pattern {
             name: "hash-map",
@@ -507,6 +535,28 @@ mod tests {
         let violations = scan_source("crates/analysis/src/shard.rs", &set, &patterns());
         assert_eq!(violations.len(), 1);
         assert_eq!(violations[0].pattern, "hash-set");
+    }
+
+    #[test]
+    fn hot_path_string_allocation_is_banned_only_in_scoped_modules() {
+        let needle = tok(&[".to_str", "ing()"]);
+        let fixture = format!("fn f(t: &Topic) -> String {{ t{needle} }}\n");
+        // Inside a hot-path module: flagged.
+        let violations = scan_source("crates/broker/src/broker.rs", &fixture, &patterns());
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].pattern, "to-string");
+        // The same line in the core crate's cold modules (config, events,
+        // topic rendering) is fine.
+        assert!(scan_source("crates/core/src/event.rs", &fixture, &patterns()).is_empty());
+        // `String::from` has its own rule name so allow markers stay precise.
+        let from = format!("fn f(d: &DeviceId) {{ let s = {}d.as_str()); }}\n", tok(&["String::fr", "om("]));
+        let violations = scan_source("crates/core/src/server/manager.rs", &from, &patterns());
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].pattern, "string-from");
+        // Cold/error paths opt out with the marker.
+        let marker = tok(&["lint:", "allow(to-string)"]);
+        let allowed = format!("fn f(t: &Topic) -> String {{ t{needle} }} // {marker}\n");
+        assert!(scan_source("crates/broker/src/broker.rs", &allowed, &patterns()).is_empty());
     }
 
     #[test]
